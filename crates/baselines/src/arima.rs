@@ -1,0 +1,170 @@
+//! AR(I) — an autoregressive model with differencing, the classic
+//! Box–Jenkins baseline of the paper's related work (\[1\], ARIMA).
+//!
+//! We implement ARIMA(p, d, 0): difference the series `d` times, fit the
+//! AR(p) coefficients by ridge least squares on lagged values, and
+//! forecast one step ahead by un-differencing. This is the workhorse core
+//! of ARIMA; the MA terms require iterative likelihood fitting that adds
+//! little for a one-step-ahead speed baseline.
+
+use apots_tensor::linalg::ridge_regression;
+use apots_tensor::Tensor;
+
+/// A fitted ARIMA(p, d, 0) model.
+pub struct Arima {
+    p: usize,
+    d: usize,
+    /// AR coefficients `φ_1 … φ_p` plus intercept (last).
+    coeffs: Vec<f32>,
+}
+
+/// Applies one round of differencing.
+fn diff(series: &[f32]) -> Vec<f32> {
+    series.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+impl Arima {
+    /// Fits on a training series.
+    ///
+    /// # Panics
+    /// Panics if the series is shorter than `p + d + 1` or `p` is zero.
+    pub fn fit(series: &[f32], p: usize, d: usize) -> Self {
+        assert!(p > 0, "Arima: p must be positive");
+        assert!(
+            series.len() > p + d,
+            "Arima: series of {} too short for p={p}, d={d}",
+            series.len()
+        );
+        let mut work = series.to_vec();
+        for _ in 0..d {
+            work = diff(&work);
+        }
+        let n = work.len() - p;
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut row = Vec::with_capacity(p + 1);
+            // Lagged values, most recent first.
+            for j in 0..p {
+                row.push(work[i + p - 1 - j]);
+            }
+            row.push(1.0); // intercept
+            rows.push(row);
+            y.push(work[i + p]);
+        }
+        let x = Tensor::from_rows(&rows);
+        let yt = Tensor::from_vec(y);
+        // Scale-aware ridge: lagged speed windows are highly collinear
+        // (near-singular Gram), so the penalty must be proportional to the
+        // Gram diagonal to keep the f32 Cholesky positive definite.
+        let mean_sq = x.norm_sq() / x.len() as f32;
+        let lambda = (mean_sq * n as f32 * 1e-5).max(1e-4);
+        let coeffs = ridge_regression(&x, &yt, lambda)
+            .expect("Arima: ridge system is SPD with scale-aware lambda")
+            .into_data();
+        Self { p, d, coeffs }
+    }
+
+    /// Autoregressive order.
+    pub fn order(&self) -> (usize, usize) {
+        (self.p, self.d)
+    }
+
+    /// One-step-ahead forecast from a history window (raw scale).
+    ///
+    /// # Panics
+    /// Panics if `history` is shorter than `p + d`.
+    pub fn predict_next(&self, history: &[f32]) -> f32 {
+        assert!(
+            history.len() >= self.p + self.d,
+            "Arima: history of {} too short",
+            history.len()
+        );
+        // Difference the tail of the history d times.
+        let mut work = history.to_vec();
+        let mut lasts = Vec::with_capacity(self.d);
+        for _ in 0..self.d {
+            lasts.push(*work.last().expect("nonempty"));
+            work = diff(&work);
+        }
+        // AR step on the differenced scale.
+        let mut pred = self.coeffs[self.p]; // intercept
+        for j in 0..self.p {
+            pred += self.coeffs[j] * work[work.len() - 1 - j];
+        }
+        // Un-difference.
+        for last in lasts.into_iter().rev() {
+            pred += last;
+        }
+        pred
+    }
+
+    /// Convenience: one-step forecasts for a batch of history windows.
+    pub fn predict(&self, histories: &[&[f32]]) -> Vec<f32> {
+        histories.iter().map(|h| self.predict_next(h)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_ar1_coefficient() {
+        // y_t = 0.8 y_{t−1} + small deterministic ripple.
+        let mut series = vec![1.0f32];
+        for i in 1..500 {
+            let prev = series[i - 1];
+            series.push(0.8 * prev + 0.05 * ((i as f32) * 0.7).sin());
+        }
+        let model = Arima::fit(&series, 1, 0);
+        assert!(
+            (model.coeffs[0] - 0.8).abs() < 0.05,
+            "phi = {}",
+            model.coeffs[0]
+        );
+    }
+
+    #[test]
+    fn differencing_handles_linear_trend() {
+        // y_t = 3t + 10: after d=1 the series is constant; prediction must
+        // continue the trend.
+        let series: Vec<f32> = (0..100).map(|t| 3.0 * t as f32 + 10.0).collect();
+        let model = Arima::fit(&series, 2, 1);
+        let pred = model.predict_next(&series);
+        let expected = 3.0 * 100.0 + 10.0;
+        assert!((pred - expected).abs() < 0.5, "pred {pred} vs {expected}");
+    }
+
+    #[test]
+    fn one_step_forecast_tracks_smooth_series() {
+        let series: Vec<f32> = (0..600)
+            .map(|t| 80.0 + 10.0 * (t as f32 * 0.05).sin())
+            .collect();
+        let model = Arima::fit(&series[..500], 6, 0);
+        let mut max_err = 0.0f32;
+        for t in 500..590 {
+            let pred = model.predict_next(&series[..t]);
+            max_err = max_err.max((pred - series[t]).abs());
+        }
+        assert!(max_err < 1.5, "max one-step error {max_err}");
+    }
+
+    #[test]
+    fn batch_predict_matches_single() {
+        let series: Vec<f32> = (0..200).map(|t| (t as f32 * 0.1).cos() * 5.0 + 60.0).collect();
+        let model = Arima::fit(&series, 3, 0);
+        let h1 = &series[..100];
+        let h2 = &series[..150];
+        let batch = model.predict(&[h1, h2]);
+        assert_eq!(batch[0], model.predict_next(h1));
+        assert_eq!(batch[1], model.predict_next(h2));
+        assert_eq!(model.order(), (3, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn rejects_short_series() {
+        let _ = Arima::fit(&[1.0, 2.0], 4, 1);
+    }
+}

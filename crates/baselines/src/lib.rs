@@ -1,0 +1,25 @@
+//! # apots-baselines
+//!
+//! Statistical baselines for the APOTS evaluation:
+//!
+//! * [`prophet`] — a from-scratch reimplementation of the additive model at
+//!   the core of Facebook Prophet (piecewise-linear trend with
+//!   changepoints, Fourier daily/weekly seasonality, holiday-window
+//!   regressors with upper/lower windows of 1, ridge-regularised least
+//!   squares), the paper's Table III baseline;
+//! * [`arima`] — ARIMA(p, d, 0): the Box–Jenkins autoregressive baseline
+//!   of the paper's related work (\[1\]);
+//! * [`stknn`] — k-nearest-neighbour pattern matching over recent speed
+//!   windows (the ST-KNN of related-work reference \[4\]);
+//! * [`naive`] — persistence and historical-average predictors, useful
+//!   sanity floors for the learned models.
+
+pub mod arima;
+pub mod naive;
+pub mod prophet;
+pub mod stknn;
+
+pub use arima::Arima;
+pub use naive::{HistoricalAverage, Persistence};
+pub use prophet::{Prophet, ProphetConfig};
+pub use stknn::StKnn;

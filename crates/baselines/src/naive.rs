@@ -1,0 +1,138 @@
+//! Naive baselines: persistence and historical average.
+//!
+//! Not part of the paper's tables, but essential sanity floors: a learned
+//! predictor that cannot beat persistence at β = 1 has learned nothing.
+
+use apots_traffic::calendar::Calendar;
+use apots_traffic::INTERVALS_PER_DAY;
+
+/// Persistence: predicts `s_{t+β} = s_{t−1}` (the last observed speed).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Persistence;
+
+impl Persistence {
+    /// Predicts each target from the last value of its input window.
+    pub fn predict(&self, histories: &[&[f32]]) -> Vec<f32> {
+        histories
+            .iter()
+            .map(|h| *h.last().expect("Persistence: empty history"))
+            .collect()
+    }
+}
+
+/// Historical average: predicts the training-set mean speed for the target
+/// interval's (hour-of-day, weekday-class) bucket.
+pub struct HistoricalAverage {
+    /// `[is_weekend_or_holiday][hour] -> mean`.
+    table: [[f32; 24]; 2],
+}
+
+impl HistoricalAverage {
+    /// Builds the lookup table from training observations `(times, values)`.
+    pub fn fit(times: &[usize], values: &[f32], calendar: &Calendar) -> Self {
+        assert_eq!(times.len(), values.len(), "HistoricalAverage: length mismatch");
+        assert!(!times.is_empty(), "HistoricalAverage: no training data");
+        let mut sums = [[0.0f64; 24]; 2];
+        let mut counts = [[0u32; 24]; 2];
+        for (&t, &v) in times.iter().zip(values) {
+            let day = calendar.day_of(t);
+            let free = usize::from(calendar.is_weekend(day) || calendar.is_holiday(day));
+            let hour = (t % INTERVALS_PER_DAY) / 12;
+            sums[free][hour] += f64::from(v);
+            counts[free][hour] += 1;
+        }
+        let global: f64 = values.iter().map(|&v| f64::from(v)).sum::<f64>()
+            / values.len() as f64;
+        let mut table = [[0.0f32; 24]; 2];
+        for c in 0..2 {
+            for h in 0..24 {
+                table[c][h] = if counts[c][h] > 0 {
+                    (sums[c][h] / f64::from(counts[c][h])) as f32
+                } else {
+                    global as f32
+                };
+            }
+        }
+        Self { table }
+    }
+
+    /// Predicts the bucket mean for each target interval.
+    pub fn predict(&self, times: &[usize], calendar: &Calendar) -> Vec<f32> {
+        times
+            .iter()
+            .map(|&t| {
+                let day = calendar.day_of(t);
+                let free =
+                    usize::from(calendar.is_weekend(day) || calendar.is_holiday(day));
+                let hour = (t % INTERVALS_PER_DAY) / 12;
+                self.table[free][hour]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn persistence_returns_last_value() {
+        let h1 = [80.0f32, 75.0, 70.0];
+        let h2 = [60.0f32, 62.0];
+        let preds = Persistence.predict(&[&h1, &h2]);
+        assert_eq!(preds, vec![70.0, 62.0]);
+    }
+
+    #[test]
+    fn historical_average_learns_hourly_pattern() {
+        let cal = Calendar::new(14, 0, vec![]);
+        // Speed 90 at 03:00, 40 at 08:00 on weekdays.
+        let mut times = Vec::new();
+        let mut values = Vec::new();
+        for day in 0..14 {
+            if cal.is_weekend(day) {
+                continue;
+            }
+            times.push(day * INTERVALS_PER_DAY + 3 * 12);
+            values.push(90.0);
+            times.push(day * INTERVALS_PER_DAY + 8 * 12);
+            values.push(40.0);
+        }
+        let model = HistoricalAverage::fit(&times, &values, &cal);
+        // Day 7 is a Monday in this calendar (start_weekday = 0).
+        let preds = model.predict(
+            &[7 * INTERVALS_PER_DAY + 3 * 12, 7 * INTERVALS_PER_DAY + 8 * 12],
+            &cal,
+        );
+        assert!((preds[0] - 90.0).abs() < 1e-4);
+        assert!((preds[1] - 40.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn historical_average_separates_weekends() {
+        let cal = Calendar::new(14, 0, vec![]);
+        let mut times = Vec::new();
+        let mut values = Vec::new();
+        for day in 0..14 {
+            let t = day * INTERVALS_PER_DAY + 8 * 12;
+            times.push(t);
+            values.push(if cal.is_weekend(day) { 95.0 } else { 45.0 });
+        }
+        let model = HistoricalAverage::fit(&times, &values, &cal);
+        let sat = 5 * INTERVALS_PER_DAY + 8 * 12; // day 5 = Saturday
+        let mon = 7 * INTERVALS_PER_DAY + 8 * 12;
+        let preds = model.predict(&[sat, mon], &cal);
+        assert!(preds[0] > 90.0);
+        assert!(preds[1] < 50.0);
+    }
+
+    #[test]
+    fn unseen_buckets_fall_back_to_global_mean() {
+        let cal = Calendar::new(7, 0, vec![]);
+        let times = vec![0]; // only midnight Monday observed
+        let values = vec![50.0f32];
+        let model = HistoricalAverage::fit(&times, &values, &cal);
+        let preds = model.predict(&[12 * 12], &cal); // noon, never seen
+        assert_eq!(preds[0], 50.0);
+    }
+}

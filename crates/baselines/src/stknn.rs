@@ -1,0 +1,173 @@
+//! ST-KNN — short-term traffic forecasting by k-nearest-neighbour pattern
+//! matching (the paper's related-work reference \[4\], EDBT 2018 style).
+//!
+//! The model memorises training windows (the target road's α recent
+//! speeds, optionally concatenated with the adjacent roads' — the
+//! *spatio-temporal* part) together with their next observed speed. A
+//! query window is answered by the inverse-distance-weighted mean of its
+//! `k` nearest stored patterns.
+
+/// A fitted ST-KNN forecaster.
+pub struct StKnn {
+    k: usize,
+    patterns: Vec<Vec<f32>>,
+    targets: Vec<f32>,
+}
+
+impl StKnn {
+    /// Builds the pattern memory.
+    ///
+    /// `patterns[i]` is a feature window and `targets[i]` its next-step
+    /// speed.
+    ///
+    /// # Panics
+    /// Panics on empty input, ragged windows, or `k` of zero.
+    pub fn fit(patterns: Vec<Vec<f32>>, targets: Vec<f32>, k: usize) -> Self {
+        assert!(k > 0, "StKnn: k must be positive");
+        assert!(!patterns.is_empty(), "StKnn: no training patterns");
+        assert_eq!(
+            patterns.len(),
+            targets.len(),
+            "StKnn: pattern/target count mismatch"
+        );
+        let width = patterns[0].len();
+        assert!(width > 0, "StKnn: empty pattern window");
+        assert!(
+            patterns.iter().all(|p| p.len() == width),
+            "StKnn: ragged pattern windows"
+        );
+        Self {
+            k,
+            patterns,
+            targets,
+        }
+    }
+
+    /// Number of stored patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the memory is empty (never true post-`fit`).
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Forecasts the next speed for one query window.
+    pub fn predict_one(&self, query: &[f32]) -> f32 {
+        assert_eq!(
+            query.len(),
+            self.patterns[0].len(),
+            "StKnn: query width mismatch"
+        );
+        // Partial selection of the k smallest distances.
+        let k = self.k.min(self.patterns.len());
+        let mut best: Vec<(f32, f32)> = Vec::with_capacity(k + 1); // (dist², target)
+        for (p, &t) in self.patterns.iter().zip(&self.targets) {
+            let mut d = 0.0f32;
+            for (a, b) in p.iter().zip(query) {
+                let diff = a - b;
+                d += diff * diff;
+            }
+            if best.len() < k {
+                best.push((d, t));
+                best.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            } else if d < best[k - 1].0 {
+                best[k - 1] = (d, t);
+                best.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            }
+        }
+        // Inverse-distance weighting with an exact-match fast path.
+        if best[0].0 < 1e-12 {
+            return best[0].1;
+        }
+        let mut num = 0.0f32;
+        let mut den = 0.0f32;
+        for &(d, t) in &best {
+            let w = 1.0 / (d.sqrt() + 1e-6);
+            num += w * t;
+            den += w;
+        }
+        num / den
+    }
+
+    /// Forecasts a batch of query windows.
+    pub fn predict(&self, queries: &[Vec<f32>]) -> Vec<f32> {
+        queries.iter().map(|q| self.predict_one(q)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(start: f32) -> Vec<f32> {
+        (0..4).map(|i| start + i as f32).collect()
+    }
+
+    #[test]
+    fn exact_match_returns_stored_target() {
+        let model = StKnn::fit(vec![ramp(1.0), ramp(10.0), ramp(20.0)], vec![5.0, 14.0, 24.0], 2);
+        assert_eq!(model.predict_one(&ramp(10.0)), 14.0);
+        assert_eq!(model.len(), 3);
+        assert!(!model.is_empty());
+    }
+
+    #[test]
+    fn nearest_neighbours_dominate() {
+        let model = StKnn::fit(
+            vec![ramp(0.0), ramp(1.0), ramp(100.0)],
+            vec![4.0, 5.0, 104.0],
+            2,
+        );
+        // Query near the low cluster: the far pattern must not contribute.
+        let pred = model.predict_one(&ramp(0.5));
+        assert!((4.0..=5.0).contains(&pred), "pred {pred}");
+    }
+
+    #[test]
+    fn k_one_is_nearest_neighbour() {
+        let model = StKnn::fit(vec![ramp(0.0), ramp(10.0)], vec![1.0, 2.0], 1);
+        assert_eq!(model.predict_one(&ramp(2.0)), 1.0);
+        assert_eq!(model.predict_one(&ramp(8.0)), 2.0);
+    }
+
+    #[test]
+    fn learns_a_periodic_pattern() {
+        // Memorise a sine wave's windows; forecasting a held-out window
+        // should land close to the true continuation.
+        let series: Vec<f32> = (0..400)
+            .map(|t| 70.0 + 15.0 * (t as f32 * 0.15).sin())
+            .collect();
+        let w = 8;
+        let mut patterns = Vec::new();
+        let mut targets = Vec::new();
+        for t in w..300 {
+            patterns.push(series[t - w..t].to_vec());
+            targets.push(series[t]);
+        }
+        let model = StKnn::fit(patterns, targets, 5);
+        let mut max_err = 0.0f32;
+        for t in 320..390 {
+            let pred = model.predict_one(&series[t - w..t]);
+            max_err = max_err.max((pred - series[t]).abs());
+        }
+        assert!(max_err < 1.0, "max error {max_err}");
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let model = StKnn::fit(vec![ramp(0.0), ramp(5.0)], vec![1.0, 2.0], 1);
+        let queries = vec![ramp(1.0), ramp(6.0)];
+        let batch = model.predict(&queries);
+        assert_eq!(batch[0], model.predict_one(&queries[0]));
+        assert_eq!(batch[1], model.predict_one(&queries[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "query width mismatch")]
+    fn rejects_wrong_query_width() {
+        let model = StKnn::fit(vec![ramp(0.0)], vec![1.0], 1);
+        let _ = model.predict_one(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,38 @@
+//! **Fig 1 bench** — the simulator substrate behind the case studies:
+//! corridor generation throughput and scenario mining.
+
+use std::time::Duration;
+
+use apots_traffic::calendar::Calendar;
+use apots_traffic::{scenarios, Corridor, SimConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    c.bench_function("corridor_generate_7days_5roads", |b| {
+        b.iter(|| {
+            let cal = Calendar::new(7, 6, vec![3]);
+            black_box(Corridor::generate_with_calendar(SimConfig::default(), cal))
+        })
+    });
+
+    let cal = Calendar::new(28, 6, vec![10]);
+    let corridor = Corridor::generate_with_calendar(SimConfig::default(), cal);
+    c.bench_function("scenario_mining_28days", |b| {
+        b.iter(|| black_box(scenarios::all(&corridor)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_simulator
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! **Fig 4 bench** — one APOTS adversarial optimisation step (α-window
+//! sequence prediction + discriminator update + accumulated predictor
+//! update) per predictor family, the unit of work behind the Fig 4 runs.
+
+use std::time::Duration;
+
+use apots::config::{HyperPreset, PredictorKind, TrainConfig};
+use apots::predictor::build_predictor;
+use apots::trainer::train_apots;
+use apots_traffic::calendar::Calendar;
+use apots_traffic::{Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn dataset() -> TrafficDataset {
+    let cal = Calendar::new(7, 6, vec![3]);
+    TrafficDataset::new(
+        Corridor::generate_with_calendar(SimConfig::default(), cal),
+        DataConfig::default(),
+    )
+}
+
+fn bench_adversarial_step(c: &mut Criterion) {
+    let data = dataset();
+    for kind in PredictorKind::all() {
+        let mut cfg = TrainConfig::fast_adversarial(FeatureMask::SPEED_ONLY);
+        cfg.epochs = 1;
+        cfg.batch_size = 32;
+        cfg.max_train_samples = Some(32); // exactly one batch per "epoch"
+        c.bench_function(&format!("apots_step_b32_{}", kind.label()), |b| {
+            b.iter(|| {
+                let mut p = build_predictor(kind, HyperPreset::Fast, &data, 1);
+                black_box(train_apots(p.as_mut(), &data, &cfg))
+            })
+        });
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_adversarial_step
+}
+criterion_main!(benches);

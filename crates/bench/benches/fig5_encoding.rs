@@ -1,0 +1,42 @@
+//! **Fig 5 bench** — batch encoding under each data-ablation mask, the
+//! fixed-width zero-filling machinery the Fig 5 comparison rests on.
+
+use std::time::Duration;
+
+use apots::config::PredictorKind;
+use apots::encode::encode_inputs;
+use apots_traffic::calendar::Calendar;
+use apots_traffic::{Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_encoding(c: &mut Criterion) {
+    let cal = Calendar::new(7, 6, vec![3]);
+    let data = TrafficDataset::new(
+        Corridor::generate_with_calendar(SimConfig::default(), cal),
+        DataConfig::default(),
+    );
+    let batch: Vec<usize> = data.train_samples()[..64].to_vec();
+    for (label, mask) in FeatureMask::fig5_grid() {
+        for kind in [PredictorKind::Fc, PredictorKind::Lstm, PredictorKind::Cnn] {
+            c.bench_function(
+                &format!("encode_{}_{}", kind.label(), label.replace(' ', "_")),
+                |b| b.iter(|| black_box(encode_inputs(kind, &data, &batch, mask))),
+            );
+        }
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_encoding
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! **Fig 6 bench** — inference throughput: predicting a two-hour speed
+//! trace (the Fig 6 panels) and full test-set evaluation per predictor.
+
+use std::time::Duration;
+
+use apots::config::{HyperPreset, PredictorKind};
+use apots::eval::{evaluate, predict_trace};
+use apots::predictor::build_predictor;
+use apots_traffic::calendar::Calendar;
+use apots_traffic::{scenarios, Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_trace(c: &mut Criterion) {
+    let cal = Calendar::new(7, 6, vec![3]);
+    let data = TrafficDataset::new(
+        Corridor::generate_with_calendar(SimConfig::default(), cal),
+        DataConfig::default(),
+    );
+    let rush = scenarios::morning_rush(data.corridor());
+    for kind in PredictorKind::all() {
+        let mut p = build_predictor(kind, HyperPreset::Fast, &data, 1);
+        c.bench_function(&format!("predict_trace_2h_{}", kind.label()), |b| {
+            b.iter(|| {
+                black_box(predict_trace(
+                    p.as_mut(),
+                    &data,
+                    FeatureMask::BOTH,
+                    rush.range(),
+                ))
+            })
+        });
+    }
+
+    let mut p = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &data, 1);
+    let samples = data.test_samples().to_vec();
+    c.bench_function("evaluate_testset_F", |b| {
+        b.iter(|| black_box(evaluate(p.as_mut(), &data, FeatureMask::BOTH, &samples)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_trace
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Layer-level benchmarks: forward and backward passes of every layer the
+//! APOTS predictors are built from (Fast-preset shapes, batch 64).
+
+use std::time::Duration;
+
+use apots_nn::layer::Layer;
+use apots_nn::{Conv2d, Dense, Lstm};
+use apots_tensor::rng::seeded;
+use apots_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_dense(c: &mut Criterion) {
+    let mut rng = seeded(1);
+    let mut layer = Dense::new(112, 128, &mut rng);
+    let x = Tensor::rand_uniform(&[64, 112], -1.0, 1.0, &mut rng);
+    c.bench_function("dense_forward_64x112x128", |b| {
+        b.iter(|| black_box(layer.forward(&x, true)))
+    });
+    let dy = Tensor::rand_uniform(&[64, 128], -1.0, 1.0, &mut rng);
+    let _ = layer.forward(&x, true);
+    c.bench_function("dense_backward_64x112x128", |b| {
+        b.iter(|| black_box(layer.backward(&dy)))
+    });
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = seeded(2);
+    // First conv of C/H: 5 channels → 12 filters over the 5×12 image.
+    let mut layer = Conv2d::new(5, 12, 3, 3, &mut rng);
+    let x = Tensor::rand_uniform(&[64, 5, 5, 12], -1.0, 1.0, &mut rng);
+    c.bench_function("conv3x3_forward_64x5x5x12", |b| {
+        b.iter(|| black_box(layer.forward(&x, true)))
+    });
+    let _ = layer.forward(&x, true);
+    let dy = Tensor::rand_uniform(&[64, 12, 5, 12], -1.0, 1.0, &mut rng);
+    c.bench_function("conv3x3_backward_64x5x5x12", |b| {
+        b.iter(|| black_box(layer.backward(&dy)))
+    });
+}
+
+fn bench_lstm(c: &mut Criterion) {
+    let mut rng = seeded(3);
+    // L's first layer at Fast width: 9 features, 32 hidden, 12 steps.
+    let mut layer = Lstm::new(9, 32, false, &mut rng);
+    let x = Tensor::rand_uniform(&[64, 12, 9], -1.0, 1.0, &mut rng);
+    c.bench_function("lstm_forward_64x12x9_h32", |b| {
+        b.iter(|| black_box(layer.forward(&x, true)))
+    });
+    let _ = layer.forward(&x, true);
+    let dy = Tensor::rand_uniform(&[64, 32], -1.0, 1.0, &mut rng);
+    c.bench_function("lstm_bptt_64x12x9_h32", |b| {
+        b.iter(|| black_box(layer.backward(&dy)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_dense, bench_conv, bench_lstm
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! **Table II bench** — per-sample feature extraction under each of the
+//! eight non-speed masks (S … SEWT), the inner loop of the Table II
+//! ablation.
+
+use std::time::Duration;
+
+use apots_traffic::calendar::Calendar;
+use apots_traffic::{Corridor, DataConfig, FeatureMask, NonSpeedMask, SimConfig, TrafficDataset};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_features(c: &mut Criterion) {
+    let cal = Calendar::new(7, 6, vec![3]);
+    let data = TrafficDataset::new(
+        Corridor::generate_with_calendar(SimConfig::default(), cal),
+        DataConfig::default(),
+    );
+    let ts: Vec<usize> = data.train_samples()[..256].to_vec();
+    for non_speed in NonSpeedMask::table2_grid() {
+        let mask = FeatureMask {
+            adjacent: true,
+            non_speed,
+            volume: false,
+        };
+        c.bench_function(&format!("features_256_{}", non_speed.label()), |b| {
+            b.iter(|| {
+                for &t in &ts {
+                    black_box(data.features(t, mask));
+                }
+            })
+        });
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_features
+}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! **Table III bench** — the units of work behind the full grid: one plain
+//! optimisation epoch per predictor, a Prophet fit, and the naive-baseline
+//! predictions.
+
+use std::time::Duration;
+
+use apots::config::{HyperPreset, PredictorKind, TrainConfig};
+use apots::predictor::build_predictor;
+use apots::trainer::train_plain;
+use apots_baselines::naive::{HistoricalAverage, Persistence};
+use apots_baselines::prophet::{Prophet, ProphetConfig};
+use apots_traffic::calendar::Calendar;
+use apots_traffic::{Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn dataset() -> TrafficDataset {
+    let cal = Calendar::new(7, 6, vec![3]);
+    TrafficDataset::new(
+        Corridor::generate_with_calendar(SimConfig::default(), cal),
+        DataConfig::default(),
+    )
+}
+
+fn bench_plain_epoch(c: &mut Criterion) {
+    let data = dataset();
+    for kind in PredictorKind::all() {
+        let mut cfg = TrainConfig::fast_plain(FeatureMask::BOTH);
+        cfg.epochs = 1;
+        cfg.max_train_samples = Some(256);
+        c.bench_function(&format!("plain_epoch_256_{}", kind.label()), |b| {
+            b.iter(|| {
+                let mut p = build_predictor(kind, HyperPreset::Fast, &data, 1);
+                black_box(train_plain(p.as_mut(), &data, &cfg))
+            })
+        });
+    }
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let data = dataset();
+    let h = data.corridor().target_road();
+    let train_times: Vec<usize> = data
+        .train_samples()
+        .iter()
+        .map(|&t| data.target_time(t))
+        .collect();
+    let train_values: Vec<f32> = train_times
+        .iter()
+        .map(|&t| data.corridor().speed(h, t))
+        .collect();
+    let cal = data.corridor().calendar();
+
+    c.bench_function("prophet_fit", |b| {
+        b.iter(|| {
+            black_box(Prophet::fit(
+                &train_times,
+                &train_values,
+                cal,
+                ProphetConfig::default(),
+            ))
+        })
+    });
+    let model = Prophet::fit(&train_times, &train_values, cal, ProphetConfig::default());
+    let targets: Vec<usize> = data
+        .test_samples()
+        .iter()
+        .map(|&t| data.target_time(t))
+        .collect();
+    c.bench_function("prophet_predict", |b| {
+        b.iter(|| black_box(model.predict(&targets)))
+    });
+
+    c.bench_function("historical_average_fit", |b| {
+        b.iter(|| black_box(HistoricalAverage::fit(&train_times, &train_values, cal)))
+    });
+
+    let histories: Vec<Vec<f32>> = data
+        .test_samples()
+        .iter()
+        .map(|&t| vec![data.corridor().speed(h, t - 1)])
+        .collect();
+    let href: Vec<&[f32]> = histories.iter().map(Vec::as_slice).collect();
+    c.bench_function("persistence_predict", |b| {
+        b.iter(|| black_box(Persistence.predict(&href)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_plain_epoch, bench_baselines
+}
+criterion_main!(benches);

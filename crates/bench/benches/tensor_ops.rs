@@ -1,0 +1,73 @@
+//! Substrate benchmarks: the tensor kernels every forward/backward pass
+//! reduces to, at the exact shapes the APOTS predictors use.
+
+use std::time::Duration;
+
+use apots_tensor::linalg::{cholesky_solve, ridge_regression};
+use apots_tensor::rng::seeded;
+use apots_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = seeded(1);
+    // FC first layer at batch 64: [64, 112] · [112, 128].
+    let a = Tensor::rand_uniform(&[64, 112], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform(&[112, 128], -1.0, 1.0, &mut rng);
+    c.bench_function("matmul_64x112x128", |bench| {
+        bench.iter(|| black_box(a.matmul(&b)))
+    });
+
+    // LSTM recurrent product: [64, 512] · [512, 2048] (paper preset).
+    let h = Tensor::rand_uniform(&[64, 512], -1.0, 1.0, &mut rng);
+    let w = Tensor::rand_uniform(&[512, 2048], -1.0, 1.0, &mut rng);
+    c.bench_function("matmul_lstm_paper_64x512x2048", |bench| {
+        bench.iter(|| black_box(h.matmul(&w)))
+    });
+
+    // Backprop kernels.
+    let x = Tensor::rand_uniform(&[64, 112], -1.0, 1.0, &mut rng);
+    let dy = Tensor::rand_uniform(&[64, 128], -1.0, 1.0, &mut rng);
+    c.bench_function("matmul_at_b_weightgrad", |bench| {
+        bench.iter(|| black_box(x.matmul_at_b(&dy)))
+    });
+    let wt = Tensor::rand_uniform(&[112, 128], -1.0, 1.0, &mut rng);
+    c.bench_function("matmul_a_bt_inputgrad", |bench| {
+        bench.iter(|| black_box(dy.matmul_a_bt(&wt)))
+    });
+}
+
+fn bench_linalg(c: &mut Criterion) {
+    // The Prophet normal equations: ~45 coefficients.
+    let mut rng = seeded(2);
+    let m = Tensor::rand_uniform(&[45, 45], -1.0, 1.0, &mut rng);
+    let mut spd = m.matmul_at_b(&m);
+    for i in 0..45 {
+        let v = spd.at2(i, i) + 1.0;
+        spd.set2(i, i, v);
+    }
+    let b = Tensor::rand_uniform(&[45], -1.0, 1.0, &mut rng);
+    c.bench_function("cholesky_solve_45", |bench| {
+        bench.iter(|| black_box(cholesky_solve(&spd, &b).unwrap()))
+    });
+
+    let x = Tensor::rand_uniform(&[2000, 45], -1.0, 1.0, &mut rng);
+    let y = Tensor::rand_uniform(&[2000], -1.0, 1.0, &mut rng);
+    c.bench_function("ridge_regression_2000x45", |bench| {
+        bench.iter(|| black_box(ridge_regression(&x, &y, 1e-3).unwrap()))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_matmul, bench_linalg
+}
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion benchmarks for the APOTS reproduction (see `benches/`).

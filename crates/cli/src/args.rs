@@ -1,0 +1,123 @@
+//! Minimal argument parsing: `--key value` pairs and `--flag` switches.
+//!
+//! Kept dependency-free on purpose (the workspace allows only a fixed
+//! crate set); the grammar is small enough that a hand-rolled parser is
+//! clearer than a macro framework.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line options.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Splits `argv` into the subcommand and its options.
+    ///
+    /// Every option must be `--key value` or a known boolean `--flag`
+    /// (flags are detected as `--key` followed by another `--…` or the
+    /// end of input).
+    pub fn parse(argv: &[String]) -> Result<(String, Self), String> {
+        let mut it = argv.iter().peekable();
+        let cmd = it
+            .next()
+            .ok_or_else(|| "missing command".to_string())?
+            .clone();
+        let mut args = Self::default();
+        while let Some(token) = it.next() {
+            let key = token
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --option, got {token:?}"))?;
+            if key.is_empty() {
+                return Err("empty option name".into());
+            }
+            match it.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = it.next().expect("peeked").clone();
+                    args.values.insert(key.to_string(), value);
+                }
+                _ => args.flags.push(key.to_string()),
+            }
+        }
+        Ok((cmd, args))
+    }
+
+    /// String option by name.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// `usize` option by name (error on malformed values).
+    pub fn get_usize(&self, key: &str) -> Result<Option<usize>, String> {
+        self.values
+            .get(key)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("--{key} expects an integer, got {v:?}"))
+            })
+            .transpose()
+    }
+
+    /// `u64` option by name.
+    pub fn get_u64(&self, key: &str) -> Result<Option<u64>, String> {
+        self.values
+            .get(key)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("--{key} expects an integer, got {v:?}"))
+            })
+            .transpose()
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(items: &[&str]) -> Vec<String> {
+        items.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let (cmd, args) =
+            Args::parse(&strs(&["train", "--kind", "H", "--adversarial", "--epochs", "6"]))
+                .unwrap();
+        assert_eq!(cmd, "train");
+        assert_eq!(args.get_str("kind"), Some("H"));
+        assert!(args.has_flag("adversarial"));
+        assert_eq!(args.get_usize("epochs").unwrap(), Some(6));
+        assert_eq!(args.get_str("missing"), None);
+        assert!(!args.has_flag("missing"));
+    }
+
+    #[test]
+    fn trailing_flag() {
+        let (_, args) = Args::parse(&strs(&["eval", "--model", "m.json", "--json"])).unwrap();
+        assert_eq!(args.get_str("model"), Some("m.json"));
+        assert!(args.has_flag("json"));
+    }
+
+    #[test]
+    fn rejects_missing_command() {
+        assert!(Args::parse(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_bare_values() {
+        assert!(Args::parse(&strs(&["train", "oops"])).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_integers() {
+        let (_, args) = Args::parse(&strs(&["train", "--epochs", "six"])).unwrap();
+        assert!(args.get_usize("epochs").is_err());
+    }
+}

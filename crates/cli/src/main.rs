@@ -1,0 +1,269 @@
+//! `apots-cli` — command-line interface for the APOTS reproduction.
+//!
+//! ```text
+//! apots-cli simulate --days 28 --seed 7 --out corridor.json
+//! apots-cli train    --kind H --adversarial --epochs 6 --out model.json
+//! apots-cli eval     --model model.json
+//! apots-cli predict  --model model.json --from 06:30 --to 08:30 --day 5
+//! ```
+//!
+//! All subcommands regenerate the (deterministic) simulated corridor from
+//! `--seed`, so only model parameters need to be persisted.
+
+use std::process::ExitCode;
+
+use apots::checkpoint::Checkpoint;
+use apots::config::{HyperPreset, PredictorKind, TrainConfig};
+use apots::eval::{evaluate, predict_trace};
+use apots::predictor::build_predictor;
+use apots::trainer::{train_apots, train_plain};
+use apots_traffic::calendar::Calendar;
+use apots_traffic::{Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset, INTERVALS_PER_DAY};
+
+mod args;
+
+use args::Args;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: apots-cli <command> [options]\n\
+     \n\
+     commands:\n\
+     \x20 simulate   generate a corridor and print summary statistics\n\
+     \x20            [--days N] [--seed N] [--out FILE]\n\
+     \x20 train      train a predictor and write a checkpoint\n\
+     \x20            [--kind F|L|C|H] [--adversarial] [--epochs N]\n\
+     \x20            [--days N] [--seed N] [--preset fast|paper] --out FILE\n\
+     \x20 eval       evaluate a checkpoint on the held-out test windows\n\
+     \x20            --model FILE [--days N] [--seed N] [--json]\n\
+     \x20 predict    print a predicted speed trace for a time window\n\
+     \x20            --model FILE --day N --from HH:MM --to HH:MM"
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let (cmd, args) = Args::parse(argv)?;
+    match cmd.as_str() {
+        "simulate" => cmd_simulate(&args),
+        "train" => cmd_train(&args),
+        "eval" => cmd_eval(&args),
+        "predict" => cmd_predict(&args),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn build_data(args: &Args) -> Result<TrafficDataset, String> {
+    let days = args.get_usize("days")?.unwrap_or(28);
+    let seed = args.get_u64("seed")?.unwrap_or(7);
+    if days == 0 {
+        return Err("--days must be positive".into());
+    }
+    let calendar = if days == 122 {
+        Calendar::paper_period()
+    } else {
+        Calendar::new(days, 6, vec![])
+    };
+    let sim = SimConfig {
+        seed,
+        ..SimConfig::default()
+    };
+    Ok(TrafficDataset::new(
+        Corridor::generate_with_calendar(sim, calendar),
+        DataConfig {
+            seed: seed ^ 0xDA7A,
+            ..DataConfig::default()
+        },
+    ))
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let data = build_data(args)?;
+    let c = data.corridor();
+    let h = c.target_road();
+    println!(
+        "corridor: {} roads × {} intervals ({} days)",
+        c.n_roads(),
+        c.intervals(),
+        c.intervals() / INTERVALS_PER_DAY
+    );
+    println!(
+        "target road {h}: free flow {:.1} km/h, mean {:.1} km/h, min {:.1} km/h",
+        c.free_flow()[h],
+        c.road_speeds(h).iter().sum::<f32>() / c.intervals() as f32,
+        c.road_speeds(h).iter().copied().fold(f32::INFINITY, f32::min),
+    );
+    println!(
+        "weather: {:.1}% of intervals rainy; incidents: {}",
+        100.0 * c.weather().wet_fraction(),
+        c.incidents().incidents().len()
+    );
+    println!(
+        "dataset: {} train / {} test samples",
+        data.train_samples().len(),
+        data.test_samples().len()
+    );
+    if let Some(path) = args.get_str("out") {
+        let json = serde_json::json!({
+            "n_roads": c.n_roads(),
+            "intervals": c.intervals(),
+            "target_road": h,
+            "speeds": (0..c.n_roads()).map(|r| c.road_speeds(r)).collect::<Vec<_>>(),
+        });
+        std::fs::write(path, serde_json::to_string(&json).unwrap())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn parse_kind(s: &str) -> Result<PredictorKind, String> {
+    PredictorKind::all()
+        .into_iter()
+        .find(|k| k.label().eq_ignore_ascii_case(s))
+        .ok_or_else(|| format!("unknown predictor kind {s:?} (use F, L, C or H)"))
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let data = build_data(args)?;
+    let kind = parse_kind(args.get_str("kind").unwrap_or("F"))?;
+    let preset = match args.get_str("preset").unwrap_or("fast") {
+        "paper" => HyperPreset::Paper,
+        _ => HyperPreset::Fast,
+    };
+    let out = args
+        .get_str("out")
+        .ok_or_else(|| "--out FILE is required".to_string())?;
+    let adversarial = args.has_flag("adversarial");
+    let mut cfg = if adversarial {
+        TrainConfig::fast_adversarial(FeatureMask::BOTH)
+    } else {
+        TrainConfig::fast_plain(FeatureMask::BOTH)
+    };
+    if let Some(e) = args.get_usize("epochs")? {
+        cfg.epochs = e;
+    }
+    cfg.seed = args.get_u64("seed")?.unwrap_or(7);
+
+    let mut p = build_predictor(kind, preset, &data, cfg.seed);
+    println!(
+        "training {} ({}, {} epochs) on {} samples…",
+        kind.label(),
+        if adversarial { "APOTS adversarial" } else { "plain MSE" },
+        cfg.epochs,
+        data.train_samples().len()
+    );
+    let report = if adversarial {
+        train_apots(p.as_mut(), &data, &cfg)
+    } else {
+        train_plain(p.as_mut(), &data, &cfg)
+    };
+    for (i, e) in report.epochs.iter().enumerate() {
+        println!("epoch {i:2}: mse {:.5} d_loss {:.4}", e.mse, e.d_loss);
+    }
+    std::fs::write(out, Checkpoint::capture(p.as_mut()).to_json())
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote checkpoint {out}");
+    Ok(())
+}
+
+fn load_model(args: &Args, data: &TrafficDataset) -> Result<Box<dyn apots::Predictor>, String> {
+    let path = args
+        .get_str("model")
+        .ok_or_else(|| "--model FILE is required".to_string())?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let ck = Checkpoint::from_json(&json).map_err(|e| format!("bad checkpoint: {e}"))?;
+    let preset = match args.get_str("preset").unwrap_or("fast") {
+        "paper" => HyperPreset::Paper,
+        _ => HyperPreset::Fast,
+    };
+    Ok(ck.restore(preset, data))
+}
+
+fn cmd_eval(args: &Args) -> Result<(), String> {
+    let data = build_data(args)?;
+    let mut model = load_model(args, &data)?;
+    let eval = evaluate(model.as_mut(), &data, FeatureMask::BOTH, data.test_samples());
+    if args.has_flag("json") {
+        let rows = eval.mape_rows();
+        let json = serde_json::json!({
+            "mae": eval.overall.mae,
+            "rmse": eval.overall.rmse,
+            "mape": eval.overall.mape,
+            "mape_normal": rows[1],
+            "mape_abrupt_acc": rows[2],
+            "mape_abrupt_dec": rows[3],
+            "n_test": eval.predictions.len(),
+        });
+        println!("{}", serde_json::to_string_pretty(&json).unwrap());
+    } else {
+        println!("test samples: {}", eval.predictions.len());
+        println!("MAE  {:.2} km/h", eval.overall.mae);
+        println!("RMSE {:.2} km/h", eval.overall.rmse);
+        println!("MAPE {:.2}%", eval.overall.mape);
+        let rows = eval.mape_rows();
+        println!(
+            "by situation: normal {:.2}%, abrupt acc {:.2}%, abrupt dec {:.2}%",
+            rows[1], rows[2], rows[3]
+        );
+    }
+    Ok(())
+}
+
+fn parse_hhmm(s: &str) -> Result<usize, String> {
+    let (hh, mm) = s
+        .split_once(':')
+        .ok_or_else(|| format!("bad time {s:?}, expected HH:MM"))?;
+    let h: usize = hh.parse().map_err(|_| format!("bad hour in {s:?}"))?;
+    let m: usize = mm.parse().map_err(|_| format!("bad minute in {s:?}"))?;
+    if h > 23 || m > 59 {
+        return Err(format!("time {s:?} out of range"));
+    }
+    Ok(h * 12 + m / 5)
+}
+
+fn cmd_predict(args: &Args) -> Result<(), String> {
+    let data = build_data(args)?;
+    let mut model = load_model(args, &data)?;
+    let day = args
+        .get_usize("day")?
+        .ok_or_else(|| "--day N is required".to_string())?;
+    let days = data.corridor().intervals() / INTERVALS_PER_DAY;
+    if day >= days {
+        return Err(format!("--day {day} out of range (simulation has {days} days)"));
+    }
+    let from = parse_hhmm(args.get_str("from").unwrap_or("06:00"))?;
+    let to = parse_hhmm(args.get_str("to").unwrap_or("09:00"))?;
+    if to <= from {
+        return Err("--to must be after --from".into());
+    }
+    let start = day * INTERVALS_PER_DAY + from;
+    let end = day * INTERVALS_PER_DAY + to;
+    let trace = predict_trace(model.as_mut(), &data, FeatureMask::BOTH, start..end);
+    let h = data.corridor().target_road();
+    println!("time   predicted  real");
+    for (t, pred) in trace {
+        let minute = data.corridor().calendar().minute_of_day(t);
+        println!(
+            "{:02}:{:02}    {pred:6.1}  {:6.1}",
+            minute / 60,
+            minute % 60,
+            data.corridor().speed(h, t)
+        );
+    }
+    Ok(())
+}

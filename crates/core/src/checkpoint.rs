@@ -1,0 +1,116 @@
+//! Saving and loading trained predictors.
+//!
+//! A checkpoint records the predictor kind plus its parameter snapshot, so
+//! a model trained by one process can be evaluated by another (the
+//! experiment binaries use this to avoid retraining shared models).
+
+use apots_nn::StateDict;
+use apots_traffic::TrafficDataset;
+
+use crate::config::{HyperPreset, PredictorKind};
+use crate::predictor::{build_predictor, Predictor};
+
+/// A serializable trained-predictor snapshot.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Checkpoint {
+    /// Which architecture the parameters belong to.
+    pub kind: String,
+    /// Parameter snapshot, in `params_mut` order.
+    pub state: StateDict,
+}
+
+impl Checkpoint {
+    /// Captures the current parameters of `predictor`.
+    pub fn capture(predictor: &mut dyn Predictor) -> Self {
+        Self {
+            kind: predictor.kind().label().to_string(),
+            state: StateDict::capture_params(&predictor.params_mut()),
+        }
+    }
+
+    /// Rebuilds a predictor of the stored kind (sized for `data` under
+    /// `preset`) and restores the parameters into it.
+    ///
+    /// # Panics
+    /// Panics if the stored kind label is unknown or the architecture
+    /// shapes do not match (e.g. wrong preset).
+    pub fn restore(&self, preset: HyperPreset, data: &TrafficDataset) -> Box<dyn Predictor> {
+        let kind = PredictorKind::all()
+            .into_iter()
+            .find(|k| k.label() == self.kind)
+            .unwrap_or_else(|| panic!("Checkpoint: unknown predictor kind {:?}", self.kind));
+        let mut p = build_predictor(kind, preset, data, 0);
+        self.state.restore_params(&mut p.params_mut());
+        p
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("Checkpoint serialization cannot fail")
+    }
+
+    /// Deserializes from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainConfig;
+    use crate::eval::evaluate;
+    use crate::trainer::train_plain;
+    use apots_traffic::calendar::Calendar;
+    use apots_traffic::{Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset};
+
+    fn dataset() -> TrafficDataset {
+        let cal = Calendar::new(8, 6, vec![]);
+        TrafficDataset::new(
+            Corridor::generate_with_calendar(SimConfig::default(), cal),
+            DataConfig::default(),
+        )
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_predictions() {
+        let data = dataset();
+        let mut cfg = TrainConfig::fast_plain(FeatureMask::BOTH);
+        cfg.epochs = 2;
+        cfg.max_train_samples = Some(256);
+        let mut p = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &data, 3);
+        let _ = train_plain(p.as_mut(), &data, &cfg);
+        let original = evaluate(p.as_mut(), &data, cfg.mask, data.test_samples());
+
+        let json = Checkpoint::capture(p.as_mut()).to_json();
+        let restored = Checkpoint::from_json(&json).unwrap();
+        let mut q = restored.restore(HyperPreset::Fast, &data);
+        let roundtrip = evaluate(q.as_mut(), &data, cfg.mask, data.test_samples());
+
+        assert_eq!(original.predictions, roundtrip.predictions);
+        assert_eq!(q.kind(), PredictorKind::Fc);
+    }
+
+    #[test]
+    fn checkpoint_works_for_every_kind() {
+        let data = dataset();
+        for kind in PredictorKind::all() {
+            let mut p = build_predictor(kind, HyperPreset::Fast, &data, 4);
+            let ck = Checkpoint::capture(p.as_mut());
+            let mut q = ck.restore(HyperPreset::Fast, &data);
+            assert_eq!(q.kind(), kind);
+            assert_eq!(q.param_count(), p.param_count());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown predictor kind")]
+    fn restore_rejects_unknown_kind() {
+        let data = dataset();
+        let ck = Checkpoint {
+            kind: "Z".into(),
+            state: StateDict::capture_params(&[]),
+        };
+        let _ = ck.restore(HyperPreset::Fast, &data);
+    }
+}

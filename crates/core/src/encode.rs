@@ -1,0 +1,313 @@
+//! Batch encoders: from dataset samples to each predictor's input layout.
+//!
+//! * `F` consumes the flat vector `speed_matrix ⊕ non-speed` (fixed width,
+//!   zero-filled under ablation masks — §V-B Q2);
+//! * `C`/`H` consume a 5-channel image `[batch, 5, 2m+1, α]` whose channels
+//!   are speed, event, temperature, precipitation and hour (scalar series
+//!   broadcast across the road axis), with the day-type flags appended to
+//!   the dense head;
+//! * `L` consumes per-time-step vectors `[(2m+1) speeds ⊕ 4 scalars]`, with
+//!   day-type appended after the recurrent stack.
+
+use apots_tensor::Tensor;
+use apots_traffic::{FeatureMask, SampleFeatures, TrafficDataset};
+
+use crate::config::PredictorKind;
+
+/// Number of scalar (per-time-step) non-speed channels: event,
+/// temperature, precipitation, hour.
+pub const SCALAR_CHANNELS: usize = 4;
+
+/// Number of road-matrix channels in the conv image: speed (Eq 6) plus the
+/// future-work traffic-volume matrix.
+pub const MATRIX_CHANNELS: usize = 2;
+
+/// Total conv input channels.
+pub const IMAGE_CHANNELS: usize = MATRIX_CHANNELS + SCALAR_CHANNELS;
+
+/// A predictor input batch in the layout its architecture expects.
+pub enum PredictorInput {
+    /// `[batch, 2·(2m+1)·α + 4α + 4]` for the FC predictor.
+    Flat(Tensor),
+    /// Image `[batch, 6, 2m+1, α]` plus day-type `[batch, 4]` for CNN and
+    /// Hybrid (channels: speed, volume, event, temperature, precipitation,
+    /// hour).
+    Image {
+        /// The 5-channel road×time image.
+        image: Tensor,
+        /// Day-type flags fed to the dense head.
+        day_type: Tensor,
+    },
+    /// Sequence `[batch, α, 2·(2m+1) + 4]` plus day-type `[batch, 4]` for
+    /// the LSTM predictor.
+    Seq {
+        /// The per-time-step feature sequence.
+        seq: Tensor,
+        /// Day-type flags fed after the recurrent stack.
+        day_type: Tensor,
+    },
+}
+
+impl PredictorInput {
+    /// Batch size of the input.
+    pub fn batch_size(&self) -> usize {
+        match self {
+            Self::Flat(x) => x.shape()[0],
+            Self::Image { image, .. } => image.shape()[0],
+            Self::Seq { seq, .. } => seq.shape()[0],
+        }
+    }
+}
+
+/// Encodes predictor inputs and normalized targets for `times`.
+pub fn encode_inputs(
+    kind: PredictorKind,
+    data: &TrafficDataset,
+    times: &[usize],
+    mask: FeatureMask,
+) -> (PredictorInput, Tensor) {
+    assert!(!times.is_empty(), "encode_inputs: empty batch");
+    let feats: Vec<SampleFeatures> = times.iter().map(|&t| data.features(t, mask)).collect();
+    let targets = Tensor::new(
+        vec![times.len(), 1],
+        feats.iter().map(|f| f.target).collect(),
+    );
+    let input = match kind {
+        PredictorKind::Fc => PredictorInput::Flat(encode_flat(&feats)),
+        PredictorKind::Cnn | PredictorKind::Hybrid => {
+            let (image, day_type) = encode_image(&feats);
+            PredictorInput::Image { image, day_type }
+        }
+        PredictorKind::Lstm => {
+            let (seq, day_type) = encode_seq(&feats);
+            PredictorInput::Seq { seq, day_type }
+        }
+    };
+    (input, targets)
+}
+
+/// Encodes the discriminator context for base times: the real sequences
+/// `S_{t−α+β+1:t+β}` (`[batch, α]`) and conditioning vectors `E`
+/// (`[batch, (2m+1)α + 4α + 4]`).
+pub fn encode_context(
+    data: &TrafficDataset,
+    times: &[usize],
+    mask: FeatureMask,
+) -> (Tensor, Tensor) {
+    assert!(!times.is_empty(), "encode_context: empty batch");
+    let feats: Vec<SampleFeatures> = times.iter().map(|&t| data.features(t, mask)).collect();
+    let alpha = feats[0].alpha();
+    let mut real = Vec::with_capacity(times.len() * alpha);
+    let mut cond_rows = Vec::with_capacity(times.len());
+    for f in &feats {
+        real.extend_from_slice(&f.real_sequence);
+        cond_rows.push(f.conditioning_flat());
+    }
+    (
+        Tensor::new(vec![times.len(), alpha], real),
+        Tensor::from_rows(&cond_rows),
+    )
+}
+
+fn encode_flat(feats: &[SampleFeatures]) -> Tensor {
+    let rows: Vec<Vec<f32>> = feats.iter().map(SampleFeatures::conditioning_flat).collect();
+    Tensor::from_rows(&rows)
+}
+
+fn encode_image(feats: &[SampleFeatures]) -> (Tensor, Tensor) {
+    let b = feats.len();
+    let r = feats[0].n_roads();
+    let alpha = feats[0].alpha();
+    let channels = IMAGE_CHANNELS;
+    let mut image = vec![0.0f32; b * channels * r * alpha];
+    let mut day = Vec::with_capacity(b * 4);
+    for (bi, f) in feats.iter().enumerate() {
+        let base = bi * channels * r * alpha;
+        // Channel 0: the speed matrix of Eq 6; channel 1: volume matrix.
+        for (ri, row) in f.speed_matrix.iter().enumerate() {
+            image[base + ri * alpha..base + (ri + 1) * alpha].copy_from_slice(row);
+        }
+        let vbase = base + r * alpha;
+        for (ri, row) in f.volume_matrix.iter().enumerate() {
+            image[vbase + ri * alpha..vbase + (ri + 1) * alpha].copy_from_slice(row);
+        }
+        // Remaining channels: scalar series broadcast across roads.
+        for (ci, series) in [&f.event, &f.temperature, &f.precipitation, &f.hour]
+            .into_iter()
+            .enumerate()
+        {
+            let cbase = base + (MATRIX_CHANNELS + ci) * r * alpha;
+            for ri in 0..r {
+                image[cbase + ri * alpha..cbase + (ri + 1) * alpha].copy_from_slice(series);
+            }
+        }
+        day.extend_from_slice(&f.day_type);
+    }
+    (
+        Tensor::new(vec![b, channels, r, alpha], image),
+        Tensor::new(vec![b, 4], day),
+    )
+}
+
+fn encode_seq(feats: &[SampleFeatures]) -> (Tensor, Tensor) {
+    let b = feats.len();
+    let r = feats[0].n_roads();
+    let alpha = feats[0].alpha();
+    let width = 2 * r + SCALAR_CHANNELS;
+    let mut seq = vec![0.0f32; b * alpha * width];
+    let mut day = Vec::with_capacity(b * 4);
+    for (bi, f) in feats.iter().enumerate() {
+        for k in 0..alpha {
+            let base = (bi * alpha + k) * width;
+            for ri in 0..r {
+                seq[base + ri] = f.speed_matrix[ri][k];
+                seq[base + r + ri] = f.volume_matrix[ri][k];
+            }
+            seq[base + 2 * r] = f.event[k];
+            seq[base + 2 * r + 1] = f.temperature[k];
+            seq[base + 2 * r + 2] = f.precipitation[k];
+            seq[base + 2 * r + 3] = f.hour[k];
+        }
+        day.extend_from_slice(&f.day_type);
+    }
+    (
+        Tensor::new(vec![b, alpha, width], seq),
+        Tensor::new(vec![b, 4], day),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apots_traffic::calendar::Calendar;
+    use apots_traffic::{Corridor, DataConfig, SimConfig};
+
+    fn dataset() -> TrafficDataset {
+        let cal = Calendar::new(12, 6, vec![]);
+        TrafficDataset::new(
+            Corridor::generate_with_calendar(SimConfig::default(), cal),
+            DataConfig::default(),
+        )
+    }
+
+    #[test]
+    fn flat_layout_shapes() {
+        let ds = dataset();
+        let ts = &ds.train_samples()[..8];
+        let (input, targets) = encode_inputs(PredictorKind::Fc, &ds, ts, FeatureMask::BOTH);
+        assert_eq!(targets.shape(), &[8, 1]);
+        match input {
+            PredictorInput::Flat(x) => {
+                assert_eq!(x.shape(), &[8, 2 * 5 * 12 + 4 * 12 + 4]);
+            }
+            _ => panic!("wrong layout"),
+        }
+    }
+
+    #[test]
+    fn image_layout_shapes_and_broadcast() {
+        let ds = dataset();
+        let ts = &ds.train_samples()[..4];
+        let (input, _) = encode_inputs(PredictorKind::Cnn, &ds, ts, FeatureMask::BOTH);
+        match input {
+            PredictorInput::Image { image, day_type } => {
+                assert_eq!(image.shape(), &[4, 6, 5, 12]);
+                assert_eq!(day_type.shape(), &[4, 4]);
+                // Scalar channels identical across road rows.
+                let d = image.data();
+                let stride = 5 * 12;
+                for c in 2..6usize {
+                    let cb = c * stride;
+                    for ri in 1..5 {
+                        assert_eq!(
+                            &d[cb..cb + 12],
+                            &d[cb + ri * 12..cb + (ri + 1) * 12],
+                            "channel {c} row {ri} not broadcast"
+                        );
+                    }
+                }
+            }
+            _ => panic!("wrong layout"),
+        }
+    }
+
+    #[test]
+    fn seq_layout_matches_features() {
+        let ds = dataset();
+        let ts = &ds.train_samples()[..2];
+        let f = ds.features(ts[0], FeatureMask::BOTH);
+        let (input, _) = encode_inputs(PredictorKind::Lstm, &ds, ts, FeatureMask::BOTH);
+        match &input {
+            PredictorInput::Seq { seq, day_type } => {
+                assert_eq!(seq.shape(), &[2, 12, 14]);
+                assert_eq!(day_type.shape(), &[2, 4]);
+                // First sample, step 0: 5 speeds, 5 volumes, then scalars.
+                let d = seq.data();
+                for ri in 0..5 {
+                    assert_eq!(d[ri], f.speed_matrix[ri][0]);
+                    assert_eq!(d[5 + ri], f.volume_matrix[ri][0]);
+                }
+                assert_eq!(d[10], f.event[0]);
+                assert_eq!(d[13], f.hour[0]);
+                assert_eq!(input.batch_size(), 2);
+            }
+            _ => panic!("wrong layout"),
+        }
+    }
+
+    #[test]
+    fn context_shapes_and_alignment() {
+        let ds = dataset();
+        let ts = &ds.train_samples()[..3];
+        let (real, cond) = encode_context(&ds, ts, FeatureMask::BOTH);
+        assert_eq!(real.shape(), &[3, 12]);
+        assert_eq!(cond.shape(), &[3, 2 * 5 * 12 + 4 * 12 + 4]);
+        // Last element of each real sequence is the sample's target.
+        let (_, targets) = encode_inputs(PredictorKind::Fc, &ds, ts, FeatureMask::BOTH);
+        for i in 0..3 {
+            assert!((real.at2(i, 11) - targets.at2(i, 0)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn full_mask_populates_volume_channel() {
+        let ds = dataset();
+        let ts = &ds.train_samples()[..2];
+        let (input, _) = encode_inputs(PredictorKind::Cnn, &ds, ts, FeatureMask::FULL);
+        match input {
+            PredictorInput::Image { image, .. } => {
+                let d = image.data();
+                let stride = 5 * 12;
+                // Channel 1 is the volume matrix: live under FULL.
+                assert!(d[stride..2 * stride].iter().any(|&v| v != 0.0));
+            }
+            _ => panic!("wrong layout"),
+        }
+        let (input, _) = encode_inputs(PredictorKind::Lstm, &ds, ts, FeatureMask::FULL);
+        match input {
+            PredictorInput::Seq { seq, .. } => {
+                // Volume features live at positions r..2r of each step.
+                let d = seq.data();
+                assert!(d[5..10].iter().any(|&v| v != 0.0));
+            }
+            _ => panic!("wrong layout"),
+        }
+    }
+
+    #[test]
+    fn speed_only_mask_zeroes_context_channels() {
+        let ds = dataset();
+        let ts = &ds.train_samples()[..2];
+        let (input, _) = encode_inputs(PredictorKind::Cnn, &ds, ts, FeatureMask::SPEED_ONLY);
+        match input {
+            PredictorInput::Image { image, day_type } => {
+                let d = image.data();
+                let stride = 5 * 12;
+                // Channels 1..6 all zero (volume + scalars masked).
+                assert!(d[stride..6 * stride].iter().all(|&v| v == 0.0));
+                assert!(day_type.data().iter().all(|&v| v == 0.0));
+            }
+            _ => panic!("wrong layout"),
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! # apots
+//!
+//! The paper's primary contribution: **A**dversarial **P**rediction
+//! **O**f **T**raffic **S**peed (APOTS, ICDE 2022).
+//!
+//! APOTS wraps any deep-learning speed predictor `P` in a GAN-style
+//! training loop: alongside the usual MSE regression loss, `P` repeatedly
+//! predicts `α` consecutive speeds to form a sequence `Ŝ`, and a
+//! discriminator `D` — conditioned on contextual information `E`
+//! (adjacent-road speeds ⊕ non-speed data) — scores whether `Ŝ` looks like
+//! a real speed sequence. Training `P` against `D` (Eq 1/2/4) teaches it
+//! the *distribution* of real speed dynamics, which markedly improves
+//! prediction during abrupt speed changes (rush-hour onsets, rain,
+//! accidents) where pure-MSE models regress to the mean.
+//!
+//! Crate layout:
+//! * [`config`] — predictor kinds, Table I hyper-parameters (`Paper` and a
+//!   CPU-friendly `Fast` preset), and training options;
+//! * [`encode`] — turning [`apots_traffic`] samples into each predictor's
+//!   input layout (flat, image, sequence);
+//! * [`predictor`] — the four predictors: FC, CNN, LSTM and the
+//!   CNN+LSTM hybrid of §IV-B;
+//! * [`discriminator`] — the five-layer fully-connected conditional
+//!   discriminator of §V-A;
+//! * [`trainer`] — plain (MSE-only) and adversarial (APOTS) training
+//!   loops, including the α:1 MSE-to-adversarial loss ratio of footnote 1;
+//! * [`eval`] — test-set evaluation in km/h, situation-segmented metrics
+//!   and scenario trace prediction.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use apots::config::{HyperPreset, PredictorKind, TrainConfig};
+//! use apots::predictor::build_predictor;
+//! use apots::trainer::train_apots;
+//! use apots::eval::evaluate;
+//! use apots_traffic::{Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset};
+//!
+//! let corridor = Corridor::generate(SimConfig::default());
+//! let data = TrafficDataset::new(corridor, DataConfig::default());
+//! let config = TrainConfig::fast_adversarial(FeatureMask::BOTH);
+//! let mut predictor = build_predictor(PredictorKind::Hybrid, HyperPreset::Fast, &data, 7);
+//! let report = train_apots(predictor.as_mut(), &data, &config);
+//! let eval = evaluate(predictor.as_mut(), &data, config.mask, data.test_samples());
+//! println!("MAPE {:.2}%  (trained {} epochs, final P-loss {:.4})",
+//!          eval.overall.mape, report.epochs.len(), report.epochs.last().unwrap().p_loss);
+//! ```
+
+pub mod cgan;
+pub mod checkpoint;
+pub mod config;
+pub mod discriminator;
+pub mod encode;
+pub mod eval;
+pub mod predictor;
+pub mod trainer;
+
+pub use cgan::CGan;
+pub use checkpoint::Checkpoint;
+pub use config::{HyperPreset, PredictorKind, TrainConfig};
+pub use discriminator::Discriminator;
+pub use eval::{evaluate, EvalResult};
+pub use predictor::{build_predictor, Predictor};
+pub use trainer::{train_apots, train_plain, TrainReport};

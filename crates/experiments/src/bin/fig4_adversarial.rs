@@ -1,0 +1,82 @@
+//! **Fig 4** — effect of adversarial training.
+//!
+//! For each predictor F, C, L, H (speed-only input, as in the paper's Q1):
+//! train once without and once with adversarial training, then report MAPE
+//! over the whole period and over the normal / abrupt-acceleration /
+//! abrupt-deceleration subsets of Eq 7/8 (θ = ±0.3).
+
+use apots::config::PredictorKind;
+use apots_experiments::{build_dataset, fmt_mape, print_table, run_model, save_json, Env};
+use apots_traffic::FeatureMask;
+
+fn main() {
+    let env = Env::from_env();
+    let data = build_dataset(env.seed);
+    println!("# Fig 4 — effect of adversarial training (speed-only input)");
+    println!(
+        "dataset: {} train / {} test samples, preset {:?}",
+        data.train_samples().len(),
+        data.test_samples().len(),
+        env.preset
+    );
+
+    let mut json = serde_json::Map::new();
+    for kind in PredictorKind::all() {
+        let mut rows = Vec::new();
+        let mut pair = Vec::new();
+        for adversarial in [false, true] {
+            let cfg = if adversarial {
+                apots_experiments::adv_cfg(kind, FeatureMask::SPEED_ONLY, &env)
+            } else {
+                apots_experiments::plain_cfg(kind, FeatureMask::SPEED_ONLY, &env)
+            };
+            let out = run_model(&data, kind, env.preset, &cfg);
+            let mape = out.eval.mape_rows();
+            let label = if adversarial {
+                format!("Adv {}", kind.label())
+            } else {
+                kind.label().to_string()
+            };
+            rows.push(vec![
+                label.clone(),
+                fmt_mape(mape[0]),
+                fmt_mape(mape[1]),
+                fmt_mape(mape[2]),
+                fmt_mape(mape[3]),
+                format!("{:.0}s", out.train_secs),
+            ]);
+            json.insert(label, serde_json::json!(mape.to_vec()));
+            pair.push(mape);
+        }
+        print_table(
+            &format!("Fig 4{} — {}", ['a', 'b', 'c', 'd'][fig_index(kind)], kind.label()),
+            &["model", "Whole period", "Normal", "Abrupt acc", "Abrupt dec", "train"],
+            &rows,
+        );
+        let gain = |i: usize| {
+            if pair[0][i].is_nan() || pair[1][i].is_nan() {
+                f32::NAN
+            } else {
+                100.0 * (pair[0][i] - pair[1][i]) / pair[0][i]
+            }
+        };
+        println!(
+            "adversarial improvement: whole {:+.1}%, normal {:+.1}%, acc {:+.1}%, dec {:+.1}%",
+            gain(0),
+            gain(1),
+            gain(2),
+            gain(3)
+        );
+    }
+    save_json("fig4_adversarial", &serde_json::Value::Object(json));
+}
+
+fn fig_index(kind: PredictorKind) -> usize {
+    // The paper orders panels (a) FC, (b) CNN, (c) LSTM, (d) Hybrid.
+    match kind {
+        PredictorKind::Fc => 0,
+        PredictorKind::Cnn => 1,
+        PredictorKind::Lstm => 2,
+        PredictorKind::Hybrid => 3,
+    }
+}

@@ -1,0 +1,103 @@
+//! **Fig 6** — predictions in speed with APOTS on the real traffic
+//! situations.
+//!
+//! Trains the four plain predictors (speed-only, w/o Adv.) and the four
+//! APOTS predictors (speed + additional data, w/ Adv.), then prints
+//! real-vs-predicted traces for the Fig 1 case-study windows, plus the
+//! per-window MAPE of every model.
+
+use apots::config::PredictorKind;
+use apots::eval::predict_trace;
+use apots::predictor::Predictor;
+use apots_experiments::{build_dataset, print_table, run_model_keep, save_json, sparkline, Env};
+use apots_metrics::mape;
+use apots_traffic::{scenarios, FeatureMask};
+
+fn main() {
+    let env = Env::from_env();
+    let data = build_dataset(env.seed);
+    println!("# Fig 6 — predicted vs real speed on the Fig 1 situations");
+    println!(
+        "dataset: {} train / {} test samples, preset {:?}",
+        data.train_samples().len(),
+        data.test_samples().len(),
+        env.preset
+    );
+
+    // P (plain, speed-only) and APOTS(P) (adversarial, speed + add. data).
+    let mut models: Vec<(String, FeatureMask, Box<dyn Predictor>)> = Vec::new();
+    for kind in PredictorKind::all() {
+        let cfg = apots_experiments::plain_cfg(kind, FeatureMask::SPEED_ONLY, &env);
+        let (p, out) = run_model_keep(&data, kind, env.preset, &cfg);
+        println!(
+            "trained {} (plain): MAPE {:.2} ({:.0}s)",
+            kind.label(),
+            out.eval.overall.mape,
+            out.train_secs
+        );
+        models.push((kind.label().to_string(), FeatureMask::SPEED_ONLY, p));
+    }
+    for kind in PredictorKind::all() {
+        let cfg = apots_experiments::adv_cfg(kind, FeatureMask::BOTH, &env);
+        let (p, out) = run_model_keep(&data, kind, env.preset, &cfg);
+        println!(
+            "trained APOTS {} : MAPE {:.2} ({:.0}s)",
+            kind.label(),
+            out.eval.overall.mape,
+            out.train_secs
+        );
+        models.push((format!("APOTS {}", kind.label()), FeatureMask::BOTH, p));
+    }
+
+    let corridor_h = data.corridor().target_road();
+    let mut json = serde_json::Map::new();
+    for scenario in scenarios::all(data.corridor()) {
+        println!("\n### {}", scenario.name);
+        let real: Vec<(usize, f32)> = scenario
+            .range()
+            .map(|t| (t, data.corridor().speed(corridor_h, t)))
+            .collect();
+        let lo = 0.0f32;
+        let hi = 100.0f32;
+        println!(
+            "{:<10} {}",
+            "Real",
+            sparkline(&real.iter().map(|&(_, v)| v).collect::<Vec<_>>(), lo, hi)
+        );
+        let mut rows = Vec::new();
+        let mut case_json = serde_json::Map::new();
+        case_json.insert(
+            "real".into(),
+            serde_json::json!(real.iter().map(|&(_, v)| v).collect::<Vec<_>>()),
+        );
+        for (label, mask, model) in &mut models {
+            let trace = predict_trace(model.as_mut(), &data, *mask, scenario.range());
+            // Align predicted intervals with the real ones.
+            let real_aligned: Vec<f32> = trace
+                .iter()
+                .map(|&(t, _)| data.corridor().speed(corridor_h, t))
+                .collect();
+            let preds: Vec<f32> = trace.iter().map(|&(_, v)| v).collect();
+            if preds.is_empty() {
+                continue;
+            }
+            println!("{label:<10} {}", sparkline(&preds, lo, hi));
+            rows.push(vec![
+                label.clone(),
+                format!("{:.2}", mape(&preds, &real_aligned)),
+            ]);
+            case_json.insert(label.clone(), serde_json::json!(preds));
+        }
+        print_table(
+            &format!("{} — per-window MAPE", scenario.name),
+            &["model", "MAPE"],
+            &rows,
+        );
+        json.insert(scenario.name.to_string(), serde_json::Value::Object(case_json));
+    }
+    println!(
+        "\n(paper: the APOTS variants track the abrupt drops and recoveries\n\
+         closely while the plain predictors lag behind)"
+    );
+    save_json("fig6_traces", &serde_json::Value::Object(json));
+}

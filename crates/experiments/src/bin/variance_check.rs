@@ -1,0 +1,48 @@
+//! Seed-variance probe: how much do single-run MAPEs move across seeds?
+//!
+//! The paper reports single numbers per cell; our CPU-budget runs are
+//! noisier, so this binary quantifies the noise floor on the cheapest
+//! predictor (F, plain and adversarial, Speed+Add. data) across several
+//! seeds. EXPERIMENTS.md cites the resulting spread when interpreting
+//! cell-level differences.
+
+use apots::config::PredictorKind;
+use apots_experiments::{adv_cfg, build_dataset, plain_cfg, run_model, Env};
+use apots_traffic::FeatureMask;
+
+fn mean_std(values: &[f32]) -> (f32, f32) {
+    let n = values.len() as f32;
+    let mean = values.iter().sum::<f32>() / n;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / (n - 1.0).max(1.0);
+    (mean, var.sqrt())
+}
+
+fn main() {
+    let env = Env::from_env();
+    let seeds = [7u64, 17, 27];
+    println!("# Seed-variance probe (F, Speed+Add. data, {} seeds)", seeds.len());
+
+    let mut plain = Vec::new();
+    let mut adv = Vec::new();
+    for &seed in &seeds {
+        let data = build_dataset(seed);
+        let mut env_s = env.clone();
+        env_s.seed = seed;
+        let cfg = plain_cfg(PredictorKind::Fc, FeatureMask::BOTH, &env_s);
+        let out = run_model(&data, PredictorKind::Fc, env_s.preset, &cfg);
+        println!("seed {seed}: plain MAPE {:.2}", out.eval.overall.mape);
+        plain.push(out.eval.overall.mape);
+        let cfg = adv_cfg(PredictorKind::Fc, FeatureMask::BOTH, &env_s);
+        let out = run_model(&data, PredictorKind::Fc, env_s.preset, &cfg);
+        println!("seed {seed}: adv   MAPE {:.2}", out.eval.overall.mape);
+        adv.push(out.eval.overall.mape);
+    }
+    let (pm, ps) = mean_std(&plain);
+    let (am, asd) = mean_std(&adv);
+    println!("\nplain: {pm:.2} ± {ps:.2}");
+    println!("adv:   {am:.2} ± {asd:.2}");
+    apots_experiments::save_json(
+        "variance_check",
+        &serde_json::json!({"plain": plain, "adv": adv}),
+    );
+}

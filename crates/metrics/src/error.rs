@@ -1,0 +1,139 @@
+//! MAE, RMSE and MAPE — the paper's three accuracy metrics.
+//!
+//! All functions take *raw* (km/h) predictions and observations; MAPE in
+//! particular is meaningless on normalized values. Empty inputs are a
+//! programming error and panic.
+
+/// Mean absolute error.
+pub fn mae(pred: &[f32], real: &[f32]) -> f32 {
+    check(pred, real);
+    let n = pred.len() as f64;
+    (pred
+        .iter()
+        .zip(real)
+        .map(|(&p, &r)| f64::from((p - r).abs()))
+        .sum::<f64>()
+        / n) as f32
+}
+
+/// Root mean square error.
+pub fn rmse(pred: &[f32], real: &[f32]) -> f32 {
+    check(pred, real);
+    let n = pred.len() as f64;
+    ((pred
+        .iter()
+        .zip(real)
+        .map(|(&p, &r)| f64::from(p - r).powi(2))
+        .sum::<f64>()
+        / n)
+        .sqrt()) as f32
+}
+
+/// Mean absolute percentage error, in percent.
+///
+/// Observations of exactly zero are skipped (speeds are bounded below by
+/// the simulator's 5 km/h floor, so this never triggers in practice).
+pub fn mape(pred: &[f32], real: &[f32]) -> f32 {
+    check(pred, real);
+    let mut sum = 0.0f64;
+    let mut n = 0usize;
+    for (&p, &r) in pred.iter().zip(real) {
+        if r != 0.0 {
+            sum += f64::from(((p - r) / r).abs());
+            n += 1;
+        }
+    }
+    assert!(n > 0, "mape: all observations are zero");
+    (100.0 * sum / n as f64) as f32
+}
+
+/// All three metrics of §V-A together.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct ErrorSummary {
+    /// Mean absolute error (km/h).
+    pub mae: f32,
+    /// Root mean square error (km/h).
+    pub rmse: f32,
+    /// Mean absolute percentage error (%).
+    pub mape: f32,
+}
+
+impl ErrorSummary {
+    /// Computes all three metrics.
+    pub fn compute(pred: &[f32], real: &[f32]) -> Self {
+        Self {
+            mae: mae(pred, real),
+            rmse: rmse(pred, real),
+            mape: mape(pred, real),
+        }
+    }
+}
+
+fn check(pred: &[f32], real: &[f32]) {
+    assert_eq!(
+        pred.len(),
+        real.len(),
+        "metric: length mismatch {} vs {}",
+        pred.len(),
+        real.len()
+    );
+    assert!(!pred.is_empty(), "metric: empty input");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_is_zero_error() {
+        let v = [50.0f32, 60.0, 70.0];
+        assert_eq!(mae(&v, &v), 0.0);
+        assert_eq!(rmse(&v, &v), 0.0);
+        assert_eq!(mape(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let pred = [55.0f32, 45.0];
+        let real = [50.0f32, 50.0];
+        assert!((mae(&pred, &real) - 5.0).abs() < 1e-5);
+        assert!((rmse(&pred, &real) - 5.0).abs() < 1e-5);
+        assert!((mape(&pred, &real) - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rmse_penalises_outliers_more_than_mae() {
+        let pred = [50.0f32, 70.0];
+        let real = [50.0f32, 50.0];
+        assert!(rmse(&pred, &real) > mae(&pred, &real));
+    }
+
+    #[test]
+    fn mape_skips_zero_observations() {
+        let pred = [10.0f32, 55.0];
+        let real = [0.0f32, 50.0];
+        assert!((mape(&pred, &real) - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn summary_bundles_all_three() {
+        let pred = [55.0f32, 45.0];
+        let real = [50.0f32, 50.0];
+        let s = ErrorSummary::compute(&pred, &real);
+        assert!((s.mae - 5.0).abs() < 1e-5);
+        assert!((s.rmse - 5.0).abs() < 1e-5);
+        assert!((s.mape - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_length_mismatch() {
+        let _ = mae(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty input")]
+    fn rejects_empty() {
+        let _ = rmse(&[], &[]);
+    }
+}

@@ -1,0 +1,26 @@
+//! # apots-metrics
+//!
+//! The evaluation toolkit of the APOTS paper:
+//!
+//! * [`error`] — MAE, RMSE and MAPE (§V-A "Metrics");
+//! * [`situations`] — segmentation of test points into *normal*, *abrupt
+//!   acceleration* and *abrupt deceleration* per Eq 7/8 with θ = ±0.3
+//!   (Fig 4's rows);
+//! * [`gain`] — the percentage-improvement formula of Eq 9 used throughout
+//!   Tables II and III;
+//! * [`stats`] — the paired Student t-test the paper reports
+//!   ("t(7)=3.04, p<0.05");
+//! * [`mod@r2`] — the coefficient of determination, a scale-free extra used by
+//!   the horizon-sweep extension.
+
+pub mod error;
+pub mod gain;
+pub mod r2;
+pub mod situations;
+pub mod stats;
+
+pub use error::{mae, mape, rmse, ErrorSummary};
+pub use gain::gain_percent;
+pub use r2::r2;
+pub use situations::{classify_changes, Situation, SituationSplit};
+pub use stats::{paired_t_test, TTestResult};

@@ -1,0 +1,57 @@
+//! Coefficient of determination (R²) — a scale-free complement to the
+//! paper's three metrics, useful when comparing across horizons β whose
+//! target variances differ.
+
+/// `R² = 1 − SS_res / SS_tot` of predictions against observations.
+///
+/// Returns `-∞`-ward values for models worse than the observation mean;
+/// exactly 1 for perfect predictions. A constant observation series has
+/// zero total variance and is a programming error (panics).
+pub fn r2(pred: &[f32], real: &[f32]) -> f32 {
+    assert_eq!(pred.len(), real.len(), "r2: length mismatch");
+    assert!(!pred.is_empty(), "r2: empty input");
+    let n = real.len() as f64;
+    let mean = real.iter().map(|&v| f64::from(v)).sum::<f64>() / n;
+    let ss_tot: f64 = real.iter().map(|&v| (f64::from(v) - mean).powi(2)).sum();
+    assert!(
+        ss_tot > 0.0,
+        "r2: observations are constant; R² is undefined"
+    );
+    let ss_res: f64 = pred
+        .iter()
+        .zip(real)
+        .map(|(&p, &r)| (f64::from(p) - f64::from(r)).powi(2))
+        .sum();
+    (1.0 - ss_res / ss_tot) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_is_one() {
+        let v = [1.0f32, 2.0, 3.0, 4.0];
+        assert!((r2(&v, &v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_prediction_is_zero() {
+        let real = [1.0f32, 2.0, 3.0];
+        let pred = [2.0f32, 2.0, 2.0];
+        assert!(r2(&pred, &real).abs() < 1e-6);
+    }
+
+    #[test]
+    fn worse_than_mean_is_negative() {
+        let real = [1.0f32, 2.0, 3.0];
+        let pred = [3.0f32, 2.0, 1.0];
+        assert!(r2(&pred, &real) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant")]
+    fn rejects_constant_observations() {
+        let _ = r2(&[1.0, 2.0], &[5.0, 5.0]);
+    }
+}

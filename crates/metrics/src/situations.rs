@@ -1,0 +1,130 @@
+//! Situation segmentation per Eq 7/8 of the paper.
+//!
+//! A prediction point at time `τ` is classified by the relative change from
+//! the previous real speed: `(s_{τ−1} − s_τ) / s_{τ−1}`. A drop of at least
+//! `θ` is an *abrupt deceleration* (Eq 7), a rise of at least `θ` an
+//! *abrupt acceleration* (Eq 8); everything else is *normal*. The paper
+//! uses `θ = 0.3`.
+
+/// Default θ of the paper.
+pub const DEFAULT_THETA: f32 = 0.3;
+
+/// The traffic situation of one prediction point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Situation {
+    /// No abrupt change.
+    Normal,
+    /// Speed rose by at least θ relative to the previous interval.
+    AbruptAcceleration,
+    /// Speed fell by at least θ relative to the previous interval.
+    AbruptDeceleration,
+}
+
+/// Classifies a single transition `prev → current`.
+pub fn classify(prev: f32, current: f32, theta: f32) -> Situation {
+    assert!(theta > 0.0, "theta must be positive");
+    assert!(prev > 0.0, "previous speed must be positive, got {prev}");
+    let change = (prev - current) / prev;
+    if change >= theta {
+        Situation::AbruptDeceleration
+    } else if change <= -theta {
+        Situation::AbruptAcceleration
+    } else {
+        Situation::Normal
+    }
+}
+
+/// Classifies every point given the previous and current real speeds.
+pub fn classify_changes(prev: &[f32], current: &[f32], theta: f32) -> Vec<Situation> {
+    assert_eq!(prev.len(), current.len(), "classify_changes: length mismatch");
+    prev.iter()
+        .zip(current)
+        .map(|(&p, &c)| classify(p, c, theta))
+        .collect()
+}
+
+/// Indices of test points per situation, driving Fig 4's four rows.
+#[derive(Debug, Clone, Default)]
+pub struct SituationSplit {
+    /// Points with no abrupt change.
+    pub normal: Vec<usize>,
+    /// Points with an abrupt acceleration.
+    pub abrupt_acc: Vec<usize>,
+    /// Points with an abrupt deceleration.
+    pub abrupt_dec: Vec<usize>,
+}
+
+impl SituationSplit {
+    /// Splits indices `0..n` by classification of the paired speed series.
+    pub fn from_speeds(prev: &[f32], current: &[f32], theta: f32) -> Self {
+        let mut split = Self::default();
+        for (i, s) in classify_changes(prev, current, theta).into_iter().enumerate() {
+            match s {
+                Situation::Normal => split.normal.push(i),
+                Situation::AbruptAcceleration => split.abrupt_acc.push(i),
+                Situation::AbruptDeceleration => split.abrupt_dec.push(i),
+            }
+        }
+        split
+    }
+
+    /// Total number of classified points.
+    pub fn total(&self) -> usize {
+        self.normal.len() + self.abrupt_acc.len() + self.abrupt_dec.len()
+    }
+
+    /// Selects the subset of `values` at the given indices.
+    pub fn select(values: &[f32], indices: &[usize]) -> Vec<f32> {
+        indices.iter().map(|&i| values[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_thresholds() {
+        // 100 → 69: a 31% drop → abrupt deceleration.
+        assert_eq!(
+            classify(100.0, 69.0, DEFAULT_THETA),
+            Situation::AbruptDeceleration
+        );
+        // 100 → 71: 29% drop → normal.
+        assert_eq!(classify(100.0, 71.0, DEFAULT_THETA), Situation::Normal);
+        // 50 → 66: 32% rise → abrupt acceleration.
+        assert_eq!(
+            classify(50.0, 66.0, DEFAULT_THETA),
+            Situation::AbruptAcceleration
+        );
+        // Exactly 30% drop counts as abrupt (Eq 7 is `≥ θ`).
+        assert_eq!(
+            classify(100.0, 70.0, DEFAULT_THETA),
+            Situation::AbruptDeceleration
+        );
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let prev = [100.0f32, 100.0, 100.0, 50.0];
+        let curr = [99.0f32, 60.0, 135.0, 49.0];
+        let split = SituationSplit::from_speeds(&prev, &curr, DEFAULT_THETA);
+        assert_eq!(split.total(), 4);
+        assert_eq!(split.normal, vec![0, 3]);
+        assert_eq!(split.abrupt_dec, vec![1]);
+        assert_eq!(split.abrupt_acc, vec![2]);
+    }
+
+    #[test]
+    fn select_picks_by_index() {
+        let values = [1.0f32, 2.0, 3.0, 4.0];
+        assert_eq!(SituationSplit::select(&values, &[0, 2]), vec![1.0, 3.0]);
+        assert!(SituationSplit::select(&values, &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_zero_prev_speed() {
+        let _ = classify(0.0, 10.0, DEFAULT_THETA);
+    }
+}

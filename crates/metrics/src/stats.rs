@@ -1,0 +1,222 @@
+//! Paired Student t-test, as reported in §V-B ("t(7)=3.04, p<0.05").
+//!
+//! The paper pairs per-model MAPEs with and without a treatment
+//! (adversarial training, additional data) across the 8 model variants and
+//! tests whether the mean difference is nonzero. The two-tailed p-value is
+//! computed from the regularized incomplete beta function (continued
+//! fraction, Numerical-Recipes style) — no lookup tables.
+
+/// Result of a paired t-test.
+#[derive(Debug, Clone, Copy)]
+pub struct TTestResult {
+    /// The t statistic.
+    pub t: f64,
+    /// Degrees of freedom (n − 1).
+    pub df: usize,
+    /// Two-tailed p-value.
+    pub p_two_tailed: f64,
+}
+
+impl TTestResult {
+    /// Whether the difference is significant at the given level.
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_two_tailed < alpha
+    }
+}
+
+/// Paired t-test on samples `a` and `b` (testing mean(a − b) ≠ 0).
+///
+/// # Panics
+/// Panics if lengths differ or fewer than two pairs are given.
+pub fn paired_t_test(a: &[f32], b: &[f32]) -> TTestResult {
+    assert_eq!(a.len(), b.len(), "paired_t_test: length mismatch");
+    let n = a.len();
+    assert!(n >= 2, "paired_t_test: need at least two pairs");
+    let diffs: Vec<f64> = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| f64::from(x) - f64::from(y))
+        .collect();
+    let mean = diffs.iter().sum::<f64>() / n as f64;
+    let var = diffs.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+    let se = (var / n as f64).sqrt();
+    let t = if se == 0.0 {
+        if mean == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY * mean.signum()
+        }
+    } else {
+        mean / se
+    };
+    let df = n - 1;
+    let p = if t.is_infinite() {
+        0.0
+    } else {
+        two_tailed_p(t, df as f64)
+    };
+    TTestResult {
+        t,
+        df,
+        p_two_tailed: p,
+    }
+}
+
+/// Two-tailed p-value of a t statistic with `df` degrees of freedom:
+/// `P(|T| ≥ |t|) = I_{df/(df+t²)}(df/2, 1/2)`.
+fn two_tailed_p(t: f64, df: f64) -> f64 {
+    let x = df / (df + t * t);
+    reg_inc_beta(df / 2.0, 0.5, x)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "reg_inc_beta: x out of range");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b)
+        + a * x.ln()
+        + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued-fraction expansion for the incomplete beta (modified Lentz).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 200;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-30;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Lanczos approximation of `ln Γ(x)`.
+fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_5e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for c in COEF {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24.
+        assert!(ln_gamma(1.0).abs() < 1e-9);
+        assert!(ln_gamma(2.0).abs() < 1e-9);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-9);
+        // Γ(0.5) = √π.
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_distribution_reference_points() {
+        // For df=7, t=2.365 is the 97.5th percentile → two-tailed p ≈ 0.05.
+        let p = two_tailed_p(2.365, 7.0);
+        assert!((p - 0.05).abs() < 0.002, "p = {p}");
+        // Huge |t| → tiny p; t = 0 → p = 1.
+        assert!(two_tailed_p(50.0, 7.0) < 1e-6);
+        assert!((two_tailed_p(0.0, 7.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paired_test_detects_consistent_difference() {
+        // Mirrors the paper's setting: 8 paired MAPEs, consistent drop.
+        let without = [21.40f32, 18.80, 18.60, 16.70, 17.90, 13.50, 16.90, 13.50];
+        let with = [18.82f32, 18.50, 17.04, 16.60, 14.50, 13.40, 13.90, 12.80];
+        let r = paired_t_test(&without, &with);
+        assert_eq!(r.df, 7);
+        assert!(r.t > 2.0, "t = {}", r.t);
+        assert!(r.significant(0.05), "p = {}", r.p_two_tailed);
+    }
+
+    #[test]
+    fn paired_test_no_difference() {
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        let r = paired_t_test(&a, &a);
+        assert_eq!(r.t, 0.0);
+        assert!((r.p_two_tailed - 1.0).abs() < 1e-9);
+        assert!(!r.significant(0.05));
+    }
+
+    #[test]
+    fn paired_test_handles_constant_nonzero_diff() {
+        let a = [2.0f32, 3.0, 4.0];
+        let b = [1.0f32, 2.0, 3.0];
+        let r = paired_t_test(&a, &b);
+        assert!(r.t.is_infinite() && r.t > 0.0);
+        assert_eq!(r.p_two_tailed, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two pairs")]
+    fn rejects_single_pair() {
+        let _ = paired_t_test(&[1.0], &[2.0]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests for the metrics: bounds, orderings and the Eq 7/8
+//! partition.
+
+use apots_metrics::situations::{SituationSplit, DEFAULT_THETA};
+use apots_metrics::{gain_percent, mae, mape, paired_t_test, rmse};
+use proptest::prelude::*;
+
+fn series() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    proptest::collection::vec((5.0f32..150.0, 5.0f32..150.0), 1..64)
+        .prop_map(|pairs| pairs.into_iter().unzip())
+}
+
+proptest! {
+    /// RMSE dominates MAE (Cauchy–Schwarz), both non-negative.
+    #[test]
+    fn rmse_dominates_mae((pred, real) in series()) {
+        let a = mae(&pred, &real);
+        let r = rmse(&pred, &real);
+        prop_assert!(a >= 0.0);
+        prop_assert!(r + 1e-4 >= a, "rmse {r} < mae {a}");
+    }
+
+    /// MAPE is shift-scale consistent: scaling both series leaves it fixed.
+    #[test]
+    fn mape_is_scale_invariant((pred, real) in series(), k in 0.5f32..4.0) {
+        let base = mape(&pred, &real);
+        let scaled_pred: Vec<f32> = pred.iter().map(|v| v * k).collect();
+        let scaled_real: Vec<f32> = real.iter().map(|v| v * k).collect();
+        let scaled = mape(&scaled_pred, &scaled_real);
+        prop_assert!((base - scaled).abs() < base.abs() * 1e-3 + 1e-2);
+    }
+
+    /// The situation split is a partition of all indices.
+    #[test]
+    fn situations_partition((prev, curr) in series()) {
+        let split = SituationSplit::from_speeds(&prev, &curr, DEFAULT_THETA);
+        prop_assert_eq!(split.total(), prev.len());
+        let mut all: Vec<usize> = split
+            .normal
+            .iter()
+            .chain(&split.abrupt_acc)
+            .chain(&split.abrupt_dec)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..prev.len()).collect::<Vec<_>>());
+    }
+
+    /// Eq 9's gain is antisymmetric in sign around equal errors.
+    #[test]
+    fn gain_sign(e_a in 0.1f32..100.0, e_b in 0.1f32..100.0) {
+        let g = gain_percent(e_a, e_b);
+        if e_a > e_b {
+            prop_assert!(g > 0.0);
+        } else if e_a < e_b {
+            prop_assert!(g < 0.0);
+        }
+    }
+
+    /// A paired t-test against an offset copy of the series always detects
+    /// the (constant) difference.
+    #[test]
+    fn t_test_detects_constant_shift(base in proptest::collection::vec(1.0f32..50.0, 3..32), shift in 0.5f32..5.0) {
+        let shifted: Vec<f32> = base.iter().map(|v| v + shift).collect();
+        let r = paired_t_test(&shifted, &base);
+        prop_assert!(r.t.is_infinite() || r.t > 1e3, "t = {}", r.t);
+        prop_assert!(r.p_two_tailed < 1e-6);
+    }
+
+    /// p-values are valid probabilities for arbitrary paired data.
+    #[test]
+    fn p_values_in_unit_interval((a, b) in series()) {
+        prop_assume!(a.len() >= 2);
+        let r = paired_t_test(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&r.p_two_tailed), "p = {}", r.p_two_tailed);
+    }
+}

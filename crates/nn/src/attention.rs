@@ -1,0 +1,286 @@
+//! Additive temporal attention (Bahdanau-style) over a hidden-state
+//! sequence.
+//!
+//! The paper's related work (its refs \[19\]–\[25\]) includes attention
+//! networks as the other mainstream refinement of sequence predictors; this
+//! layer makes that extension available to APOTS's "any predictor P"
+//! design: it pools an LSTM/GRU output sequence `[batch, time, hidden]`
+//! into a context vector `[batch, hidden]` via learned scores
+//! `e_t = vᵀ·tanh(W·h_t)`, `a = softmax(e)`, `ctx = Σ_t a_t·h_t`.
+
+use apots_tensor::Tensor;
+use rand::Rng;
+
+use crate::init::xavier_uniform;
+use crate::layer::{Layer, Param};
+
+/// Additive temporal attention pooling.
+pub struct TemporalAttention {
+    hidden: usize,
+    attn: usize,
+    w: Tensor,  // [hidden, attn]
+    v: Tensor,  // [attn]
+    dw: Tensor, // [hidden, attn]
+    dv: Tensor, // [attn]
+    cache: Option<Cache>,
+}
+
+struct Cache {
+    input: Tensor,   // [B, T, H]
+    scores: Tensor,  // [B, T] — softmax weights a
+    project: Tensor, // [B*T, attn] — tanh(W·h_t)
+}
+
+impl TemporalAttention {
+    /// Creates an attention pooler for `hidden`-wide states with an
+    /// `attn`-wide scoring space.
+    pub fn new<R: Rng>(hidden: usize, attn: usize, rng: &mut R) -> Self {
+        assert!(hidden > 0 && attn > 0, "TemporalAttention: zero sizes");
+        Self {
+            hidden,
+            attn,
+            w: xavier_uniform(&[hidden, attn], hidden, attn, rng),
+            v: xavier_uniform(&[attn], attn, 1, rng),
+            dw: Tensor::zeros(&[hidden, attn]),
+            dv: Tensor::zeros(&[attn]),
+            cache: None,
+        }
+    }
+
+    /// Scoring-space width.
+    pub fn attn_size(&self) -> usize {
+        self.attn
+    }
+
+    /// The most recent attention weights `[batch, time]` (for inspection).
+    pub fn last_weights(&self) -> Option<&Tensor> {
+        self.cache.as_ref().map(|c| &c.scores)
+    }
+}
+
+impl Layer for TemporalAttention {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.rank(), 3, "TemporalAttention expects [B, T, H]");
+        let s = input.shape();
+        let (b, t, h) = (s[0], s[1], s[2]);
+        assert_eq!(h, self.hidden, "TemporalAttention: wrong hidden width");
+
+        // Project every state: tanh(h_t · W) — flatten time into batch.
+        let flat = input.reshape(&[b * t, h]);
+        let project = flat.matmul(&self.w).map(f32::tanh); // [B*T, attn]
+        let scores_raw = project.matmul(&self.v.reshape(&[self.attn, 1])); // [B*T, 1]
+
+        // Per-sample softmax over time.
+        let mut scores = Tensor::zeros(&[b, t]);
+        for bi in 0..b {
+            let row: Vec<f32> = (0..t).map(|ti| scores_raw.at2(bi * t + ti, 0)).collect();
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = row.iter().map(|&z| (z - max).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+            for (ti, e) in exps.iter().enumerate() {
+                scores.set2(bi, ti, e / sum);
+            }
+        }
+
+        // Context vector: Σ_t a_t · h_t.
+        let mut out = Tensor::zeros(&[b, h]);
+        for bi in 0..b {
+            for ti in 0..t {
+                let a = scores.at2(bi, ti);
+                let base = (bi * t + ti) * h;
+                let orow = out.row_mut(bi);
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o += a * input.data()[base + j];
+                }
+            }
+        }
+
+        self.cache = Some(Cache {
+            input: input.clone(),
+            scores,
+            project,
+        });
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("TemporalAttention::backward called before forward");
+        let s = cache.input.shape();
+        let (b, t, h) = (s[0], s[1], s[2]);
+        assert_eq!(grad_out.shape(), &[b, h], "TemporalAttention grad shape");
+
+        let x = cache.input.data();
+        let mut dinput = vec![0.0f32; b * t * h];
+        let mut dscores = Tensor::zeros(&[b, t]); // ∂L/∂a
+
+        // Context = Σ a_t·h_t: split the gradient.
+        for bi in 0..b {
+            let g = grad_out.row(bi);
+            for ti in 0..t {
+                let a = cache.scores.at2(bi, ti);
+                let base = (bi * t + ti) * h;
+                let mut ds = 0.0f32;
+                for (j, &gj) in g.iter().enumerate() {
+                    dinput[base + j] += a * gj;
+                    ds += gj * x[base + j];
+                }
+                dscores.set2(bi, ti, ds);
+            }
+        }
+
+        // Softmax backward: de_t = a_t (ds_t − Σ_u a_u ds_u).
+        let mut de = Tensor::zeros(&[b, t]);
+        for bi in 0..b {
+            let dot: f32 = (0..t)
+                .map(|ti| cache.scores.at2(bi, ti) * dscores.at2(bi, ti))
+                .sum();
+            for ti in 0..t {
+                let a = cache.scores.at2(bi, ti);
+                de.set2(bi, ti, a * (dscores.at2(bi, ti) - dot));
+            }
+        }
+
+        // e = project · v; project = tanh(flat · W).
+        self.dv.fill_zero();
+        self.dw.fill_zero();
+        let mut dproj = Tensor::zeros(&[b * t, self.attn]); // ∂L/∂project pre-tanh'
+        for bi in 0..b {
+            for ti in 0..t {
+                let dei = de.at2(bi, ti);
+                let prow = cache.project.row(bi * t + ti);
+                let dvd = self.dv.data_mut();
+                for k in 0..self.attn {
+                    dvd[k] += dei * prow[k];
+                }
+                let drow = dproj.row_mut(bi * t + ti);
+                for (k, d) in drow.iter_mut().enumerate() {
+                    // Through the tanh: (1 − p²)·v_k·de.
+                    *d = dei * self.v.data()[k] * (1.0 - prow[k] * prow[k]);
+                }
+            }
+        }
+        let flat = cache.input.reshape(&[b * t, h]);
+        self.dw = flat.matmul_at_b(&dproj);
+        let dflat = dproj.matmul_a_bt(&self.w); // [B*T, h]
+        for (i, &v) in dflat.data().iter().enumerate() {
+            dinput[i] += v;
+        }
+
+        Tensor::new(vec![b, t, h], dinput)
+    }
+
+    fn params_mut(&mut self) -> Vec<Param<'_>> {
+        vec![
+            Param {
+                value: &mut self.w,
+                grad: &mut self.dw,
+            },
+            Param {
+                value: &mut self.v,
+                grad: &mut self.dv,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer;
+    use apots_tensor::rng::seeded;
+
+    #[test]
+    fn output_shape_and_weight_normalisation() {
+        let mut rng = seeded(1);
+        let mut attn = TemporalAttention::new(6, 4, &mut rng);
+        let x = Tensor::randn(&[3, 5, 6], 0.0, 1.0, &mut rng);
+        let y = attn.forward(&x, true);
+        assert_eq!(y.shape(), &[3, 6]);
+        let w = attn.last_weights().expect("weights cached");
+        assert_eq!(w.shape(), &[3, 5]);
+        for bi in 0..3 {
+            let sum: f32 = w.row(bi).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "weights must sum to 1, got {sum}");
+            assert!(w.row(bi).iter().all(|&a| a >= 0.0));
+        }
+        assert_eq!(attn.attn_size(), 4);
+    }
+
+    #[test]
+    fn context_is_convex_combination() {
+        // With all states equal, the context equals that state regardless
+        // of the learned scores.
+        let mut rng = seeded(2);
+        let mut attn = TemporalAttention::new(4, 3, &mut rng);
+        let mut x = Tensor::zeros(&[1, 6, 4]);
+        for ti in 0..6 {
+            for j in 0..4 {
+                x.data_mut()[ti * 4 + j] = j as f32 + 1.0;
+            }
+        }
+        let y = attn.forward(&x, true);
+        for j in 0..4 {
+            assert!((y.at2(0, j) - (j as f32 + 1.0)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradients_check_out() {
+        let mut rng = seeded(3);
+        let mut attn = TemporalAttention::new(4, 3, &mut rng);
+        let x = Tensor::randn(&[2, 4, 4], 0.0, 1.0, &mut rng);
+        let res = check_layer(&mut attn, &x, 21, 1e-2);
+        assert!(res.passes(2e-2), "{res:?}");
+    }
+
+    #[test]
+    fn attends_to_salient_step_after_training() {
+        // Train attention + readout so the target is the 2nd feature of the
+        // time step holding a marker; attention must learn to focus there.
+        use crate::loss::mse;
+        use crate::optim::{Adam, Optimizer};
+        let mut rng = seeded(4);
+        let mut attn = TemporalAttention::new(3, 8, &mut rng);
+        let mut opt = Adam::new(0.02);
+        for _ in 0..300 {
+            // Batch of 8: marker at a random step.
+            let mut x = Tensor::randn(&[8, 5, 3], 0.0, 0.3, &mut rng);
+            let mut target = Tensor::zeros(&[8, 3]);
+            for bi in 0..8 {
+                let hot = (bi * 7 + 3) % 5;
+                let base = (bi * 5 + hot) * 3;
+                x.data_mut()[base] = 3.0; // feature 0 is the marker
+                let payload = x.data()[base + 1];
+                target.set2(bi, 0, 3.0);
+                target.set2(bi, 1, payload);
+                target.set2(bi, 2, x.data()[base + 2]);
+            }
+            let out = attn.forward(&x, true);
+            let (_, grad) = mse(&out, &target);
+            let _ = attn.backward(&grad);
+            opt.step(attn.params_mut());
+        }
+        // Evaluate: attention weight on the marked step should dominate.
+        let mut x = Tensor::randn(&[1, 5, 3], 0.0, 0.3, &mut rng);
+        x.data_mut()[2 * 3] = 3.0; // marker at step 2
+        let _ = attn.forward(&x, false);
+        let w = attn.last_weights().unwrap();
+        let marked = w.at2(0, 2);
+        assert!(
+            marked > 0.5,
+            "attention should focus on the marked step, got {marked} of {:?}",
+            w.row(0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong hidden width")]
+    fn rejects_wrong_width() {
+        let mut rng = seeded(5);
+        let mut attn = TemporalAttention::new(4, 3, &mut rng);
+        let _ = attn.forward(&Tensor::zeros(&[1, 2, 5]), true);
+    }
+}

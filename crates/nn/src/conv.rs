@@ -1,0 +1,294 @@
+//! 2-D convolution with "same" padding, stride 1, implemented via im2col so
+//! the heavy lifting reduces to one matrix product per pass.
+//!
+//! The APOTS predictors C and H run small conv towers (3×3, 1×1, 3×3 — see
+//! Table I of the paper) over the road×time speed image of Eq 6, so "same"
+//! padding with odd kernels and stride 1 is all we need.
+
+use apots_tensor::Tensor;
+use rand::Rng;
+
+use crate::init::he_uniform;
+use crate::layer::{Layer, Param};
+
+/// A same-padding, stride-1 2-D convolution over `[batch, in_ch, h, w]`
+/// inputs producing `[batch, out_ch, h, w]` outputs.
+pub struct Conv2d {
+    in_ch: usize,
+    out_ch: usize,
+    kh: usize,
+    kw: usize,
+    w: Tensor,  // [in_ch*kh*kw, out_ch]
+    b: Tensor,  // [out_ch]
+    dw: Tensor, // [in_ch*kh*kw, out_ch]
+    db: Tensor, // [out_ch]
+    cached_cols: Option<Tensor>,
+    cached_input_shape: Option<Vec<usize>>,
+}
+
+impl Conv2d {
+    /// Creates a conv layer with He-uniform weights and zero biases.
+    ///
+    /// # Panics
+    /// Panics if a kernel dimension is even (exact "same" padding needs odd
+    /// kernels) or any size is zero.
+    pub fn new<R: Rng>(in_ch: usize, out_ch: usize, kh: usize, kw: usize, rng: &mut R) -> Self {
+        assert!(in_ch > 0 && out_ch > 0, "Conv2d: zero channels");
+        assert!(
+            kh % 2 == 1 && kw % 2 == 1,
+            "Conv2d: kernel dims must be odd for same padding, got {kh}x{kw}"
+        );
+        let fan_in = in_ch * kh * kw;
+        Self {
+            in_ch,
+            out_ch,
+            kh,
+            kw,
+            w: he_uniform(&[fan_in, out_ch], fan_in, rng),
+            b: Tensor::zeros(&[out_ch]),
+            dw: Tensor::zeros(&[fan_in, out_ch]),
+            db: Tensor::zeros(&[out_ch]),
+            cached_cols: None,
+            cached_input_shape: None,
+        }
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_ch
+    }
+
+    /// Number of output channels (filters).
+    pub fn out_channels(&self) -> usize {
+        self.out_ch
+    }
+
+    /// Lowers `[b, c, h, w]` input into the `[b*h*w, c*kh*kw]` patch matrix.
+    fn im2col(&self, input: &Tensor) -> Tensor {
+        let s = input.shape();
+        let (b, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let (ph, pw) = (self.kh / 2, self.kw / 2);
+        let patch = c * self.kh * self.kw;
+        let mut cols = vec![0.0f32; b * h * w * patch];
+        let x = input.data();
+        for bi in 0..b {
+            for y in 0..h {
+                for xw in 0..w {
+                    let row_base = ((bi * h + y) * w + xw) * patch;
+                    let mut p = row_base;
+                    for ci in 0..c {
+                        let chan_base = (bi * c + ci) * h * w;
+                        for ky in 0..self.kh {
+                            let sy = y as isize + ky as isize - ph as isize;
+                            if sy < 0 || sy >= h as isize {
+                                p += self.kw;
+                                continue;
+                            }
+                            let src_row = chan_base + sy as usize * w;
+                            for kx in 0..self.kw {
+                                let sx = xw as isize + kx as isize - pw as isize;
+                                if sx >= 0 && sx < w as isize {
+                                    cols[p] = x[src_row + sx as usize];
+                                }
+                                p += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::new(vec![b * h * w, patch], cols)
+    }
+
+    /// Scatters patch-matrix gradients back into input-image gradients.
+    fn col2im(&self, dcols: &Tensor, input_shape: &[usize]) -> Tensor {
+        let (b, c, h, w) = (
+            input_shape[0],
+            input_shape[1],
+            input_shape[2],
+            input_shape[3],
+        );
+        let (ph, pw) = (self.kh / 2, self.kw / 2);
+        let patch = c * self.kh * self.kw;
+        let mut dx = vec![0.0f32; b * c * h * w];
+        let dc = dcols.data();
+        for bi in 0..b {
+            for y in 0..h {
+                for xw in 0..w {
+                    let row_base = ((bi * h + y) * w + xw) * patch;
+                    let mut p = row_base;
+                    for ci in 0..c {
+                        let chan_base = (bi * c + ci) * h * w;
+                        for ky in 0..self.kh {
+                            let sy = y as isize + ky as isize - ph as isize;
+                            if sy < 0 || sy >= h as isize {
+                                p += self.kw;
+                                continue;
+                            }
+                            let dst_row = chan_base + sy as usize * w;
+                            for kx in 0..self.kw {
+                                let sx = xw as isize + kx as isize - pw as isize;
+                                if sx >= 0 && sx < w as isize {
+                                    dx[dst_row + sx as usize] += dc[p];
+                                }
+                                p += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::new(input_shape.to_vec(), dx)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.rank(), 4, "Conv2d expects [batch, ch, h, w] input");
+        let s = input.shape().to_vec();
+        assert_eq!(
+            s[1], self.in_ch,
+            "Conv2d: input has {} channels, layer expects {}",
+            s[1], self.in_ch
+        );
+        let (b, h, w) = (s[0], s[2], s[3]);
+        let cols = self.im2col(input);
+        let mut m = cols.matmul(&self.w); // [b*h*w, out_ch]
+        m.add_row_broadcast(&self.b);
+        // Rearrange [b*h*w, f] -> [b, f, h, w].
+        let mut out = vec![0.0f32; b * self.out_ch * h * w];
+        let md = m.data();
+        for bi in 0..b {
+            for y in 0..h {
+                for xw in 0..w {
+                    let row = ((bi * h + y) * w + xw) * self.out_ch;
+                    for f in 0..self.out_ch {
+                        out[((bi * self.out_ch + f) * h + y) * w + xw] = md[row + f];
+                    }
+                }
+            }
+        }
+        self.cached_cols = Some(cols);
+        self.cached_input_shape = Some(s);
+        Tensor::new(vec![b, self.out_ch, h, w], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cols = self
+            .cached_cols
+            .as_ref()
+            .expect("Conv2d::backward called before forward");
+        let in_shape = self
+            .cached_input_shape
+            .clone()
+            .expect("Conv2d::backward called before forward");
+        let (b, h, w) = (in_shape[0], in_shape[2], in_shape[3]);
+        assert_eq!(
+            grad_out.shape(),
+            &[b, self.out_ch, h, w],
+            "Conv2d grad shape mismatch"
+        );
+        // Rearrange grad [b, f, h, w] -> [b*h*w, f].
+        let mut dm = vec![0.0f32; b * h * w * self.out_ch];
+        let gd = grad_out.data();
+        for bi in 0..b {
+            for f in 0..self.out_ch {
+                for y in 0..h {
+                    for xw in 0..w {
+                        dm[((bi * h + y) * w + xw) * self.out_ch + f] =
+                            gd[((bi * self.out_ch + f) * h + y) * w + xw];
+                    }
+                }
+            }
+        }
+        let dm = Tensor::new(vec![b * h * w, self.out_ch], dm);
+        self.dw = cols.matmul_at_b(&dm);
+        self.db = dm.sum_axis0();
+        let dcols = dm.matmul_a_bt(&self.w);
+        self.col2im(&dcols, &in_shape)
+    }
+
+    fn params_mut(&mut self) -> Vec<Param<'_>> {
+        vec![
+            Param {
+                value: &mut self.w,
+                grad: &mut self.dw,
+            },
+            Param {
+                value: &mut self.b,
+                grad: &mut self.db,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apots_tensor::rng::seeded;
+
+    #[test]
+    fn identity_1x1_kernel() {
+        let mut rng = seeded(1);
+        let mut conv = Conv2d::new(1, 1, 1, 1, &mut rng);
+        conv.w.data_mut()[0] = 1.0;
+        let x = Tensor::new(vec![1, 1, 2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 1, 2, 3]);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn averaging_3x3_kernel_on_constant_image() {
+        let mut rng = seeded(2);
+        let mut conv = Conv2d::new(1, 1, 3, 3, &mut rng);
+        for v in conv.w.data_mut() {
+            *v = 1.0;
+        }
+        let x = Tensor::ones(&[1, 1, 3, 3]);
+        let y = conv.forward(&x, true);
+        // Centre sees 9 ones, edges 6, corners 4 (zero padding).
+        assert_eq!(y.data()[4], 9.0);
+        assert_eq!(y.data()[1], 6.0);
+        assert_eq!(y.data()[0], 4.0);
+    }
+
+    #[test]
+    fn preserves_spatial_shape_multi_channel() {
+        let mut rng = seeded(3);
+        let mut conv = Conv2d::new(3, 8, 3, 3, &mut rng);
+        let x = Tensor::randn(&[2, 3, 5, 12], 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 8, 5, 12]);
+        let dx = conv.backward(&Tensor::ones(&[2, 8, 5, 12]));
+        assert_eq!(dx.shape(), &[2, 3, 5, 12]);
+    }
+
+    #[test]
+    fn bias_is_added_per_filter() {
+        let mut rng = seeded(4);
+        let mut conv = Conv2d::new(1, 2, 1, 1, &mut rng);
+        conv.w.fill_zero();
+        conv.b.data_mut().copy_from_slice(&[1.5, -2.5]);
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        let y = conv.forward(&x, true);
+        assert!(y.data()[..4].iter().all(|&v| v == 1.5));
+        assert!(y.data()[4..].iter().all(|&v| v == -2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be odd")]
+    fn rejects_even_kernel() {
+        let mut rng = seeded(5);
+        let _ = Conv2d::new(1, 1, 2, 2, &mut rng);
+    }
+
+    #[test]
+    fn param_count_matches_formula() {
+        let mut rng = seeded(6);
+        let mut conv = Conv2d::new(4, 16, 3, 3, &mut rng);
+        assert_eq!(conv.param_count(), 4 * 16 * 9 + 16);
+        assert_eq!(conv.in_channels(), 4);
+        assert_eq!(conv.out_channels(), 16);
+    }
+}

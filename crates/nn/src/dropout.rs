@@ -1,0 +1,112 @@
+//! Inverted dropout.
+//!
+//! During training each element is zeroed with probability `p` and the
+//! survivors are scaled by `1/(1−p)`, so inference needs no rescaling.
+
+use apots_tensor::rng::seeded;
+use apots_tensor::{SeededRng, Tensor};
+use rand::RngExt;
+
+use crate::layer::Layer;
+
+/// Inverted dropout layer with an owned, seeded RNG.
+pub struct Dropout {
+    p: f32,
+    rng: SeededRng,
+    cached_mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer dropping each unit with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "Dropout p must be in [0, 1), got {p}");
+        Self {
+            p,
+            rng: seeded(seed),
+            cached_mask: None,
+        }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            self.cached_mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask_data: Vec<f32> = (0..input.len())
+            .map(|_| {
+                if self.rng.random::<f32>() < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mask = Tensor::new(input.shape().to_vec(), mask_data);
+        let out = input.mul(&mask);
+        self.cached_mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match &self.cached_mask {
+            Some(mask) => grad_out.mul(mask),
+            None => grad_out.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0]);
+        let y = d.forward(&x, false);
+        assert_eq!(y, x);
+        let g = d.backward(&Tensor::from_vec(vec![1.0, 1.0, 1.0]));
+        assert_eq!(g.data(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn train_mode_preserves_expectation() {
+        let mut d = Dropout::new(0.3, 42);
+        let x = Tensor::ones(&[10_000]);
+        let y = d.forward(&x, true);
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        // Every surviving unit is scaled by exactly 1/(1-p).
+        let scale = 1.0 / 0.7;
+        assert!(y
+            .data()
+            .iter()
+            .all(|&v| v == 0.0 || (v - scale).abs() < 1e-6));
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 7);
+        let x = Tensor::ones(&[100]);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::ones(&[100]));
+        // Gradient is zero exactly where the output was zeroed.
+        for (yo, go) in y.data().iter().zip(g.data()) {
+            assert_eq!(*yo == 0.0, *go == 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_p_is_identity_even_in_train() {
+        let mut d = Dropout::new(0.0, 9);
+        let x = Tensor::from_vec(vec![5.0, -3.0]);
+        assert_eq!(d.forward(&x, true), x);
+    }
+}

@@ -1,0 +1,326 @@
+//! Gated recurrent unit (GRU) layer with full backpropagation through
+//! time.
+//!
+//! Not used by the paper's predictors (which are LSTM-based per Table I)
+//! but provided as an alternative recurrent cell for the "predictor
+//! refinement" extension point — APOTS explicitly supports swapping `P`.
+//!
+//! Gates follow the standard (PyTorch-convention) formulation:
+//! `z = σ(x·Wxz + h·Whz + bz)`, `r = σ(x·Wxr + h·Whr + br)`,
+//! `n = tanh(x·Wxn + bn + r ⊙ (h·Whn + bhn))`,
+//! `h' = (1 − z) ⊙ n + z ⊙ h`.
+
+use apots_tensor::Tensor;
+use rand::Rng;
+
+use crate::activation::sigmoid_scalar;
+use crate::init::xavier_uniform;
+use crate::layer::{Layer, Param};
+
+struct StepCache {
+    x: Tensor,      // [B, I]
+    h_prev: Tensor, // [B, H]
+    z: Tensor,      // [B, H]
+    r: Tensor,      // [B, H]
+    n: Tensor,      // [B, H]
+    hn: Tensor,     // [B, H] — h_prev·Whn + bhn (pre r-gating)
+}
+
+/// A GRU layer over `[batch, time, features]` inputs.
+pub struct Gru {
+    input_size: usize,
+    hidden_size: usize,
+    return_sequences: bool,
+    // Parameters, gate-major: update (z), reset (r), candidate (n).
+    wxz: Tensor,
+    whz: Tensor,
+    bz: Tensor,
+    wxr: Tensor,
+    whr: Tensor,
+    br: Tensor,
+    wxn: Tensor,
+    whn: Tensor,
+    bn: Tensor,
+    bhn: Tensor,
+    // Gradients, same order.
+    grads: Vec<Tensor>,
+    cache: Vec<StepCache>,
+}
+
+impl Gru {
+    /// Creates a GRU with Xavier-initialised weights and zero biases.
+    pub fn new<R: Rng>(
+        input_size: usize,
+        hidden_size: usize,
+        return_sequences: bool,
+        rng: &mut R,
+    ) -> Self {
+        assert!(input_size > 0 && hidden_size > 0, "Gru: zero-sized layer");
+        let wx = |rng: &mut R| xavier_uniform(&[input_size, hidden_size], input_size, hidden_size, rng);
+        let wh =
+            |rng: &mut R| xavier_uniform(&[hidden_size, hidden_size], hidden_size, hidden_size, rng);
+        let grads = vec![
+            Tensor::zeros(&[input_size, hidden_size]),
+            Tensor::zeros(&[hidden_size, hidden_size]),
+            Tensor::zeros(&[hidden_size]),
+            Tensor::zeros(&[input_size, hidden_size]),
+            Tensor::zeros(&[hidden_size, hidden_size]),
+            Tensor::zeros(&[hidden_size]),
+            Tensor::zeros(&[input_size, hidden_size]),
+            Tensor::zeros(&[hidden_size, hidden_size]),
+            Tensor::zeros(&[hidden_size]),
+            Tensor::zeros(&[hidden_size]),
+        ];
+        Self {
+            input_size,
+            hidden_size,
+            return_sequences,
+            wxz: wx(rng),
+            whz: wh(rng),
+            bz: Tensor::zeros(&[hidden_size]),
+            wxr: wx(rng),
+            whr: wh(rng),
+            br: Tensor::zeros(&[hidden_size]),
+            wxn: wx(rng),
+            whn: wh(rng),
+            bn: Tensor::zeros(&[hidden_size]),
+            bhn: Tensor::zeros(&[hidden_size]),
+            grads,
+            cache: Vec::new(),
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    fn time_slice(x: &Tensor, t: usize) -> Tensor {
+        let s = x.shape();
+        let (b, steps, feat) = (s[0], s[1], s[2]);
+        let mut out = Vec::with_capacity(b * feat);
+        for bi in 0..b {
+            let base = (bi * steps + t) * feat;
+            out.extend_from_slice(&x.data()[base..base + feat]);
+        }
+        Tensor::new(vec![b, feat], out)
+    }
+}
+
+impl Layer for Gru {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.rank(), 3, "Gru expects [batch, time, features]");
+        let s = input.shape();
+        let (b, steps, feat) = (s[0], s[1], s[2]);
+        assert_eq!(feat, self.input_size, "Gru: wrong input width");
+        assert!(steps > 0, "Gru: empty time axis");
+        let hsz = self.hidden_size;
+        self.cache.clear();
+
+        let mut h = Tensor::zeros(&[b, hsz]);
+        let mut seq_out: Vec<Tensor> = Vec::new();
+
+        for t in 0..steps {
+            let x = Self::time_slice(input, t);
+            let mut z_pre = x.matmul(&self.wxz);
+            z_pre.add_assign_t(&h.matmul(&self.whz));
+            z_pre.add_row_broadcast(&self.bz);
+            let z = z_pre.map(sigmoid_scalar);
+
+            let mut r_pre = x.matmul(&self.wxr);
+            r_pre.add_assign_t(&h.matmul(&self.whr));
+            r_pre.add_row_broadcast(&self.br);
+            let r = r_pre.map(sigmoid_scalar);
+
+            let mut hn = h.matmul(&self.whn);
+            hn.add_row_broadcast(&self.bhn);
+            let mut n_pre = x.matmul(&self.wxn);
+            n_pre.add_row_broadcast(&self.bn);
+            n_pre.add_assign_t(&r.mul(&hn));
+            let n = n_pre.map(f32::tanh);
+
+            // h' = (1 − z)⊙n + z⊙h.
+            let h_new = n.zip_with(&z, |ni, zi| (1.0 - zi) * ni).add(&z.mul(&h));
+
+            self.cache.push(StepCache {
+                x,
+                h_prev: h,
+                z,
+                r,
+                n,
+                hn,
+            });
+            h = h_new;
+            if self.return_sequences {
+                seq_out.push(h.clone());
+            }
+        }
+
+        if self.return_sequences {
+            let mut out = vec![0.0f32; b * steps * hsz];
+            for (t, h_t) in seq_out.iter().enumerate() {
+                for bi in 0..b {
+                    let dst = (bi * steps + t) * hsz;
+                    out[dst..dst + hsz].copy_from_slice(h_t.row(bi));
+                }
+            }
+            Tensor::new(vec![b, steps, hsz], out)
+        } else {
+            h
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(!self.cache.is_empty(), "Gru::backward called before forward");
+        let steps = self.cache.len();
+        let b = self.cache[0].x.shape()[0];
+        let hsz = self.hidden_size;
+        let isz = self.input_size;
+
+        for g in &mut self.grads {
+            g.fill_zero();
+        }
+        let grad_at = |t: usize| -> Tensor {
+            if self.return_sequences {
+                assert_eq!(grad_out.shape(), &[b, steps, hsz], "Gru grad shape");
+                Self::time_slice(grad_out, t)
+            } else {
+                assert_eq!(grad_out.shape(), &[b, hsz], "Gru grad shape");
+                if t == steps - 1 {
+                    grad_out.clone()
+                } else {
+                    Tensor::zeros(&[b, hsz])
+                }
+            }
+        };
+
+        let mut dh_next = Tensor::zeros(&[b, hsz]);
+        let mut dx_all = vec![0.0f32; b * steps * isz];
+
+        for t in (0..steps).rev() {
+            let sc = &self.cache[t];
+            let mut dh = grad_at(t);
+            dh.add_assign_t(&dh_next);
+
+            // h' = (1−z)⊙n + z⊙h_prev
+            let dz = dh.mul(&sc.h_prev.sub(&sc.n));
+            let dn = dh.zip_with(&sc.z, |d, z| d * (1.0 - z));
+            let mut dh_prev = dh.mul(&sc.z);
+
+            // n = tanh(n_pre), n_pre = x·Wxn + bn + r⊙hn
+            let dn_pre = dn.zip_with(&sc.n, |d, n| d * (1.0 - n * n));
+            let dr = dn_pre.mul(&sc.hn);
+            let dhn = dn_pre.mul(&sc.r);
+
+            // Gate pre-activations.
+            let dz_pre = dz.zip_with(&sc.z, |d, y| d * y * (1.0 - y));
+            let dr_pre = dr.zip_with(&sc.r, |d, y| d * y * (1.0 - y));
+
+            // Parameter gradients (order mirrors `params_mut`).
+            self.grads[0].add_assign_t(&sc.x.matmul_at_b(&dz_pre)); // wxz
+            self.grads[1].add_assign_t(&sc.h_prev.matmul_at_b(&dz_pre)); // whz
+            self.grads[2].add_assign_t(&dz_pre.sum_axis0()); // bz
+            self.grads[3].add_assign_t(&sc.x.matmul_at_b(&dr_pre)); // wxr
+            self.grads[4].add_assign_t(&sc.h_prev.matmul_at_b(&dr_pre)); // whr
+            self.grads[5].add_assign_t(&dr_pre.sum_axis0()); // br
+            self.grads[6].add_assign_t(&sc.x.matmul_at_b(&dn_pre)); // wxn
+            self.grads[7].add_assign_t(&sc.h_prev.matmul_at_b(&dhn)); // whn
+            self.grads[8].add_assign_t(&dn_pre.sum_axis0()); // bn
+            self.grads[9].add_assign_t(&dhn.sum_axis0()); // bhn
+
+            // Input and recurrent gradients.
+            let mut dx = dz_pre.matmul_a_bt(&self.wxz);
+            dx.add_assign_t(&dr_pre.matmul_a_bt(&self.wxr));
+            dx.add_assign_t(&dn_pre.matmul_a_bt(&self.wxn));
+            for bi in 0..b {
+                let dst = (bi * steps + t) * isz;
+                dx_all[dst..dst + isz].copy_from_slice(dx.row(bi));
+            }
+            dh_prev.add_assign_t(&dz_pre.matmul_a_bt(&self.whz));
+            dh_prev.add_assign_t(&dr_pre.matmul_a_bt(&self.whr));
+            dh_prev.add_assign_t(&dhn.matmul_a_bt(&self.whn));
+            dh_next = dh_prev;
+        }
+
+        Tensor::new(vec![b, steps, isz], dx_all)
+    }
+
+    fn params_mut(&mut self) -> Vec<Param<'_>> {
+        let Self {
+            wxz,
+            whz,
+            bz,
+            wxr,
+            whr,
+            br,
+            wxn,
+            whn,
+            bn,
+            bhn,
+            grads,
+            ..
+        } = self;
+        let values: [&mut Tensor; 10] = [wxz, whz, bz, wxr, whr, br, wxn, whn, bn, bhn];
+        values
+            .into_iter()
+            .zip(grads.iter_mut())
+            .map(|(value, grad)| Param { value, grad })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer;
+    use apots_tensor::rng::seeded;
+
+    #[test]
+    fn output_shapes() {
+        let mut rng = seeded(1);
+        let mut last = Gru::new(3, 5, false, &mut rng);
+        let x = Tensor::randn(&[2, 4, 3], 0.0, 1.0, &mut rng);
+        assert_eq!(last.forward(&x, true).shape(), &[2, 5]);
+        let mut seq = Gru::new(3, 5, true, &mut rng);
+        assert_eq!(seq.forward(&x, true).shape(), &[2, 4, 5]);
+        assert_eq!(last.hidden_size(), 5);
+    }
+
+    #[test]
+    fn gradients_check_out_last_mode() {
+        let mut rng = seeded(2);
+        let mut gru = Gru::new(3, 4, false, &mut rng);
+        let x = Tensor::randn(&[2, 4, 3], 0.0, 1.0, &mut rng);
+        let res = check_layer(&mut gru, &x, 11, 1e-2);
+        assert!(res.passes(2e-2), "{res:?}");
+    }
+
+    #[test]
+    fn gradients_check_out_sequence_mode() {
+        let mut rng = seeded(3);
+        let mut gru = Gru::new(3, 4, true, &mut rng);
+        let x = Tensor::randn(&[2, 3, 3], 0.0, 1.0, &mut rng);
+        let res = check_layer(&mut gru, &x, 12, 1e-2);
+        assert!(res.passes(2e-2), "{res:?}");
+    }
+
+    #[test]
+    fn hidden_state_bounded() {
+        // h is a convex combination of tanh outputs, so |h| < 1.
+        let mut rng = seeded(4);
+        let mut gru = Gru::new(2, 6, true, &mut rng);
+        let x = Tensor::randn(&[3, 8, 2], 0.0, 4.0, &mut rng);
+        let y = gru.forward(&x, true);
+        assert!(y.data().iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn param_count_matches_formula() {
+        let mut rng = seeded(5);
+        let mut gru = Gru::new(7, 11, false, &mut rng);
+        // 3×(I·H + H·H + H) + extra candidate hidden bias.
+        let expected = 3 * (7 * 11 + 11 * 11 + 11) + 11;
+        assert_eq!(gru.param_count(), expected);
+        assert_eq!(gru.params_mut().len(), 10);
+    }
+}

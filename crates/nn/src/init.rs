@@ -1,0 +1,54 @@
+//! Weight-initialisation schemes.
+//!
+//! Xavier/Glorot uniform is used for sigmoid/tanh-flavoured layers (dense
+//! heads, LSTM gates) and He/Kaiming uniform for ReLU-flavoured stacks
+//! (conv + ReLU towers), following standard practice.
+
+use apots_tensor::Tensor;
+use rand::Rng;
+
+/// Xavier/Glorot uniform: `U(−√(6/(fan_in+fan_out)), +√(6/(fan_in+fan_out)))`.
+pub fn xavier_uniform<R: Rng>(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+    assert!(fan_in + fan_out > 0, "xavier_uniform: zero fan");
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform(shape, -limit, limit, rng)
+}
+
+/// He/Kaiming uniform: `U(−√(6/fan_in), +√(6/fan_in))`.
+pub fn he_uniform<R: Rng>(shape: &[usize], fan_in: usize, rng: &mut R) -> Tensor {
+    assert!(fan_in > 0, "he_uniform: zero fan_in");
+    let limit = (6.0 / fan_in as f32).sqrt();
+    Tensor::rand_uniform(shape, -limit, limit, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apots_tensor::rng::seeded;
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = seeded(3);
+        let t = xavier_uniform(&[50, 50], 50, 50, &mut rng);
+        let limit = (6.0f32 / 100.0).sqrt();
+        assert!(t.data().iter().all(|v| v.abs() <= limit));
+        // Not degenerate: should actually spread out.
+        assert!(t.max_val() > 0.5 * limit);
+        assert!(t.min_val() < -0.5 * limit);
+    }
+
+    #[test]
+    fn he_respects_limit() {
+        let mut rng = seeded(4);
+        let t = he_uniform(&[10, 60], 10, &mut rng);
+        let limit = (6.0f32 / 10.0).sqrt();
+        assert!(t.data().iter().all(|v| v.abs() <= limit));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero fan")]
+    fn xavier_rejects_zero_fan() {
+        let mut rng = seeded(1);
+        let _ = xavier_uniform(&[1], 0, 0, &mut rng);
+    }
+}

@@ -1,0 +1,66 @@
+//! The [`Layer`] trait — the contract every building block implements —
+//! and [`Param`], the (value, gradient) pair handed to optimizers.
+
+use apots_tensor::Tensor;
+
+/// A mutable view of one trainable parameter tensor and its accumulated
+/// gradient. Optimizers iterate over these in a stable order.
+pub struct Param<'a> {
+    /// The parameter values, updated in place by the optimizer.
+    pub value: &'a mut Tensor,
+    /// The gradient accumulated by the most recent `backward` pass.
+    pub grad: &'a mut Tensor,
+}
+
+/// A differentiable computation stage.
+///
+/// The forward pass caches whatever its backward pass needs; calling
+/// [`Layer::backward`] before [`Layer::forward`] is a programming error and
+/// panics. Gradients are **overwritten** (not accumulated) on each backward
+/// call, so one forward/backward pair per optimizer step is the intended
+/// usage.
+pub trait Layer {
+    /// Computes the layer output for `input`.
+    ///
+    /// `train` selects training-time behaviour (e.g. dropout masking);
+    /// inference passes `false`.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Propagates `grad_out` (∂loss/∂output) backwards, storing parameter
+    /// gradients internally and returning ∂loss/∂input.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Mutable access to all trainable parameters, in a stable order.
+    ///
+    /// Parameterless layers return an empty vector (the default).
+    fn params_mut(&mut self) -> Vec<Param<'_>> {
+        Vec::new()
+    }
+
+    /// Number of scalar trainable parameters (for reporting).
+    fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.value.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Identity;
+    impl Layer for Identity {
+        fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+            input.clone()
+        }
+        fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+            grad_out.clone()
+        }
+    }
+
+    #[test]
+    fn default_params_is_empty() {
+        let mut id = Identity;
+        assert!(id.params_mut().is_empty());
+        assert_eq!(id.param_count(), 0);
+    }
+}

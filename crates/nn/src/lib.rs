@@ -1,0 +1,53 @@
+//! # apots-nn
+//!
+//! A from-scratch neural-network library with hand-written forward and
+//! backward passes, built specifically for the APOTS reproduction. It
+//! provides everything the paper's predictors and discriminator need:
+//!
+//! * [`Dense`] fully-connected layers;
+//! * [`Conv2d`] same-padding 2-D convolutions (im2col based);
+//! * [`Lstm`] long short-term memory layers with full backpropagation
+//!   through time;
+//! * [`activation`] layers (ReLU, leaky ReLU, sigmoid, tanh) and
+//!   [`Dropout`];
+//! * [`Sequential`] containers;
+//! * numerically-stable [`loss`] functions (MSE, BCE-with-logits — the GAN
+//!   losses of Eq 1/2 in the paper);
+//! * [`optim`] optimizers (SGD with momentum, Adam) with global-norm
+//!   gradient clipping;
+//! * a finite-difference [`gradcheck`] harness used by this crate's tests to
+//!   verify every analytic gradient.
+//!
+//! The API is deliberately *mutable-forward*: `forward(&mut self, ...)`
+//! caches whatever the matching `backward` needs, exactly like classic
+//! layer-oriented frameworks. No autograd tape — each layer's backward pass
+//! is derived and written by hand, then verified by gradient checking.
+
+pub mod activation;
+pub mod attention;
+pub mod conv;
+pub mod dense;
+pub mod dropout;
+pub mod gradcheck;
+pub mod gru;
+pub mod init;
+pub mod layer;
+pub mod loss;
+pub mod lstm;
+pub mod optim;
+pub mod schedule;
+pub mod sequential;
+pub mod state;
+
+pub use activation::{LeakyRelu, Relu, Sigmoid, Tanh};
+pub use attention::TemporalAttention;
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use gru::Gru;
+pub use layer::{Layer, Param};
+pub use lstm::Lstm;
+pub use optim::{clip_global_norm, Adam, Optimizer, Sgd};
+pub use schedule::{EarlyStopping, LrSchedule};
+pub use sequential::Sequential;
+pub use state::StateDict;

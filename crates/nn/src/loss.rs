@@ -1,0 +1,195 @@
+//! Loss functions and their gradients.
+//!
+//! * [`mse`] — the regression term of the predictor objective (Eq 1);
+//! * [`bce_with_logits`] — the adversarial terms of Eq 1/2, computed from
+//!   *logits* for numerical stability (the discriminator's final layer is
+//!   linear; its sigmoid lives inside the loss).
+//!
+//! Every function returns the mean loss over the batch together with the
+//! gradient with respect to its first argument, already divided by the
+//! batch size so callers can feed it straight into `backward`.
+
+use apots_tensor::Tensor;
+
+use crate::activation::sigmoid_scalar;
+
+/// Mean squared error `mean((pred − target)²)` and its gradient w.r.t.
+/// `pred`.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(
+        pred.shape(),
+        target.shape(),
+        "mse: shape mismatch {:?} vs {:?}",
+        pred.shape(),
+        target.shape()
+    );
+    let n = pred.len().max(1) as f32;
+    let mut loss = 0.0f32;
+    let grad = pred.zip_with(target, |p, t| {
+        let d = p - t;
+        loss += d * d;
+        2.0 * d / n
+    });
+    (loss / n, grad)
+}
+
+/// Binary cross-entropy on logits:
+/// `mean(max(z,0) − z·y + ln(1 + e^{−|z|}))`, the numerically-stable form.
+///
+/// `target` holds labels in `[0, 1]` (typically exactly 0 or 1: fake/real).
+/// Returns the mean loss and the gradient `σ(z) − y`, divided by the batch
+/// size.
+pub fn bce_with_logits(logits: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(
+        logits.shape(),
+        target.shape(),
+        "bce_with_logits: shape mismatch {:?} vs {:?}",
+        logits.shape(),
+        target.shape()
+    );
+    let n = logits.len().max(1) as f32;
+    let mut loss = 0.0f32;
+    let grad = logits.zip_with(target, |z, y| {
+        loss += z.max(0.0) - z * y + (1.0 + (-z.abs()).exp()).ln();
+        (sigmoid_scalar(z) - y) / n
+    });
+    (loss / n, grad)
+}
+
+/// The generator-side adversarial loss of Eq 1, `log(1 − D(ŝ))`, evaluated
+/// on discriminator logits, with its gradient w.r.t. the logits.
+///
+/// Minimising this *saturating* form is the paper's literal objective. For
+/// the well-known vanishing-gradient regime there is also the
+/// non-saturating alternative `−log D(ŝ)` ([`generator_loss_nonsaturating`]).
+pub fn generator_loss_saturating(logits: &Tensor) -> (f32, Tensor) {
+    let n = logits.len().max(1) as f32;
+    let mut loss = 0.0f32;
+    let grad = logits.map(|z| {
+        let s = sigmoid_scalar(z);
+        // log(1 − σ(z)) = −z − ln(1 + e^{−z}) = −(max(z,0) + ln(1+e^{−|z|}))
+        loss += -(z.max(0.0) + (1.0 + (-z.abs()).exp()).ln());
+        // d/dz log(1 − σ(z)) = −σ(z); we minimise, so grad = −σ(z)/n
+        -s / n
+    });
+    (loss / n, grad)
+}
+
+/// The non-saturating generator loss `−log D(ŝ)` with gradient w.r.t.
+/// logits — equivalent fixed points, stronger early-training gradients.
+pub fn generator_loss_nonsaturating(logits: &Tensor) -> (f32, Tensor) {
+    let n = logits.len().max(1) as f32;
+    let mut loss = 0.0f32;
+    let grad = logits.map(|z| {
+        let s = sigmoid_scalar(z);
+        // −log σ(z) = ln(1 + e^{−z}) = max(−z, 0) + ln(1 + e^{−|z|})
+        loss += (-z).max(0.0) + (1.0 + (-z.abs()).exp()).ln();
+        (s - 1.0) / n
+    });
+    (loss / n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_scalar<F: FnMut(f32) -> f32>(mut f: F, x: f32) -> f32 {
+        let eps = 1e-3;
+        (f(x + eps) - f(x - eps)) / (2.0 * eps)
+    }
+
+    #[test]
+    fn mse_zero_at_match() {
+        let p = Tensor::from_vec(vec![1.0, 2.0]);
+        let (l, g) = mse(&p, &p);
+        assert_eq!(l, 0.0);
+        assert!(g.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn mse_known_value_and_grad() {
+        let p = Tensor::from_vec(vec![3.0, 0.0]);
+        let t = Tensor::from_vec(vec![1.0, 0.0]);
+        let (l, g) = mse(&p, &t);
+        assert!((l - 2.0).abs() < 1e-6); // (4 + 0) / 2
+        assert!((g.data()[0] - 2.0).abs() < 1e-6); // 2*2/2
+        assert_eq!(g.data()[1], 0.0);
+    }
+
+    #[test]
+    fn bce_matches_finite_difference() {
+        for &z0 in &[-3.0f32, -0.5, 0.0, 0.7, 4.0] {
+            for &y in &[0.0f32, 1.0] {
+                let (_, g) = bce_with_logits(
+                    &Tensor::from_vec(vec![z0]),
+                    &Tensor::from_vec(vec![y]),
+                );
+                let num = finite_diff_scalar(
+                    |z| bce_with_logits(&Tensor::from_vec(vec![z]), &Tensor::from_vec(vec![y])).0,
+                    z0,
+                );
+                assert!(
+                    (g.data()[0] - num).abs() < 1e-3,
+                    "z={z0} y={y}: analytic {} vs numeric {num}",
+                    g.data()[0]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bce_is_stable_for_extreme_logits() {
+        let z = Tensor::from_vec(vec![-1000.0, 1000.0]);
+        let y = Tensor::from_vec(vec![0.0, 1.0]);
+        let (l, g) = bce_with_logits(&z, &y);
+        assert!(l.is_finite() && l.abs() < 1e-3);
+        assert!(g.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn saturating_generator_loss_matches_finite_difference() {
+        for &z0 in &[-2.0f32, 0.0, 1.5] {
+            let (_, g) = generator_loss_saturating(&Tensor::from_vec(vec![z0]));
+            let num =
+                finite_diff_scalar(|z| generator_loss_saturating(&Tensor::from_vec(vec![z])).0, z0);
+            assert!(
+                (g.data()[0] - num).abs() < 1e-3,
+                "z={z0}: analytic {} vs numeric {num}",
+                g.data()[0]
+            );
+        }
+    }
+
+    #[test]
+    fn nonsaturating_generator_loss_matches_finite_difference() {
+        for &z0 in &[-2.0f32, 0.0, 1.5] {
+            let (_, g) = generator_loss_nonsaturating(&Tensor::from_vec(vec![z0]));
+            let num = finite_diff_scalar(
+                |z| generator_loss_nonsaturating(&Tensor::from_vec(vec![z])).0,
+                z0,
+            );
+            assert!(
+                (g.data()[0] - num).abs() < 1e-3,
+                "z={z0}: analytic {} vs numeric {num}",
+                g.data()[0]
+            );
+        }
+    }
+
+    #[test]
+    fn generator_losses_push_towards_real() {
+        // Both generator losses should have negative gradient sign... i.e.
+        // increasing the logit (more "real") decreases the loss.
+        let z = Tensor::from_vec(vec![0.0]);
+        let (_, gs) = generator_loss_saturating(&z);
+        let (_, gn) = generator_loss_nonsaturating(&z);
+        assert!(gs.data()[0] < 0.0);
+        assert!(gn.data()[0] < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mse_rejects_mismatch() {
+        let _ = mse(&Tensor::zeros(&[2]), &Tensor::zeros(&[3]));
+    }
+}

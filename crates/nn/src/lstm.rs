@@ -1,0 +1,350 @@
+//! Long short-term memory layer with full backpropagation through time.
+//!
+//! Follows the classic formulation of Hochreiter & Schmidhuber (the paper's
+//! reference \[45\]): gates `i, f, o` are sigmoids, the cell candidate `g` is
+//! a tanh, `c_t = f⊙c_{t−1} + i⊙g`, `h_t = o⊙tanh(c_t)`. The forget-gate
+//! bias is initialised to 1 (the standard trick to ease early training).
+//!
+//! Inputs are rank-3 `[batch, time, features]`; the layer either returns
+//! the full hidden sequence `[batch, time, hidden]` (for stacking) or only
+//! the final hidden state `[batch, hidden]`.
+
+use apots_tensor::Tensor;
+use rand::Rng;
+
+use crate::activation::sigmoid_scalar;
+use crate::init::xavier_uniform;
+use crate::layer::{Layer, Param};
+
+/// Per-timestep forward cache used by BPTT.
+struct StepCache {
+    x: Tensor,      // [B, I]
+    h_prev: Tensor, // [B, H]
+    c_prev: Tensor, // [B, H]
+    i: Tensor,      // [B, H]
+    f: Tensor,      // [B, H]
+    g: Tensor,      // [B, H]
+    o: Tensor,      // [B, H]
+    tanh_c: Tensor, // [B, H]
+}
+
+/// An LSTM layer.
+pub struct Lstm {
+    input_size: usize,
+    hidden_size: usize,
+    return_sequences: bool,
+    wx: Tensor,  // [I, 4H], gate order i|f|g|o
+    wh: Tensor,  // [H, 4H]
+    b: Tensor,   // [4H]
+    dwx: Tensor, // [I, 4H]
+    dwh: Tensor, // [H, 4H]
+    db: Tensor,  // [4H]
+    cache: Vec<StepCache>,
+}
+
+impl Lstm {
+    /// Creates an LSTM with Xavier-initialised weights.
+    ///
+    /// `return_sequences` selects whether `forward` yields the whole hidden
+    /// sequence (needed when stacking LSTMs) or only the final hidden state.
+    pub fn new<R: Rng>(
+        input_size: usize,
+        hidden_size: usize,
+        return_sequences: bool,
+        rng: &mut R,
+    ) -> Self {
+        assert!(input_size > 0 && hidden_size > 0, "Lstm: zero-sized layer");
+        let mut b = Tensor::zeros(&[4 * hidden_size]);
+        // Forget-gate bias = 1.
+        for v in &mut b.data_mut()[hidden_size..2 * hidden_size] {
+            *v = 1.0;
+        }
+        Self {
+            input_size,
+            hidden_size,
+            return_sequences,
+            wx: xavier_uniform(
+                &[input_size, 4 * hidden_size],
+                input_size,
+                hidden_size,
+                rng,
+            ),
+            wh: xavier_uniform(
+                &[hidden_size, 4 * hidden_size],
+                hidden_size,
+                hidden_size,
+                rng,
+            ),
+            b,
+            dwx: Tensor::zeros(&[input_size, 4 * hidden_size]),
+            dwh: Tensor::zeros(&[hidden_size, 4 * hidden_size]),
+            db: Tensor::zeros(&[4 * hidden_size]),
+            cache: Vec::new(),
+        }
+    }
+
+    /// Hidden state width.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    /// Expected per-timestep input width.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Whether forward returns the full sequence of hidden states.
+    pub fn returns_sequences(&self) -> bool {
+        self.return_sequences
+    }
+
+    /// Extracts time step `t` of a `[B, T, I]` tensor as `[B, I]`.
+    fn time_slice(x: &Tensor, t: usize) -> Tensor {
+        let s = x.shape();
+        let (b, steps, feat) = (s[0], s[1], s[2]);
+        debug_assert!(t < steps);
+        let mut out = Vec::with_capacity(b * feat);
+        for bi in 0..b {
+            let base = (bi * steps + t) * feat;
+            out.extend_from_slice(&x.data()[base..base + feat]);
+        }
+        Tensor::new(vec![b, feat], out)
+    }
+}
+
+impl Layer for Lstm {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.rank(), 3, "Lstm expects [batch, time, features]");
+        let s = input.shape();
+        let (b, steps, feat) = (s[0], s[1], s[2]);
+        assert_eq!(
+            feat, self.input_size,
+            "Lstm: input has {feat} features, layer expects {}",
+            self.input_size
+        );
+        assert!(steps > 0, "Lstm: empty time axis");
+        let hsz = self.hidden_size;
+        self.cache.clear();
+
+        let mut h = Tensor::zeros(&[b, hsz]);
+        let mut c = Tensor::zeros(&[b, hsz]);
+        let mut seq_out = Vec::with_capacity(b * steps * hsz);
+
+        for t in 0..steps {
+            let x_t = Self::time_slice(input, t);
+            let mut z = x_t.matmul(&self.wx);
+            z.add_assign_t(&h.matmul(&self.wh));
+            z.add_row_broadcast(&self.b);
+
+            let mut i_g = Tensor::zeros(&[b, hsz]);
+            let mut f_g = Tensor::zeros(&[b, hsz]);
+            let mut g_g = Tensor::zeros(&[b, hsz]);
+            let mut o_g = Tensor::zeros(&[b, hsz]);
+            for bi in 0..b {
+                let zr = z.row(bi);
+                for j in 0..hsz {
+                    i_g.set2(bi, j, sigmoid_scalar(zr[j]));
+                    f_g.set2(bi, j, sigmoid_scalar(zr[hsz + j]));
+                    g_g.set2(bi, j, zr[2 * hsz + j].tanh());
+                    o_g.set2(bi, j, sigmoid_scalar(zr[3 * hsz + j]));
+                }
+            }
+
+            let c_new = f_g.mul(&c).add(&i_g.mul(&g_g));
+            let tanh_c = c_new.map(f32::tanh);
+            let h_new = o_g.mul(&tanh_c);
+
+            self.cache.push(StepCache {
+                x: x_t,
+                h_prev: h,
+                c_prev: c,
+                i: i_g,
+                f: f_g,
+                g: g_g,
+                o: o_g,
+                tanh_c,
+            });
+            h = h_new;
+            c = c_new;
+
+            if self.return_sequences {
+                // Stash row-major [B, T, H]: we collect per time step and
+                // interleave below.
+                seq_out.push(h.clone());
+            }
+        }
+
+        if self.return_sequences {
+            let mut out = vec![0.0f32; b * steps * hsz];
+            for (t, h_t) in seq_out.iter().enumerate() {
+                for bi in 0..b {
+                    let dst = (bi * steps + t) * hsz;
+                    out[dst..dst + hsz].copy_from_slice(h_t.row(bi));
+                }
+            }
+            Tensor::new(vec![b, steps, hsz], out)
+        } else {
+            h
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(
+            !self.cache.is_empty(),
+            "Lstm::backward called before forward"
+        );
+        let steps = self.cache.len();
+        let b = self.cache[0].x.shape()[0];
+        let hsz = self.hidden_size;
+        let isz = self.input_size;
+
+        // Per-step upstream gradient on h_t.
+        let grad_at = |t: usize| -> Tensor {
+            if self.return_sequences {
+                assert_eq!(grad_out.shape(), &[b, steps, hsz], "Lstm grad shape");
+                Self::time_slice(grad_out, t)
+            } else {
+                assert_eq!(grad_out.shape(), &[b, hsz], "Lstm grad shape");
+                if t == steps - 1 {
+                    grad_out.clone()
+                } else {
+                    Tensor::zeros(&[b, hsz])
+                }
+            }
+        };
+
+        self.dwx.fill_zero();
+        self.dwh.fill_zero();
+        self.db.fill_zero();
+
+        let mut dh_next = Tensor::zeros(&[b, hsz]);
+        let mut dc_next = Tensor::zeros(&[b, hsz]);
+        let mut dx_all = vec![0.0f32; b * steps * isz];
+
+        for t in (0..steps).rev() {
+            let sc = &self.cache[t];
+            let mut dh = grad_at(t);
+            dh.add_assign_t(&dh_next);
+
+            // dc = dc_next + dh ⊙ o ⊙ (1 − tanh²(c))
+            let mut dc = dc_next.clone();
+            dc.add_assign_t(&dh.mul(&sc.o).mul(&sc.tanh_c.map(|v| 1.0 - v * v)));
+
+            let do_ = dh.mul(&sc.tanh_c);
+            let di = dc.mul(&sc.g);
+            let df = dc.mul(&sc.c_prev);
+            let dg = dc.mul(&sc.i);
+            dc_next = dc.mul(&sc.f);
+
+            // Pre-activation gradients.
+            let dzi = di.zip_with(&sc.i, |d, y| d * y * (1.0 - y));
+            let dzf = df.zip_with(&sc.f, |d, y| d * y * (1.0 - y));
+            let dzg = dg.zip_with(&sc.g, |d, y| d * (1.0 - y * y));
+            let dzo = do_.zip_with(&sc.o, |d, y| d * y * (1.0 - y));
+            let dz = Tensor::concat_cols(&[&dzi, &dzf, &dzg, &dzo]); // [B, 4H]
+
+            self.dwx.add_assign_t(&sc.x.matmul_at_b(&dz));
+            self.dwh.add_assign_t(&sc.h_prev.matmul_at_b(&dz));
+            self.db.add_assign_t(&dz.sum_axis0());
+
+            let dx_t = dz.matmul_a_bt(&self.wx); // [B, I]
+            for bi in 0..b {
+                let dst = (bi * steps + t) * isz;
+                dx_all[dst..dst + isz].copy_from_slice(dx_t.row(bi));
+            }
+            dh_next = dz.matmul_a_bt(&self.wh); // [B, H]
+        }
+
+        Tensor::new(vec![b, steps, isz], dx_all)
+    }
+
+    fn params_mut(&mut self) -> Vec<Param<'_>> {
+        vec![
+            Param {
+                value: &mut self.wx,
+                grad: &mut self.dwx,
+            },
+            Param {
+                value: &mut self.wh,
+                grad: &mut self.dwh,
+            },
+            Param {
+                value: &mut self.b,
+                grad: &mut self.db,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apots_tensor::rng::seeded;
+
+    #[test]
+    fn output_shapes() {
+        let mut rng = seeded(1);
+        let mut last = Lstm::new(3, 5, false, &mut rng);
+        let x = Tensor::randn(&[2, 4, 3], 0.0, 1.0, &mut rng);
+        assert_eq!(last.forward(&x, true).shape(), &[2, 5]);
+
+        let mut seq = Lstm::new(3, 5, true, &mut rng);
+        assert_eq!(seq.forward(&x, true).shape(), &[2, 4, 5]);
+    }
+
+    #[test]
+    fn backward_shapes() {
+        let mut rng = seeded(2);
+        let mut lstm = Lstm::new(3, 4, false, &mut rng);
+        let x = Tensor::randn(&[2, 6, 3], 0.0, 1.0, &mut rng);
+        let _ = lstm.forward(&x, true);
+        let dx = lstm.backward(&Tensor::ones(&[2, 4]));
+        assert_eq!(dx.shape(), &[2, 6, 3]);
+    }
+
+    #[test]
+    fn hidden_state_bounded_by_one() {
+        // h = o ⊙ tanh(c) so |h| < 1 elementwise.
+        let mut rng = seeded(3);
+        let mut lstm = Lstm::new(2, 8, true, &mut rng);
+        let x = Tensor::randn(&[4, 10, 2], 0.0, 5.0, &mut rng);
+        let y = lstm.forward(&x, true);
+        assert!(y.data().iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn sequence_mode_last_step_equals_last_mode() {
+        let mut rng_a = seeded(4);
+        let mut rng_b = seeded(4);
+        let mut seq = Lstm::new(3, 4, true, &mut rng_a);
+        let mut last = Lstm::new(3, 4, false, &mut rng_b);
+        let x = Tensor::randn(&[2, 5, 3], 0.0, 1.0, &mut seeded(9));
+        let ys = seq.forward(&x, true);
+        let yl = last.forward(&x, true);
+        for bi in 0..2 {
+            for j in 0..4 {
+                let from_seq = ys.data()[(bi * 5 + 4) * 4 + j];
+                assert!((from_seq - yl.at2(bi, j)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn forget_bias_initialised_to_one() {
+        let mut rng = seeded(5);
+        let lstm = Lstm::new(2, 3, false, &mut rng);
+        assert_eq!(&lstm.b.data()[3..6], &[1.0, 1.0, 1.0]);
+        assert_eq!(lstm.b.data()[0], 0.0);
+    }
+
+    #[test]
+    fn param_count_matches_formula() {
+        let mut rng = seeded(6);
+        let mut lstm = Lstm::new(7, 11, false, &mut rng);
+        let expected = 7 * 44 + 11 * 44 + 44;
+        assert_eq!(lstm.param_count(), expected);
+        assert_eq!(lstm.hidden_size(), 11);
+        assert_eq!(lstm.input_size(), 7);
+        assert!(!lstm.returns_sequences());
+    }
+}

@@ -1,0 +1,286 @@
+//! Optimizers: SGD with momentum and Adam, plus global-norm gradient
+//! clipping (used to stabilise BPTT through the LSTM predictors).
+//!
+//! Optimizers are stateful and identify parameters *positionally*: call
+//! `step` with the same `params_mut()` ordering every time (which layer
+//! containers guarantee).
+
+use apots_tensor::Tensor;
+
+use crate::layer::Param;
+
+/// A gradient-descent update rule.
+pub trait Optimizer {
+    /// Applies one update step to `params` using their stored gradients.
+    fn step(&mut self, params: Vec<Param<'_>>);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Replaces the learning rate (e.g. for decay schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr` and momentum coefficient
+    /// `momentum` (0 disables momentum).
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "Sgd: learning rate must be positive");
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "Sgd: momentum must be in [0, 1)"
+        );
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: Vec<Param<'_>>) {
+        if self.velocity.is_empty() {
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
+        }
+        assert_eq!(
+            self.velocity.len(),
+            params.len(),
+            "Sgd: parameter count changed between steps"
+        );
+        for (p, v) in params.into_iter().zip(self.velocity.iter_mut()) {
+            if self.momentum > 0.0 {
+                v.scale_in_place(self.momentum);
+                v.axpy(-self.lr, p.grad);
+                p.value.add_assign_t(v);
+            } else {
+                p.value.axpy(-self.lr, p.grad);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with the given learning rate and default
+    /// `β₁ = 0.9, β₂ = 0.999, ε = 1e−8` — the settings implied by the
+    /// paper's `lr = 0.001` (Table I).
+    pub fn new(lr: f32) -> Self {
+        Self::with_betas(lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Creates Adam with explicit hyper-parameters.
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
+        assert!(lr > 0.0, "Adam: learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        assert!(eps > 0.0);
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: Vec<Param<'_>>) {
+        if self.m.is_empty() {
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
+            self.v = self.m.clone();
+        }
+        assert_eq!(
+            self.m.len(),
+            params.len(),
+            "Adam: parameter count changed between steps"
+        );
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params
+            .into_iter()
+            .zip(self.m.iter_mut())
+            .zip(self.v.iter_mut())
+        {
+            let g = p.grad.data();
+            let md = m.data_mut();
+            let vd = v.data_mut();
+            let w = p.value.data_mut();
+            for i in 0..g.len() {
+                md[i] = self.beta1 * md[i] + (1.0 - self.beta1) * g[i];
+                vd[i] = self.beta2 * vd[i] + (1.0 - self.beta2) * g[i] * g[i];
+                let m_hat = md[i] / bc1;
+                let v_hat = vd[i] / bc2;
+                w[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Rescales all gradients in place so their combined L2 norm is at most
+/// `max_norm`. Returns the pre-clip norm.
+pub fn clip_global_norm(params: &mut [Param<'_>], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "clip_global_norm: max_norm must be positive");
+    let total: f32 = params.iter().map(|p| p.grad.norm_sq()).sum();
+    let norm = total.sqrt();
+    if norm > max_norm && norm.is_finite() {
+        let scale = max_norm / norm;
+        for p in params.iter_mut() {
+            p.grad.scale_in_place(scale);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Dense;
+    use crate::layer::Layer;
+    use crate::loss::mse;
+    use apots_tensor::rng::seeded;
+    use apots_tensor::Tensor;
+
+    /// One step of plain SGD moves a scalar parameter opposite its gradient.
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut w = Tensor::from_vec(vec![1.0]);
+        let mut g = Tensor::from_vec(vec![0.5]);
+        let mut opt = Sgd::new(0.1, 0.0);
+        opt.step(vec![Param {
+            value: &mut w,
+            grad: &mut g,
+        }]);
+        assert!((w.data()[0] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_momentum_accumulates() {
+        let mut w = Tensor::from_vec(vec![0.0]);
+        let mut g = Tensor::from_vec(vec![1.0]);
+        let mut opt = Sgd::new(0.1, 0.9);
+        opt.step(vec![Param {
+            value: &mut w,
+            grad: &mut g,
+        }]);
+        let first = w.data()[0];
+        opt.step(vec![Param {
+            value: &mut w,
+            grad: &mut g,
+        }]);
+        let second_delta = w.data()[0] - first;
+        // With momentum the second step is larger than the first.
+        assert!(second_delta.abs() > first.abs());
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, the very first Adam step is ≈ lr·sign(g).
+        let mut w = Tensor::from_vec(vec![0.0]);
+        let mut g = Tensor::from_vec(vec![3.0]);
+        let mut opt = Adam::new(0.001);
+        opt.step(vec![Param {
+            value: &mut w,
+            grad: &mut g,
+        }]);
+        assert!((w.data()[0] + 0.001).abs() < 1e-5, "{}", w.data()[0]);
+    }
+
+    #[test]
+    fn adam_trains_a_dense_layer_to_fit_line() {
+        let mut rng = seeded(10);
+        let mut layer = Dense::new(1, 1, &mut rng);
+        let mut opt = Adam::new(0.05);
+        let x = Tensor::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        let y = Tensor::from_rows(&[vec![1.0], vec![3.0], vec![5.0], vec![7.0]]); // y = 2x + 1
+        let mut last = f32::INFINITY;
+        for _ in 0..500 {
+            let pred = layer.forward(&x, true);
+            let (loss, grad) = mse(&pred, &y);
+            let _ = layer.backward(&grad);
+            opt.step(layer.params_mut());
+            last = loss;
+        }
+        assert!(last < 1e-3, "loss {last}");
+        assert!((layer.weights().data()[0] - 2.0).abs() < 0.1);
+        assert!((layer.bias().data()[0] - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn clipping_caps_norm_and_preserves_direction() {
+        let mut g1 = Tensor::from_vec(vec![3.0, 0.0]);
+        let mut g2 = Tensor::from_vec(vec![4.0]);
+        let mut w1 = Tensor::zeros(&[2]);
+        let mut w2 = Tensor::zeros(&[1]);
+        let mut params = vec![
+            Param {
+                value: &mut w1,
+                grad: &mut g1,
+            },
+            Param {
+                value: &mut w2,
+                grad: &mut g2,
+            },
+        ];
+        let pre = clip_global_norm(&mut params, 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        let post: f32 = params.iter().map(|p| p.grad.norm_sq()).sum::<f32>().sqrt();
+        assert!((post - 1.0).abs() < 1e-5);
+        // Direction preserved: ratios unchanged.
+        assert!((params[0].grad.data()[0] / params[1].grad.data()[0] - 0.75).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clipping_leaves_small_gradients_alone() {
+        let mut g = Tensor::from_vec(vec![0.1]);
+        let mut w = Tensor::zeros(&[1]);
+        let mut params = vec![Param {
+            value: &mut w,
+            grad: &mut g,
+        }];
+        clip_global_norm(&mut params, 1.0);
+        assert_eq!(params[0].grad.data()[0], 0.1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Learning-rate schedules and early stopping — the standard training
+//! conveniences a release-quality trainer needs.
+
+/// A learning-rate schedule mapping epoch index → multiplier on the base
+/// learning rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Multiply by `gamma` every `every` epochs.
+    StepDecay {
+        /// Epoch period between decays.
+        every: usize,
+        /// Multiplicative factor per decay (in `(0, 1]`).
+        gamma: f32,
+    },
+    /// Cosine annealing from 1 down to `floor` over `total` epochs.
+    Cosine {
+        /// Total schedule length in epochs.
+        total: usize,
+        /// Final multiplier (≥ 0).
+        floor: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning-rate multiplier at `epoch` (0-based).
+    pub fn factor(&self, epoch: usize) -> f32 {
+        match *self {
+            Self::Constant => 1.0,
+            Self::StepDecay { every, gamma } => {
+                assert!(every > 0, "StepDecay: period must be positive");
+                assert!((0.0..=1.0).contains(&gamma), "StepDecay: gamma in (0, 1]");
+                gamma.powi((epoch / every) as i32)
+            }
+            Self::Cosine { total, floor } => {
+                assert!(total > 0, "Cosine: total must be positive");
+                assert!(floor >= 0.0, "Cosine: floor must be non-negative");
+                let p = (epoch as f32 / total as f32).min(1.0);
+                floor + (1.0 - floor) * 0.5 * (1.0 + (std::f32::consts::PI * p).cos())
+            }
+        }
+    }
+}
+
+/// Early stopping on a monitored loss: stop after `patience` epochs
+/// without an improvement of at least `min_delta`.
+#[derive(Debug, Clone)]
+pub struct EarlyStopping {
+    patience: usize,
+    min_delta: f32,
+    best: f32,
+    stale: usize,
+}
+
+impl EarlyStopping {
+    /// Creates a monitor with the given patience and minimum improvement.
+    pub fn new(patience: usize, min_delta: f32) -> Self {
+        assert!(patience > 0, "EarlyStopping: patience must be positive");
+        assert!(min_delta >= 0.0, "EarlyStopping: min_delta must be >= 0");
+        Self {
+            patience,
+            min_delta,
+            best: f32::INFINITY,
+            stale: 0,
+        }
+    }
+
+    /// Records an epoch's monitored value; returns `true` when training
+    /// should stop.
+    pub fn update(&mut self, value: f32) -> bool {
+        if value < self.best - self.min_delta {
+            self.best = value;
+            self.stale = 0;
+        } else {
+            self.stale += 1;
+        }
+        self.stale >= self.patience
+    }
+
+    /// Best value observed so far.
+    pub fn best(&self) -> f32 {
+        self.best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedule() {
+        assert_eq!(LrSchedule::Constant.factor(0), 1.0);
+        assert_eq!(LrSchedule::Constant.factor(100), 1.0);
+    }
+
+    #[test]
+    fn step_decay_halves() {
+        let s = LrSchedule::StepDecay {
+            every: 3,
+            gamma: 0.5,
+        };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(2), 1.0);
+        assert_eq!(s.factor(3), 0.5);
+        assert_eq!(s.factor(6), 0.25);
+    }
+
+    #[test]
+    fn cosine_descends_to_floor() {
+        let s = LrSchedule::Cosine {
+            total: 10,
+            floor: 0.1,
+        };
+        assert!((s.factor(0) - 1.0).abs() < 1e-6);
+        assert!(s.factor(5) < s.factor(2));
+        assert!((s.factor(10) - 0.1).abs() < 1e-6);
+        assert!((s.factor(50) - 0.1).abs() < 1e-6); // clamped past total
+    }
+
+    #[test]
+    fn early_stopping_triggers_after_patience() {
+        let mut es = EarlyStopping::new(2, 0.0);
+        assert!(!es.update(1.0));
+        assert!(!es.update(0.9)); // improvement
+        assert!(!es.update(0.95)); // stale 1
+        assert!(es.update(0.95)); // stale 2 → stop
+        assert_eq!(es.best(), 0.9);
+    }
+
+    #[test]
+    fn min_delta_requires_meaningful_improvement() {
+        let mut es = EarlyStopping::new(2, 0.1);
+        assert!(!es.update(1.0));
+        assert!(!es.update(0.95)); // < min_delta, stale 1
+        assert!(es.update(0.93)); // still < min_delta from 1.0, stale 2
+    }
+}

@@ -1,0 +1,168 @@
+//! Model checkpoints: capturing and restoring the trainable parameters of
+//! any [`Layer`] (or anything else exposing `Param`s in a stable order).
+//!
+//! The format is a plain ordered list of tensors — positional, like the
+//! layer containers themselves — and serializes with `serde`, so a
+//! checkpoint round-trips through JSON (or any serde format) losslessly.
+
+use apots_tensor::Tensor;
+
+use crate::layer::{Layer, Param};
+
+/// An ordered snapshot of parameter tensors.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StateDict {
+    tensors: Vec<Tensor>,
+}
+
+impl StateDict {
+    /// Snapshots the current parameter values of `layer`.
+    pub fn capture(layer: &mut dyn Layer) -> Self {
+        Self::capture_params(&layer.params_mut())
+    }
+
+    /// Snapshots an explicit parameter list (e.g. a whole predictor).
+    pub fn capture_params(params: &[Param<'_>]) -> Self {
+        Self {
+            tensors: params.iter().map(|p| (*p.value).clone()).collect(),
+        }
+    }
+
+    /// Writes the snapshot back into `layer`.
+    ///
+    /// # Panics
+    /// Panics if the parameter count or any shape differs — restoring into
+    /// a different architecture is a programming error.
+    pub fn restore(&self, layer: &mut dyn Layer) {
+        self.restore_params(&mut layer.params_mut());
+    }
+
+    /// Writes the snapshot back into an explicit parameter list.
+    pub fn restore_params(&self, params: &mut [Param<'_>]) {
+        assert_eq!(
+            self.tensors.len(),
+            params.len(),
+            "StateDict: parameter count mismatch ({} saved, {} in model)",
+            self.tensors.len(),
+            params.len()
+        );
+        for (i, (saved, p)) in self.tensors.iter().zip(params.iter_mut()).enumerate() {
+            assert_eq!(
+                saved.shape(),
+                p.value.shape(),
+                "StateDict: shape mismatch at parameter {i}"
+            );
+            p.value.data_mut().copy_from_slice(saved.data());
+        }
+    }
+
+    /// Number of parameter tensors in the snapshot.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn scalar_count(&self) -> usize {
+        self.tensors.iter().map(Tensor::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Dense;
+    use crate::loss::mse;
+    use crate::optim::{Adam, Optimizer};
+    use crate::sequential::Sequential;
+    use crate::{Relu, Sigmoid};
+    use apots_tensor::rng::seeded;
+
+    fn net() -> Sequential {
+        let mut rng = seeded(3);
+        Sequential::new()
+            .push(Dense::new(4, 8, &mut rng))
+            .push(Relu::new())
+            .push(Dense::new(8, 2, &mut rng))
+            .push(Sigmoid::new())
+    }
+
+    #[test]
+    fn capture_restore_roundtrip() {
+        let mut a = net();
+        let snapshot = StateDict::capture(&mut a);
+        assert_eq!(snapshot.len(), 4);
+        assert_eq!(snapshot.scalar_count(), (4 * 8 + 8) + (8 * 2 + 2));
+
+        // Train a bit, outputs change…
+        let mut rng = seeded(4);
+        let x = apots_tensor::Tensor::randn(&[8, 4], 0.0, 1.0, &mut rng);
+        let y = apots_tensor::Tensor::rand_uniform(&[8, 2], 0.0, 1.0, &mut rng);
+        let before = a.forward(&x, false);
+        let mut opt = Adam::new(0.05);
+        for _ in 0..20 {
+            let out = a.forward(&x, true);
+            let (_, grad) = mse(&out, &y);
+            let _ = a.backward(&grad);
+            opt.step(a.params_mut());
+        }
+        let trained = a.forward(&x, false);
+        assert_ne!(before, trained);
+
+        // …and restoring brings the original outputs back exactly.
+        snapshot.restore(&mut a);
+        let restored = a.forward(&x, false);
+        assert_eq!(before, restored);
+    }
+
+    #[test]
+    fn restore_into_fresh_instance_transfers_the_model() {
+        let mut a = net();
+        let mut rng = seeded(5);
+        let x = apots_tensor::Tensor::randn(&[3, 4], 0.0, 1.0, &mut rng);
+        let expected = a.forward(&x, false);
+
+        let mut b = {
+            let mut rng = seeded(999); // different init
+            Sequential::new()
+                .push(Dense::new(4, 8, &mut rng))
+                .push(Relu::new())
+                .push(Dense::new(8, 2, &mut rng))
+                .push(Sigmoid::new())
+        };
+        assert_ne!(b.forward(&x, false), expected);
+        StateDict::capture(&mut a).restore(&mut b);
+        assert_eq!(b.forward(&x, false), expected);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut a = net();
+        let snapshot = StateDict::capture(&mut a);
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let back: StateDict = serde_json::from_str(&json).unwrap();
+        assert_eq!(snapshot, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter count mismatch")]
+    fn restore_rejects_wrong_architecture() {
+        let mut a = net();
+        let mut rng = seeded(6);
+        let mut small = Sequential::new().push(Dense::new(4, 2, &mut rng));
+        StateDict::capture(&mut a).restore(&mut small);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn restore_rejects_wrong_shapes() {
+        let mut rng = seeded(7);
+        let mut a = Sequential::new().push(Dense::new(4, 8, &mut rng));
+        let mut b = Sequential::new().push(Dense::new(8, 4, &mut rng));
+        StateDict::capture(&mut a).restore(&mut b);
+    }
+}

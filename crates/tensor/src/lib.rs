@@ -1,0 +1,25 @@
+//! # apots-tensor
+//!
+//! A small, dependency-free (beyond `rand`) n-dimensional `f32` tensor used as
+//! the numerical substrate for the APOTS reproduction. It provides exactly
+//! what the hand-written neural-network layers and the statistical baselines
+//! need: contiguous row-major storage, 2-D matrix products (including the
+//! transposed variants required by backpropagation), element-wise algebra,
+//! axis reductions, and a Cholesky-based ridge-regression solver.
+//!
+//! Design notes:
+//! * storage is always a contiguous `Vec<f32>` in row-major order, so layers
+//!   that need exotic access patterns (im2col, BPTT) can work on raw slices;
+//! * shape mismatches are programming errors and panic with a descriptive
+//!   message, mirroring the behaviour of mainstream array libraries;
+//! * all randomness is funnelled through caller-provided [`rand::Rng`]
+//!   instances so experiments are reproducible end-to-end.
+
+pub mod linalg;
+pub mod rng;
+mod tensor;
+
+pub use tensor::Tensor;
+
+/// Convenience alias used across the workspace for seeded RNGs.
+pub type SeededRng = ::rand::rngs::StdRng;

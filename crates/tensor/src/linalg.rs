@@ -1,0 +1,289 @@
+//! Dense linear-algebra routines backing the Prophet-like baseline.
+//!
+//! The baseline fits an additive regression model by ridge least squares,
+//! which reduces to solving the symmetric positive-definite normal equations
+//! `(XᵀX + λI) β = Xᵀy`. We implement a straightforward Cholesky
+//! factorisation with forward/backward substitution — ample for the design
+//! matrices involved (a few dozen columns).
+
+use crate::Tensor;
+
+/// Errors produced by the linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The input matrix was not square.
+    NotSquare {
+        /// Observed number of rows.
+        rows: usize,
+        /// Observed number of columns.
+        cols: usize,
+    },
+    /// The matrix was not positive definite (a non-positive pivot appeared).
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        pivot: usize,
+    },
+    /// Dimension mismatch between a matrix and a right-hand side.
+    DimensionMismatch {
+        /// Human-readable description of the mismatch.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square: {rows}x{cols}")
+            }
+            Self::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            Self::DimensionMismatch { what } => write!(f, "dimension mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Lower-triangular Cholesky factor `L` with `A = L·Lᵀ`.
+///
+/// `a` must be square, symmetric and positive definite; only the lower
+/// triangle of `a` is read.
+pub fn cholesky(a: &Tensor) -> Result<Tensor, LinalgError> {
+    if a.rank() != 2 || a.shape()[0] != a.shape()[1] {
+        return Err(LinalgError::NotSquare {
+            rows: a.shape().first().copied().unwrap_or(0),
+            cols: a.shape().get(1).copied().unwrap_or(0),
+        });
+    }
+    let n = a.shape()[0];
+    let mut l = vec![0.0f64; n * n];
+    let ad = a.data();
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = f64::from(ad[i * n + j]);
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    Ok(Tensor::new(
+        vec![n, n],
+        l.into_iter().map(|v| v as f32).collect(),
+    ))
+}
+
+/// Solves `A·x = b` for SPD `A` via Cholesky; `b` is a rank-1 tensor.
+pub fn cholesky_solve(a: &Tensor, b: &Tensor) -> Result<Tensor, LinalgError> {
+    let l = cholesky(a)?;
+    let n = l.shape()[0];
+    if b.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            what: "rhs length does not match matrix size",
+        });
+    }
+    let ld = l.data();
+    // forward substitution: L·y = b
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut sum = f64::from(b.data()[i]);
+        for k in 0..i {
+            sum -= f64::from(ld[i * n + k]) * y[k];
+        }
+        y[i] = sum / f64::from(ld[i * n + i]);
+    }
+    // backward substitution: Lᵀ·x = y
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= f64::from(ld[k * n + i]) * x[k];
+        }
+        x[i] = sum / f64::from(ld[i * n + i]);
+    }
+    Ok(Tensor::from_vec(x.into_iter().map(|v| v as f32).collect()))
+}
+
+/// Ridge regression with a per-coefficient penalty: returns `β` minimising
+/// `‖X·β − y‖² + Σᵢ λᵢ βᵢ²`.
+///
+/// Lets callers shrink some coefficient groups (e.g. trend changepoints)
+/// harder than others, mirroring per-block Gaussian priors.
+pub fn ridge_regression_weighted(
+    x: &Tensor,
+    y: &Tensor,
+    lambdas: &[f32],
+) -> Result<Tensor, LinalgError> {
+    if x.rank() != 2 {
+        return Err(LinalgError::DimensionMismatch {
+            what: "design matrix must be rank-2",
+        });
+    }
+    if y.len() != x.shape()[0] {
+        return Err(LinalgError::DimensionMismatch {
+            what: "target length does not match sample count",
+        });
+    }
+    if lambdas.len() != x.shape()[1] {
+        return Err(LinalgError::DimensionMismatch {
+            what: "penalty count does not match feature count",
+        });
+    }
+    assert!(
+        lambdas.iter().all(|&l| l > 0.0),
+        "ridge_regression_weighted: all penalties must be positive"
+    );
+    let mut gram = x.matmul_at_b(x);
+    for (i, &l) in lambdas.iter().enumerate() {
+        let v = gram.at2(i, i) + l;
+        gram.set2(i, i, v);
+    }
+    let y2 = y.reshape(&[y.len(), 1]);
+    let xty = x.matmul_at_b(&y2);
+    cholesky_solve(&gram, &Tensor::from_vec(xty.data().to_vec()))
+}
+
+/// Ridge regression: returns `β` minimising `‖X·β − y‖² + λ‖β‖²`.
+///
+/// `x` is the `[n_samples, n_features]` design matrix, `y` a rank-1 target.
+/// `lambda` must be positive to guarantee positive-definiteness.
+pub fn ridge_regression(x: &Tensor, y: &Tensor, lambda: f32) -> Result<Tensor, LinalgError> {
+    if x.rank() != 2 {
+        return Err(LinalgError::DimensionMismatch {
+            what: "design matrix must be rank-2",
+        });
+    }
+    if y.len() != x.shape()[0] {
+        return Err(LinalgError::DimensionMismatch {
+            what: "target length does not match sample count",
+        });
+    }
+    assert!(lambda > 0.0, "ridge_regression: lambda must be positive");
+    let mut gram = x.matmul_at_b(x); // XᵀX, [p, p]
+    let p = gram.shape()[0];
+    for i in 0..p {
+        let v = gram.at2(i, i) + lambda;
+        gram.set2(i, i, v);
+    }
+    let y2 = y.reshape(&[y.len(), 1]);
+    let xty = x.matmul_at_b(&y2); // Xᵀy, [p, 1]
+    cholesky_solve(&gram, &Tensor::from_vec(xty.data().to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn cholesky_known_factor() {
+        // A = [[4, 2], [2, 3]] => L = [[2, 0], [1, sqrt(2)]]
+        let a = Tensor::new(vec![2, 2], vec![4.0, 2.0, 2.0, 3.0]);
+        let l = cholesky(&a).unwrap();
+        assert!((l.at2(0, 0) - 2.0).abs() < 1e-6);
+        assert!((l.at2(1, 0) - 1.0).abs() < 1e-6);
+        assert!((l.at2(1, 1) - 2.0f32.sqrt()).abs() < 1e-6);
+        assert_eq!(l.at2(0, 1), 0.0);
+    }
+
+    #[test]
+    fn cholesky_rejects_non_spd() {
+        let a = Tensor::new(vec![2, 2], vec![1.0, 2.0, 2.0, 1.0]); // indefinite
+        assert!(matches!(
+            cholesky(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn cholesky_rejects_non_square() {
+        let a = Tensor::zeros(&[2, 3]);
+        assert!(matches!(cholesky(&a), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = Tensor::new(vec![2, 2], vec![4.0, 2.0, 2.0, 3.0]);
+        let x_true = Tensor::from_vec(vec![1.0, -2.0]);
+        let b = Tensor::from_vec(vec![
+            4.0 * 1.0 + 2.0 * -2.0, // 0
+            2.0 * 1.0 + 3.0 * -2.0, // -4
+        ]);
+        let x = cholesky_solve(&a, &b).unwrap();
+        for (got, want) in x.data().iter().zip(x_true.data()) {
+            assert!((got - want).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn solve_rejects_bad_rhs() {
+        let a = Tensor::new(vec![2, 2], vec![4.0, 2.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0]);
+        assert!(matches!(
+            cholesky_solve(&a, &b),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn ridge_recovers_linear_model() {
+        // y = 3*x0 - 2*x1 with tiny regularisation; exact recovery expected.
+        let mut rng = seeded(11);
+        let n = 200;
+        let x = Tensor::rand_uniform(&[n, 2], -1.0, 1.0, &mut rng);
+        let y = Tensor::from_vec(
+            (0..n)
+                .map(|i| 3.0 * x.at2(i, 0) - 2.0 * x.at2(i, 1))
+                .collect(),
+        );
+        let beta = ridge_regression(&x, &y, 1e-6).unwrap();
+        assert!((beta.data()[0] - 3.0).abs() < 1e-2, "{:?}", beta.data());
+        assert!((beta.data()[1] + 2.0).abs() < 1e-2, "{:?}", beta.data());
+    }
+
+    #[test]
+    fn weighted_ridge_shrinks_only_penalised_columns() {
+        let mut rng = seeded(13);
+        let n = 300;
+        let x = Tensor::rand_uniform(&[n, 2], -1.0, 1.0, &mut rng);
+        let y = Tensor::from_vec(
+            (0..n)
+                .map(|i| 2.0 * x.at2(i, 0) + 2.0 * x.at2(i, 1))
+                .collect(),
+        );
+        let beta = ridge_regression_weighted(&x, &y, &[1e-6, 500.0]).unwrap();
+        assert!((beta.data()[0] - 2.0).abs() < 0.4, "{:?}", beta.data());
+        assert!(beta.data()[1] < 1.0, "{:?}", beta.data());
+    }
+
+    #[test]
+    fn weighted_ridge_rejects_bad_penalty_count() {
+        let x = Tensor::zeros(&[3, 2]);
+        let y = Tensor::zeros(&[3]);
+        assert!(matches!(
+            ridge_regression_weighted(&x, &y, &[1.0]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero() {
+        let mut rng = seeded(12);
+        let n = 100;
+        let x = Tensor::rand_uniform(&[n, 1], -1.0, 1.0, &mut rng);
+        let y = Tensor::from_vec((0..n).map(|i| 5.0 * x.at2(i, 0)).collect());
+        let loose = ridge_regression(&x, &y, 1e-6).unwrap().data()[0];
+        let tight = ridge_regression(&x, &y, 100.0).unwrap().data()[0];
+        assert!(tight.abs() < loose.abs());
+        assert!(tight > 0.0, "sign must be preserved by shrinkage");
+    }
+}

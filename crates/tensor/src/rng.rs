@@ -1,0 +1,98 @@
+//! Seeded randomness helpers shared by the whole workspace.
+//!
+//! `rand` 0.10 no longer bundles a Gaussian distribution, so we provide a
+//! Box–Muller implementation here; every stochastic component of the
+//! reproduction (weight init, simulator noise, dataset shuffling) goes
+//! through a caller-supplied RNG created by [`seeded`].
+
+use rand::{Rng, RngExt, SeedableRng};
+
+use crate::SeededRng;
+
+/// Creates a deterministic [`SeededRng`] from a `u64` seed.
+pub fn seeded(seed: u64) -> SeededRng {
+    SeededRng::seed_from_u64(seed)
+}
+
+/// Draws one sample from `N(mean, std²)` via the Box–Muller transform.
+///
+/// `std` may be zero (returns `mean` exactly). Negative `std` is a
+/// programming error and panics.
+pub fn normal<R: Rng>(rng: &mut R, mean: f32, std: f32) -> f32 {
+    assert!(std >= 0.0, "normal(): std must be non-negative, got {std}");
+    if std == 0.0 {
+        return mean;
+    }
+    // Box–Muller: u1 must be strictly positive for the log.
+    let mut u1: f32 = rng.random();
+    while u1 <= f32::MIN_POSITIVE {
+        u1 = rng.random();
+    }
+    let u2: f32 = rng.random();
+    let mag = (-2.0 * u1.ln()).sqrt();
+    mean + std * mag * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Fisher–Yates shuffle of indices `0..n`, used for epoch shuffling.
+pub fn shuffled_indices<R: Rng>(n: usize, rng: &mut R) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(123);
+        let mut b = seeded(123);
+        for _ in 0..32 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn normal_matches_moments() {
+        let mut rng = seeded(77);
+        let n = 50_000;
+        let samples: Vec<f32> = (0..n).map(|_| normal(&mut rng, 2.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn normal_zero_std_is_constant() {
+        let mut rng = seeded(1);
+        assert_eq!(normal(&mut rng, 5.0, 0.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-negative")]
+    fn normal_rejects_negative_std() {
+        let mut rng = seeded(1);
+        let _ = normal(&mut rng, 0.0, -1.0);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = seeded(5);
+        let idx = shuffled_indices(100, &mut rng);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_handles_degenerate_sizes() {
+        let mut rng = seeded(5);
+        assert!(shuffled_indices(0, &mut rng).is_empty());
+        assert_eq!(shuffled_indices(1, &mut rng), vec![0]);
+    }
+}

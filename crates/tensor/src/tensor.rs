@@ -1,0 +1,753 @@
+use rand::{Rng, RngExt};
+
+use crate::rng::normal;
+
+/// A dense, row-major, n-dimensional `f32` tensor.
+///
+/// The tensor owns its storage and is always contiguous. Most of the
+/// workspace uses rank-1 (vectors), rank-2 (matrices, `[rows, cols]`) and
+/// rank-4 (conv feature maps, `[batch, channels, height, width]`) tensors.
+/// Tensors serialize as `{shape, data}` (used by the model checkpoint
+/// format of `apots-nn`).
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from an explicit shape and backing data.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not equal the product of `shape`.
+    pub fn new(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        let expected: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            expected,
+            "tensor data length {} does not match shape {:?} (expected {})",
+            data.len(),
+            shape,
+            expected
+        );
+        Self { shape, data }
+    }
+
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let len = shape.iter().product();
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let len = shape.iter().product();
+        Self {
+            shape: shape.to_vec(),
+            data: vec![value; len],
+        }
+    }
+
+    /// Creates a rank-1 tensor from a vector.
+    pub fn from_vec(data: Vec<f32>) -> Self {
+        Self {
+            shape: vec![data.len()],
+            data,
+        }
+    }
+
+    /// Creates a rank-2 tensor from rows.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                ncols,
+                "row {i} has length {} but expected {ncols}",
+                row.len()
+            );
+            data.extend_from_slice(row);
+        }
+        Self {
+            shape: vec![nrows, ncols],
+            data,
+        }
+    }
+
+    /// Uniform random tensor over `[lo, hi)`.
+    pub fn rand_uniform<R: Rng>(shape: &[usize], lo: f32, hi: f32, rng: &mut R) -> Self {
+        let len: usize = shape.iter().product();
+        let data = (0..len).map(|_| rng.random_range(lo..hi)).collect();
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Gaussian random tensor (Box–Muller, see [`crate::rng::normal`]).
+    pub fn randn<R: Rng>(shape: &[usize], mean: f32, std: f32, rng: &mut R) -> Self {
+        let len: usize = shape.iter().product();
+        let data = (0..len).map(|_| normal(rng, mean, std)).collect();
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable access to the backing storage (row-major).
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the backing storage (row-major).
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the backing storage.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Number of rows of a rank-2 tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not rank-2.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        assert_eq!(self.rank(), 2, "rows() requires rank-2, got {:?}", self.shape);
+        self.shape[0]
+    }
+
+    /// Number of columns of a rank-2 tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not rank-2.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        assert_eq!(self.rank(), 2, "cols() requires rank-2, got {:?}", self.shape);
+        self.shape[1]
+    }
+
+    /// Element of a rank-2 tensor at `(i, j)`.
+    #[inline]
+    pub fn at2(&self, i: usize, j: usize) -> f32 {
+        debug_assert_eq!(self.rank(), 2);
+        self.data[i * self.shape[1] + j]
+    }
+
+    /// Sets element of a rank-2 tensor at `(i, j)`.
+    #[inline]
+    pub fn set2(&mut self, i: usize, j: usize, v: f32) {
+        debug_assert_eq!(self.rank(), 2);
+        self.data[i * self.shape[1] + j] = v;
+    }
+
+    /// Immutable view of row `i` of a rank-2 tensor.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        debug_assert_eq!(self.rank(), 2);
+        let c = self.shape[1];
+        &self.data[i * c..(i + 1) * c]
+    }
+
+    /// Mutable view of row `i` of a rank-2 tensor.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        debug_assert_eq!(self.rank(), 2);
+        let c = self.shape[1];
+        &mut self.data[i * c..(i + 1) * c]
+    }
+
+    /// Returns a tensor with the same data but a different shape.
+    ///
+    /// # Panics
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Self {
+        let expected: usize = shape.iter().product();
+        assert_eq!(
+            self.data.len(),
+            expected,
+            "cannot reshape {:?} ({} elems) into {:?} ({} elems)",
+            self.shape,
+            self.data.len(),
+            shape,
+            expected
+        );
+        Self {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        }
+    }
+
+    /// In-place reshape, avoiding the clone of [`Tensor::reshape`].
+    pub fn reshape_in_place(&mut self, shape: &[usize]) {
+        let expected: usize = shape.iter().product();
+        assert_eq!(self.data.len(), expected, "cannot reshape in place");
+        self.shape = shape.to_vec();
+    }
+
+    // ----- element-wise algebra -------------------------------------------
+
+    fn assert_same_shape(&self, other: &Self, op: &str) {
+        assert_eq!(
+            self.shape, other.shape,
+            "{op}: shape mismatch {:?} vs {:?}",
+            self.shape, other.shape
+        );
+    }
+
+    /// Element-wise sum, producing a new tensor.
+    pub fn add(&self, other: &Self) -> Self {
+        self.assert_same_shape(other, "add");
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference, producing a new tensor.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.assert_same_shape(other, "sub");
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product, producing a new tensor.
+    pub fn mul(&self, other: &Self) -> Self {
+        self.assert_same_shape(other, "mul");
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// In-place element-wise sum.
+    pub fn add_assign_t(&mut self, other: &Self) {
+        self.assert_same_shape(other, "add_assign_t");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// In-place element-wise difference.
+    pub fn sub_assign_t(&mut self, other: &Self) {
+        self.assert_same_shape(other, "sub_assign_t");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a -= b;
+        }
+    }
+
+    /// In-place `self += alpha * other`, the axpy kernel used by optimizers.
+    pub fn axpy(&mut self, alpha: f32, other: &Self) {
+        self.assert_same_shape(other, "axpy");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every element by `alpha`, producing a new tensor.
+    pub fn scale(&self, alpha: f32) -> Self {
+        self.map(|v| v * alpha)
+    }
+
+    /// In-place multiplication of every element by `alpha`.
+    pub fn scale_in_place(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Adds `alpha` to every element, producing a new tensor.
+    pub fn add_scalar(&self, alpha: f32) -> Self {
+        self.map(|v| v + alpha)
+    }
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map<F: FnMut(f32) -> f32>(&self, mut f: F) -> Self {
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_in_place<F: FnMut(f32) -> f32>(&mut self, mut f: F) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Combines two same-shaped tensors element-wise with `f`.
+    pub fn zip_with<F: FnMut(f32, f32) -> f32>(&self, other: &Self, mut f: F) -> Self {
+        self.assert_same_shape(other, "zip_with");
+        Self {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Fills the tensor with zeros without reallocating.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    // ----- reductions ------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (−∞ for empty tensors).
+    pub fn max_val(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (+∞ for empty tensors).
+    pub fn min_val(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Squared Frobenius/L2 norm.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Column sums of a rank-2 tensor (a length-`cols` rank-1 tensor).
+    ///
+    /// This is the reduction used for bias gradients.
+    pub fn sum_axis0(&self) -> Self {
+        assert_eq!(self.rank(), 2, "sum_axis0 requires rank-2");
+        let (r, c) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; c];
+        for i in 0..r {
+            let row = &self.data[i * c..(i + 1) * c];
+            for (o, v) in out.iter_mut().zip(row.iter()) {
+                *o += v;
+            }
+        }
+        Self::from_vec(out)
+    }
+
+    /// Row sums of a rank-2 tensor (a length-`rows` rank-1 tensor).
+    pub fn sum_axis1(&self) -> Self {
+        assert_eq!(self.rank(), 2, "sum_axis1 requires rank-2");
+        let c = self.shape[1];
+        let out = self
+            .data
+            .chunks_exact(c)
+            .map(|row| row.iter().sum())
+            .collect();
+        Self::from_vec(out)
+    }
+
+    // ----- 2-D linear algebra ---------------------------------------------
+
+    /// Transpose of a rank-2 tensor.
+    pub fn transpose2(&self) -> Self {
+        assert_eq!(self.rank(), 2, "transpose2 requires rank-2");
+        let (r, c) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Self {
+            shape: vec![c, r],
+            data: out,
+        }
+    }
+
+    /// Matrix product `self · other` of two rank-2 tensors.
+    ///
+    /// Uses the cache-friendly i-k-j loop ordering.
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(self.rank(), 2, "matmul lhs must be rank-2");
+        assert_eq!(other.rank(), 2, "matmul rhs must be rank-2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(
+            k, k2,
+            "matmul dimension mismatch: [{m}, {k}] · [{k2}, {n}]"
+        );
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Self {
+            shape: vec![m, n],
+            data: out,
+        }
+    }
+
+    /// `selfᵀ · other` without materialising the transpose.
+    ///
+    /// For `self: [k, m]` and `other: [k, n]` returns `[m, n]`. This is the
+    /// kernel behind weight gradients (`xᵀ · dy`).
+    pub fn matmul_at_b(&self, other: &Self) -> Self {
+        assert_eq!(self.rank(), 2, "matmul_at_b lhs must be rank-2");
+        assert_eq!(other.rank(), 2, "matmul_at_b rhs must be rank-2");
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(
+            k, k2,
+            "matmul_at_b dimension mismatch: [{k}, {m}]ᵀ · [{k2}, {n}]"
+        );
+        let mut out = vec![0.0f32; m * n];
+        for kk in 0..k {
+            let a_row = &self.data[kk * m..(kk + 1) * m];
+            let b_row = &other.data[kk * n..(kk + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let o_row = &mut out[i * n..(i + 1) * n];
+                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Self {
+            shape: vec![m, n],
+            data: out,
+        }
+    }
+
+    /// `self · otherᵀ` without materialising the transpose.
+    ///
+    /// For `self: [m, k]` and `other: [n, k]` returns `[m, n]`. This is the
+    /// kernel behind input gradients (`dy · wᵀ`).
+    pub fn matmul_a_bt(&self, other: &Self) -> Self {
+        assert_eq!(self.rank(), 2, "matmul_a_bt lhs must be rank-2");
+        assert_eq!(other.rank(), 2, "matmul_a_bt rhs must be rank-2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
+        assert_eq!(
+            k, k2,
+            "matmul_a_bt dimension mismatch: [{m}, {k}] · [{n}, {k2}]ᵀ"
+        );
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (j, o) in o_row.iter_mut().enumerate() {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        Self {
+            shape: vec![m, n],
+            data: out,
+        }
+    }
+
+    /// Adds a rank-1 bias to every row of a rank-2 tensor, in place.
+    pub fn add_row_broadcast(&mut self, bias: &Self) {
+        assert_eq!(self.rank(), 2, "add_row_broadcast target must be rank-2");
+        assert_eq!(
+            bias.len(),
+            self.shape[1],
+            "bias length {} does not match column count {}",
+            bias.len(),
+            self.shape[1]
+        );
+        let c = self.shape[1];
+        for row in self.data.chunks_exact_mut(c) {
+            for (v, b) in row.iter_mut().zip(bias.data.iter()) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Horizontally concatenates rank-2 tensors with equal row counts.
+    pub fn concat_cols(parts: &[&Self]) -> Self {
+        assert!(!parts.is_empty(), "concat_cols needs at least one tensor");
+        let rows = parts[0].rows();
+        for p in parts {
+            assert_eq!(p.rows(), rows, "concat_cols row count mismatch");
+        }
+        let total_cols: usize = parts.iter().map(|p| p.cols()).sum();
+        let mut data = Vec::with_capacity(rows * total_cols);
+        for i in 0..rows {
+            for p in parts {
+                data.extend_from_slice(p.row(i));
+            }
+        }
+        Self {
+            shape: vec![rows, total_cols],
+            data,
+        }
+    }
+
+    /// Extracts columns `[start, start + width)` of a rank-2 tensor.
+    pub fn slice_cols(&self, start: usize, width: usize) -> Self {
+        assert_eq!(self.rank(), 2, "slice_cols requires rank-2");
+        let (r, c) = (self.shape[0], self.shape[1]);
+        assert!(
+            start + width <= c,
+            "slice_cols [{start}, {}) out of bounds for {c} columns",
+            start + width
+        );
+        let mut data = Vec::with_capacity(r * width);
+        for i in 0..r {
+            data.extend_from_slice(&self.data[i * c + start..i * c + start + width]);
+        }
+        Self {
+            shape: vec![r, width],
+            data,
+        }
+    }
+
+    /// Extracts rows `[start, start + count)` of a rank-2 tensor.
+    pub fn slice_rows(&self, start: usize, count: usize) -> Self {
+        assert_eq!(self.rank(), 2, "slice_rows requires rank-2");
+        let (r, c) = (self.shape[0], self.shape[1]);
+        assert!(
+            start + count <= r,
+            "slice_rows [{start}, {}) out of bounds for {r} rows",
+            start + count
+        );
+        Self {
+            shape: vec![count, c],
+            data: self.data[start * c..(start + count) * c].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn t2(rows: &[&[f32]]) -> Tensor {
+        Tensor::from_rows(&rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.rank(), 2);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn new_rejects_bad_length() {
+        let _ = Tensor::new(vec![2, 2], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn from_rows_layout() {
+        let t = t2(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(t.at2(0, 1), 2.0);
+        assert_eq!(t.at2(1, 0), 3.0);
+        assert_eq!(t.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row 1 has length")]
+    fn from_rows_rejects_ragged() {
+        let _ = Tensor::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = t2(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = t2(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        assert_eq!(a.add(&b).data(), &[6.0, 8.0, 10.0, 12.0]);
+        assert_eq!(b.sub(&a).data(), &[4.0, 4.0, 4.0, 4.0]);
+        assert_eq!(a.mul(&b).data(), &[5.0, 12.0, 21.0, 32.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(a.add_scalar(1.0).data(), &[2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn in_place_ops() {
+        let mut a = t2(&[&[1.0, 2.0]]);
+        let b = t2(&[&[10.0, 20.0]]);
+        a.add_assign_t(&b);
+        assert_eq!(a.data(), &[11.0, 22.0]);
+        a.sub_assign_t(&b);
+        assert_eq!(a.data(), &[1.0, 2.0]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[6.0, 12.0]);
+        a.scale_in_place(2.0);
+        assert_eq!(a.data(), &[12.0, 24.0]);
+        a.fill_zero();
+        assert_eq!(a.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = t2(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.max_val(), 4.0);
+        assert_eq!(a.min_val(), 1.0);
+        assert_eq!(a.norm_sq(), 30.0);
+        assert_eq!(a.sum_axis0().data(), &[4.0, 6.0]);
+        assert_eq!(a.sum_axis1().data(), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = t2(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = t2(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = t2(&[&[1.0, 0.0, 2.0]]); // 1x3
+        let b = t2(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]); // 3x2
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[1, 2]);
+        assert_eq!(c.data(), &[11.0, 14.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_rejects_mismatch() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transposed_matmuls_agree_with_naive() {
+        let mut rng = crate::SeededRng::seed_from_u64(42);
+        let a = Tensor::rand_uniform(&[4, 3], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[4, 5], -1.0, 1.0, &mut rng);
+        let expect = a.transpose2().matmul(&b);
+        let got = a.matmul_at_b(&b);
+        for (x, y) in expect.data().iter().zip(got.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+
+        let c = Tensor::rand_uniform(&[4, 3], -1.0, 1.0, &mut rng);
+        let d = Tensor::rand_uniform(&[5, 3], -1.0, 1.0, &mut rng);
+        let expect = c.matmul(&d.transpose2());
+        let got = c.matmul_a_bt(&d);
+        for (x, y) in expect.data().iter().zip(got.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = t2(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose2().transpose2(), a);
+        assert_eq!(a.transpose2().shape(), &[3, 2]);
+        assert_eq!(a.transpose2().at2(2, 1), 6.0);
+    }
+
+    #[test]
+    fn broadcast_bias() {
+        let mut a = t2(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor::from_vec(vec![10.0, 20.0]);
+        a.add_row_broadcast(&b);
+        assert_eq!(a.data(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn concat_and_slice() {
+        let a = t2(&[&[1.0], &[2.0]]);
+        let b = t2(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let c = Tensor::concat_cols(&[&a, &b]);
+        assert_eq!(c.shape(), &[2, 3]);
+        assert_eq!(c.data(), &[1.0, 3.0, 4.0, 2.0, 5.0, 6.0]);
+        assert_eq!(c.slice_cols(1, 2), b);
+        assert_eq!(c.slice_rows(1, 1).data(), &[2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = t2(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = a.reshape(&[4]);
+        assert_eq!(b.shape(), &[4]);
+        assert_eq!(b.data(), a.data());
+        let mut c = a.clone();
+        c.reshape_in_place(&[1, 4]);
+        assert_eq!(c.shape(), &[1, 4]);
+    }
+
+    #[test]
+    fn random_tensors_respect_bounds_and_seed() {
+        let mut rng = crate::SeededRng::seed_from_u64(7);
+        let u = Tensor::rand_uniform(&[100], -0.5, 0.5, &mut rng);
+        assert!(u.data().iter().all(|&v| (-0.5..0.5).contains(&v)));
+
+        let mut rng_a = crate::SeededRng::seed_from_u64(9);
+        let mut rng_b = crate::SeededRng::seed_from_u64(9);
+        let a = Tensor::randn(&[16], 0.0, 1.0, &mut rng_a);
+        let b = Tensor::randn(&[16], 0.0, 1.0, &mut rng_b);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,202 @@
+//! The simulation calendar: 122 days starting Sunday 2018-07-01, with the
+//! seven Korean public holidays that fall in July–October 2018 (the paper
+//! notes its dataset "contains a small number of holidays (only 7 days)").
+
+use crate::INTERVALS_PER_DAY;
+
+/// Day classification used for the paper's 4-flag day-type encoding.
+///
+/// The flags are *multi-hot*: the paper's example encodes a weekday that is
+/// also the day before a holiday as `[1, 0, 1, 0]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DayType {
+    /// Monday–Friday and not a public holiday.
+    pub weekday: bool,
+    /// Public holiday.
+    pub holiday: bool,
+    /// The day immediately before a public holiday.
+    pub day_before_holiday: bool,
+    /// The day immediately after a public holiday.
+    pub day_after_holiday: bool,
+}
+
+impl DayType {
+    /// The 4-dim multi-hot encoding `[weekday, holiday, before, after]`.
+    pub fn encode(&self) -> [f32; 4] {
+        [
+            f32::from(u8::from(self.weekday)),
+            f32::from(u8::from(self.holiday)),
+            f32::from(u8::from(self.day_before_holiday)),
+            f32::from(u8::from(self.day_after_holiday)),
+        ]
+    }
+}
+
+/// Calendar for a simulation period of consecutive days.
+#[derive(Debug, Clone)]
+pub struct Calendar {
+    days: usize,
+    /// Weekday of day 0 (0 = Monday … 6 = Sunday).
+    start_weekday: usize,
+    holidays: Vec<usize>,
+}
+
+impl Calendar {
+    /// The paper's period: 122 days from Sunday 2018-07-01, with the seven
+    /// Korean public holidays of that window (Liberation Day Aug 15,
+    /// Chuseok Sep 23–25 + substitute holiday Sep 26, National Foundation
+    /// Day Oct 3, Hangul Day Oct 9).
+    pub fn paper_period() -> Self {
+        Self::new(122, 6, vec![45, 84, 85, 86, 87, 94, 100])
+    }
+
+    /// Creates a calendar.
+    ///
+    /// # Panics
+    /// Panics if a holiday index falls outside the period or
+    /// `start_weekday > 6`.
+    pub fn new(days: usize, start_weekday: usize, mut holidays: Vec<usize>) -> Self {
+        assert!(days > 0, "Calendar: zero-length period");
+        assert!(start_weekday < 7, "Calendar: weekday must be 0..=6");
+        holidays.sort_unstable();
+        holidays.dedup();
+        if let Some(&last) = holidays.last() {
+            assert!(last < days, "Calendar: holiday {last} outside period of {days} days");
+        }
+        Self {
+            days,
+            start_weekday,
+            holidays,
+        }
+    }
+
+    /// Number of days in the period.
+    pub fn days(&self) -> usize {
+        self.days
+    }
+
+    /// Total number of 5-minute intervals in the period.
+    pub fn intervals(&self) -> usize {
+        self.days * INTERVALS_PER_DAY
+    }
+
+    /// Weekday of `day` (0 = Monday … 6 = Sunday).
+    pub fn weekday(&self, day: usize) -> usize {
+        assert!(day < self.days, "Calendar: day {day} out of range");
+        (self.start_weekday + day) % 7
+    }
+
+    /// Whether `day` is a Saturday or Sunday.
+    pub fn is_weekend(&self, day: usize) -> bool {
+        self.weekday(day) >= 5
+    }
+
+    /// Whether `day` is a public holiday.
+    pub fn is_holiday(&self, day: usize) -> bool {
+        self.holidays.binary_search(&day).is_ok()
+    }
+
+    /// The public holidays of the period (sorted day indices).
+    pub fn holidays(&self) -> &[usize] {
+        &self.holidays
+    }
+
+    /// The paper's day-type flags for `day`.
+    pub fn day_type(&self, day: usize) -> DayType {
+        let holiday = self.is_holiday(day);
+        DayType {
+            weekday: !self.is_weekend(day) && !holiday,
+            holiday,
+            day_before_holiday: day + 1 < self.days && self.is_holiday(day + 1),
+            day_after_holiday: day > 0 && self.is_holiday(day - 1),
+        }
+    }
+
+    /// Day index containing interval `t`.
+    pub fn day_of(&self, t: usize) -> usize {
+        assert!(t < self.intervals(), "Calendar: interval {t} out of range");
+        t / INTERVALS_PER_DAY
+    }
+
+    /// Hour of day (0–23) of interval `t`.
+    pub fn hour_of(&self, t: usize) -> usize {
+        (t % INTERVALS_PER_DAY) / 12
+    }
+
+    /// Minute within the day (0–1435, multiples of 5) of interval `t`.
+    pub fn minute_of_day(&self, t: usize) -> usize {
+        (t % INTERVALS_PER_DAY) * 5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_period_has_seven_holidays() {
+        let c = Calendar::paper_period();
+        assert_eq!(c.days(), 122);
+        assert_eq!(c.holidays().len(), 7);
+        assert_eq!(c.intervals(), 122 * 288);
+    }
+
+    #[test]
+    fn weekday_cycle_starts_sunday() {
+        let c = Calendar::paper_period();
+        assert_eq!(c.weekday(0), 6); // 2018-07-01 was a Sunday
+        assert_eq!(c.weekday(1), 0); // Monday
+        assert!(c.is_weekend(0));
+        assert!(!c.is_weekend(1));
+        assert!(c.is_weekend(6)); // following Saturday
+    }
+
+    #[test]
+    fn liberation_day_is_wednesday() {
+        // Aug 15 2018 (day 45) fell on a Wednesday.
+        let c = Calendar::paper_period();
+        assert!(c.is_holiday(45));
+        assert_eq!(c.weekday(45), 2);
+    }
+
+    #[test]
+    fn day_type_flags() {
+        let c = Calendar::paper_period();
+        // Day 44 (Tue Aug 14): weekday, day before holiday.
+        let dt = c.day_type(44);
+        assert_eq!(dt.encode(), [1.0, 0.0, 1.0, 0.0]);
+        // Day 45 (holiday itself).
+        let dt = c.day_type(45);
+        assert!(dt.holiday && !dt.weekday);
+        // Day 46 (Thu Aug 16): weekday, day after holiday.
+        let dt = c.day_type(46);
+        assert_eq!(dt.encode(), [1.0, 0.0, 0.0, 1.0]);
+        // Chuseok run: day 85 is both a holiday and adjacent to holidays.
+        let dt = c.day_type(85);
+        assert!(dt.holiday && dt.day_before_holiday && dt.day_after_holiday);
+    }
+
+    #[test]
+    fn weekend_is_not_weekday_nor_holiday() {
+        let c = Calendar::paper_period();
+        let dt = c.day_type(0); // Sunday, not a public holiday
+        assert_eq!(dt.encode(), [0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn interval_helpers() {
+        let c = Calendar::paper_period();
+        assert_eq!(c.day_of(0), 0);
+        assert_eq!(c.day_of(288), 1);
+        assert_eq!(c.hour_of(0), 0);
+        assert_eq!(c.hour_of(12), 1);
+        assert_eq!(c.hour_of(287), 23);
+        assert_eq!(c.minute_of_day(7), 35);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside period")]
+    fn rejects_out_of_range_holiday() {
+        let _ = Calendar::new(10, 0, vec![10]);
+    }
+}

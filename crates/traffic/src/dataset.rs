@@ -1,0 +1,528 @@
+//! Sliding-window dataset construction, train/test splitting and
+//! normalization (§V-A of the paper).
+//!
+//! The paper slices its 122-day sequence into 35,350 stride-1 windows,
+//! randomly reserves 20% for testing and *discards training samples that
+//! overlap the test set*. With stride-1 windows a fully random split would
+//! leave almost no non-overlapping training samples, so — as is standard
+//! for leakage-safe time-series evaluation — we draw the test set as random
+//! whole-day blocks totalling the requested fraction and then discard every
+//! training sample whose window (including the extra history the
+//! adversarial sequence needs) touches a test block. This keeps both the
+//! split ratio and the overlap-discarding behaviour of the paper.
+
+use rand::{Rng, RngExt};
+
+use crate::features::{FeatureMask, SampleFeatures};
+use crate::sim::Corridor;
+use crate::INTERVALS_PER_DAY;
+
+/// Dataset construction parameters.
+#[derive(Debug, Clone)]
+pub struct DataConfig {
+    /// Input window length α (the paper uses 12 = one hour).
+    pub alpha: usize,
+    /// Prediction horizon β in intervals (the paper predicts `s_{t+β}`).
+    pub beta: usize,
+    /// Fraction of days reserved for testing.
+    pub test_fraction: f64,
+    /// Size of each test block, in days.
+    pub block_days: usize,
+    /// RNG seed for the split.
+    pub seed: u64,
+}
+
+impl Default for DataConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 12,
+            beta: 1,
+            test_fraction: 0.2,
+            block_days: 1,
+            seed: 13,
+        }
+    }
+}
+
+/// Min–max normalizer fitted on training data only.
+#[derive(Debug, Clone, Copy)]
+pub struct Normalizer {
+    min: f32,
+    max: f32,
+}
+
+impl Normalizer {
+    /// Fits the normalizer to `values` (ignores an empty input by
+    /// producing the identity range [0, 1]).
+    pub fn fit<'a>(values: impl Iterator<Item = &'a f32>) -> Self {
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if !min.is_finite() || !max.is_finite() || min == max {
+            return Self { min: 0.0, max: 1.0 };
+        }
+        Self { min, max }
+    }
+
+    /// Maps a raw value into `[0, 1]` (values outside the fitted range
+    /// extrapolate linearly).
+    pub fn normalize(&self, v: f32) -> f32 {
+        (v - self.min) / (self.max - self.min)
+    }
+
+    /// Inverse of [`Self::normalize`].
+    pub fn denormalize(&self, v: f32) -> f32 {
+        v * (self.max - self.min) + self.min
+    }
+
+    /// The fitted minimum.
+    pub fn min(&self) -> f32 {
+        self.min
+    }
+
+    /// The fitted maximum.
+    pub fn max(&self) -> f32 {
+        self.max
+    }
+}
+
+/// A corridor paired with windows, split and normalization — the object
+/// every trainer and experiment consumes.
+pub struct TrafficDataset {
+    corridor: Corridor,
+    config: DataConfig,
+    train: Vec<usize>,
+    test: Vec<usize>,
+    speed_norm: Normalizer,
+    temp_norm: Normalizer,
+    precip_norm: Normalizer,
+    volume_norm: Normalizer,
+}
+
+impl TrafficDataset {
+    /// Builds windows over `corridor`, splits train/test and fits
+    /// normalizers on the training portion.
+    pub fn new(corridor: Corridor, config: DataConfig) -> Self {
+        assert!(config.alpha >= 2, "DataConfig: alpha must be at least 2");
+        assert!(config.beta >= 1, "DataConfig: beta must be at least 1");
+        assert!(
+            (0.0..1.0).contains(&config.test_fraction),
+            "DataConfig: test fraction must be in [0, 1)"
+        );
+        assert!(config.block_days >= 1, "DataConfig: block_days must be >= 1");
+
+        let n = corridor.intervals();
+        let days = n / INTERVALS_PER_DAY;
+        let alpha = config.alpha;
+        let beta = config.beta;
+
+        // Base times valid for both plain and adversarial training:
+        // the α-step predicted sequence needs history back to t−2α+1.
+        let first = 2 * alpha - 1;
+        let last = n - beta - 1; // inclusive
+
+        // Random whole-day test blocks.
+        let mut rng = apots_tensor::rng::seeded(config.seed);
+        let n_blocks = days / config.block_days;
+        let target_test_blocks =
+            ((n_blocks as f64) * config.test_fraction).round() as usize;
+        let mut block_ids: Vec<usize> = (0..n_blocks).collect();
+        for i in (1..block_ids.len()).rev() {
+            let j = rng.random_range(0..=i);
+            block_ids.swap(i, j);
+        }
+        let test_blocks: std::collections::BTreeSet<usize> =
+            block_ids.into_iter().take(target_test_blocks).collect();
+
+        let block_len = config.block_days * INTERVALS_PER_DAY;
+        let is_test_interval = |t: usize| -> bool {
+            let b = t / block_len;
+            test_blocks.contains(&b)
+        };
+
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for t in first..=last {
+            // Full extent a sample can touch, including adversarial
+            // history: [t − 2α + 1, t + β].
+            let lo = t + 1 - 2 * alpha;
+            let hi = t + beta;
+            let touches_test = (lo..=hi).any(is_test_interval);
+            if is_test_interval(t) {
+                // A test sample must lie entirely inside test blocks for
+                // its own (non-adversarial) window [t − α, t + β].
+                let w_lo = t - alpha;
+                if (w_lo..=hi).all(is_test_interval) {
+                    test.push(t);
+                }
+            } else if !touches_test {
+                train.push(t);
+            }
+            // Samples straddling a block boundary are discarded — the
+            // paper's "discarded the overlapped samples".
+        }
+
+        // Normalizers fitted on training intervals only.
+        let train_intervals: Vec<usize> = (0..n).filter(|&t| !is_test_interval(t)).collect();
+        let speed_values: Vec<f32> = (0..corridor.n_roads())
+            .flat_map(|r| {
+                let s = corridor.road_speeds(r);
+                train_intervals.iter().map(move |&t| s[t])
+            })
+            .collect();
+        let speed_norm = Normalizer::fit(speed_values.iter());
+        let temp_values: Vec<f32> = train_intervals
+            .iter()
+            .map(|&t| corridor.weather().temperature[t])
+            .collect();
+        let temp_norm = Normalizer::fit(temp_values.iter());
+        let precip_values: Vec<f32> = train_intervals
+            .iter()
+            .map(|&t| corridor.weather().precipitation[t])
+            .collect();
+        let precip_norm = Normalizer::fit(precip_values.iter());
+        let volume_values: Vec<f32> = (0..corridor.n_roads())
+            .flat_map(|r| {
+                let q = corridor.road_volumes(r);
+                train_intervals.iter().map(move |&t| q[t])
+            })
+            .collect();
+        let volume_norm = Normalizer::fit(volume_values.iter());
+
+        Self {
+            corridor,
+            config,
+            train,
+            test,
+            speed_norm,
+            temp_norm,
+            precip_norm,
+            volume_norm,
+        }
+    }
+
+    /// The underlying corridor.
+    pub fn corridor(&self) -> &Corridor {
+        &self.corridor
+    }
+
+    /// The dataset configuration.
+    pub fn config(&self) -> &DataConfig {
+        &self.config
+    }
+
+    /// Training sample base times.
+    pub fn train_samples(&self) -> &[usize] {
+        &self.train
+    }
+
+    /// Test sample base times.
+    pub fn test_samples(&self) -> &[usize] {
+        &self.test
+    }
+
+    /// The speed normalizer (needed to express errors in km/h).
+    pub fn speed_norm(&self) -> Normalizer {
+        self.speed_norm
+    }
+
+    /// Raw (km/h) speed of the target road at interval `t`.
+    pub fn raw_target_speed(&self, t: usize) -> f32 {
+        self.corridor.speed(self.corridor.target_road(), t)
+    }
+
+    /// The prediction-target interval for a sample at base time `t`.
+    pub fn target_time(&self, t: usize) -> usize {
+        t + self.config.beta
+    }
+
+    /// Encodes the features of the sample at base time `t` under `mask`.
+    ///
+    /// Disabled groups are zero-filled so the input width never changes
+    /// (§V-B Q2). Panics if `t` is not a valid base time.
+    pub fn features(&self, t: usize, mask: FeatureMask) -> SampleFeatures {
+        let alpha = self.config.alpha;
+        let beta = self.config.beta;
+        assert!(
+            t >= alpha && t + beta < self.corridor.intervals(),
+            "sample base time {t} out of range"
+        );
+        let n_roads = self.corridor.n_roads();
+        let h = self.corridor.target_road();
+        let window = t - alpha..t; // [t−α, t−1]
+
+        let mut speed_matrix = vec![vec![0.0f32; alpha]; n_roads];
+        for (r, row) in speed_matrix.iter_mut().enumerate() {
+            if r != h && !mask.adjacent {
+                continue; // masked neighbours stay zero
+            }
+            let s = self.corridor.road_speeds(r);
+            for (k, u) in window.clone().enumerate() {
+                row[k] = self.speed_norm.normalize(s[u]);
+            }
+        }
+
+        let mut event = vec![0.0f32; alpha];
+        let mut temperature = vec![0.0f32; alpha];
+        let mut precipitation = vec![0.0f32; alpha];
+        let mut hour = vec![0.0f32; alpha];
+        let mut day_type = [0.0f32; 4];
+        if mask.non_speed.event {
+            for (k, u) in window.clone().enumerate() {
+                event[k] = f32::from(u8::from(self.corridor.incidents().flag(h, u)));
+            }
+        }
+        if mask.non_speed.weather {
+            for (k, u) in window.clone().enumerate() {
+                temperature[k] = self
+                    .temp_norm
+                    .normalize(self.corridor.weather().temperature[u]);
+                precipitation[k] = self
+                    .precip_norm
+                    .normalize(self.corridor.weather().precipitation[u]);
+            }
+        }
+        if mask.non_speed.time {
+            for (k, u) in window.clone().enumerate() {
+                hour[k] = self.corridor.calendar().hour_of(u) as f32 / 23.0;
+            }
+            day_type = self
+                .corridor
+                .calendar()
+                .day_type(self.corridor.calendar().day_of(t))
+                .encode();
+        }
+
+        let mut volume_matrix = vec![vec![0.0f32; alpha]; n_roads];
+        if mask.volume {
+            for (r, row) in volume_matrix.iter_mut().enumerate() {
+                let q = self.corridor.road_volumes(r);
+                for (k, u) in window.clone().enumerate() {
+                    row[k] = self.volume_norm.normalize(q[u]);
+                }
+            }
+        }
+
+        let target = self
+            .speed_norm
+            .normalize(self.corridor.speed(h, t + beta));
+
+        // Real sequence S_{t−α+β+1 : t+β} of length α.
+        let seq_start = t + beta + 1 - alpha;
+        let real_sequence: Vec<f32> = (seq_start..=t + beta)
+            .map(|u| self.speed_norm.normalize(self.corridor.speed(h, u)))
+            .collect();
+
+        SampleFeatures {
+            speed_matrix,
+            target_row: h,
+            event,
+            temperature,
+            precipitation,
+            hour,
+            day_type,
+            volume_matrix,
+            target,
+            real_sequence,
+        }
+    }
+
+    /// Shuffled training mini-batches of base times.
+    pub fn train_batches<R: Rng>(&self, batch_size: usize, rng: &mut R) -> Vec<Vec<usize>> {
+        assert!(batch_size > 0, "batch_size must be positive");
+        let mut idx = self.train.clone();
+        for i in (1..idx.len()).rev() {
+            let j = rng.random_range(0..=i);
+            idx.swap(i, j);
+        }
+        idx.chunks(batch_size).map(<[usize]>::to_vec).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calendar::Calendar;
+    use crate::sim::SimConfig;
+
+    fn small_dataset() -> TrafficDataset {
+        let cal = Calendar::new(20, 6, vec![4]);
+        let corridor = Corridor::generate_with_calendar(SimConfig::default(), cal);
+        TrafficDataset::new(corridor, DataConfig::default())
+    }
+
+    #[test]
+    fn split_ratio_roughly_matches() {
+        let ds = small_dataset();
+        let train = ds.train_samples().len() as f64;
+        let test = ds.test_samples().len() as f64;
+        assert!(train > 0.0 && test > 0.0);
+        let frac = test / (train + test);
+        assert!((0.1..0.35).contains(&frac), "test fraction {frac}");
+    }
+
+    #[test]
+    fn train_and_test_never_overlap_in_time() {
+        let ds = small_dataset();
+        let alpha = ds.config().alpha;
+        let beta = ds.config().beta;
+        // Every train window (with adversarial history) must be disjoint
+        // from every test window.
+        use std::collections::HashSet;
+        let test_covered: HashSet<usize> = ds
+            .test_samples()
+            .iter()
+            .flat_map(|&t| t - alpha..=t + beta)
+            .collect();
+        for &t in ds.train_samples() {
+            for u in t + 1 - 2 * alpha..=t + beta {
+                assert!(
+                    !test_covered.contains(&u),
+                    "train sample {t} touches test interval {u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_speeds_in_unit_interval() {
+        let ds = small_dataset();
+        let t = ds.train_samples()[0];
+        let f = ds.features(t, FeatureMask::BOTH);
+        for row in &f.speed_matrix {
+            for &v in row {
+                assert!((-0.2..=1.2).contains(&v), "normalized speed {v}");
+            }
+        }
+        assert!((0.0..=1.2).contains(&f.target));
+    }
+
+    #[test]
+    fn normalizer_roundtrip() {
+        let ds = small_dataset();
+        let n = ds.speed_norm();
+        for v in [7.0f32, 42.5, 95.0] {
+            let rt = n.denormalize(n.normalize(v));
+            assert!((rt - v).abs() < 1e-3);
+        }
+        assert!(n.max() > n.min());
+    }
+
+    #[test]
+    fn speed_only_mask_zeroes_neighbours_not_target() {
+        let ds = small_dataset();
+        let t = ds.train_samples()[10];
+        let f = ds.features(t, FeatureMask::SPEED_ONLY);
+        let h = f.target_row;
+        for (r, row) in f.speed_matrix.iter().enumerate() {
+            if r == h {
+                assert!(row.iter().any(|&v| v != 0.0), "target row must be live");
+            } else {
+                assert!(row.iter().all(|&v| v == 0.0), "neighbour row {r} must be zero");
+            }
+        }
+        assert!(f.event.iter().all(|&v| v == 0.0));
+        assert!(f.hour.iter().all(|&v| v == 0.0));
+        assert_eq!(f.day_type, [0.0; 4]);
+    }
+
+    #[test]
+    fn real_sequence_ends_at_target() {
+        let ds = small_dataset();
+        let t = ds.train_samples()[5];
+        let f = ds.features(t, FeatureMask::BOTH);
+        let alpha = ds.config().alpha;
+        assert_eq!(f.real_sequence.len(), alpha);
+        assert!((f.real_sequence[alpha - 1] - f.target).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batches_partition_training_set() {
+        let ds = small_dataset();
+        let mut rng = apots_tensor::rng::seeded(3);
+        let batches = ds.train_batches(32, &mut rng);
+        let mut seen: Vec<usize> = batches.into_iter().flatten().collect();
+        seen.sort_unstable();
+        let mut expected = ds.train_samples().to_vec();
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn paper_scale_sample_count() {
+        // Full 122-day corridor: close to the paper's 35,350 windows before
+        // splitting (we lose edges and block boundaries).
+        let corridor = Corridor::generate(SimConfig::default());
+        let ds = TrafficDataset::new(corridor, DataConfig::default());
+        let total = ds.train_samples().len() + ds.test_samples().len();
+        assert!(
+            total > 25_000 && total < 36_000,
+            "unexpected sample count {total}"
+        );
+    }
+
+    #[test]
+    fn volume_mask_gates_volume_rows() {
+        let ds = small_dataset();
+        let t = ds.train_samples()[3];
+        let off = ds.features(t, FeatureMask::BOTH);
+        assert!(off
+            .volume_matrix
+            .iter()
+            .all(|row| row.iter().all(|&v| v == 0.0)));
+        let on = ds.features(t, FeatureMask::FULL);
+        assert!(on
+            .volume_matrix
+            .iter()
+            .any(|row| row.iter().any(|&v| v != 0.0)));
+        for row in &on.volume_matrix {
+            assert!(row.iter().all(|v| (-0.2..=1.2).contains(v)));
+        }
+        // Same widths either way (fixed-width contract).
+        assert_eq!(
+            off.conditioning_flat().len(),
+            on.conditioning_flat().len()
+        );
+    }
+
+    #[test]
+    fn volumes_follow_fundamental_diagram() {
+        // Greenshields: flow is low at free-flow speed and at jam, peaks in
+        // between. Check that mid-range speeds carry the most flow.
+        let ds = small_dataset();
+        let c = ds.corridor();
+        let h = c.target_road();
+        let vf = c.free_flow()[h];
+        let mut q_fast = (0.0f64, 0usize);
+        let mut q_mid = (0.0f64, 0usize);
+        for t in 0..c.intervals() {
+            let v = c.speed(h, t);
+            let q = f64::from(c.volume(h, t));
+            if v > 0.9 * vf {
+                q_fast = (q_fast.0 + q, q_fast.1 + 1);
+            } else if (0.4 * vf..0.6 * vf).contains(&v) {
+                q_mid = (q_mid.0 + q, q_mid.1 + 1);
+            }
+        }
+        if q_fast.1 > 10 && q_mid.1 > 10 {
+            assert!(
+                q_mid.0 / q_mid.1 as f64 > q_fast.0 / q_fast.1 as f64,
+                "mid-speed flow should exceed free-flow flow"
+            );
+        }
+        assert!((0..c.intervals()).all(|t| c.volume(h, t) >= 0.0));
+    }
+
+    #[test]
+    fn features_deterministic() {
+        let ds = small_dataset();
+        let t = ds.train_samples()[0];
+        let a = ds.features(t, FeatureMask::BOTH);
+        let b = ds.features(t, FeatureMask::BOTH);
+        assert_eq!(a.speed_matrix, b.speed_matrix);
+        assert_eq!(a.target, b.target);
+    }
+}

@@ -1,0 +1,295 @@
+//! Feature encodings of §IV-A of the paper.
+//!
+//! Every sample exposes, for base time `t`:
+//!
+//! * the target road's speed history `S^h_{t−α:t−1}` (always present);
+//! * the adjacent-speed matrix `S^Adj_{t−α:t−1}` of Eq 5/6 — `2m+1` rows
+//!   (upstream … target … downstream) × `α` columns;
+//! * non-speed data `S̄_{t−α:t−1}`: the event flag sequence, temperature
+//!   and precipitation sequences, the hour-of-day sequence, and the single
+//!   4-flag day-type vector (the paper's "only one value" simplification);
+//! * the prediction target `s_{t+β}` and the real sequence
+//!   `S_{t−α+β+1:t+β}` consumed by the discriminator.
+//!
+//! Ablation masks zero out feature groups while keeping the input width
+//! fixed, exactly as prescribed for the Fig 5 / Table II comparisons.
+
+/// Which of the three non-speed factors are enabled (Table II ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NonSpeedMask {
+    /// Event flags (accidents, construction, venue events).
+    pub event: bool,
+    /// Weather (temperature + precipitation).
+    pub weather: bool,
+    /// Time (hour-of-day sequence + day-type flags).
+    pub time: bool,
+}
+
+impl NonSpeedMask {
+    /// All three factors enabled.
+    pub const ALL: Self = Self {
+        event: true,
+        weather: true,
+        time: true,
+    };
+
+    /// All factors disabled.
+    pub const NONE: Self = Self {
+        event: false,
+        weather: false,
+        time: false,
+    };
+
+    /// Whether any factor is enabled.
+    pub fn any(&self) -> bool {
+        self.event || self.weather || self.time
+    }
+
+    /// The paper's Table II label for this combination (`S`, `SE`, `SW`,
+    /// `ST`, `SEW`, `SET`, `SWT`, `SEWT`).
+    pub fn label(&self) -> String {
+        let mut s = String::from("S");
+        if self.event {
+            s.push('E');
+        }
+        if self.weather {
+            s.push('W');
+        }
+        if self.time {
+            s.push('T');
+        }
+        s
+    }
+
+    /// All eight Table II combinations, in the paper's order.
+    pub fn table2_grid() -> [Self; 8] {
+        let f = false;
+        let t = true;
+        [
+            Self { event: f, weather: f, time: f }, // S
+            Self { event: t, weather: f, time: f }, // SE
+            Self { event: f, weather: t, time: f }, // SW
+            Self { event: f, weather: f, time: t }, // ST
+            Self { event: t, weather: t, time: f }, // SEW
+            Self { event: t, weather: f, time: t }, // SET
+            Self { event: f, weather: t, time: t }, // SWT
+            Self { event: t, weather: t, time: t }, // SEWT
+        ]
+    }
+}
+
+/// Which feature groups feed the model (Fig 5 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureMask {
+    /// Adjacent-road speed rows of Eq 5 (the target road row is always on).
+    pub adjacent: bool,
+    /// Non-speed factors.
+    pub non_speed: NonSpeedMask,
+    /// Traffic-volume rows (the paper's future-work "traffic amount" data,
+    /// §VI); zero-filled when disabled, like every other group.
+    pub volume: bool,
+}
+
+impl FeatureMask {
+    /// Target-road speeds only (the paper's "Speed only").
+    pub const SPEED_ONLY: Self = Self {
+        adjacent: false,
+        non_speed: NonSpeedMask::NONE,
+        volume: false,
+    };
+
+    /// Speeds + adjacent-road speeds.
+    pub const ADJACENT: Self = Self {
+        adjacent: true,
+        non_speed: NonSpeedMask::NONE,
+        volume: false,
+    };
+
+    /// Speeds + non-speed data.
+    pub const NON_SPEED: Self = Self {
+        adjacent: false,
+        non_speed: NonSpeedMask::ALL,
+        volume: false,
+    };
+
+    /// Speeds + adjacent + non-speed ("Speed+Add. data").
+    pub const BOTH: Self = Self {
+        adjacent: true,
+        non_speed: NonSpeedMask::ALL,
+        volume: false,
+    };
+
+    /// Everything the paper used plus the future-work traffic-volume data.
+    pub const FULL: Self = Self {
+        adjacent: true,
+        non_speed: NonSpeedMask::ALL,
+        volume: true,
+    };
+
+    /// The four Fig 5 configurations, in the figure's order
+    /// (Both, Non-speed, Adjacent, Speed-only).
+    pub fn fig5_grid() -> [(&'static str, Self); 4] {
+        [
+            ("Both", Self::BOTH),
+            ("Non speed", Self::NON_SPEED),
+            ("Adjacent speed", Self::ADJACENT),
+            ("Speed only", Self::SPEED_ONLY),
+        ]
+    }
+}
+
+/// The fully-encoded features of one sample (already normalized and
+/// masked). Widths are fixed regardless of the mask; disabled groups are
+/// zero-filled.
+#[derive(Debug, Clone)]
+pub struct SampleFeatures {
+    /// Normalized speed rows: `2m+1` rows of length `α`, upstream first;
+    /// row `m` is the target road and is never masked.
+    pub speed_matrix: Vec<Vec<f32>>,
+    /// Index of the target-road row inside [`Self::speed_matrix`].
+    pub target_row: usize,
+    /// Event flags of the target road over the window (`α` values).
+    pub event: Vec<f32>,
+    /// Normalized temperature over the window (`α` values).
+    pub temperature: Vec<f32>,
+    /// Normalized precipitation over the window (`α` values).
+    pub precipitation: Vec<f32>,
+    /// Normalized hour-of-day over the window (`α` values).
+    pub hour: Vec<f32>,
+    /// Day-type flags `[weekday, holiday, before, after]`.
+    pub day_type: [f32; 4],
+    /// Normalized traffic-volume rows, same layout as
+    /// [`Self::speed_matrix`]; all-zero unless the mask enables volume.
+    pub volume_matrix: Vec<Vec<f32>>,
+    /// Normalized prediction target `s_{t+β}`.
+    pub target: f32,
+    /// Normalized real sequence `S_{t−α+β+1:t+β}` (length `α`) for the
+    /// discriminator's "real" side.
+    pub real_sequence: Vec<f32>,
+}
+
+impl SampleFeatures {
+    /// Window length α.
+    pub fn alpha(&self) -> usize {
+        self.speed_matrix[self.target_row].len()
+    }
+
+    /// Number of speed rows (2m+1).
+    pub fn n_roads(&self) -> usize {
+        self.speed_matrix.len()
+    }
+
+    /// The target road's history row.
+    pub fn target_history(&self) -> &[f32] {
+        &self.speed_matrix[self.target_row]
+    }
+
+    /// Flat non-speed vector: `event ⊕ temperature ⊕ precipitation ⊕ hour ⊕
+    /// day_type`, width `4α + 4`.
+    pub fn non_speed_flat(&self) -> Vec<f32> {
+        let mut v = Vec::with_capacity(4 * self.alpha() + 4);
+        v.extend_from_slice(&self.event);
+        v.extend_from_slice(&self.temperature);
+        v.extend_from_slice(&self.precipitation);
+        v.extend_from_slice(&self.hour);
+        v.extend_from_slice(&self.day_type);
+        v
+    }
+
+    /// The conditioning vector `E = S^Adj ⊕ S̄` of Eq 3 (extended with the
+    /// future-work volume block), flattened: all speed rows, all volume
+    /// rows, then the non-speed block. Width `2·(2m+1)α + 4α + 4`.
+    pub fn conditioning_flat(&self) -> Vec<f32> {
+        let mut v =
+            Vec::with_capacity(2 * self.n_roads() * self.alpha() + 4 * self.alpha() + 4);
+        for row in &self.speed_matrix {
+            v.extend_from_slice(row);
+        }
+        for row in &self.volume_matrix {
+            v.extend_from_slice(row);
+        }
+        v.extend(self.non_speed_flat());
+        v
+    }
+
+    /// Total flat input width for FC-style models (same as
+    /// [`Self::conditioning_flat`]).
+    pub fn flat_width(n_roads: usize, alpha: usize) -> usize {
+        2 * n_roads * alpha + 4 * alpha + 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_speed_labels_match_paper() {
+        let grid = NonSpeedMask::table2_grid();
+        let labels: Vec<String> = grid.iter().map(NonSpeedMask::label).collect();
+        assert_eq!(
+            labels,
+            ["S", "SE", "SW", "ST", "SEW", "SET", "SWT", "SEWT"]
+        );
+    }
+
+    #[test]
+    fn mask_any() {
+        assert!(!NonSpeedMask::NONE.any());
+        assert!(NonSpeedMask::ALL.any());
+        assert!(NonSpeedMask {
+            event: false,
+            weather: true,
+            time: false
+        }
+        .any());
+    }
+
+    #[test]
+    fn fig5_grid_covers_all_configs() {
+        let grid = FeatureMask::fig5_grid();
+        assert_eq!(grid.len(), 4);
+        assert_eq!(grid[0].1, FeatureMask::BOTH);
+        assert_eq!(grid[3].1, FeatureMask::SPEED_ONLY);
+    }
+
+    fn dummy_features() -> SampleFeatures {
+        SampleFeatures {
+            speed_matrix: vec![vec![0.1; 3], vec![0.5; 3], vec![0.9; 3]],
+            target_row: 1,
+            event: vec![1.0, 0.0, 0.0],
+            temperature: vec![0.2; 3],
+            precipitation: vec![0.0; 3],
+            hour: vec![0.3; 3],
+            day_type: [1.0, 0.0, 0.0, 0.0],
+            volume_matrix: vec![vec![0.0; 3]; 3],
+            target: 0.4,
+            real_sequence: vec![0.5, 0.45, 0.4],
+        }
+    }
+
+    #[test]
+    fn flat_widths_consistent() {
+        let f = dummy_features();
+        assert_eq!(f.alpha(), 3);
+        assert_eq!(f.n_roads(), 3);
+        assert_eq!(f.non_speed_flat().len(), 4 * 3 + 4);
+        assert_eq!(
+            f.conditioning_flat().len(),
+            SampleFeatures::flat_width(3, 3)
+        );
+        assert_eq!(SampleFeatures::flat_width(3, 3), 2 * 9 + 12 + 4);
+        assert_eq!(f.target_history(), &[0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn conditioning_layout_is_speeds_then_nonspeed() {
+        let f = dummy_features();
+        let flat = f.conditioning_flat();
+        assert_eq!(&flat[..3], &[0.1, 0.1, 0.1]);
+        assert_eq!(&flat[3..6], &[0.5, 0.5, 0.5]);
+        assert_eq!(&flat[9..18], &[0.0; 9]); // volume block (masked)
+        assert_eq!(flat[18], 1.0); // first event flag
+        assert_eq!(flat[flat.len() - 4], 1.0); // weekday flag
+    }
+}

@@ -1,0 +1,310 @@
+//! Incident generation: accidents, construction zones and scheduled events.
+//!
+//! These drive both the simulator's abrupt speed drops and the paper's
+//! *event* feature of the non-speed data ("information related to the
+//! accident and construction"; the intro also motivates sports games and
+//! concerts, which we model as venue events near one segment).
+
+use rand::{Rng, RngExt};
+
+use crate::calendar::Calendar;
+use crate::weather::Weather;
+use crate::INTERVALS_PER_DAY;
+
+/// The kind of an incident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncidentKind {
+    /// A crash: short, severe, with a recovery ramp while lanes reopen.
+    Accident,
+    /// Road works: long-lasting, mild slowdown.
+    Construction,
+    /// A venue event (sports game, concert): evening demand surge near one
+    /// segment.
+    Event,
+}
+
+/// One incident on one road segment.
+#[derive(Debug, Clone)]
+pub struct Incident {
+    /// Incident class.
+    pub kind: IncidentKind,
+    /// Road segment index it occurs on.
+    pub road: usize,
+    /// First affected interval.
+    pub start: usize,
+    /// Number of fully-affected intervals.
+    pub duration: usize,
+    /// Peak congestion contribution in `[0, 1)`.
+    pub severity: f32,
+    /// Intervals of gradual recovery after `start + duration`.
+    pub recovery: usize,
+}
+
+impl Incident {
+    /// Congestion contribution of this incident at interval `t` on its own
+    /// road: a fast onset, a plateau at `severity`, then a linear recovery.
+    pub fn severity_at(&self, t: usize) -> f32 {
+        if t < self.start {
+            return 0.0;
+        }
+        let offset = t - self.start;
+        if offset < self.duration {
+            // One-interval onset ramp, then plateau: abrupt, like real crashes.
+            if offset == 0 {
+                self.severity * 0.6
+            } else {
+                self.severity
+            }
+        } else if offset < self.duration + self.recovery {
+            let into = (offset - self.duration) as f32;
+            self.severity * (1.0 - into / self.recovery as f32)
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether the incident is active (including recovery) at `t`.
+    pub fn active_at(&self, t: usize) -> bool {
+        t >= self.start && t < self.start + self.duration + self.recovery
+    }
+}
+
+/// Tunables for incident generation.
+#[derive(Debug, Clone)]
+pub struct IncidentConfig {
+    /// Expected accidents per road per day (before the rain multiplier).
+    pub accident_rate: f64,
+    /// Multiplier on accident probability while it rains.
+    pub rain_accident_boost: f64,
+    /// Expected construction zones per road per 30 days.
+    pub construction_rate: f64,
+    /// Expected venue events per week (on the venue road only).
+    pub events_per_week: f64,
+    /// Road segment hosting the venue.
+    pub venue_road: usize,
+}
+
+impl Default for IncidentConfig {
+    fn default() -> Self {
+        Self {
+            accident_rate: 0.05,
+            rain_accident_boost: 3.0,
+            construction_rate: 0.6,
+            events_per_week: 1.5,
+            venue_road: 2,
+        }
+    }
+}
+
+/// All incidents of a simulation run, with a precomputed per-road severity
+/// field and event flags.
+#[derive(Debug, Clone)]
+pub struct IncidentLog {
+    incidents: Vec<Incident>,
+    /// `severity[road][t]`: combined congestion contribution.
+    severity: Vec<Vec<f32>>,
+    /// `flag[road][t]`: the paper's binary event feature.
+    flag: Vec<Vec<bool>>,
+}
+
+impl IncidentLog {
+    /// Generates incidents for `n_roads` segments over `calendar`'s period.
+    pub fn generate<R: Rng>(
+        n_roads: usize,
+        calendar: &Calendar,
+        weather: &Weather,
+        config: &IncidentConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(n_roads > 0, "IncidentLog: zero roads");
+        assert!(
+            config.venue_road < n_roads,
+            "IncidentLog: venue road {} out of range for {n_roads} roads",
+            config.venue_road
+        );
+        let n = calendar.intervals();
+        let mut incidents = Vec::new();
+
+        // Accidents: Bernoulli per (road, day), uniform start within the
+        // day, boosted when the drawn start interval is rainy.
+        for road in 0..n_roads {
+            for day in 0..calendar.days() {
+                let start = day * INTERVALS_PER_DAY + rng.random_range(0..INTERVALS_PER_DAY);
+                let boost = if weather.is_raining(start) {
+                    config.rain_accident_boost
+                } else {
+                    1.0
+                };
+                if rng.random_bool((config.accident_rate * boost).clamp(0.0, 1.0)) {
+                    incidents.push(Incident {
+                        kind: IncidentKind::Accident,
+                        road,
+                        start,
+                        duration: rng.random_range(6..=18), // 30–90 min
+                        severity: 0.5 + 0.4 * rng.random::<f32>(),
+                        recovery: rng.random_range(6..=12), // 30–60 min
+                    });
+                }
+            }
+        }
+
+        // Construction: rarer, much longer, milder; biased to start at night.
+        for road in 0..n_roads {
+            for day in 0..calendar.days() {
+                if rng.random_bool((config.construction_rate / 30.0).clamp(0.0, 1.0)) {
+                    let night_start = day * INTERVALS_PER_DAY + 22 * 12; // 22:00
+                    let start = night_start.min(n - 1);
+                    incidents.push(Incident {
+                        kind: IncidentKind::Construction,
+                        road,
+                        start,
+                        duration: rng.random_range(96..=288 * 2), // 8h – 2 days
+                        severity: 0.12 + 0.15 * rng.random::<f32>(),
+                        recovery: 12,
+                    });
+                }
+            }
+        }
+
+        // Venue events: evening surges on the venue road.
+        for day in 0..calendar.days() {
+            if rng.random_bool((config.events_per_week / 7.0).clamp(0.0, 1.0)) {
+                let hour = rng.random_range(18..=20);
+                incidents.push(Incident {
+                    kind: IncidentKind::Event,
+                    road: config.venue_road,
+                    start: day * INTERVALS_PER_DAY + hour * 12,
+                    duration: rng.random_range(24..=42), // 2–3.5 h
+                    severity: 0.25 + 0.2 * rng.random::<f32>(),
+                    recovery: 9,
+                });
+            }
+        }
+
+        // Precompute severity field and flags.
+        let mut severity = vec![vec![0.0f32; n]; n_roads];
+        let mut flag = vec![vec![false; n]; n_roads];
+        for inc in &incidents {
+            let end = (inc.start + inc.duration + inc.recovery).min(n);
+            for t in inc.start..end {
+                severity[inc.road][t] += inc.severity_at(t);
+                flag[inc.road][t] = true;
+            }
+        }
+        for row in &mut severity {
+            for v in row.iter_mut() {
+                *v = v.min(0.95);
+            }
+        }
+
+        Self {
+            incidents,
+            severity,
+            flag,
+        }
+    }
+
+    /// All generated incidents.
+    pub fn incidents(&self) -> &[Incident] {
+        &self.incidents
+    }
+
+    /// Combined congestion contribution on `road` at interval `t`.
+    pub fn severity(&self, road: usize, t: usize) -> f32 {
+        self.severity[road][t]
+    }
+
+    /// The paper's binary event flag for `road` at interval `t`.
+    pub fn flag(&self, road: usize, t: usize) -> bool {
+        self.flag[road][t]
+    }
+
+    /// Incidents of a given kind (for scenario mining).
+    pub fn of_kind(&self, kind: IncidentKind) -> impl Iterator<Item = &Incident> {
+        self.incidents.iter().filter(move |i| i.kind == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weather::WeatherConfig;
+    use apots_tensor::rng::seeded;
+
+    fn setup() -> (Calendar, Weather, IncidentLog) {
+        let c = Calendar::paper_period();
+        let mut rng = seeded(3);
+        let w = Weather::generate(&c, &WeatherConfig::default(), &mut rng);
+        let log = IncidentLog::generate(5, &c, &w, &IncidentConfig::default(), &mut rng);
+        (c, w, log)
+    }
+
+    #[test]
+    fn generates_a_plausible_number_of_accidents() {
+        let (_, _, log) = setup();
+        let accidents = log.of_kind(IncidentKind::Accident).count();
+        // 5 roads × 122 days × ~0.05–0.15 (rain boost) per day.
+        assert!(
+            (15..150).contains(&accidents),
+            "unexpected accident count {accidents}"
+        );
+    }
+
+    #[test]
+    fn severity_profile_ramps_and_recovers() {
+        let inc = Incident {
+            kind: IncidentKind::Accident,
+            road: 0,
+            start: 100,
+            duration: 10,
+            severity: 0.8,
+            recovery: 5,
+        };
+        assert_eq!(inc.severity_at(99), 0.0);
+        assert!((inc.severity_at(100) - 0.48).abs() < 1e-6); // onset ramp
+        assert_eq!(inc.severity_at(105), 0.8); // plateau
+        assert!(inc.severity_at(111) < 0.8); // recovering
+        assert!(inc.severity_at(112) < inc.severity_at(111));
+        assert_eq!(inc.severity_at(115), 0.0); // fully recovered
+        assert!(inc.active_at(114));
+        assert!(!inc.active_at(115));
+    }
+
+    #[test]
+    fn severity_field_is_capped() {
+        let (c, _, log) = setup();
+        for road in 0..5 {
+            for t in 0..c.intervals() {
+                let s = log.severity(road, t);
+                assert!((0.0..=0.95).contains(&s), "severity {s} at ({road}, {t})");
+            }
+        }
+    }
+
+    #[test]
+    fn flags_cover_active_incidents() {
+        let (_, _, log) = setup();
+        let inc = log.incidents().first().expect("at least one incident").clone();
+        assert!(log.flag(inc.road, inc.start));
+        assert!(log.flag(inc.road, inc.start + inc.duration - 1));
+    }
+
+    #[test]
+    fn events_only_on_venue_road() {
+        let (_, _, log) = setup();
+        assert!(log.of_kind(IncidentKind::Event).all(|i| i.road == 2));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let c = Calendar::paper_period();
+        let w = Weather::generate(&c, &WeatherConfig::default(), &mut seeded(4));
+        let a = IncidentLog::generate(3, &c, &w, &IncidentConfig::default(), &mut seeded(5));
+        let b = IncidentLog::generate(3, &c, &w, &IncidentConfig::default(), &mut seeded(5));
+        assert_eq!(a.incidents().len(), b.incidents().len());
+        for (x, y) in a.incidents().iter().zip(b.incidents()) {
+            assert_eq!(x.start, y.start);
+            assert_eq!(x.road, y.road);
+        }
+    }
+}

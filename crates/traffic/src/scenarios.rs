@@ -1,0 +1,255 @@
+//! Locating the paper's case-study windows (Fig 1 / Fig 6) inside a
+//! simulated corridor: morning and evening rush hours, a rainy evening and
+//! an accident recovery.
+
+use crate::incidents::IncidentKind;
+use crate::sim::Corridor;
+use crate::INTERVALS_PER_DAY;
+
+/// A named time window on the target road, used for case-study plots.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable name matching the paper's figure captions.
+    pub name: &'static str,
+    /// First interval of the window.
+    pub start: usize,
+    /// One past the last interval of the window.
+    pub end: usize,
+}
+
+impl Scenario {
+    /// The interval range of the window.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+
+    /// Window length in intervals.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Interval of `(day, hour, minute)`.
+fn at(day: usize, hour: usize, minute: usize) -> usize {
+    day * INTERVALS_PER_DAY + hour * 12 + minute / 5
+}
+
+/// Finds a weekday whose morning rush produces the deepest speed drop and
+/// returns its 06:30–08:30 window (Fig 1a, morning panel).
+pub fn morning_rush(corridor: &Corridor) -> Scenario {
+    let h = corridor.target_road();
+    let cal = corridor.calendar();
+    let mut best = (0usize, f32::INFINITY);
+    for day in 1..cal.days() {
+        if !cal.day_type(day).weekday {
+            continue;
+        }
+        let lo = at(day, 7, 30);
+        let hi = at(day, 8, 30);
+        let min = (lo..hi)
+            .map(|t| corridor.speed(h, t))
+            .fold(f32::INFINITY, f32::min);
+        if min < best.1 {
+            best = (day, min);
+        }
+    }
+    Scenario {
+        name: "Rush hour (morning)",
+        start: at(best.0, 6, 30),
+        end: at(best.0, 8, 30),
+    }
+}
+
+/// The evening counterpart: the 20:00–22:00 window of the weekday with the
+/// deepest evening drop (Fig 1a, evening panel).
+pub fn evening_rush(corridor: &Corridor) -> Scenario {
+    let h = corridor.target_road();
+    let cal = corridor.calendar();
+    let mut best = (0usize, f32::INFINITY);
+    for day in 0..cal.days() {
+        if !cal.day_type(day).weekday {
+            continue;
+        }
+        let lo = at(day, 20, 0);
+        let hi = at(day, 21, 30);
+        let min = (lo..hi)
+            .map(|t| corridor.speed(h, t))
+            .fold(f32::INFINITY, f32::min);
+        if min < best.1 {
+            best = (day, min);
+        }
+    }
+    Scenario {
+        name: "Rush hour (evening)",
+        start: at(best.0, 20, 0),
+        end: at(best.0, 22, 0),
+    }
+}
+
+/// A rainy late evening with a visible slowdown: among the 21:30–23:30
+/// windows with meaningful precipitation, the one with the deepest speed
+/// dip (Fig 1b).
+pub fn rainy_evening(corridor: &Corridor) -> Scenario {
+    let cal = corridor.calendar();
+    let w = corridor.weather();
+    let h = corridor.target_road();
+    let mut best: (usize, f32) = (0, f32::INFINITY);
+    let mut fallback = (0usize, -1.0f32);
+    for day in 0..cal.days() {
+        let lo = at(day, 21, 30);
+        let hi = at(day, 23, 30);
+        let rain: f32 = (lo..hi).map(|t| w.precipitation[t]).sum();
+        if rain > fallback.1 {
+            fallback = (day, rain);
+        }
+        // Require rain through at least half the window.
+        let wet = (lo..hi).filter(|&t| w.is_raining(t)).count();
+        if wet * 2 < hi - lo {
+            continue;
+        }
+        let min = (lo..hi)
+            .map(|t| corridor.speed(h, t))
+            .fold(f32::INFINITY, f32::min);
+        if min < best.1 {
+            best = (day, min);
+        }
+    }
+    let day = if best.1.is_finite() { best.0 } else { fallback.0 };
+    Scenario {
+        name: "Rainy day",
+        start: at(day, 21, 30),
+        end: at(day, 23, 30),
+    }
+}
+
+/// A two-hour window centred on the recovery phase of the target-road
+/// accident that produced the deepest *observed* speed dip (Fig 1c).
+/// Falls back to accidents anywhere in the corridor if the target road
+/// had none.
+pub fn accident_recovery(corridor: &Corridor) -> Scenario {
+    let h = corridor.target_road();
+    let n = corridor.intervals();
+    let dip_of = |inc: &crate::incidents::Incident| -> f32 {
+        let end = (inc.start + inc.duration).min(n);
+        (inc.start..end)
+            .map(|t| corridor.speed(h, t))
+            .fold(f32::INFINITY, f32::min)
+    };
+    let on_target = corridor
+        .incidents()
+        .of_kind(IncidentKind::Accident)
+        .filter(|i| i.road == h)
+        .min_by(|a, b| {
+            dip_of(a)
+                .partial_cmp(&dip_of(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+    let pick = on_target.or_else(|| {
+        corridor
+            .incidents()
+            .of_kind(IncidentKind::Accident)
+            .min_by(|a, b| {
+                dip_of(a)
+                    .partial_cmp(&dip_of(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    });
+    match pick {
+        Some(inc) => {
+            let centre = inc.start + inc.duration;
+            let start = centre.saturating_sub(12);
+            Scenario {
+                name: "Accident recovery",
+                start,
+                end: (start + 24).min(n),
+            }
+        }
+        None => Scenario {
+            name: "Accident recovery",
+            start: 0,
+            end: 24.min(n),
+        },
+    }
+}
+
+/// All four case studies of Fig 1 / Fig 6 in the paper's order.
+pub fn all(corridor: &Corridor) -> Vec<Scenario> {
+    vec![
+        morning_rush(corridor),
+        evening_rush(corridor),
+        rainy_evening(corridor),
+        accident_recovery(corridor),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calendar::Calendar;
+    use crate::sim::SimConfig;
+
+    fn corridor() -> Corridor {
+        Corridor::generate_with_calendar(SimConfig::default(), Calendar::new(21, 6, vec![4]))
+    }
+
+    #[test]
+    fn finds_all_four_scenarios() {
+        let c = corridor();
+        let scenarios = all(&c);
+        assert_eq!(scenarios.len(), 4);
+        for s in &scenarios {
+            assert!(!s.is_empty(), "{} empty", s.name);
+            assert!(s.end <= c.intervals());
+            assert!(s.len() >= 12, "{} too short", s.name);
+        }
+    }
+
+    #[test]
+    fn morning_rush_is_on_a_weekday_morning() {
+        let c = corridor();
+        let s = morning_rush(&c);
+        let day = s.start / INTERVALS_PER_DAY;
+        assert!(c.calendar().day_type(day).weekday);
+        assert_eq!(c.calendar().hour_of(s.start), 6);
+    }
+
+    #[test]
+    fn morning_rush_shows_a_real_slowdown() {
+        let c = corridor();
+        let s = morning_rush(&c);
+        let h = c.target_road();
+        let min = s
+            .range()
+            .map(|t| c.speed(h, t))
+            .fold(f32::INFINITY, f32::min);
+        let ff = c.free_flow()[h];
+        assert!(min < 0.6 * ff, "min {min} vs free flow {ff}");
+    }
+
+    #[test]
+    fn rainy_evening_has_rain() {
+        let c = corridor();
+        let s = rainy_evening(&c);
+        let rain: f32 = s.range().map(|t| c.weather().precipitation[t]).sum();
+        assert!(rain > 0.0, "no rain found in 21 simulated days");
+    }
+
+    #[test]
+    fn accident_recovery_overlaps_an_accident() {
+        let c = corridor();
+        let s = accident_recovery(&c);
+        let any_active = s.range().any(|t| {
+            (0..c.n_roads()).any(|r| {
+                c.incidents()
+                    .of_kind(IncidentKind::Accident)
+                    .any(|i| i.road == r && i.active_at(t))
+            })
+        });
+        assert!(any_active);
+    }
+}

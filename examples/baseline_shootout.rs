@@ -1,0 +1,104 @@
+//! Baseline shootout: APOTS vs the statistical baselines.
+//!
+//! Fits persistence, historical average and the Prophet-style additive
+//! model on the same corridor as a small APOTS run and prints one metrics
+//! table — a compact version of the paper's Table III argument that
+//! calendar statistics cannot capture nonlinear congestion.
+//!
+//! ```text
+//! cargo run --release --example baseline_shootout
+//! ```
+
+use apots::config::{HyperPreset, PredictorKind, TrainConfig};
+use apots::eval::{evaluate, evaluate_fixed};
+use apots::predictor::build_predictor;
+use apots::trainer::train_apots;
+use apots_baselines::arima::Arima;
+use apots_baselines::naive::{HistoricalAverage, Persistence};
+use apots_baselines::prophet::{Prophet, ProphetConfig};
+use apots_baselines::stknn::StKnn;
+use apots_traffic::calendar::Calendar;
+use apots_traffic::{Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset};
+
+fn main() {
+    let calendar = Calendar::new(28, 6, vec![10, 20]);
+    let corridor = Corridor::generate_with_calendar(SimConfig::default(), calendar);
+    let data = TrafficDataset::new(corridor, DataConfig::default());
+    let h = data.corridor().target_road();
+    let samples = data.test_samples().to_vec();
+    let targets: Vec<usize> = samples.iter().map(|&t| data.target_time(t)).collect();
+
+    let mut rows: Vec<(String, f32, f32, f32)> = Vec::new();
+
+    // Persistence: last observed speed in each window.
+    let histories: Vec<Vec<f32>> = samples
+        .iter()
+        .map(|&t| vec![data.corridor().speed(h, t - 1)])
+        .collect();
+    let href: Vec<&[f32]> = histories.iter().map(Vec::as_slice).collect();
+    let eval = evaluate_fixed(Persistence.predict(&href), &data, &samples);
+    rows.push(("persistence".into(), eval.overall.mae, eval.overall.rmse, eval.overall.mape));
+
+    // Historical average by (hour, weekday-class).
+    let train_times: Vec<usize> = data.train_samples().iter().map(|&t| data.target_time(t)).collect();
+    let train_values: Vec<f32> = train_times.iter().map(|&t| data.corridor().speed(h, t)).collect();
+    let ha = HistoricalAverage::fit(&train_times, &train_values, data.corridor().calendar());
+    let eval = evaluate_fixed(ha.predict(&targets, data.corridor().calendar()), &data, &samples);
+    rows.push(("historical avg".into(), eval.overall.mae, eval.overall.rmse, eval.overall.mape));
+
+    // Prophet.
+    let prophet = Prophet::fit(
+        &train_times,
+        &train_values,
+        data.corridor().calendar(),
+        ProphetConfig::default(),
+    );
+    let eval = evaluate_fixed(prophet.predict(&targets), &data, &samples);
+    rows.push(("prophet".into(), eval.overall.mae, eval.overall.rmse, eval.overall.mape));
+
+    // ARIMA(6, 1, 0) on the target road's training series, one-step-ahead.
+    let h_series: Vec<f32> = (0..data.corridor().intervals())
+        .map(|t| data.corridor().speed(h, t))
+        .collect();
+    let arima = Arima::fit(&h_series[..20 * 288], 6, 1);
+    let preds: Vec<f32> = samples
+        .iter()
+        .map(|&t| arima.predict_next(&h_series[..t]))
+        .collect();
+    let eval = evaluate_fixed(preds, &data, &samples);
+    rows.push(("ARIMA(6,1,0)".into(), eval.overall.mae, eval.overall.rmse, eval.overall.mape));
+
+    // ST-KNN over α-step target-road windows.
+    let alpha = data.config().alpha;
+    let patterns: Vec<Vec<f32>> = data
+        .train_samples()
+        .iter()
+        .map(|&t| h_series[t - alpha..t].to_vec())
+        .collect();
+    let knn_targets: Vec<f32> = data
+        .train_samples()
+        .iter()
+        .map(|&t| h_series[data.target_time(t)])
+        .collect();
+    let knn = StKnn::fit(patterns, knn_targets, 8);
+    let queries: Vec<Vec<f32>> = samples
+        .iter()
+        .map(|&t| h_series[t - alpha..t].to_vec())
+        .collect();
+    let eval = evaluate_fixed(knn.predict(&queries), &data, &samples);
+    rows.push(("ST-KNN (k=8)".into(), eval.overall.mae, eval.overall.rmse, eval.overall.mape));
+
+    // APOTS F (small budget).
+    let mut cfg = TrainConfig::fast_adversarial(FeatureMask::BOTH);
+    cfg.epochs = 4;
+    cfg.max_train_samples = Some(2048);
+    let mut p = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &data, 7);
+    let _ = train_apots(p.as_mut(), &data, &cfg);
+    let eval = evaluate(p.as_mut(), &data, cfg.mask, &samples);
+    rows.push(("APOTS F".into(), eval.overall.mae, eval.overall.rmse, eval.overall.mape));
+
+    println!("model            MAE     RMSE    MAPE");
+    for (name, mae, rmse, mape) in rows {
+        println!("{name:<15} {mae:6.2}  {rmse:6.2}  {mape:6.2}%");
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: simulate a corridor, train APOTS, evaluate it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Uses a short 3-week corridor and the Fast preset so it finishes in
+//! about a minute on a laptop core.
+
+use apots::config::{HyperPreset, PredictorKind, TrainConfig};
+use apots::eval::evaluate;
+use apots::predictor::build_predictor;
+use apots::trainer::train_apots;
+use apots_traffic::calendar::Calendar;
+use apots_traffic::{Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset};
+
+fn main() {
+    // 1. Simulate three weeks of 5-minute speeds on a 5-segment corridor.
+    let calendar = Calendar::new(21, 6, vec![10]);
+    let corridor = Corridor::generate_with_calendar(SimConfig::default(), calendar);
+    println!(
+        "simulated {} intervals on {} road segments",
+        corridor.intervals(),
+        corridor.n_roads()
+    );
+
+    // 2. Slice into sliding-window samples with a leakage-safe 80/20 split.
+    let data = TrafficDataset::new(corridor, DataConfig::default());
+    println!(
+        "dataset: {} train / {} test samples (α = {}, β = {})",
+        data.train_samples().len(),
+        data.test_samples().len(),
+        data.config().alpha,
+        data.config().beta
+    );
+
+    // 3. Train APOTS with the FC predictor: MSE + adversarial losses, with
+    //    the discriminator conditioned on adjacent-road and non-speed data.
+    let mut config = TrainConfig::fast_adversarial(FeatureMask::BOTH);
+    config.epochs = 4;
+    config.max_train_samples = Some(2048);
+    let mut predictor = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &data, 7);
+    let report = train_apots(predictor.as_mut(), &data, &config);
+    for (i, e) in report.epochs.iter().enumerate() {
+        println!(
+            "epoch {i}: mse {:.5}  P-loss {:.4}  D-loss {:.4}",
+            e.mse, e.p_loss, e.d_loss
+        );
+    }
+
+    // 4. Evaluate on the held-out test windows, in km/h.
+    let eval = evaluate(predictor.as_mut(), &data, config.mask, data.test_samples());
+    println!("\ntest metrics (km/h):");
+    println!("  MAE  {:.2}", eval.overall.mae);
+    println!("  RMSE {:.2}", eval.overall.rmse);
+    println!("  MAPE {:.2}%", eval.overall.mape);
+    let rows = eval.mape_rows();
+    println!(
+        "  by situation: normal {:.2}%, abrupt acc {:.2}%, abrupt dec {:.2}%",
+        rows[1], rows[2], rows[3]
+    );
+}

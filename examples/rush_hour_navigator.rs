@@ -1,0 +1,71 @@
+//! Rush-hour navigator: the ITS use case from the paper's introduction.
+//!
+//! Trains an APOTS hybrid predictor, then plays a commuter's morning: for
+//! each 5-minute departure slot between 06:30 and 09:00 it predicts the
+//! target-segment speed, estimates the segment travel time, and advises
+//! the best departure window — comparing the advice against the real
+//! (simulated) outcome.
+//!
+//! ```text
+//! cargo run --release --example rush_hour_navigator
+//! ```
+
+use apots::config::{HyperPreset, PredictorKind, TrainConfig};
+use apots::eval::predict_trace;
+use apots::predictor::build_predictor;
+use apots::trainer::train_apots;
+use apots_traffic::calendar::Calendar;
+use apots_traffic::{scenarios, Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset};
+
+/// Segment length in km (typical Gyeongbu expressway sensor spacing).
+const SEGMENT_KM: f32 = 2.5;
+
+fn main() {
+    let calendar = Calendar::new(21, 6, vec![10]);
+    let corridor = Corridor::generate_with_calendar(SimConfig::default(), calendar);
+    let data = TrafficDataset::new(corridor, DataConfig::default());
+
+    let mut config = TrainConfig::fast_adversarial(FeatureMask::BOTH);
+    config.epochs = 3;
+    config.max_train_samples = Some(1536);
+    let mut predictor = build_predictor(PredictorKind::Hybrid, HyperPreset::Fast, &data, 7);
+    println!("training APOTS H on {} samples…", data.train_samples().len());
+    let report = train_apots(predictor.as_mut(), &data, &config);
+    println!("final epoch mse {:.5}\n", report.final_mse());
+
+    // The worst morning rush in the simulation.
+    let rush = scenarios::morning_rush(data.corridor());
+    let h = data.corridor().target_road();
+    println!("navigating {} (intervals {}..{})", rush.name, rush.start, rush.end);
+
+    let trace = predict_trace(predictor.as_mut(), &data, config.mask, rush.range());
+    println!("\ndeparture  predicted   real     predicted  real");
+    println!("slot       speed km/h  km/h     minutes    minutes");
+    let mut best = (0usize, f32::INFINITY);
+    for &(t, pred) in &trace {
+        let real = data.corridor().speed(h, t);
+        let pred_min = 60.0 * SEGMENT_KM / pred.max(5.0);
+        let real_min = 60.0 * SEGMENT_KM / real.max(5.0);
+        let minute = data.corridor().calendar().minute_of_day(t);
+        println!(
+            "{:02}:{:02}      {pred:7.1}    {real:6.1}   {pred_min:7.1}    {real_min:6.1}",
+            minute / 60,
+            minute % 60
+        );
+        if pred_min < best.1 {
+            best = (t, pred_min);
+        }
+    }
+    let minute = data.corridor().calendar().minute_of_day(best.0);
+    println!(
+        "\nadvice: depart at {:02}:{:02} — predicted segment time {:.1} min",
+        minute / 60,
+        minute % 60,
+        best.1
+    );
+    let real_best = trace
+        .iter()
+        .map(|&(t, _)| 60.0 * SEGMENT_KM / data.corridor().speed(h, t).max(5.0))
+        .fold(f32::INFINITY, f32::min);
+    println!("oracle best over the window: {real_best:.1} min");
+}

@@ -1,0 +1,95 @@
+//! Cross-crate sanity: learned predictors versus statistical baselines on
+//! the same corridor, plus metric consistency between the two evaluation
+//! paths (`evaluate` for predictors, `evaluate_fixed` for baselines).
+
+use apots::config::{HyperPreset, PredictorKind, TrainConfig};
+use apots::eval::{evaluate, evaluate_fixed};
+use apots::predictor::build_predictor;
+use apots::trainer::train_plain;
+use apots_baselines::naive::Persistence;
+use apots_baselines::prophet::{Prophet, ProphetConfig};
+use apots_traffic::calendar::Calendar;
+use apots_traffic::{Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset};
+
+fn dataset() -> TrafficDataset {
+    let calendar = Calendar::new(14, 6, vec![4]);
+    TrafficDataset::new(
+        Corridor::generate_with_calendar(SimConfig::default(), calendar),
+        DataConfig::default(),
+    )
+}
+
+#[test]
+fn prophet_misses_nonlinear_congestion() {
+    // The Table III story: a calendar-additive model has structurally
+    // higher error than even briefly-trained neural predictors, because it
+    // cannot react to incident- or breakdown-driven speed collapses.
+    let data = dataset();
+    let h = data.corridor().target_road();
+    let train_times: Vec<usize> = data
+        .train_samples()
+        .iter()
+        .map(|&t| data.target_time(t))
+        .collect();
+    let train_values: Vec<f32> = train_times
+        .iter()
+        .map(|&t| data.corridor().speed(h, t))
+        .collect();
+    let prophet = Prophet::fit(
+        &train_times,
+        &train_values,
+        data.corridor().calendar(),
+        ProphetConfig::default(),
+    );
+    let targets: Vec<usize> = data
+        .test_samples()
+        .iter()
+        .map(|&t| data.target_time(t))
+        .collect();
+    let prophet_eval = evaluate_fixed(prophet.predict(&targets), &data, data.test_samples());
+
+    let mut cfg = TrainConfig::fast_plain(FeatureMask::BOTH);
+    cfg.epochs = 4;
+    cfg.max_train_samples = Some(1024);
+    let mut p = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &data, 7);
+    let _ = train_plain(p.as_mut(), &data, &cfg);
+    let fc_eval = evaluate(p.as_mut(), &data, cfg.mask, data.test_samples());
+
+    assert!(
+        fc_eval.overall.mape < prophet_eval.overall.mape,
+        "FC {:.2} should beat Prophet {:.2}",
+        fc_eval.overall.mape,
+        prophet_eval.overall.mape
+    );
+}
+
+#[test]
+fn persistence_is_a_strong_short_horizon_floor() {
+    // At β = 1 persistence is hard to beat — and our evaluation machinery
+    // must give it a small but nonzero error.
+    let data = dataset();
+    let h = data.corridor().target_road();
+    let histories: Vec<Vec<f32>> = data
+        .test_samples()
+        .iter()
+        .map(|&t| vec![data.corridor().speed(h, t - 1)])
+        .collect();
+    let href: Vec<&[f32]> = histories.iter().map(Vec::as_slice).collect();
+    let eval = evaluate_fixed(Persistence.predict(&href), &data, data.test_samples());
+    assert!(eval.overall.mape > 0.5, "persistence too good: {}", eval.overall.mape);
+    assert!(eval.overall.mape < 30.0, "persistence too bad: {}", eval.overall.mape);
+}
+
+#[test]
+fn evaluation_paths_agree_on_identical_predictions() {
+    // `evaluate` (predictor path) and `evaluate_fixed` (baseline path) must
+    // compute identical metrics for identical prediction vectors.
+    let data = dataset();
+    let mut p = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &data, 11);
+    let samples = &data.test_samples()[..100.min(data.test_samples().len())];
+    let via_predictor = evaluate(p.as_mut(), &data, FeatureMask::BOTH, samples);
+    let via_fixed = evaluate_fixed(via_predictor.predictions.clone(), &data, samples);
+    assert_eq!(via_predictor.overall.mae, via_fixed.overall.mae);
+    assert_eq!(via_predictor.overall.mape, via_fixed.overall.mape);
+    assert_eq!(via_predictor.observations, via_fixed.observations);
+}

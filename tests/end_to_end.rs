@@ -1,0 +1,114 @@
+//! End-to-end integration: simulator → dataset → training → evaluation,
+//! spanning every crate in the workspace.
+//!
+//! Budgets are deliberately tiny so the suite stays fast in debug builds;
+//! the full-scale runs live in the `apots-experiments` binaries.
+
+use apots::config::{HyperPreset, PredictorKind, TrainConfig};
+use apots::eval::evaluate;
+use apots::predictor::build_predictor;
+use apots::trainer::{train_apots, train_plain};
+use apots_traffic::calendar::Calendar;
+use apots_traffic::{Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset};
+
+fn tiny_dataset(seed: u64) -> TrafficDataset {
+    let calendar = Calendar::new(8, 6, vec![3]);
+    let sim = SimConfig {
+        seed,
+        ..SimConfig::default()
+    };
+    TrafficDataset::new(
+        Corridor::generate_with_calendar(sim, calendar),
+        DataConfig::default(),
+    )
+}
+
+fn tiny_cfg(adversarial: bool) -> TrainConfig {
+    let mut cfg = if adversarial {
+        TrainConfig::fast_adversarial(FeatureMask::BOTH)
+    } else {
+        TrainConfig::fast_plain(FeatureMask::BOTH)
+    };
+    cfg.epochs = 3;
+    cfg.max_train_samples = Some(256);
+    cfg.batch_size = 32;
+    cfg
+}
+
+#[test]
+fn plain_training_beats_untrained() {
+    let data = tiny_dataset(1);
+    let cfg = tiny_cfg(false);
+
+    let mut untrained = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &data, 5);
+    let before = evaluate(untrained.as_mut(), &data, cfg.mask, data.test_samples());
+
+    let mut trained = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &data, 5);
+    let report = train_plain(trained.as_mut(), &data, &cfg);
+    let after = evaluate(trained.as_mut(), &data, cfg.mask, data.test_samples());
+
+    assert!(report.final_mse().is_finite());
+    assert!(
+        after.overall.mape < before.overall.mape,
+        "training did not help: {} → {}",
+        before.overall.mape,
+        after.overall.mape
+    );
+}
+
+#[test]
+fn adversarial_training_is_stable_end_to_end() {
+    let data = tiny_dataset(2);
+    let cfg = tiny_cfg(true);
+    let mut p = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &data, 6);
+    let report = train_apots(p.as_mut(), &data, &cfg);
+    for e in &report.epochs {
+        assert!(e.mse.is_finite() && e.p_loss.is_finite() && e.d_loss.is_finite());
+    }
+    let eval = evaluate(p.as_mut(), &data, cfg.mask, data.test_samples());
+    assert!(eval.overall.mape.is_finite());
+    assert!(eval.overall.mape < 200.0, "MAPE exploded: {}", eval.overall.mape);
+}
+
+#[test]
+fn training_is_deterministic_under_seed() {
+    let run = || {
+        let data = tiny_dataset(3);
+        let cfg = tiny_cfg(false);
+        let mut p = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &data, 9);
+        let _ = train_plain(p.as_mut(), &data, &cfg);
+        evaluate(p.as_mut(), &data, cfg.mask, data.test_samples()).overall.mape
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seeds must yield identical results");
+}
+
+#[test]
+fn different_seeds_give_different_models() {
+    let data = tiny_dataset(4);
+    let cfg = tiny_cfg(false);
+    let mut a = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &data, 1);
+    let mut b = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &data, 2);
+    let _ = train_plain(a.as_mut(), &data, &cfg);
+    let _ = train_plain(b.as_mut(), &data, &cfg);
+    let ea = evaluate(a.as_mut(), &data, cfg.mask, data.test_samples());
+    let eb = evaluate(b.as_mut(), &data, cfg.mask, data.test_samples());
+    assert_ne!(ea.overall.mape, eb.overall.mape);
+}
+
+#[test]
+fn every_predictor_kind_survives_one_adversarial_epoch() {
+    let data = tiny_dataset(5);
+    let mut cfg = tiny_cfg(true);
+    cfg.epochs = 1;
+    cfg.max_train_samples = Some(64);
+    for kind in PredictorKind::all() {
+        let mut p = build_predictor(kind, HyperPreset::Fast, &data, 3);
+        let report = train_apots(p.as_mut(), &data, &cfg);
+        assert!(
+            report.final_mse().is_finite(),
+            "{kind:?} produced non-finite loss"
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Cross-crate invariants of the data pipeline and encodings.
+
+use apots::config::PredictorKind;
+use apots::encode::{encode_context, encode_inputs, PredictorInput};
+use apots_traffic::calendar::Calendar;
+use apots_traffic::{
+    Corridor, DataConfig, FeatureMask, NonSpeedMask, SimConfig, TrafficDataset,
+};
+
+fn dataset() -> TrafficDataset {
+    let calendar = Calendar::new(10, 6, vec![4]);
+    TrafficDataset::new(
+        Corridor::generate_with_calendar(SimConfig::default(), calendar),
+        DataConfig::default(),
+    )
+}
+
+/// §V-B Q2: the input width is identical for every ablation mask.
+#[test]
+fn input_width_is_mask_invariant() {
+    let data = dataset();
+    let ts = &data.train_samples()[..4];
+    let widths: Vec<usize> = FeatureMask::fig5_grid()
+        .iter()
+        .map(|(_, mask)| {
+            let (input, _) = encode_inputs(PredictorKind::Fc, &data, ts, *mask);
+            match input {
+                PredictorInput::Flat(x) => x.cols(),
+                _ => unreachable!(),
+            }
+        })
+        .collect();
+    assert!(widths.windows(2).all(|w| w[0] == w[1]), "widths {widths:?}");
+}
+
+/// The discriminator's real sequence must end exactly at the prediction
+/// target (Eq 2's `S_{t−α+β+1:t+β}`).
+#[test]
+fn real_sequence_aligns_with_target_across_masks() {
+    let data = dataset();
+    let ts = &data.train_samples()[..8];
+    for (_, mask) in FeatureMask::fig5_grid() {
+        let (real, _) = encode_context(&data, ts, mask);
+        let (_, targets) = encode_inputs(PredictorKind::Fc, &data, ts, mask);
+        for i in 0..ts.len() {
+            let last = real.at2(i, real.cols() - 1);
+            assert!((last - targets.at2(i, 0)).abs() < 1e-6);
+        }
+    }
+}
+
+/// Table II masks modulate exactly the intended feature groups.
+#[test]
+fn nonspeed_masks_gate_the_right_features() {
+    let data = dataset();
+    let t = data.train_samples()[7];
+    for ns in NonSpeedMask::table2_grid() {
+        let mask = FeatureMask {
+            adjacent: true,
+            non_speed: ns,
+            volume: false,
+        };
+        let f = data.features(t, mask);
+        // Event flags may legitimately be all-zero (no active incident in
+        // the window) — only the masked-off direction is an invariant.
+        if !ns.event {
+            assert!(f.event.iter().all(|&v| v == 0.0));
+        }
+        if !ns.weather {
+            assert!(f.temperature.iter().all(|&v| v == 0.0));
+            assert!(f.precipitation.iter().all(|&v| v == 0.0));
+        } else {
+            assert!(f.temperature.iter().any(|&v| v != 0.0));
+        }
+        if !ns.time {
+            assert!(f.hour.iter().all(|&v| v == 0.0));
+            assert_eq!(f.day_type, [0.0; 4]);
+        }
+        // The target road's speeds are never masked.
+        assert!(f.target_history().iter().any(|&v| v != 0.0));
+    }
+}
+
+/// The adversarial loop needs α extra history intervals before each train
+/// sample; the dataset must guarantee them.
+#[test]
+fn train_samples_have_adversarial_history() {
+    let data = dataset();
+    let alpha = data.config().alpha;
+    for &t in data.train_samples() {
+        assert!(t + 1 >= 2 * alpha, "sample {t} lacks history");
+        // Encoding the earliest sub-window must not panic.
+        let _ = data.features(t - (alpha - 1), FeatureMask::BOTH);
+    }
+}
+
+/// Speeds, normalization and the simulator's physical bounds compose: all
+/// normalized training features stay in a sane range.
+#[test]
+fn normalized_features_are_bounded() {
+    let data = dataset();
+    for &t in data.train_samples().iter().step_by(97) {
+        let f = data.features(t, FeatureMask::BOTH);
+        for row in &f.speed_matrix {
+            assert!(row.iter().all(|v| (-0.5..=1.5).contains(v)));
+        }
+        assert!(f.temperature.iter().all(|v| (-0.5..=1.5).contains(v)));
+        assert!(f.precipitation.iter().all(|v| (-0.5..=1.5).contains(v)));
+        assert!(f.hour.iter().all(|v| (0.0..=1.0).contains(v)));
+        assert!(f.event.iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+}
+
+/// Paper-period calendar facts used throughout the evaluation.
+#[test]
+fn paper_calendar_is_wired_into_the_default_corridor() {
+    let corridor = Corridor::generate(SimConfig::default());
+    assert_eq!(corridor.calendar().days(), 122);
+    assert_eq!(corridor.calendar().holidays().len(), 7);
+    assert_eq!(corridor.n_roads(), 5);
+    assert_eq!(corridor.target_road(), 2);
+    assert_eq!(corridor.intervals(), 122 * 288);
+}
