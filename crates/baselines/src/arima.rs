@@ -152,7 +152,9 @@ mod tests {
 
     #[test]
     fn batch_predict_matches_single() {
-        let series: Vec<f32> = (0..200).map(|t| (t as f32 * 0.1).cos() * 5.0 + 60.0).collect();
+        let series: Vec<f32> = (0..200)
+            .map(|t| (t as f32 * 0.1).cos() * 5.0 + 60.0)
+            .collect();
         let model = Arima::fit(&series, 3, 0);
         let h1 = &series[..100];
         let h2 = &series[..150];

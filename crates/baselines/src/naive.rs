@@ -30,7 +30,11 @@ pub struct HistoricalAverage {
 impl HistoricalAverage {
     /// Builds the lookup table from training observations `(times, values)`.
     pub fn fit(times: &[usize], values: &[f32], calendar: &Calendar) -> Self {
-        assert_eq!(times.len(), values.len(), "HistoricalAverage: length mismatch");
+        assert_eq!(
+            times.len(),
+            values.len(),
+            "HistoricalAverage: length mismatch"
+        );
         assert!(!times.is_empty(), "HistoricalAverage: no training data");
         let mut sums = [[0.0f64; 24]; 2];
         let mut counts = [[0u32; 24]; 2];
@@ -41,8 +45,7 @@ impl HistoricalAverage {
             sums[free][hour] += f64::from(v);
             counts[free][hour] += 1;
         }
-        let global: f64 = values.iter().map(|&v| f64::from(v)).sum::<f64>()
-            / values.len() as f64;
+        let global: f64 = values.iter().map(|&v| f64::from(v)).sum::<f64>() / values.len() as f64;
         let mut table = [[0.0f32; 24]; 2];
         for c in 0..2 {
             for h in 0..24 {
@@ -62,8 +65,7 @@ impl HistoricalAverage {
             .iter()
             .map(|&t| {
                 let day = calendar.day_of(t);
-                let free =
-                    usize::from(calendar.is_weekend(day) || calendar.is_holiday(day));
+                let free = usize::from(calendar.is_weekend(day) || calendar.is_holiday(day));
                 let hour = (t % INTERVALS_PER_DAY) / 12;
                 self.table[free][hour]
             })
@@ -101,7 +103,10 @@ mod tests {
         let model = HistoricalAverage::fit(&times, &values, &cal);
         // Day 7 is a Monday in this calendar (start_weekday = 0).
         let preds = model.predict(
-            &[7 * INTERVALS_PER_DAY + 3 * 12, 7 * INTERVALS_PER_DAY + 8 * 12],
+            &[
+                7 * INTERVALS_PER_DAY + 3 * 12,
+                7 * INTERVALS_PER_DAY + 8 * 12,
+            ],
             &cal,
         );
         assert!((preds[0] - 90.0).abs() < 1e-4);

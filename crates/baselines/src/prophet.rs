@@ -75,8 +75,7 @@ impl Prophet {
         assert_eq!(times.len(), values.len(), "Prophet: length mismatch");
         assert!(!times.is_empty(), "Prophet: no training data");
         let horizon = calendar.intervals();
-        let max_train_tau =
-            *times.iter().max().expect("nonempty") as f32 / horizon.max(1) as f32;
+        let max_train_tau = *times.iter().max().expect("nonempty") as f32 / horizon.max(1) as f32;
         let changepoints: Vec<f32> = (1..=config.n_changepoints)
             .map(|k| 0.8 * max_train_tau * k as f32 / (config.n_changepoints + 1) as f32)
             .collect();
@@ -87,11 +86,7 @@ impl Prophet {
         let x = Tensor::from_rows(&rows);
         let y = Tensor::from_vec(values.to_vec());
         let mut lambdas = vec![config.lambda; x.cols()];
-        for l in lambdas
-            .iter_mut()
-            .skip(2)
-            .take(config.n_changepoints)
-        {
+        for l in lambdas.iter_mut().skip(2).take(config.n_changepoints) {
             *l = config.changepoint_lambda;
         }
         let beta = ridge_regression_weighted(&x, &y, &lambdas)
@@ -118,10 +113,7 @@ impl Prophet {
                     self.horizon,
                     &self.changepoints,
                 );
-                row.iter()
-                    .zip(&self.beta)
-                    .map(|(a, b)| a * b)
-                    .sum::<f32>()
+                row.iter().zip(&self.beta).map(|(a, b)| a * b).sum::<f32>()
             })
             .collect()
     }
@@ -172,9 +164,7 @@ fn feature_row(
     let w = config.holiday_window as isize;
     for offset in -w..=w {
         let d = day as isize + offset;
-        let hit = d >= 0
-            && (d as usize) < calendar.days()
-            && calendar.is_holiday(d as usize);
+        let hit = d >= 0 && (d as usize) < calendar.days() && calendar.is_holiday(d as usize);
         row.push(f32::from(u8::from(hit)));
     }
     row
@@ -266,8 +256,7 @@ mod tests {
         let y = synthetic_series(&cal);
         let train_t: Vec<usize> = (0..cal.intervals()).collect();
         let cfg = ProphetConfig::default();
-        let expected =
-            2 + cfg.n_changepoints + 2 * cfg.daily_order + 2 * cfg.weekly_order + 3;
+        let expected = 2 + cfg.n_changepoints + 2 * cfg.daily_order + 2 * cfg.weekly_order + 3;
         let model = Prophet::fit(&train_t, &y, &cal, cfg);
         assert_eq!(model.n_coefficients(), expected);
     }

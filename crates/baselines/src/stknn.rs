@@ -107,7 +107,11 @@ mod tests {
 
     #[test]
     fn exact_match_returns_stored_target() {
-        let model = StKnn::fit(vec![ramp(1.0), ramp(10.0), ramp(20.0)], vec![5.0, 14.0, 24.0], 2);
+        let model = StKnn::fit(
+            vec![ramp(1.0), ramp(10.0), ramp(20.0)],
+            vec![5.0, 14.0, 24.0],
+            2,
+        );
         assert_eq!(model.predict_one(&ramp(10.0)), 14.0);
         assert_eq!(model.len(), 3);
         assert!(!model.is_empty());

@@ -3,9 +3,9 @@
 
 use std::time::Duration;
 
+use apots_bench::{criterion_group, criterion_main, Criterion};
 use apots_traffic::calendar::Calendar;
 use apots_traffic::{scenarios, Corridor, SimConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_simulator(c: &mut Criterion) {

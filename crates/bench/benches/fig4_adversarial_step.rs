@@ -7,9 +7,9 @@ use std::time::Duration;
 use apots::config::{HyperPreset, PredictorKind, TrainConfig};
 use apots::predictor::build_predictor;
 use apots::trainer::train_apots;
+use apots_bench::{criterion_group, criterion_main, Criterion};
 use apots_traffic::calendar::Calendar;
 use apots_traffic::{Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn dataset() -> TrafficDataset {

@@ -5,9 +5,9 @@ use std::time::Duration;
 
 use apots::config::PredictorKind;
 use apots::encode::encode_inputs;
+use apots_bench::{criterion_group, criterion_main, Criterion};
 use apots_traffic::calendar::Calendar;
 use apots_traffic::{Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_encoding(c: &mut Criterion) {

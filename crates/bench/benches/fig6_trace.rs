@@ -6,9 +6,9 @@ use std::time::Duration;
 use apots::config::{HyperPreset, PredictorKind};
 use apots::eval::{evaluate, predict_trace};
 use apots::predictor::build_predictor;
+use apots_bench::{criterion_group, criterion_main, Criterion};
 use apots_traffic::calendar::Calendar;
 use apots_traffic::{scenarios, Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_trace(c: &mut Criterion) {

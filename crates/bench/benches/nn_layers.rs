@@ -3,11 +3,11 @@
 
 use std::time::Duration;
 
+use apots_bench::{criterion_group, criterion_main, Criterion};
 use apots_nn::layer::Layer;
 use apots_nn::{Conv2d, Dense, Lstm};
 use apots_tensor::rng::seeded;
 use apots_tensor::Tensor;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_dense(c: &mut Criterion) {

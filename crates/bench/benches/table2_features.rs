@@ -4,9 +4,9 @@
 
 use std::time::Duration;
 
+use apots_bench::{criterion_group, criterion_main, Criterion};
 use apots_traffic::calendar::Calendar;
 use apots_traffic::{Corridor, DataConfig, FeatureMask, NonSpeedMask, SimConfig, TrafficDataset};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_features(c: &mut Criterion) {

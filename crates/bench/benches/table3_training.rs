@@ -9,9 +9,9 @@ use apots::predictor::build_predictor;
 use apots::trainer::train_plain;
 use apots_baselines::naive::{HistoricalAverage, Persistence};
 use apots_baselines::prophet::{Prophet, ProphetConfig};
+use apots_bench::{criterion_group, criterion_main, Criterion};
 use apots_traffic::calendar::Calendar;
 use apots_traffic::{Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn dataset() -> TrafficDataset {

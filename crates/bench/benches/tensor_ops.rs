@@ -3,10 +3,10 @@
 
 use std::time::Duration;
 
+use apots_bench::{criterion_group, criterion_main, Criterion};
 use apots_tensor::linalg::{cholesky_solve, ridge_regression};
 use apots_tensor::rng::seeded;
 use apots_tensor::Tensor;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_matmul(c: &mut Criterion) {

@@ -1,0 +1,497 @@
+//! # apots-check
+//!
+//! A deliberately small property-testing harness, replacing `proptest` in
+//! the hermetic (zero-external-dependency) APOTS workspace.
+//!
+//! The moving parts:
+//!
+//! * [`check`] / [`check_with`] — run a property over `cases` generated
+//!   inputs (default 64, tunable via `APOTS_CHECK_CASES`), deterministic
+//!   under a per-property seed derived from the property name;
+//! * [`Shrink`] — when a case fails, the harness greedily shrinks the
+//!   counterexample *by halving* (half the magnitude, half the length)
+//!   until no smaller failing input is found, then panics with the shrunk
+//!   counterexample and the property's error message;
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`] — in-property macros mirroring `proptest`'s, but
+//!   returning `Result<(), String>` instead of unwinding per case.
+//!
+//! A property is a closure from a generated input to
+//! `Result<(), String>`; generation is an explicit closure over the
+//! workspace RNG ([`apots_tensor::rng::SeededRng`]), so there is no
+//! strategy combinator language to learn — plain Rust expresses the
+//! same distributions.
+//!
+//! ```
+//! use apots_check::{check, prop_assert};
+//!
+//! check("reverse twice is identity", |rng| {
+//!     apots_check::gen::vec_f32(rng, -10.0..10.0, 0..32)
+//! }, |v| {
+//!     let mut w = v.clone();
+//!     w.reverse();
+//!     w.reverse();
+//!     prop_assert!(w == *v, "mismatch: {w:?} vs {v:?}");
+//!     Ok(())
+//! });
+//! ```
+
+use std::fmt::Debug;
+
+pub use apots_tensor::rng::{seeded, Rng, SeededRng};
+
+/// Budget knobs for a property run.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases (`APOTS_CHECK_CASES` overrides; the
+    /// acceptance floor for the workspace suites is 64).
+    pub cases: usize,
+    /// Base seed mixed with the property name (`APOTS_CHECK_SEED`).
+    pub seed: u64,
+    /// Cap on shrinking iterations once a counterexample is found.
+    pub max_shrink_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("APOTS_CHECK_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        let seed = std::env::var("APOTS_CHECK_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0x5EED_CA5E);
+        Self {
+            cases,
+            seed,
+            max_shrink_steps: 2048,
+        }
+    }
+}
+
+/// FNV-1a, used to give every property its own deterministic stream.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `prop` over [`Config::default`]`.cases` inputs drawn from `gen`.
+///
+/// # Panics
+/// Panics with the (shrunk) counterexample if any case fails.
+pub fn check<T, G, P>(name: &str, gen: G, prop: P)
+where
+    T: Clone + Debug + Shrink,
+    G: Fn(&mut SeededRng) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    check_with(&Config::default(), name, gen, prop);
+}
+
+/// [`check`] with explicit budgets.
+pub fn check_with<T, G, P>(cfg: &Config, name: &str, gen: G, prop: P)
+where
+    T: Clone + Debug + Shrink,
+    G: Fn(&mut SeededRng) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut rng = seeded(cfg.seed ^ fnv1a(name));
+    for case in 0..cfg.cases {
+        let input = gen(&mut rng);
+        if let Err(msg) = prop(&input) {
+            let (shrunk, final_msg, steps) = shrink_failure(cfg, input, msg, &prop);
+            panic!(
+                "property {name:?} failed at case {case}/{} (shrunk {steps} steps)\n\
+                 counterexample: {shrunk:?}\n\
+                 error: {final_msg}",
+                cfg.cases
+            );
+        }
+    }
+}
+
+/// Greedy halving shrink: repeatedly replace the counterexample with the
+/// first still-failing candidate until a fixpoint or the step budget.
+fn shrink_failure<T, P>(
+    cfg: &Config,
+    mut current: T,
+    mut msg: String,
+    prop: &P,
+) -> (T, String, usize)
+where
+    T: Clone + Debug + Shrink,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut steps = 0;
+    'outer: while steps < cfg.max_shrink_steps {
+        for candidate in current.shrink_candidates() {
+            steps += 1;
+            if let Err(m) = prop(&candidate) {
+                current = candidate;
+                msg = m;
+                continue 'outer;
+            }
+            if steps >= cfg.max_shrink_steps {
+                break;
+            }
+        }
+        break; // no candidate fails — local minimum
+    }
+    (current, msg, steps)
+}
+
+/// Types that know how to propose strictly "smaller" versions of
+/// themselves. Everything defaults to halving toward a zero point.
+pub trait Shrink: Sized {
+    /// Candidate replacements, roughly ordered most-aggressive first.
+    fn shrink_candidates(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! impl_shrink_int {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                if *self != 0 {
+                    out.push(0);
+                    let half = *self / 2;
+                    if half != 0 && half != *self {
+                        out.push(half);
+                    }
+                    if *self > 1 || *self < -1 {
+                        out.push(*self - self.signum());
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_shrink_uint {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                if *self != 0 {
+                    out.push(0);
+                    let half = *self / 2;
+                    if half != 0 {
+                        out.push(half);
+                    }
+                    if *self > 1 {
+                        out.push(*self - 1);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_shrink_float {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                if *self == 0.0 || !self.is_finite() {
+                    return Vec::new();
+                }
+                let mut out = vec![0.0, self / 2.0];
+                let t = self.trunc();
+                if t != *self {
+                    out.push(t);
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_float!(f32, f64);
+
+impl Shrink for bool {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Shrink for String {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let n = self.chars().count();
+        vec![
+            String::new(),
+            self.chars().take(n / 2).collect(),
+            self.chars().skip(n - n / 2).collect(),
+        ]
+    }
+}
+
+impl<T: Clone + Shrink> Shrink for Vec<T> {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        let n = self.len();
+        if n > 0 {
+            out.push(Vec::new());
+            out.push(self[..n / 2].to_vec());
+            out.push(self[n - n / 2..].to_vec());
+            out.push(self[..n - 1].to_vec());
+            // Element-wise shrinks on a few positions (halving values).
+            for i in 0..n.min(4) {
+                for cand in self[i].shrink_candidates() {
+                    let mut v = self.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Shrink for apots_tensor::Tensor {
+    /// Tensors shrink value-wise (zeros, then halved magnitudes); the
+    /// shape is preserved so shape-coupled tuples stay consistent.
+    fn shrink_candidates(&self) -> Vec<Self> {
+        if self.data().iter().all(|&v| v == 0.0) {
+            return Vec::new();
+        }
+        vec![apots_tensor::Tensor::zeros(self.shape()), self.scale(0.5)]
+    }
+}
+
+macro_rules! impl_shrink_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Clone + Shrink),+> Shrink for ($($name,)+) {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink_candidates() {
+                        let mut t = self.clone();
+                        t.$idx = cand;
+                        out.push(t);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+impl_shrink_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+/// Ready-made generators for the common shapes in the workspace suites.
+pub mod gen {
+    use super::{Rng, SeededRng};
+
+    /// `Vec<f32>` with a length drawn from `len` and values from `range`.
+    pub fn vec_f32(
+        rng: &mut SeededRng,
+        range: core::ops::Range<f32>,
+        len: core::ops::Range<usize>,
+    ) -> Vec<f32> {
+        let n = rng.random_range(len);
+        (0..n).map(|_| rng.random_range(range.clone())).collect()
+    }
+
+    /// Pair of equal-length `Vec<f32>`s (for paired-series metrics).
+    pub fn vec_f32_pair(
+        rng: &mut SeededRng,
+        range: core::ops::Range<f32>,
+        len: core::ops::Range<usize>,
+    ) -> (Vec<f32>, Vec<f32>) {
+        let n = rng.random_range(len);
+        let mut a = Vec::with_capacity(n);
+        let mut b = Vec::with_capacity(n);
+        for _ in 0..n {
+            a.push(rng.random_range(range.clone()));
+            b.push(rng.random_range(range.clone()));
+        }
+        (a, b)
+    }
+}
+
+/// `assert!` for properties: evaluates to `return Err(...)` on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `assert_eq!` for properties.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs != rhs {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {lhs:?}\n right: {rhs:?}",
+                stringify!($a),
+                stringify!($b)
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` for properties.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs == rhs {
+            return Err(format!(
+                "assertion failed: {} != {} (both {lhs:?})",
+                stringify!($a),
+                stringify!($b)
+            ));
+        }
+    }};
+}
+
+/// Skips a case whose preconditions do not hold (counts as passing).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut seen = 0usize;
+        let cfg = Config {
+            cases: 64,
+            seed: 1,
+            max_shrink_steps: 100,
+        };
+        // Count via interior state captured by the generator.
+        let counter = std::cell::Cell::new(0usize);
+        check_with(
+            &cfg,
+            "sum is symmetric",
+            |rng| {
+                counter.set(counter.get() + 1);
+                (
+                    rng.random_range(-100i64..100),
+                    rng.random_range(-100i64..100),
+                )
+            },
+            |&(a, b)| {
+                prop_assert_eq!(a + b, b + a);
+                Ok(())
+            },
+        );
+        seen += counter.get();
+        assert_eq!(seen, 64);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let cfg = Config {
+            cases: 16,
+            seed: 99,
+            max_shrink_steps: 0,
+        };
+        let collect = |_: ()| {
+            let vals = std::cell::RefCell::new(Vec::new());
+            check_with(
+                &cfg,
+                "record stream",
+                |rng| {
+                    let v: u64 = rng.random();
+                    vals.borrow_mut().push(v);
+                    v
+                },
+                |_| Ok(()),
+            );
+            vals.into_inner()
+        };
+        assert_eq!(collect(()), collect(()));
+    }
+
+    /// The acceptance-criteria meta-test: deliberately break a law and
+    /// verify the harness reports a *shrunk* counterexample.
+    #[test]
+    #[should_panic(expected = "counterexample: [0.0, 0.0, 0.0]")]
+    fn broken_law_fails_with_shrunk_counterexample() {
+        check(
+            "vectors are always shorter than 3",
+            |rng| gen::vec_f32(rng, -100.0..100.0, 0..32),
+            |v| {
+                prop_assert!(v.len() < 3, "len {} >= 3", v.len());
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "counterexample: 10")]
+    fn integer_counterexamples_shrink_to_boundary() {
+        check(
+            "all integers are below 10",
+            |rng| rng.random_range(0u64..10_000),
+            |&v| {
+                prop_assert!(v < 10, "{v} >= 10");
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn assume_skips_cases() {
+        check(
+            "assume filters",
+            |rng| rng.random_range(0u64..4),
+            |&v| {
+                prop_assume!(v > 0);
+                prop_assert!(v > 0);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn shrink_vec_proposes_halves() {
+        let v = vec![4.0f32, 8.0, -2.0, 6.0];
+        let cands = v.shrink_candidates();
+        assert!(cands.contains(&Vec::new()));
+        assert!(cands.contains(&vec![4.0, 8.0]));
+        assert!(cands.iter().any(|c| c.len() == 3));
+    }
+}

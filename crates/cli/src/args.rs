@@ -87,9 +87,15 @@ mod tests {
 
     #[test]
     fn parses_command_options_and_flags() {
-        let (cmd, args) =
-            Args::parse(&strs(&["train", "--kind", "H", "--adversarial", "--epochs", "6"]))
-                .unwrap();
+        let (cmd, args) = Args::parse(&strs(&[
+            "train",
+            "--kind",
+            "H",
+            "--adversarial",
+            "--epochs",
+            "6",
+        ]))
+        .unwrap();
         assert_eq!(cmd, "train");
         assert_eq!(args.get_str("kind"), Some("H"));
         assert!(args.has_flag("adversarial"));

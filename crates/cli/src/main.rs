@@ -18,7 +18,9 @@ use apots::eval::{evaluate, predict_trace};
 use apots::predictor::build_predictor;
 use apots::trainer::{train_apots, train_plain};
 use apots_traffic::calendar::Calendar;
-use apots_traffic::{Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset, INTERVALS_PER_DAY};
+use apots_traffic::{
+    Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset, INTERVALS_PER_DAY,
+};
 
 mod args;
 
@@ -105,7 +107,10 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         "target road {h}: free flow {:.1} km/h, mean {:.1} km/h, min {:.1} km/h",
         c.free_flow()[h],
         c.road_speeds(h).iter().sum::<f32>() / c.intervals() as f32,
-        c.road_speeds(h).iter().copied().fold(f32::INFINITY, f32::min),
+        c.road_speeds(h)
+            .iter()
+            .copied()
+            .fold(f32::INFINITY, f32::min),
     );
     println!(
         "weather: {:.1}% of intervals rainy; incidents: {}",
@@ -118,14 +123,13 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         data.test_samples().len()
     );
     if let Some(path) = args.get_str("out") {
-        let json = serde_json::json!({
+        let json = apots_serde::json!({
             "n_roads": c.n_roads(),
             "intervals": c.intervals(),
             "target_road": h,
             "speeds": (0..c.n_roads()).map(|r| c.road_speeds(r)).collect::<Vec<_>>(),
         });
-        std::fs::write(path, serde_json::to_string(&json).unwrap())
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        std::fs::write(path, json.to_string()).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("wrote {path}");
     }
     Ok(())
@@ -163,7 +167,11 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     println!(
         "training {} ({}, {} epochs) on {} samples…",
         kind.label(),
-        if adversarial { "APOTS adversarial" } else { "plain MSE" },
+        if adversarial {
+            "APOTS adversarial"
+        } else {
+            "plain MSE"
+        },
         cfg.epochs,
         data.train_samples().len()
     );
@@ -197,10 +205,15 @@ fn load_model(args: &Args, data: &TrafficDataset) -> Result<Box<dyn apots::Predi
 fn cmd_eval(args: &Args) -> Result<(), String> {
     let data = build_data(args)?;
     let mut model = load_model(args, &data)?;
-    let eval = evaluate(model.as_mut(), &data, FeatureMask::BOTH, data.test_samples());
+    let eval = evaluate(
+        model.as_mut(),
+        &data,
+        FeatureMask::BOTH,
+        data.test_samples(),
+    );
     if args.has_flag("json") {
         let rows = eval.mape_rows();
-        let json = serde_json::json!({
+        let json = apots_serde::json!({
             "mae": eval.overall.mae,
             "rmse": eval.overall.rmse,
             "mape": eval.overall.mape,
@@ -209,7 +222,7 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
             "mape_abrupt_dec": rows[3],
             "n_test": eval.predictions.len(),
         });
-        println!("{}", serde_json::to_string_pretty(&json).unwrap());
+        println!("{}", json.to_string_pretty());
     } else {
         println!("test samples: {}", eval.predictions.len());
         println!("MAE  {:.2} km/h", eval.overall.mae);
@@ -244,7 +257,9 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
         .ok_or_else(|| "--day N is required".to_string())?;
     let days = data.corridor().intervals() / INTERVALS_PER_DAY;
     if day >= days {
-        return Err(format!("--day {day} out of range (simulation has {days} days)"));
+        return Err(format!(
+            "--day {day} out of range (simulation has {days} days)"
+        ));
     }
     let from = parse_hhmm(args.get_str("from").unwrap_or("06:00"))?;
     let to = parse_hhmm(args.get_str("to").unwrap_or("09:00"))?;

@@ -44,7 +44,11 @@ impl CGan {
         let cond_width = SampleFeatures::flat_width(n_roads, alpha);
         let mut rng = seeded(seed);
         let mut generator = Sequential::new();
-        generator.add(Box::new(Dense::new(z_dim + cond_width, hidden[0], &mut rng)));
+        generator.add(Box::new(Dense::new(
+            z_dim + cond_width,
+            hidden[0],
+            &mut rng,
+        )));
         generator.add(Box::new(Relu::new()));
         generator.add(Box::new(Dense::new(hidden[0], hidden[1], &mut rng)));
         generator.add(Box::new(Relu::new()));
@@ -127,8 +131,7 @@ impl CGan {
                 let z = Tensor::randn(&[b, self.z_dim], 0.0, 1.0, &mut self.rng);
                 let fake_seq = self.generate(&z, &cond, true);
                 let logits = self.discriminator.forward(&fake_seq, &cond, true);
-                let (g_loss, dlogits) =
-                    apots_nn::loss::generator_loss_nonsaturating(&logits);
+                let (g_loss, dlogits) = apots_nn::loss::generator_loss_nonsaturating(&logits);
                 let dseq = self.discriminator.backward(&dlogits);
                 let _ = self.generator.backward(&dseq);
                 let mut g_params = self.generator.params_mut();

@@ -5,13 +5,14 @@
 //! experiment binaries use this to avoid retraining shared models).
 
 use apots_nn::StateDict;
+use apots_serde::{Json, Map};
 use apots_traffic::TrafficDataset;
 
 use crate::config::{HyperPreset, PredictorKind};
 use crate::predictor::{build_predictor, Predictor};
 
 /// A serializable trained-predictor snapshot.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
     /// Which architecture the parameters belong to.
     pub kind: String,
@@ -44,14 +45,31 @@ impl Checkpoint {
         p
     }
 
-    /// Serializes to JSON.
+    /// Serializes to JSON text (`{"kind": …, "state": {…}}`).
+    ///
+    /// # Panics
+    /// Panics if any parameter is non-finite — a NaN checkpoint is
+    /// corrupt and must not be persisted.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("Checkpoint serialization cannot fail")
+        let mut root = Map::new();
+        root.insert("kind".to_string(), Json::from(self.kind.as_str()));
+        root.insert("state".to_string(), self.state.to_json());
+        Json::Obj(root).to_string()
     }
 
-    /// Deserializes from JSON.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Deserializes from JSON text produced by [`Checkpoint::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let value = Json::parse(json).map_err(|e| format!("Checkpoint: {e}"))?;
+        let kind = value
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("Checkpoint: missing \"kind\" string")?
+            .to_string();
+        let state_value = value
+            .get("state")
+            .ok_or_else(|| "Checkpoint: missing \"state\" object".to_string())?;
+        let state = StateDict::from_json(state_value).map_err(|e| format!("Checkpoint: {e}"))?;
+        Ok(Self { kind, state })
     }
 }
 

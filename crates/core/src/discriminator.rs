@@ -35,7 +35,10 @@ impl Discriminator {
         conditional: bool,
         seed: u64,
     ) -> Self {
-        assert!(seq_width > 0 && cond_width > 0, "Discriminator: zero widths");
+        assert!(
+            seq_width > 0 && cond_width > 0,
+            "Discriminator: zero widths"
+        );
         let mut rng = seeded(seed);
         let mut net = Sequential::new();
         let mut prev = seq_width + cond_width;
@@ -148,8 +151,7 @@ mod tests {
             let real = Tensor::rand_uniform(&[16, 6], 0.6, 1.0, &mut rng);
             let fake = Tensor::rand_uniform(&[16, 6], 0.0, 0.4, &mut rng);
             let cond = Tensor::zeros(&[32, 4]);
-            let seq = Tensor::concat_cols(&[&real.transpose2(), &fake.transpose2()])
-                .transpose2(); // stack rows: [32, 6]
+            let seq = Tensor::concat_cols(&[&real.transpose2(), &fake.transpose2()]).transpose2(); // stack rows: [32, 6]
             let mut labels = vec![1.0f32; 16];
             labels.extend(vec![0.0f32; 16]);
             let labels = Tensor::new(vec![32, 1], labels);

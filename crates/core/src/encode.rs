@@ -110,7 +110,10 @@ pub fn encode_context(
 }
 
 fn encode_flat(feats: &[SampleFeatures]) -> Tensor {
-    let rows: Vec<Vec<f32>> = feats.iter().map(SampleFeatures::conditioning_flat).collect();
+    let rows: Vec<Vec<f32>> = feats
+        .iter()
+        .map(SampleFeatures::conditioning_flat)
+        .collect();
     Tensor::from_rows(&rows)
 }
 

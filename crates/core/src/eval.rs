@@ -74,11 +74,7 @@ pub fn evaluate(
 }
 
 /// Computes the situation-segmented summaries from raw km/h series.
-pub fn summarize(
-    predictions: Vec<f32>,
-    observations: Vec<f32>,
-    previous: Vec<f32>,
-) -> EvalResult {
+pub fn summarize(predictions: Vec<f32>, observations: Vec<f32>, previous: Vec<f32>) -> EvalResult {
     let split = SituationSplit::from_speeds(&previous, &observations, DEFAULT_THETA);
     let subset = |idx: &[usize]| -> Option<ErrorSummary> {
         if idx.is_empty() {

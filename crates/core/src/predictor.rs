@@ -87,7 +87,11 @@ pub struct FcPredictor {
 impl FcPredictor {
     /// Builds the Table I stack: `hidden` dense+ReLU layers then a linear
     /// output.
-    pub fn new<R: rand::Rng>(input_width: usize, hidden: &[usize], rng: &mut R) -> Self {
+    pub fn new<R: apots_tensor::rng::Rng>(
+        input_width: usize,
+        hidden: &[usize],
+        rng: &mut R,
+    ) -> Self {
         assert!(!hidden.is_empty(), "FcPredictor: need hidden layers");
         let mut net = Sequential::new();
         let mut prev = input_width;
@@ -137,7 +141,7 @@ pub struct CnnPredictor {
 
 impl CnnPredictor {
     /// Builds the conv tower and head.
-    pub fn new<R: rand::Rng>(
+    pub fn new<R: apots_tensor::rng::Rng>(
         n_roads: usize,
         alpha: usize,
         filters: [usize; 3],
@@ -212,7 +216,11 @@ pub struct LstmPredictor {
 
 impl LstmPredictor {
     /// Builds the Table I stack of two LSTM layers plus readout.
-    pub fn new<R: rand::Rng>(input_width: usize, hidden: [usize; 2], rng: &mut R) -> Self {
+    pub fn new<R: apots_tensor::rng::Rng>(
+        input_width: usize,
+        hidden: [usize; 2],
+        rng: &mut R,
+    ) -> Self {
         let mut lstm = Sequential::new();
         lstm.add(Box::new(Lstm::new(input_width, hidden[0], true, rng)));
         lstm.add(Box::new(Lstm::new(hidden[0], hidden[1], false, rng)));
@@ -271,7 +279,7 @@ pub struct HybridPredictor {
 
 impl HybridPredictor {
     /// Builds conv tower + LSTM stack + readout.
-    pub fn new<R: rand::Rng>(
+    pub fn new<R: apots_tensor::rng::Rng>(
         n_roads: usize,
         alpha: usize,
         filters: [usize; 3],
@@ -471,10 +479,7 @@ mod tests {
     #[test]
     fn hybrid_permutation_roundtrip() {
         let shape = [3usize, 2, 4];
-        let fmap = Tensor::new(
-            vec![2, 3, 2, 4],
-            (0..48).map(|v| v as f32).collect(),
-        );
+        let fmap = Tensor::new(vec![2, 3, 2, 4], (0..48).map(|v| v as f32).collect());
         let seq = HybridPredictor::map_to_seq(&fmap, shape);
         assert_eq!(seq.shape(), &[2, 4, 6]);
         let back = HybridPredictor::seq_to_map(&seq, shape);

@@ -13,7 +13,9 @@
 //!    paper's footnote 1 (minimising `J_P`, Eq 1).
 
 use apots_nn::layer::Param;
-use apots_nn::loss::{bce_with_logits, generator_loss_nonsaturating, generator_loss_saturating, mse};
+use apots_nn::loss::{
+    bce_with_logits, generator_loss_nonsaturating, generator_loss_saturating, mse,
+};
 use apots_nn::optim::{clip_global_norm, Adam, Optimizer};
 use apots_tensor::rng::seeded;
 use apots_tensor::Tensor;
@@ -101,7 +103,10 @@ pub fn train_plain(
     data: &TrafficDataset,
     config: &TrainConfig,
 ) -> TrainReport {
-    assert!(!config.adversarial, "train_plain called with adversarial config");
+    assert!(
+        !config.adversarial,
+        "train_plain called with adversarial config"
+    );
     let mut opt = Adam::new(config.learning_rate);
     let mut rng = seeded(config.seed);
     let mut report = TrainReport::default();
@@ -200,8 +205,7 @@ pub fn train_apots_with(
 
             if warming_up {
                 // Pure-MSE warm-up: identical to a plain training batch.
-                let (input, targets) =
-                    encode_inputs(predictor.kind(), data, &batch, config.mask);
+                let (input, targets) = encode_inputs(predictor.kind(), data, &batch, config.mask);
                 let out = predictor.forward(&input, true);
                 let (loss, grad) = mse(&out, &targets);
                 predictor.backward(&grad);
@@ -223,8 +227,7 @@ pub fn train_apots_with(
             let mut fake_seq = Tensor::zeros(&[b, alpha]);
             let mut window_targets = Vec::with_capacity(alpha);
             for (k, w) in windows.iter().enumerate() {
-                let (input, targets) =
-                    encode_inputs(predictor.kind(), data, w, config.mask);
+                let (input, targets) = encode_inputs(predictor.kind(), data, w, config.mask);
                 let out = predictor.forward(&input, true);
                 for bi in 0..b {
                     fake_seq.set2(bi, k, out.at2(bi, 0));
@@ -279,10 +282,7 @@ pub fn train_apots_with(
                 let (input, _) = encode_inputs(predictor.kind(), data, w, config.mask);
                 let out = predictor.forward(&input, true);
                 let (m, mgrad) = mse(&out, &window_targets[k]);
-                let adv_col = Tensor::new(
-                    vec![b, 1],
-                    (0..b).map(|bi| dseq.at2(bi, k)).collect(),
-                );
+                let adv_col = Tensor::new(vec![b, 1], (0..b).map(|bi| dseq.at2(bi, k)).collect());
                 let total_grad = mgrad.add(&adv_col);
                 predictor.backward(&total_grad);
                 acc.absorb(&predictor.params_mut());

@@ -1,0 +1,152 @@
+//! Round-trip suite for the in-house JSON serializer as used by the
+//! checkpoint machinery: save→load→save byte-identity on a small trained
+//! predictor, rejection of non-finite parameters, zero-size tensors and
+//! string escaping for scenario-style names.
+
+use apots::checkpoint::Checkpoint;
+use apots::config::{HyperPreset, PredictorKind, TrainConfig};
+use apots::predictor::build_predictor;
+use apots::trainer::train_plain;
+use apots_nn::{Param, StateDict};
+use apots_serde::Json;
+use apots_tensor::Tensor;
+use apots_traffic::calendar::Calendar;
+use apots_traffic::{Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset};
+
+fn dataset() -> TrafficDataset {
+    let cal = Calendar::new(7, 6, vec![]);
+    TrafficDataset::new(
+        Corridor::generate_with_calendar(SimConfig::default(), cal),
+        DataConfig::default(),
+    )
+}
+
+/// A checkpoint of a trained predictor serializes to the exact same bytes
+/// after a save→load→save cycle: shortest round-trip float formatting is
+/// lossless and the writer is deterministic.
+#[test]
+fn trained_checkpoint_save_load_save_is_byte_identical() {
+    let data = dataset();
+    let mut cfg = TrainConfig::fast_plain(FeatureMask::SPEED_ONLY);
+    cfg.epochs = 1;
+    cfg.max_train_samples = Some(64);
+    let mut p = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &data, 11);
+    let _ = train_plain(p.as_mut(), &data, &cfg);
+
+    let first = Checkpoint::capture(p.as_mut()).to_json();
+    let reloaded = Checkpoint::from_json(&first).expect("first parse");
+    let second = reloaded.to_json();
+    assert_eq!(first.as_bytes(), second.as_bytes(), "save→load→save drift");
+
+    // And a third generation for good measure — the cycle is a fixpoint.
+    let third = Checkpoint::from_json(&second)
+        .expect("second parse")
+        .to_json();
+    assert_eq!(second, third);
+}
+
+/// NaN parameters must not be persisted: the writer panics rather than
+/// emitting a token JSON cannot represent.
+#[test]
+#[should_panic(expected = "non-finite")]
+fn nan_parameters_are_rejected_on_save() {
+    let data = dataset();
+    let mut p = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &data, 1);
+    {
+        let mut params = p.params_mut();
+        params[0].value.data_mut()[0] = f32::NAN;
+    }
+    let _ = Checkpoint::capture(p.as_mut()).to_json();
+}
+
+/// Infinite parameters are rejected the same way.
+#[test]
+#[should_panic(expected = "non-finite")]
+fn infinite_parameters_are_rejected_on_save() {
+    let data = dataset();
+    let mut p = build_predictor(PredictorKind::Lstm, HyperPreset::Fast, &data, 1);
+    {
+        let mut params = p.params_mut();
+        params[0].value.data_mut()[0] = f32::NEG_INFINITY;
+    }
+    let _ = Checkpoint::capture(p.as_mut()).to_json();
+}
+
+/// Parameterless models and zero-size tensors survive the round trip
+/// byte-identically.
+#[test]
+fn empty_state_and_zero_size_tensors_roundtrip() {
+    // No parameters at all.
+    let empty = StateDict::capture_params(&[]);
+    let json = empty.to_json().to_string();
+    let back = StateDict::from_json(&Json::parse(&json).unwrap()).unwrap();
+    assert!(back.is_empty());
+    assert_eq!(back.to_json().to_string(), json);
+
+    // A zero-element tensor ([0] shape) among normal ones.
+    let mut zero = Tensor::new(vec![0], vec![]);
+    let mut zero_grad = Tensor::new(vec![0], vec![]);
+    let mut small = Tensor::from_vec(vec![1.5, -2.25, 3.0e-8]);
+    let mut small_grad = Tensor::from_vec(vec![0.0; 3]);
+    let params = vec![
+        Param {
+            value: &mut zero,
+            grad: &mut zero_grad,
+        },
+        Param {
+            value: &mut small,
+            grad: &mut small_grad,
+        },
+    ];
+    let state = StateDict::capture_params(&params);
+    let text = state.to_json().to_string();
+    let back = StateDict::from_json(&Json::parse(&text).unwrap()).unwrap();
+    assert_eq!(back, state);
+    assert_eq!(back.to_json().to_string(), text, "zero-size tensor drift");
+    assert_eq!(back.scalar_count(), 3);
+}
+
+/// Scenario-style names full of quotes, backslashes, control characters
+/// and non-ASCII survive writer→parser round trips, pretty or compact.
+#[test]
+fn scenario_name_escaping_roundtrips() {
+    let names = [
+        "abrupt deceleration \"rush hour\"",
+        "back\\slash and / solidus",
+        "tabs\tand\nnewlines\r",
+        "control \u{1} char and null \u{0}",
+        "unicode: 서울 강변북로 β≤0.5 🚗",
+        "", // empty name
+    ];
+    for name in names {
+        let mut obj = apots_serde::Map::new();
+        obj.insert("scenario".to_string(), Json::from(name));
+        obj.insert(name.to_string(), Json::from(1.0f32));
+        let doc = Json::Obj(obj);
+
+        for text in [doc.to_string(), doc.to_string_pretty()] {
+            let back = Json::parse(&text).unwrap_or_else(|e| panic!("{name:?}: {e}"));
+            assert_eq!(back.get("scenario").and_then(Json::as_str), Some(name));
+            assert_eq!(back.get(name).and_then(Json::as_f64), Some(1.0));
+            // Re-serialization is byte-stable too.
+            assert_eq!(back.to_string(), doc.to_string());
+        }
+    }
+}
+
+/// The documented failure mode: corrupt checkpoint text yields an `Err`,
+/// never a panic or a half-restored model.
+#[test]
+fn malformed_checkpoints_error_cleanly() {
+    for bad in [
+        "",
+        "{",
+        "[1,2,3]",
+        r#"{"kind": 3, "state": {"tensors": []}}"#,
+        r#"{"kind": "F"}"#,
+        r#"{"kind": "F", "state": {"tensors": [{"shape": [2], "data": [1.0]}]}}"#,
+        r#"{"kind": "F", "state": {"tensors": [{"shape": [1], "data": [true]}]}}"#,
+    ] {
+        assert!(Checkpoint::from_json(bad).is_err(), "accepted: {bad:?}");
+    }
+}

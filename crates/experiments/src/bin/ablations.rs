@@ -20,7 +20,7 @@ fn main() {
     println!("# Ablations — APOTS design choices (predictor F, speed+add. data)");
 
     let mut rows = Vec::new();
-    let mut json = serde_json::Map::new();
+    let mut json = apots_serde::Map::new();
     let kind = PredictorKind::Fc;
 
     // Baseline: the paper's configuration.
@@ -31,7 +31,7 @@ fn main() {
         format!("{:.2}", base.eval.overall.mape),
         format!("{:.2}", base.eval.mape_rows()[3]),
     ]);
-    json.insert("base".into(), serde_json::json!(base.eval.overall.mape));
+    json.insert("base".into(), apots_serde::json!(base.eval.overall.mape));
 
     // 1. Non-saturating generator loss.
     let mut cfg = base_cfg.clone();
@@ -42,7 +42,10 @@ fn main() {
         format!("{:.2}", out.eval.overall.mape),
         format!("{:.2}", out.eval.mape_rows()[3]),
     ]);
-    json.insert("nonsaturating".into(), serde_json::json!(out.eval.overall.mape));
+    json.insert(
+        "nonsaturating".into(),
+        apots_serde::json!(out.eval.overall.mape),
+    );
 
     // 2. Unconditional discriminator.
     let mut cfg = base_cfg.clone();
@@ -53,7 +56,10 @@ fn main() {
         format!("{:.2}", out.eval.overall.mape),
         format!("{:.2}", out.eval.mape_rows()[3]),
     ]);
-    json.insert("unconditional".into(), serde_json::json!(out.eval.overall.mape));
+    json.insert(
+        "unconditional".into(),
+        apots_serde::json!(out.eval.overall.mape),
+    );
 
     // 3. Plain training as the reference floor.
     let cfg = apots_experiments::plain_cfg(kind, FeatureMask::BOTH, &env);
@@ -63,12 +69,12 @@ fn main() {
         format!("{:.2}", out.eval.overall.mape),
         format!("{:.2}", out.eval.mape_rows()[3]),
     ]);
-    json.insert("plain".into(), serde_json::json!(out.eval.overall.mape));
+    json.insert("plain".into(), apots_serde::json!(out.eval.overall.mape));
 
     print_table(
         "Ablations (MAPE)",
         &["variant", "whole period", "abrupt dec"],
         &rows,
     );
-    save_json("ablations", &serde_json::Value::Object(json));
+    save_json("ablations", &apots_serde::Json::Obj(json));
 }

@@ -4,8 +4,8 @@
 use std::time::Instant;
 
 use apots::config::{PredictorKind, TrainConfig};
-use apots::trainer::{train_apots, train_plain};
 use apots::predictor::build_predictor;
+use apots::trainer::{train_apots, train_plain};
 use apots_experiments::{build_dataset, Env};
 use apots_traffic::FeatureMask;
 

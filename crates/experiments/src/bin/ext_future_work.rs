@@ -24,7 +24,7 @@ fn main() {
         env.preset
     );
 
-    let mut json = serde_json::Map::new();
+    let mut json = apots_serde::Map::new();
 
     // ---- 1. cGAN vs APOTS vs plain (FC-family, Speed+Add. data). ------
     println!("\n## cGAN comparison");
@@ -37,7 +37,10 @@ fn main() {
         format!("{:.2}", plain.eval.overall.mape),
         format!("{:.2}", plain.eval.mape_rows()[3]),
     ]);
-    json.insert("plain_f".into(), serde_json::json!(plain.eval.overall.mape));
+    json.insert(
+        "plain_f".into(),
+        apots_serde::json!(plain.eval.overall.mape),
+    );
 
     let adv_cfg = apots_experiments::adv_cfg(PredictorKind::Fc, FeatureMask::BOTH, &env);
     let apots_f = run_model(&data, PredictorKind::Fc, env.preset, &adv_cfg);
@@ -46,7 +49,10 @@ fn main() {
         format!("{:.2}", apots_f.eval.overall.mape),
         format!("{:.2}", apots_f.eval.mape_rows()[3]),
     ]);
-    json.insert("apots_f".into(), serde_json::json!(apots_f.eval.overall.mape));
+    json.insert(
+        "apots_f".into(),
+        apots_serde::json!(apots_f.eval.overall.mape),
+    );
 
     let mut cgan = CGan::new(&data, [128, 128], 16, env.seed);
     let report = cgan.train(&data, &adv_cfg);
@@ -62,7 +68,7 @@ fn main() {
         format!("{:.2}", cgan_eval.overall.mape),
         format!("{:.2}", cgan_eval.mape_rows()[3]),
     ]);
-    json.insert("cgan".into(), serde_json::json!(cgan_eval.overall.mape));
+    json.insert("cgan".into(), apots_serde::json!(cgan_eval.overall.mape));
     println!(
         "cGAN final losses: G {:.3}, D {:.3}",
         report.epochs.last().map_or(f32::NAN, |e| e.p_loss),
@@ -93,13 +99,12 @@ fn main() {
             format!("{:.2}", full.eval.overall.mape),
             format!(
                 "{:+.2}%",
-                100.0 * (base.eval.overall.mape - full.eval.overall.mape)
-                    / base.eval.overall.mape
+                100.0 * (base.eval.overall.mape - full.eval.overall.mape) / base.eval.overall.mape
             ),
         ]);
         json.insert(
             format!("volume/{}", kind.label()),
-            serde_json::json!([base.eval.overall.mape, full.eval.overall.mape]),
+            apots_serde::json!([base.eval.overall.mape, full.eval.overall.mape]),
         );
     }
     print_table(
@@ -108,5 +113,5 @@ fn main() {
         &rows,
     );
 
-    save_json("ext_future_work", &serde_json::Value::Object(json));
+    save_json("ext_future_work", &apots_serde::Json::Obj(json));
 }

@@ -20,7 +20,7 @@ fn main() {
     println!("# Extension — prediction-horizon sweep (β in intervals of 5 min)");
 
     let mut rows = Vec::new();
-    let mut json = serde_json::Map::new();
+    let mut json = apots_serde::Map::new();
     for beta in [1usize, 3, 6, 12] {
         let sim = SimConfig {
             seed: env.seed,
@@ -47,8 +47,15 @@ fn main() {
             row.push(format!("{:.2}", eval.overall.mape));
             row.push(format!("{:.3}", r2(&eval.predictions, &eval.observations)));
             json.insert(
-                format!("beta{beta}/{}", if mask == FeatureMask::BOTH { "both" } else { "speed" }),
-                serde_json::json!(eval.overall.mape),
+                format!(
+                    "beta{beta}/{}",
+                    if mask == FeatureMask::BOTH {
+                        "both"
+                    } else {
+                        "speed"
+                    }
+                ),
+                apots_serde::json!(eval.overall.mape),
             );
         }
         println!("finished β = {beta}");
@@ -69,5 +76,5 @@ fn main() {
         "\n(expected shape: MAPE grows with β for both inputs, and the\n\
          additional-data advantage widens as the horizon grows)"
     );
-    save_json("ext_horizon", &serde_json::Value::Object(json));
+    save_json("ext_horizon", &apots_serde::Json::Obj(json));
 }

@@ -16,12 +16,10 @@ fn main() {
     let h = corridor.target_road();
 
     println!("# Fig 1 — abrupt speed changes on the simulated corridor");
-    println!(
-        "(simulated stand-in for the Gyeongbu Expressway data; target road {h}, 122 days)"
-    );
+    println!("(simulated stand-in for the Gyeongbu Expressway data; target road {h}, 122 days)");
 
     let mut rows = Vec::new();
-    let mut json = serde_json::Map::new();
+    let mut json = apots_serde::Map::new();
     for scenario in scenarios::all(corridor) {
         let speeds: Vec<f32> = scenario.range().map(|t| corridor.speed(h, t)).collect();
         let prev: Vec<f32> = scenario
@@ -54,7 +52,7 @@ fn main() {
         ]);
         json.insert(
             scenario.name.to_string(),
-            serde_json::json!({
+            apots_serde::json!({
                 "start": scenario.start,
                 "end": scenario.end,
                 "speeds": speeds,
@@ -88,5 +86,5 @@ fn main() {
         100.0 * acc as f32 / classes.len() as f32,
     );
 
-    save_json("fig1_cases", &serde_json::Value::Object(json));
+    save_json("fig1_cases", &apots_serde::Json::Obj(json));
 }

@@ -20,7 +20,7 @@ fn main() {
         env.preset
     );
 
-    let mut json = serde_json::Map::new();
+    let mut json = apots_serde::Map::new();
     for kind in PredictorKind::all() {
         let mut rows = Vec::new();
         let mut pair = Vec::new();
@@ -45,12 +45,23 @@ fn main() {
                 fmt_mape(mape[3]),
                 format!("{:.0}s", out.train_secs),
             ]);
-            json.insert(label, serde_json::json!(mape.to_vec()));
+            json.insert(label, apots_serde::json!(mape.to_vec()));
             pair.push(mape);
         }
         print_table(
-            &format!("Fig 4{} — {}", ['a', 'b', 'c', 'd'][fig_index(kind)], kind.label()),
-            &["model", "Whole period", "Normal", "Abrupt acc", "Abrupt dec", "train"],
+            &format!(
+                "Fig 4{} — {}",
+                ['a', 'b', 'c', 'd'][fig_index(kind)],
+                kind.label()
+            ),
+            &[
+                "model",
+                "Whole period",
+                "Normal",
+                "Abrupt acc",
+                "Abrupt dec",
+                "train",
+            ],
             &rows,
         );
         let gain = |i: usize| {
@@ -68,7 +79,7 @@ fn main() {
             gain(3)
         );
     }
-    save_json("fig4_adversarial", &serde_json::Value::Object(json));
+    save_json("fig4_adversarial", &apots_serde::Json::Obj(json));
 }
 
 fn fig_index(kind: PredictorKind) -> usize {

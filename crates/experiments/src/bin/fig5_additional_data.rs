@@ -21,7 +21,7 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    let mut json = serde_json::Map::new();
+    let mut json = apots_serde::Map::new();
     for (label, mask) in FeatureMask::fig5_grid() {
         let mut row = vec![label.to_string()];
         for kind in PredictorKind::all() {
@@ -30,7 +30,7 @@ fn main() {
             row.push(fmt_mape(out.eval.overall.mape));
             json.insert(
                 format!("{}/{}", kind.label(), label),
-                serde_json::json!(out.eval.overall.mape),
+                apots_serde::json!(out.eval.overall.mape),
             );
         }
         rows.push(row);
@@ -45,5 +45,5 @@ fn main() {
         "\n(paper's finding: every predictor improves monotonically from\n\
          'Speed only' to 'Both'; gains of roughly 8–28%)"
     );
-    save_json("fig5_additional_data", &serde_json::Value::Object(json));
+    save_json("fig5_additional_data", &apots_serde::Json::Obj(json));
 }

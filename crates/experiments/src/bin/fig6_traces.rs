@@ -50,7 +50,7 @@ fn main() {
     }
 
     let corridor_h = data.corridor().target_road();
-    let mut json = serde_json::Map::new();
+    let mut json = apots_serde::Map::new();
     for scenario in scenarios::all(data.corridor()) {
         println!("\n### {}", scenario.name);
         let real: Vec<(usize, f32)> = scenario
@@ -65,10 +65,10 @@ fn main() {
             sparkline(&real.iter().map(|&(_, v)| v).collect::<Vec<_>>(), lo, hi)
         );
         let mut rows = Vec::new();
-        let mut case_json = serde_json::Map::new();
+        let mut case_json = apots_serde::Map::new();
         case_json.insert(
             "real".into(),
-            serde_json::json!(real.iter().map(|&(_, v)| v).collect::<Vec<_>>()),
+            apots_serde::json!(real.iter().map(|&(_, v)| v).collect::<Vec<_>>()),
         );
         for (label, mask, model) in &mut models {
             let trace = predict_trace(model.as_mut(), &data, *mask, scenario.range());
@@ -86,18 +86,18 @@ fn main() {
                 label.clone(),
                 format!("{:.2}", mape(&preds, &real_aligned)),
             ]);
-            case_json.insert(label.clone(), serde_json::json!(preds));
+            case_json.insert(label.clone(), apots_serde::json!(preds));
         }
         print_table(
             &format!("{} — per-window MAPE", scenario.name),
             &["model", "MAPE"],
             &rows,
         );
-        json.insert(scenario.name.to_string(), serde_json::Value::Object(case_json));
+        json.insert(scenario.name.to_string(), apots_serde::Json::Obj(case_json));
     }
     println!(
         "\n(paper: the APOTS variants track the abrupt drops and recoveries\n\
          closely while the plain predictors lag behind)"
     );
-    save_json("fig6_traces", &serde_json::Value::Object(json));
+    save_json("fig6_traces", &apots_serde::Json::Obj(json));
 }

@@ -65,9 +65,9 @@ fn main() {
          3.73%, while the event factor alone showed little effect)"
     );
 
-    let json: serde_json::Map<String, serde_json::Value> = results
+    let json: apots_serde::Map = results
         .into_iter()
-        .map(|(l, m)| (l, serde_json::json!(m)))
+        .map(|(l, m)| (l, apots_serde::json!(m)))
         .collect();
-    save_json("table2_nonspeed", &serde_json::Value::Object(json));
+    save_json("table2_nonspeed", &apots_serde::Json::Obj(json));
 }

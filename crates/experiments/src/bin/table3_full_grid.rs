@@ -94,8 +94,8 @@ fn main() {
         print_table(
             &format!("Table III — {metric}"),
             &[
-                "input", "Prophet", "F w/o", "F w/", "F gain", "L w/o", "L w/", "L gain",
-                "C w/o", "C w/", "C gain", "H w/o", "H w/", "H gain",
+                "input", "Prophet", "F w/o", "F w/", "F gain", "L w/o", "L w/", "L gain", "C w/o",
+                "C w/", "C gain", "H w/o", "H w/", "H gain",
             ],
             &rows,
         );
@@ -115,7 +115,11 @@ fn main() {
         t_adv.df,
         t_adv.t,
         t_adv.p_two_tailed,
-        if t_adv.significant(0.05) { "significant" } else { "n.s." }
+        if t_adv.significant(0.05) {
+            "significant"
+        } else {
+            "n.s."
+        }
     );
     let speed_only: Vec<f32> = (0..4)
         .flat_map(|ki| [mape(ki, 0, 0), mape(ki, 0, 1)])
@@ -129,7 +133,11 @@ fn main() {
         t_add.df,
         t_add.t,
         t_add.p_two_tailed,
-        if t_add.significant(0.05) { "significant" } else { "n.s." }
+        if t_add.significant(0.05) {
+            "significant"
+        } else {
+            "n.s."
+        }
     );
 
     // APOTS H headline vs the baselines.
@@ -144,19 +152,19 @@ fn main() {
     );
 
     // JSON dump.
-    let mut json = serde_json::Map::new();
-    json.insert("prophet_mape".into(), serde_json::json!(prophet));
+    let mut json = apots_serde::Map::new();
+    json.insert("prophet_mape".into(), apots_serde::json!(prophet));
     for (ki, kind) in kinds.iter().enumerate() {
         for (row_idx, (mlabel, _)) in masks.iter().enumerate() {
             for (ai, alabel) in ["wo_adv", "w_adv"].iter().enumerate() {
                 json.insert(
                     format!("{}/{}/{}", kind.label(), mlabel, alabel),
-                    serde_json::to_value(cells[ki][row_idx][ai]).unwrap(),
+                    apots_serde::Json::from(cells[ki][row_idx][ai]),
                 );
             }
         }
     }
-    save_json("table3_full_grid", &serde_json::Value::Object(json));
+    save_json("table3_full_grid", &apots_serde::Json::Obj(json));
 }
 
 /// Fits Prophet on the training portion of the target road and evaluates

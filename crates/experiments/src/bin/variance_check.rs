@@ -20,7 +20,10 @@ fn mean_std(values: &[f32]) -> (f32, f32) {
 fn main() {
     let env = Env::from_env();
     let seeds = [7u64, 17, 27];
-    println!("# Seed-variance probe (F, Speed+Add. data, {} seeds)", seeds.len());
+    println!(
+        "# Seed-variance probe (F, Speed+Add. data, {} seeds)",
+        seeds.len()
+    );
 
     let mut plain = Vec::new();
     let mut adv = Vec::new();
@@ -43,6 +46,6 @@ fn main() {
     println!("adv:   {am:.2} ± {asd:.2}");
     apots_experiments::save_json(
         "variance_check",
-        &serde_json::json!({"plain": plain, "adv": adv}),
+        &apots_serde::json!({"plain": plain, "adv": adv}),
     );
 }

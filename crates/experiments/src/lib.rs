@@ -78,8 +78,14 @@ impl Env {
 /// Builds the paper-scale dataset: a 122-day corridor with the default
 /// simulator, split 80/20 with overlap discarding.
 pub fn build_dataset(seed: u64) -> TrafficDataset {
-    let sim = SimConfig { seed, ..SimConfig::default() };
-    let data = DataConfig { seed: seed ^ 0xDA7A, ..DataConfig::default() };
+    let sim = SimConfig {
+        seed,
+        ..SimConfig::default()
+    };
+    let data = DataConfig {
+        seed: seed ^ 0xDA7A,
+        ..DataConfig::default()
+    };
     TrafficDataset::new(Corridor::generate(sim), data)
 }
 
@@ -145,14 +151,14 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 }
 
 /// Appends a JSON record of an experiment's outputs under `results/`.
-pub fn save_json(name: &str, value: &serde_json::Value) {
+pub fn save_json(name: &str, value: &apots_serde::Json) {
     let dir = std::path::Path::new("results");
     if std::fs::create_dir_all(dir).is_err() {
         eprintln!("warning: cannot create results/; skipping JSON dump");
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match std::fs::write(&path, serde_json::to_string_pretty(value).unwrap()) {
+    match std::fs::write(&path, value.to_string_pretty()) {
         Ok(()) => println!("\n[saved {}]", path.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
     }

@@ -48,7 +48,7 @@ pub fn mape(pred: &[f32], real: &[f32]) -> f32 {
 }
 
 /// All three metrics of §V-A together.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ErrorSummary {
     /// Mean absolute error (km/h).
     pub mae: f32,
@@ -66,6 +66,18 @@ impl ErrorSummary {
             rmse: rmse(pred, real),
             mape: mape(pred, real),
         }
+    }
+}
+
+impl From<ErrorSummary> for apots_serde::Json {
+    /// Serializes as `{"mae": …, "rmse": …, "mape": …}` (used by the
+    /// experiment result dumps).
+    fn from(s: ErrorSummary) -> Self {
+        apots_serde::json!({
+            "mae": s.mae,
+            "rmse": s.rmse,
+            "mape": s.mape
+        })
     }
 }
 

@@ -8,7 +8,10 @@
 /// Eq 9 of the paper. `e_a` is the reference error, `e_b` the improved
 /// model's error.
 pub fn gain_percent(e_a: f32, e_b: f32) -> f32 {
-    assert!(e_b > 0.0, "gain: improved error must be positive, got {e_b}");
+    assert!(
+        e_b > 0.0,
+        "gain: improved error must be positive, got {e_b}"
+    );
     (e_a - e_b) / e_b * 100.0
 }
 

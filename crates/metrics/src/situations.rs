@@ -36,7 +36,11 @@ pub fn classify(prev: f32, current: f32, theta: f32) -> Situation {
 
 /// Classifies every point given the previous and current real speeds.
 pub fn classify_changes(prev: &[f32], current: &[f32], theta: f32) -> Vec<Situation> {
-    assert_eq!(prev.len(), current.len(), "classify_changes: length mismatch");
+    assert_eq!(
+        prev.len(),
+        current.len(),
+        "classify_changes: length mismatch"
+    );
     prev.iter()
         .zip(current)
         .map(|(&p, &c)| classify(p, c, theta))
@@ -58,7 +62,10 @@ impl SituationSplit {
     /// Splits indices `0..n` by classification of the paired speed series.
     pub fn from_speeds(prev: &[f32], current: &[f32], theta: f32) -> Self {
         let mut split = Self::default();
-        for (i, s) in classify_changes(prev, current, theta).into_iter().enumerate() {
+        for (i, s) in classify_changes(prev, current, theta)
+            .into_iter()
+            .enumerate()
+        {
             match s {
                 Situation::Normal => split.normal.push(i),
                 Situation::AbruptAcceleration => split.abrupt_acc.push(i),

@@ -1,39 +1,60 @@
 //! Property-based tests for the metrics: bounds, orderings and the Eq 7/8
-//! partition.
+//! partition. Ported from `proptest` to the in-house `apots-check` harness
+//! (64 cases per property) with every law and tolerance intact.
 
+use apots_check::{check, prop_assert, prop_assert_eq, prop_assume, Rng, SeededRng};
 use apots_metrics::situations::{SituationSplit, DEFAULT_THETA};
 use apots_metrics::{gain_percent, mae, mape, paired_t_test, rmse};
-use proptest::prelude::*;
 
-fn series() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
-    proptest::collection::vec((5.0f32..150.0, 5.0f32..150.0), 1..64)
-        .prop_map(|pairs| pairs.into_iter().unzip())
+/// Mirror of the original `series()` strategy: paired vectors of equal
+/// length in `(5.0..150.0)`, 1..64 elements.
+fn series(rng: &mut SeededRng) -> (Vec<f32>, Vec<f32>) {
+    let n = rng.random_range(1usize..64);
+    let a = (0..n).map(|_| rng.random_range(5.0f32..150.0)).collect();
+    let b = (0..n).map(|_| rng.random_range(5.0f32..150.0)).collect();
+    (a, b)
 }
 
-proptest! {
-    /// RMSE dominates MAE (Cauchy–Schwarz), both non-negative.
-    #[test]
-    fn rmse_dominates_mae((pred, real) in series()) {
-        let a = mae(&pred, &real);
-        let r = rmse(&pred, &real);
+/// RMSE dominates MAE (Cauchy–Schwarz), both non-negative.
+#[test]
+fn rmse_dominates_mae() {
+    check("rmse dominates mae", series, |(pred, real)| {
+        prop_assume!(pred.len() == real.len() && !pred.is_empty());
+        let a = mae(pred, real);
+        let r = rmse(pred, real);
         prop_assert!(a >= 0.0);
         prop_assert!(r + 1e-4 >= a, "rmse {r} < mae {a}");
-    }
+        Ok(())
+    });
+}
 
-    /// MAPE is shift-scale consistent: scaling both series leaves it fixed.
-    #[test]
-    fn mape_is_scale_invariant((pred, real) in series(), k in 0.5f32..4.0) {
-        let base = mape(&pred, &real);
-        let scaled_pred: Vec<f32> = pred.iter().map(|v| v * k).collect();
-        let scaled_real: Vec<f32> = real.iter().map(|v| v * k).collect();
-        let scaled = mape(&scaled_pred, &scaled_real);
-        prop_assert!((base - scaled).abs() < base.abs() * 1e-3 + 1e-2);
-    }
+/// MAPE is shift-scale consistent: scaling both series leaves it fixed.
+#[test]
+fn mape_is_scale_invariant() {
+    check(
+        "mape is scale invariant",
+        |rng| {
+            let (pred, real) = series(rng);
+            (pred, real, rng.random_range(0.5f32..4.0))
+        },
+        |(pred, real, k)| {
+            prop_assume!(pred.len() == real.len() && !pred.is_empty() && *k > 0.0);
+            let base = mape(pred, real);
+            let scaled_pred: Vec<f32> = pred.iter().map(|v| v * k).collect();
+            let scaled_real: Vec<f32> = real.iter().map(|v| v * k).collect();
+            let scaled = mape(&scaled_pred, &scaled_real);
+            prop_assert!((base - scaled).abs() < base.abs() * 1e-3 + 1e-2);
+            Ok(())
+        },
+    );
+}
 
-    /// The situation split is a partition of all indices.
-    #[test]
-    fn situations_partition((prev, curr) in series()) {
-        let split = SituationSplit::from_speeds(&prev, &curr, DEFAULT_THETA);
+/// The situation split is a partition of all indices.
+#[test]
+fn situations_partition() {
+    check("situations partition", series, |(prev, curr)| {
+        prop_assume!(prev.len() == curr.len());
+        let split = SituationSplit::from_speeds(prev, curr, DEFAULT_THETA);
         prop_assert_eq!(split.total(), prev.len());
         let mut all: Vec<usize> = split
             .normal
@@ -44,34 +65,67 @@ proptest! {
             .collect();
         all.sort_unstable();
         prop_assert_eq!(all, (0..prev.len()).collect::<Vec<_>>());
-    }
+        Ok(())
+    });
+}
 
-    /// Eq 9's gain is antisymmetric in sign around equal errors.
-    #[test]
-    fn gain_sign(e_a in 0.1f32..100.0, e_b in 0.1f32..100.0) {
-        let g = gain_percent(e_a, e_b);
-        if e_a > e_b {
-            prop_assert!(g > 0.0);
-        } else if e_a < e_b {
-            prop_assert!(g < 0.0);
-        }
-    }
+/// Eq 9's gain is antisymmetric in sign around equal errors.
+#[test]
+fn gain_sign() {
+    check(
+        "gain sign",
+        |rng| {
+            (
+                rng.random_range(0.1f32..100.0),
+                rng.random_range(0.1f32..100.0),
+            )
+        },
+        |&(e_a, e_b)| {
+            prop_assume!(e_a > 0.0 && e_b > 0.0);
+            let g = gain_percent(e_a, e_b);
+            if e_a > e_b {
+                prop_assert!(g > 0.0);
+            } else if e_a < e_b {
+                prop_assert!(g < 0.0);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// A paired t-test against an offset copy of the series always detects
-    /// the (constant) difference.
-    #[test]
-    fn t_test_detects_constant_shift(base in proptest::collection::vec(1.0f32..50.0, 3..32), shift in 0.5f32..5.0) {
-        let shifted: Vec<f32> = base.iter().map(|v| v + shift).collect();
-        let r = paired_t_test(&shifted, &base);
-        prop_assert!(r.t.is_infinite() || r.t > 1e3, "t = {}", r.t);
-        prop_assert!(r.p_two_tailed < 1e-6);
-    }
+/// A paired t-test against an offset copy of the series always detects
+/// the (constant) difference.
+#[test]
+fn t_test_detects_constant_shift() {
+    check(
+        "t-test detects constant shift",
+        |rng| {
+            let n = rng.random_range(3usize..32);
+            let base: Vec<f32> = (0..n).map(|_| rng.random_range(1.0f32..50.0)).collect();
+            (base, rng.random_range(0.5f32..5.0))
+        },
+        |(base, shift)| {
+            prop_assume!(base.len() >= 3 && *shift >= 0.5);
+            let shifted: Vec<f32> = base.iter().map(|v| v + shift).collect();
+            let r = paired_t_test(&shifted, base);
+            prop_assert!(r.t.is_infinite() || r.t > 1e3, "t = {}", r.t);
+            prop_assert!(r.p_two_tailed < 1e-6);
+            Ok(())
+        },
+    );
+}
 
-    /// p-values are valid probabilities for arbitrary paired data.
-    #[test]
-    fn p_values_in_unit_interval((a, b) in series()) {
-        prop_assume!(a.len() >= 2);
-        let r = paired_t_test(&a, &b);
-        prop_assert!((0.0..=1.0).contains(&r.p_two_tailed), "p = {}", r.p_two_tailed);
-    }
+/// p-values are valid probabilities for arbitrary paired data.
+#[test]
+fn p_values_in_unit_interval() {
+    check("p-values in unit interval", series, |(a, b)| {
+        prop_assume!(a.len() >= 2 && a.len() == b.len());
+        let r = paired_t_test(a, b);
+        prop_assert!(
+            (0.0..=1.0).contains(&r.p_two_tailed),
+            "p = {}",
+            r.p_two_tailed
+        );
+        Ok(())
+    });
 }

@@ -8,8 +8,8 @@
 //! into a context vector `[batch, hidden]` via learned scores
 //! `e_t = vᵀ·tanh(W·h_t)`, `a = softmax(e)`, `ctx = Σ_t a_t·h_t`.
 
+use apots_tensor::rng::Rng;
 use apots_tensor::Tensor;
-use rand::Rng;
 
 use crate::init::xavier_uniform;
 use crate::layer::{Layer, Param};

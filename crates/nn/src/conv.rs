@@ -5,8 +5,8 @@
 //! Table I of the paper) over the road×time speed image of Eq 6, so "same"
 //! padding with odd kernels and stride 1 is all we need.
 
+use apots_tensor::rng::Rng;
 use apots_tensor::Tensor;
-use rand::Rng;
 
 use crate::init::he_uniform;
 use crate::layer::{Layer, Param};

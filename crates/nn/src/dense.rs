@@ -1,7 +1,7 @@
 //! Fully-connected (dense) layer: `y = x·W + b`.
 
+use apots_tensor::rng::Rng;
 use apots_tensor::Tensor;
-use rand::Rng;
 
 use crate::init::xavier_uniform;
 use crate::layer::{Layer, Param};
@@ -18,7 +18,10 @@ pub struct Dense {
 impl Dense {
     /// Creates a dense layer with Xavier-uniform weights and zero biases.
     pub fn new<R: Rng>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
-        assert!(in_features > 0 && out_features > 0, "Dense: zero-sized layer");
+        assert!(
+            in_features > 0 && out_features > 0,
+            "Dense: zero-sized layer"
+        );
         Self {
             w: xavier_uniform(&[in_features, out_features], in_features, out_features, rng),
             b: Tensor::zeros(&[out_features]),

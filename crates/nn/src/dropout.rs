@@ -4,8 +4,8 @@
 //! survivors are scaled by `1/(1−p)`, so inference needs no rescaling.
 
 use apots_tensor::rng::seeded;
+use apots_tensor::rng::Rng;
 use apots_tensor::{SeededRng, Tensor};
-use rand::RngExt;
 
 use crate::layer::Layer;
 
@@ -22,7 +22,10 @@ impl Dropout {
     /// # Panics
     /// Panics unless `0 ≤ p < 1`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "Dropout p must be in [0, 1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "Dropout p must be in [0, 1), got {p}"
+        );
         Self {
             p,
             rng: seeded(seed),

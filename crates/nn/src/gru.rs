@@ -10,8 +10,8 @@
 //! `n = tanh(x·Wxn + bn + r ⊙ (h·Whn + bhn))`,
 //! `h' = (1 − z) ⊙ n + z ⊙ h`.
 
+use apots_tensor::rng::Rng;
 use apots_tensor::Tensor;
-use rand::Rng;
 
 use crate::activation::sigmoid_scalar;
 use crate::init::xavier_uniform;
@@ -56,9 +56,11 @@ impl Gru {
         rng: &mut R,
     ) -> Self {
         assert!(input_size > 0 && hidden_size > 0, "Gru: zero-sized layer");
-        let wx = |rng: &mut R| xavier_uniform(&[input_size, hidden_size], input_size, hidden_size, rng);
-        let wh =
-            |rng: &mut R| xavier_uniform(&[hidden_size, hidden_size], hidden_size, hidden_size, rng);
+        let wx =
+            |rng: &mut R| xavier_uniform(&[input_size, hidden_size], input_size, hidden_size, rng);
+        let wh = |rng: &mut R| {
+            xavier_uniform(&[hidden_size, hidden_size], hidden_size, hidden_size, rng)
+        };
         let grads = vec![
             Tensor::zeros(&[input_size, hidden_size]),
             Tensor::zeros(&[hidden_size, hidden_size]),
@@ -171,7 +173,10 @@ impl Layer for Gru {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        assert!(!self.cache.is_empty(), "Gru::backward called before forward");
+        assert!(
+            !self.cache.is_empty(),
+            "Gru::backward called before forward"
+        );
         let steps = self.cache.len();
         let b = self.cache[0].x.shape()[0];
         let hsz = self.hidden_size;

@@ -4,11 +4,16 @@
 //! heads, LSTM gates) and He/Kaiming uniform for ReLU-flavoured stacks
 //! (conv + ReLU towers), following standard practice.
 
+use apots_tensor::rng::Rng;
 use apots_tensor::Tensor;
-use rand::Rng;
 
 /// Xavier/Glorot uniform: `U(−√(6/(fan_in+fan_out)), +√(6/(fan_in+fan_out)))`.
-pub fn xavier_uniform<R: Rng>(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+pub fn xavier_uniform<R: Rng>(
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut R,
+) -> Tensor {
     assert!(fan_in + fan_out > 0, "xavier_uniform: zero fan");
     let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
     Tensor::rand_uniform(shape, -limit, limit, rng)

@@ -120,10 +120,8 @@ mod tests {
     fn bce_matches_finite_difference() {
         for &z0 in &[-3.0f32, -0.5, 0.0, 0.7, 4.0] {
             for &y in &[0.0f32, 1.0] {
-                let (_, g) = bce_with_logits(
-                    &Tensor::from_vec(vec![z0]),
-                    &Tensor::from_vec(vec![y]),
-                );
+                let (_, g) =
+                    bce_with_logits(&Tensor::from_vec(vec![z0]), &Tensor::from_vec(vec![y]));
                 let num = finite_diff_scalar(
                     |z| bce_with_logits(&Tensor::from_vec(vec![z]), &Tensor::from_vec(vec![y])).0,
                     z0,
@@ -150,8 +148,10 @@ mod tests {
     fn saturating_generator_loss_matches_finite_difference() {
         for &z0 in &[-2.0f32, 0.0, 1.5] {
             let (_, g) = generator_loss_saturating(&Tensor::from_vec(vec![z0]));
-            let num =
-                finite_diff_scalar(|z| generator_loss_saturating(&Tensor::from_vec(vec![z])).0, z0);
+            let num = finite_diff_scalar(
+                |z| generator_loss_saturating(&Tensor::from_vec(vec![z])).0,
+                z0,
+            );
             assert!(
                 (g.data()[0] - num).abs() < 1e-3,
                 "z={z0}: analytic {} vs numeric {num}",

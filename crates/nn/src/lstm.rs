@@ -9,8 +9,8 @@
 //! the full hidden sequence `[batch, time, hidden]` (for stacking) or only
 //! the final hidden state `[batch, hidden]`.
 
+use apots_tensor::rng::Rng;
 use apots_tensor::Tensor;
-use rand::Rng;
 
 use crate::activation::sigmoid_scalar;
 use crate::init::xavier_uniform;
@@ -63,12 +63,7 @@ impl Lstm {
             input_size,
             hidden_size,
             return_sequences,
-            wx: xavier_uniform(
-                &[input_size, 4 * hidden_size],
-                input_size,
-                hidden_size,
-                rng,
-            ),
+            wx: xavier_uniform(&[input_size, 4 * hidden_size], input_size, hidden_size, rng),
             wh: xavier_uniform(
                 &[hidden_size, 4 * hidden_size],
                 hidden_size,

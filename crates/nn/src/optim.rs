@@ -162,7 +162,10 @@ impl Optimizer for Adam {
 /// Rescales all gradients in place so their combined L2 norm is at most
 /// `max_norm`. Returns the pre-clip norm.
 pub fn clip_global_norm(params: &mut [Param<'_>], max_norm: f32) -> f32 {
-    assert!(max_norm > 0.0, "clip_global_norm: max_norm must be positive");
+    assert!(
+        max_norm > 0.0,
+        "clip_global_norm: max_norm must be positive"
+    );
     let total: f32 = params.iter().map(|p| p.grad.norm_sq()).sum();
     let norm = total.sqrt();
     if norm > max_norm && norm.is_finite() {

@@ -2,15 +2,18 @@
 //! any [`Layer`] (or anything else exposing `Param`s in a stable order).
 //!
 //! The format is a plain ordered list of tensors — positional, like the
-//! layer containers themselves — and serializes with `serde`, so a
-//! checkpoint round-trips through JSON (or any serde format) losslessly.
+//! layer containers themselves — and serializes through the in-house
+//! `apots-serde` JSON module as `{"tensors": [{"shape": […], "data":
+//! […]}, …]}`, so a checkpoint round-trips losslessly (floats are written
+//! with Rust's shortest round-trip formatting).
 
+use apots_serde::{Json, Map};
 use apots_tensor::Tensor;
 
 use crate::layer::{Layer, Param};
 
 /// An ordered snapshot of parameter tensors.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StateDict {
     tensors: Vec<Tensor>,
 }
@@ -70,6 +73,66 @@ impl StateDict {
     pub fn scalar_count(&self) -> usize {
         self.tensors.iter().map(Tensor::len).sum()
     }
+
+    /// Serializes to a JSON value (`{"tensors": [{"shape", "data"}, …]}`).
+    ///
+    /// # Panics
+    /// Panics if any parameter is NaN/±Inf — such a snapshot is corrupt
+    /// and must not be persisted.
+    pub fn to_json(&self) -> Json {
+        let tensors: Vec<Json> = self.tensors.iter().map(tensor_to_json).collect();
+        let mut root = Map::new();
+        root.insert("tensors".to_string(), Json::Arr(tensors));
+        Json::Obj(root)
+    }
+
+    /// Deserializes from a JSON value produced by [`StateDict::to_json`].
+    pub fn from_json(value: &Json) -> Result<Self, String> {
+        let tensors = value
+            .get("tensors")
+            .and_then(Json::as_array)
+            .ok_or("StateDict: missing \"tensors\" array")?;
+        let tensors = tensors
+            .iter()
+            .enumerate()
+            .map(|(i, t)| tensor_from_json(t).map_err(|e| format!("tensor {i}: {e}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { tensors })
+    }
+}
+
+/// Serializes one tensor as `{"shape": […], "data": […]}`.
+fn tensor_to_json(t: &Tensor) -> Json {
+    let mut m = Map::new();
+    m.insert("shape".to_string(), Json::from(t.shape()));
+    m.insert("data".to_string(), Json::from(t.data()));
+    Json::Obj(m)
+}
+
+/// Parses one tensor, validating shape/data consistency and finiteness.
+fn tensor_from_json(value: &Json) -> Result<Tensor, String> {
+    let shape = value
+        .get("shape")
+        .and_then(Json::as_array)
+        .ok_or("missing \"shape\"")?
+        .iter()
+        .map(|v| v.as_usize().ok_or("non-integer dimension"))
+        .collect::<Result<Vec<_>, _>>()?;
+    let data = value
+        .get("data")
+        .and_then(Json::as_array)
+        .ok_or("missing \"data\"")?
+        .iter()
+        .map(|v| v.as_f32().ok_or("non-numeric element"))
+        .collect::<Result<Vec<_>, _>>()?;
+    let expected: usize = shape.iter().product();
+    if data.len() != expected {
+        return Err(format!(
+            "shape {shape:?} expects {expected} values, found {}",
+            data.len()
+        ));
+    }
+    Ok(Tensor::new(shape, data))
 }
 
 #[cfg(test)]
@@ -140,12 +203,28 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip_is_lossless_and_byte_stable() {
         let mut a = net();
         let snapshot = StateDict::capture(&mut a);
-        let json = serde_json::to_string(&snapshot).unwrap();
-        let back: StateDict = serde_json::from_str(&json).unwrap();
+        let json = snapshot.to_json().to_string();
+        let back = StateDict::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(snapshot, back);
+        // save → load → save must be byte-identical.
+        assert_eq!(back.to_json().to_string(), json);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        for bad in [
+            r#"{}"#,
+            r#"{"tensors": 3}"#,
+            r#"{"tensors": [{"shape": [2], "data": [1.0]}]}"#,
+            r#"{"tensors": [{"shape": [1], "data": ["x"]}]}"#,
+            r#"{"tensors": [{"data": [1.0]}]}"#,
+        ] {
+            let v = Json::parse(bad).unwrap();
+            assert!(StateDict::from_json(&v).is_err(), "accepted {bad}");
+        }
     }
 
     #[test]

@@ -1,25 +1,27 @@
 //! # apots-tensor
 //!
-//! A small, dependency-free (beyond `rand`) n-dimensional `f32` tensor used as
-//! the numerical substrate for the APOTS reproduction. It provides exactly
+//! A small, fully dependency-free n-dimensional `f32` tensor used as the
+//! numerical substrate for the APOTS reproduction. It provides exactly
 //! what the hand-written neural-network layers and the statistical baselines
 //! need: contiguous row-major storage, 2-D matrix products (including the
 //! transposed variants required by backpropagation), element-wise algebra,
-//! axis reductions, and a Cholesky-based ridge-regression solver.
+//! axis reductions, and a Cholesky-based ridge-regression solver — plus the
+//! workspace's in-house seeded randomness ([`rng`]).
 //!
 //! Design notes:
 //! * storage is always a contiguous `Vec<f32>` in row-major order, so layers
 //!   that need exotic access patterns (im2col, BPTT) can work on raw slices;
 //! * shape mismatches are programming errors and panic with a descriptive
 //!   message, mirroring the behaviour of mainstream array libraries;
-//! * all randomness is funnelled through caller-provided [`rand::Rng`]
+//! * all randomness is funnelled through caller-provided [`rng::Rng`]
 //!   instances so experiments are reproducible end-to-end.
 
 pub mod linalg;
 pub mod rng;
 mod tensor;
 
+pub use rng::Rng;
 pub use tensor::Tensor;
 
 /// Convenience alias used across the workspace for seeded RNGs.
-pub type SeededRng = ::rand::rngs::StdRng;
+pub type SeededRng = rng::SeededRng;

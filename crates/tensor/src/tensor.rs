@@ -1,6 +1,4 @@
-use rand::{Rng, RngExt};
-
-use crate::rng::normal;
+use crate::rng::{normal, Rng};
 
 /// A dense, row-major, n-dimensional `f32` tensor.
 ///
@@ -8,8 +6,8 @@ use crate::rng::normal;
 /// workspace uses rank-1 (vectors), rank-2 (matrices, `[rows, cols]`) and
 /// rank-4 (conv feature maps, `[batch, channels, height, width]`) tensors.
 /// Tensors serialize as `{shape, data}` (used by the model checkpoint
-/// format of `apots-nn`).
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+/// format of `apots-nn`, via the in-house `apots-serde` JSON module).
+#[derive(Clone, Debug, PartialEq)]
 pub struct Tensor {
     shape: Vec<usize>,
     data: Vec<f32>,
@@ -154,7 +152,12 @@ impl Tensor {
     /// Panics if the tensor is not rank-2.
     #[inline]
     pub fn rows(&self) -> usize {
-        assert_eq!(self.rank(), 2, "rows() requires rank-2, got {:?}", self.shape);
+        assert_eq!(
+            self.rank(),
+            2,
+            "rows() requires rank-2, got {:?}",
+            self.shape
+        );
         self.shape[0]
     }
 
@@ -164,7 +167,12 @@ impl Tensor {
     /// Panics if the tensor is not rank-2.
     #[inline]
     pub fn cols(&self) -> usize {
-        assert_eq!(self.rank(), 2, "cols() requires rank-2, got {:?}", self.shape);
+        assert_eq!(
+            self.rank(),
+            2,
+            "cols() requires rank-2, got {:?}",
+            self.shape
+        );
         self.shape[1]
     }
 
@@ -414,10 +422,7 @@ impl Tensor {
         assert_eq!(other.rank(), 2, "matmul rhs must be rank-2");
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
-        assert_eq!(
-            k, k2,
-            "matmul dimension mismatch: [{m}, {k}] · [{k2}, {n}]"
-        );
+        assert_eq!(k, k2, "matmul dimension mismatch: [{m}, {k}] · [{k2}, {n}]");
         let mut out = vec![0.0f32; m * n];
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
@@ -579,7 +584,6 @@ impl Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn t2(rows: &[&[f32]]) -> Tensor {
         Tensor::from_rows(&rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>())

@@ -1,127 +1,222 @@
 //! Property-based tests for the tensor algebra: ring-like laws, transpose
 //! duality, reduction consistency, and Cholesky round-trips on random SPD
-//! matrices.
+//! matrices. Ported from `proptest` to the in-house `apots-check` harness
+//! (64 generated cases per property, halving-based shrinking) — every law
+//! and tolerance is unchanged.
 
+use apots_check::{check, prop_assert, prop_assert_eq, Rng, SeededRng};
 use apots_tensor::linalg::{cholesky, cholesky_solve};
 use apots_tensor::Tensor;
-use proptest::prelude::*;
 
 const DIM: std::ops::RangeInclusive<usize> = 1..=8;
 
-fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
-    proptest::collection::vec(-10.0f32..10.0, rows * cols)
-        .prop_map(move |data| Tensor::new(vec![rows, cols], data))
+fn gen_tensor(rng: &mut SeededRng, rows: usize, cols: usize) -> Tensor {
+    let data = (0..rows * cols)
+        .map(|_| rng.random_range(-10.0f32..10.0))
+        .collect();
+    Tensor::new(vec![rows, cols], data)
 }
 
-fn pair_same_shape() -> impl Strategy<Value = (Tensor, Tensor)> {
-    (DIM, DIM).prop_flat_map(|(r, c)| (tensor_strategy(r, c), tensor_strategy(r, c)))
+fn gen_pair_same_shape(rng: &mut SeededRng) -> (Tensor, Tensor) {
+    let r = rng.random_range(DIM);
+    let c = rng.random_range(DIM);
+    (gen_tensor(rng, r, c), gen_tensor(rng, r, c))
 }
 
-proptest! {
-    #[test]
-    fn add_commutes((a, b) in pair_same_shape()) {
-        prop_assert_eq!(a.add(&b), b.add(&a));
-    }
+#[test]
+fn add_commutes() {
+    check("add commutes", gen_pair_same_shape, |(a, b)| {
+        prop_assert_eq!(a.add(b), b.add(a));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn sub_is_add_of_negation((a, b) in pair_same_shape()) {
-        let lhs = a.sub(&b);
+#[test]
+fn sub_is_add_of_negation() {
+    check("sub is add of negation", gen_pair_same_shape, |(a, b)| {
+        let lhs = a.sub(b);
         let rhs = a.add(&b.scale(-1.0));
         for (x, y) in lhs.data().iter().zip(rhs.data()) {
-            prop_assert!((x - y).abs() < 1e-5);
+            prop_assert!((x - y).abs() < 1e-5, "{x} vs {y}");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn scale_distributes_over_add((a, b) in pair_same_shape(), k in -5.0f32..5.0) {
-        let lhs = a.add(&b).scale(k);
-        let rhs = a.scale(k).add(&b.scale(k));
-        for (x, y) in lhs.data().iter().zip(rhs.data()) {
-            prop_assert!((x - y).abs() < 1e-3);
-        }
-    }
+#[test]
+fn scale_distributes_over_add() {
+    check(
+        "scale distributes over add",
+        |rng| {
+            let (a, b) = gen_pair_same_shape(rng);
+            (a, b, rng.random_range(-5.0f32..5.0))
+        },
+        |(a, b, k)| {
+            let lhs = a.add(b).scale(*k);
+            let rhs = a.scale(*k).add(&b.scale(*k));
+            for (x, y) in lhs.data().iter().zip(rhs.data()) {
+                prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn transpose_is_involution((r, c) in (DIM, DIM), seed in any::<u64>()) {
-        let mut rng = apots_tensor::rng::seeded(seed);
-        let a = Tensor::rand_uniform(&[r, c], -1.0, 1.0, &mut rng);
-        prop_assert_eq!(a.transpose2().transpose2(), a);
-    }
+#[test]
+fn transpose_is_involution() {
+    check(
+        "transpose is involution",
+        |rng| {
+            (
+                rng.random_range(DIM),
+                rng.random_range(DIM),
+                rng.random::<u64>(),
+            )
+        },
+        |&(r, c, seed)| {
+            let mut rng = apots_tensor::rng::seeded(seed);
+            let a = Tensor::rand_uniform(&[r, c], -1.0, 1.0, &mut rng);
+            prop_assert_eq!(a.transpose2().transpose2(), a);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn matmul_transpose_duality((m, k, n) in (DIM, DIM, DIM), seed in any::<u64>()) {
-        // (A·B)ᵀ == Bᵀ·Aᵀ
-        let mut rng = apots_tensor::rng::seeded(seed);
-        let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
-        let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
-        let lhs = a.matmul(&b).transpose2();
-        let rhs = b.transpose2().matmul(&a.transpose2());
-        for (x, y) in lhs.data().iter().zip(rhs.data()) {
-            prop_assert!((x - y).abs() < 1e-4);
-        }
-    }
+#[test]
+fn matmul_transpose_duality() {
+    check(
+        "matmul transpose duality",
+        |rng| {
+            (
+                rng.random_range(DIM),
+                rng.random_range(DIM),
+                rng.random_range(DIM),
+                rng.random::<u64>(),
+            )
+        },
+        |&(m, k, n, seed)| {
+            // (A·B)ᵀ == Bᵀ·Aᵀ
+            let mut rng = apots_tensor::rng::seeded(seed);
+            let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+            let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+            let lhs = a.matmul(&b).transpose2();
+            let rhs = b.transpose2().matmul(&a.transpose2());
+            for (x, y) in lhs.data().iter().zip(rhs.data()) {
+                prop_assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn fused_transposed_matmuls_match((m, k, n) in (DIM, DIM, DIM), seed in any::<u64>()) {
-        let mut rng = apots_tensor::rng::seeded(seed);
-        let a = Tensor::rand_uniform(&[k, m], -1.0, 1.0, &mut rng);
-        let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
-        let fused = a.matmul_at_b(&b);
-        let naive = a.transpose2().matmul(&b);
-        for (x, y) in fused.data().iter().zip(naive.data()) {
-            prop_assert!((x - y).abs() < 1e-4);
-        }
+#[test]
+fn fused_transposed_matmuls_match() {
+    check(
+        "fused transposed matmuls match",
+        |rng| {
+            (
+                rng.random_range(DIM),
+                rng.random_range(DIM),
+                rng.random_range(DIM),
+                rng.random::<u64>(),
+            )
+        },
+        |&(m, k, n, seed)| {
+            let mut rng = apots_tensor::rng::seeded(seed);
+            let a = Tensor::rand_uniform(&[k, m], -1.0, 1.0, &mut rng);
+            let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+            let fused = a.matmul_at_b(&b);
+            let naive = a.transpose2().matmul(&b);
+            for (x, y) in fused.data().iter().zip(naive.data()) {
+                prop_assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+            }
 
-        let c = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
-        let d = Tensor::rand_uniform(&[n, k], -1.0, 1.0, &mut rng);
-        let fused = c.matmul_a_bt(&d);
-        let naive = c.matmul(&d.transpose2());
-        for (x, y) in fused.data().iter().zip(naive.data()) {
-            prop_assert!((x - y).abs() < 1e-4);
-        }
-    }
+            let c = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+            let d = Tensor::rand_uniform(&[n, k], -1.0, 1.0, &mut rng);
+            let fused = c.matmul_a_bt(&d);
+            let naive = c.matmul(&d.transpose2());
+            for (x, y) in fused.data().iter().zip(naive.data()) {
+                prop_assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn sum_axis_reductions_consistent((r, c) in (DIM, DIM), seed in any::<u64>()) {
-        let mut rng = apots_tensor::rng::seeded(seed);
-        let a = Tensor::rand_uniform(&[r, c], -1.0, 1.0, &mut rng);
-        let total = a.sum();
-        prop_assert!((a.sum_axis0().sum() - total).abs() < 1e-3);
-        prop_assert!((a.sum_axis1().sum() - total).abs() < 1e-3);
-    }
+#[test]
+fn sum_axis_reductions_consistent() {
+    check(
+        "sum axis reductions consistent",
+        |rng| {
+            (
+                rng.random_range(DIM),
+                rng.random_range(DIM),
+                rng.random::<u64>(),
+            )
+        },
+        |&(r, c, seed)| {
+            let mut rng = apots_tensor::rng::seeded(seed);
+            let a = Tensor::rand_uniform(&[r, c], -1.0, 1.0, &mut rng);
+            let total = a.sum();
+            prop_assert!((a.sum_axis0().sum() - total).abs() < 1e-3);
+            prop_assert!((a.sum_axis1().sum() - total).abs() < 1e-3);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn concat_slice_roundtrip((r, c1, c2) in (DIM, DIM, DIM), seed in any::<u64>()) {
-        let mut rng = apots_tensor::rng::seeded(seed);
-        let a = Tensor::rand_uniform(&[r, c1], -1.0, 1.0, &mut rng);
-        let b = Tensor::rand_uniform(&[r, c2], -1.0, 1.0, &mut rng);
-        let cat = Tensor::concat_cols(&[&a, &b]);
-        prop_assert_eq!(cat.slice_cols(0, c1), a);
-        prop_assert_eq!(cat.slice_cols(c1, c2), b);
-    }
+#[test]
+fn concat_slice_roundtrip() {
+    check(
+        "concat/slice roundtrip",
+        |rng| {
+            (
+                rng.random_range(DIM),
+                rng.random_range(DIM),
+                rng.random_range(DIM),
+                rng.random::<u64>(),
+            )
+        },
+        |&(r, c1, c2, seed)| {
+            let mut rng = apots_tensor::rng::seeded(seed);
+            let a = Tensor::rand_uniform(&[r, c1], -1.0, 1.0, &mut rng);
+            let b = Tensor::rand_uniform(&[r, c2], -1.0, 1.0, &mut rng);
+            let cat = Tensor::concat_cols(&[&a, &b]);
+            prop_assert_eq!(cat.slice_cols(0, c1), a);
+            prop_assert_eq!(cat.slice_cols(c1, c2), b);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn cholesky_roundtrip(n in 1usize..=6, seed in any::<u64>()) {
-        // Build SPD A = MᵀM + I, factor it, verify L·Lᵀ ≈ A and that
-        // solve(A, A·x) recovers x.
-        let mut rng = apots_tensor::rng::seeded(seed);
-        let m = Tensor::rand_uniform(&[n, n], -1.0, 1.0, &mut rng);
-        let mut a = m.matmul_at_b(&m);
-        for i in 0..n {
-            let v = a.at2(i, i) + 1.0;
-            a.set2(i, i, v);
-        }
-        let l = cholesky(&a).unwrap();
-        let recon = l.matmul_a_bt(&l);
-        for (x, y) in recon.data().iter().zip(a.data()) {
-            prop_assert!((x - y).abs() < 1e-3, "reconstruction mismatch {x} vs {y}");
-        }
+#[test]
+fn cholesky_roundtrip() {
+    check(
+        "cholesky roundtrip",
+        |rng| (rng.random_range(1usize..=6), rng.random::<u64>()),
+        |&(n, seed)| {
+            // Build SPD A = MᵀM + I, factor it, verify L·Lᵀ ≈ A and that
+            // solve(A, A·x) recovers x.
+            let mut rng = apots_tensor::rng::seeded(seed);
+            let m = Tensor::rand_uniform(&[n, n], -1.0, 1.0, &mut rng);
+            let mut a = m.matmul_at_b(&m);
+            for i in 0..n {
+                let v = a.at2(i, i) + 1.0;
+                a.set2(i, i, v);
+            }
+            let l = cholesky(&a).unwrap();
+            let recon = l.matmul_a_bt(&l);
+            for (x, y) in recon.data().iter().zip(a.data()) {
+                prop_assert!((x - y).abs() < 1e-3, "reconstruction mismatch {x} vs {y}");
+            }
 
-        let x_true = Tensor::rand_uniform(&[n, 1], -1.0, 1.0, &mut rng);
-        let b = a.matmul(&x_true);
-        let x = cholesky_solve(&a, &Tensor::from_vec(b.data().to_vec())).unwrap();
-        for (got, want) in x.data().iter().zip(x_true.data()) {
-            prop_assert!((got - want).abs() < 1e-2, "solve mismatch {got} vs {want}");
-        }
-    }
+            let x_true = Tensor::rand_uniform(&[n, 1], -1.0, 1.0, &mut rng);
+            let b = a.matmul(&x_true);
+            let x = cholesky_solve(&a, &Tensor::from_vec(b.data().to_vec())).unwrap();
+            for (got, want) in x.data().iter().zip(x_true.data()) {
+                prop_assert!((got - want).abs() < 1e-2, "solve mismatch {got} vs {want}");
+            }
+            Ok(())
+        },
+    );
 }

@@ -61,7 +61,10 @@ impl Calendar {
         holidays.sort_unstable();
         holidays.dedup();
         if let Some(&last) = holidays.last() {
-            assert!(last < days, "Calendar: holiday {last} outside period of {days} days");
+            assert!(
+                last < days,
+                "Calendar: holiday {last} outside period of {days} days"
+            );
         }
         Self {
             days,

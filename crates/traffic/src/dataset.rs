@@ -11,7 +11,7 @@
 //! adversarial sequence needs) touches a test block. This keeps both the
 //! split ratio and the overlap-discarding behaviour of the paper.
 
-use rand::{Rng, RngExt};
+use apots_tensor::rng::Rng;
 
 use crate::features::{FeatureMask, SampleFeatures};
 use crate::sim::Corridor;
@@ -112,7 +112,10 @@ impl TrafficDataset {
             (0.0..1.0).contains(&config.test_fraction),
             "DataConfig: test fraction must be in [0, 1)"
         );
-        assert!(config.block_days >= 1, "DataConfig: block_days must be >= 1");
+        assert!(
+            config.block_days >= 1,
+            "DataConfig: block_days must be >= 1"
+        );
 
         let n = corridor.intervals();
         let days = n / INTERVALS_PER_DAY;
@@ -127,8 +130,7 @@ impl TrafficDataset {
         // Random whole-day test blocks.
         let mut rng = apots_tensor::rng::seeded(config.seed);
         let n_blocks = days / config.block_days;
-        let target_test_blocks =
-            ((n_blocks as f64) * config.test_fraction).round() as usize;
+        let target_test_blocks = ((n_blocks as f64) * config.test_fraction).round() as usize;
         let mut block_ids: Vec<usize> = (0..n_blocks).collect();
         for i in (1..block_ids.len()).rev() {
             let j = rng.random_range(0..=i);
@@ -306,9 +308,7 @@ impl TrafficDataset {
             }
         }
 
-        let target = self
-            .speed_norm
-            .normalize(self.corridor.speed(h, t + beta));
+        let target = self.speed_norm.normalize(self.corridor.speed(h, t + beta));
 
         // Real sequence S_{t−α+β+1 : t+β} of length α.
         let seq_start = t + beta + 1 - alpha;
@@ -421,7 +421,10 @@ mod tests {
             if r == h {
                 assert!(row.iter().any(|&v| v != 0.0), "target row must be live");
             } else {
-                assert!(row.iter().all(|&v| v == 0.0), "neighbour row {r} must be zero");
+                assert!(
+                    row.iter().all(|&v| v == 0.0),
+                    "neighbour row {r} must be zero"
+                );
             }
         }
         assert!(f.event.iter().all(|&v| v == 0.0));
@@ -482,10 +485,7 @@ mod tests {
             assert!(row.iter().all(|v| (-0.2..=1.2).contains(v)));
         }
         // Same widths either way (fixed-width contract).
-        assert_eq!(
-            off.conditioning_flat().len(),
-            on.conditioning_flat().len()
-        );
+        assert_eq!(off.conditioning_flat().len(), on.conditioning_flat().len());
     }
 
     #[test]

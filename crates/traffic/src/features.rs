@@ -66,14 +66,46 @@ impl NonSpeedMask {
         let f = false;
         let t = true;
         [
-            Self { event: f, weather: f, time: f }, // S
-            Self { event: t, weather: f, time: f }, // SE
-            Self { event: f, weather: t, time: f }, // SW
-            Self { event: f, weather: f, time: t }, // ST
-            Self { event: t, weather: t, time: f }, // SEW
-            Self { event: t, weather: f, time: t }, // SET
-            Self { event: f, weather: t, time: t }, // SWT
-            Self { event: t, weather: t, time: t }, // SEWT
+            Self {
+                event: f,
+                weather: f,
+                time: f,
+            }, // S
+            Self {
+                event: t,
+                weather: f,
+                time: f,
+            }, // SE
+            Self {
+                event: f,
+                weather: t,
+                time: f,
+            }, // SW
+            Self {
+                event: f,
+                weather: f,
+                time: t,
+            }, // ST
+            Self {
+                event: t,
+                weather: t,
+                time: f,
+            }, // SEW
+            Self {
+                event: t,
+                weather: f,
+                time: t,
+            }, // SET
+            Self {
+                event: f,
+                weather: t,
+                time: t,
+            }, // SWT
+            Self {
+                event: t,
+                weather: t,
+                time: t,
+            }, // SEWT
         ]
     }
 }
@@ -200,8 +232,7 @@ impl SampleFeatures {
     /// future-work volume block), flattened: all speed rows, all volume
     /// rows, then the non-speed block. Width `2·(2m+1)α + 4α + 4`.
     pub fn conditioning_flat(&self) -> Vec<f32> {
-        let mut v =
-            Vec::with_capacity(2 * self.n_roads() * self.alpha() + 4 * self.alpha() + 4);
+        let mut v = Vec::with_capacity(2 * self.n_roads() * self.alpha() + 4 * self.alpha() + 4);
         for row in &self.speed_matrix {
             v.extend_from_slice(row);
         }
@@ -227,10 +258,7 @@ mod tests {
     fn non_speed_labels_match_paper() {
         let grid = NonSpeedMask::table2_grid();
         let labels: Vec<String> = grid.iter().map(NonSpeedMask::label).collect();
-        assert_eq!(
-            labels,
-            ["S", "SE", "SW", "ST", "SEW", "SET", "SWT", "SEWT"]
-        );
+        assert_eq!(labels, ["S", "SE", "SW", "ST", "SEW", "SET", "SWT", "SEWT"]);
     }
 
     #[test]

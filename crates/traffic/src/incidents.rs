@@ -5,7 +5,7 @@
 //! accident and construction"; the intro also motivates sports games and
 //! concerts, which we model as venue events near one segment).
 
-use rand::{Rng, RngExt};
+use apots_tensor::rng::Rng;
 
 use crate::calendar::Calendar;
 use crate::weather::Weather;
@@ -169,7 +169,7 @@ impl IncidentLog {
         // Venue events: evening surges on the venue road.
         for day in 0..calendar.days() {
             if rng.random_bool((config.events_per_week / 7.0).clamp(0.0, 1.0)) {
-                let hour = rng.random_range(18..=20);
+                let hour = rng.random_range(18..=20usize);
                 incidents.push(Incident {
                     kind: IncidentKind::Event,
                     road: config.venue_road,
@@ -284,7 +284,11 @@ mod tests {
     #[test]
     fn flags_cover_active_incidents() {
         let (_, _, log) = setup();
-        let inc = log.incidents().first().expect("at least one incident").clone();
+        let inc = log
+            .incidents()
+            .first()
+            .expect("at least one incident")
+            .clone();
         assert!(log.flag(inc.road, inc.start));
         assert!(log.flag(inc.road, inc.start + inc.duration - 1));
     }

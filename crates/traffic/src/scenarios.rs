@@ -119,7 +119,11 @@ pub fn rainy_evening(corridor: &Corridor) -> Scenario {
             best = (day, min);
         }
     }
-    let day = if best.1.is_finite() { best.0 } else { fallback.0 };
+    let day = if best.1.is_finite() {
+        best.0
+    } else {
+        fallback.0
+    };
     Scenario {
         name: "Rainy day",
         start: at(day, 21, 30),

@@ -17,7 +17,7 @@
 //!   limiter bounding step-to-step change (the paper observed at most ±30%;
 //!   we allow slightly more so the θ = ±0.3 threshold has a populated tail).
 
-use rand::RngExt;
+use apots_tensor::rng::Rng;
 
 use crate::calendar::Calendar;
 use crate::incidents::{IncidentConfig, IncidentLog};
@@ -337,7 +337,10 @@ mod tests {
             let ff = c.free_flow()[road];
             for t in 0..c.intervals() {
                 let s = c.speed(road, t);
-                assert!((5.0..=ff * 1.05 + 1e-3).contains(&s), "speed {s} at ({road}, {t})");
+                assert!(
+                    (5.0..=ff * 1.05 + 1e-3).contains(&s),
+                    "speed {s} at ({road}, {t})"
+                );
             }
         }
     }

@@ -1,11 +1,13 @@
 //! Property-based tests for the traffic substrate: simulator invariants,
 //! normalization round-trips and split safety under randomized
-//! configurations.
+//! configurations. Ported from `proptest` to the in-house `apots-check`
+//! harness at the full default budget (64 generated cases per property;
+//! the old `proptest` suite capped the simulator properties at 12).
 
+use apots_check::{check, prop_assert, prop_assume, Rng};
 use apots_traffic::calendar::Calendar;
 use apots_traffic::dataset::Normalizer;
 use apots_traffic::{Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset};
-use proptest::prelude::*;
 
 fn small_corridor(seed: u64, days: usize) -> Corridor {
     let cal = Calendar::new(days, (seed % 7) as usize, vec![]);
@@ -16,94 +18,144 @@ fn small_corridor(seed: u64, days: usize) -> Corridor {
     Corridor::generate_with_calendar(cfg, cal)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Speeds stay within physical bounds for any seed.
-    #[test]
-    fn speeds_always_bounded(seed in 0u64..1000) {
-        let c = small_corridor(seed, 4);
-        for road in 0..c.n_roads() {
-            let ff = c.free_flow()[road];
-            for &s in c.road_speeds(road) {
-                prop_assert!((5.0..=ff * 1.05 + 1e-3).contains(&s), "speed {s}");
+/// Speeds stay within physical bounds for any seed.
+#[test]
+fn speeds_always_bounded() {
+    check(
+        "speeds always bounded",
+        |rng| rng.random_range(0u64..1000),
+        |&seed| {
+            let c = small_corridor(seed, 4);
+            for road in 0..c.n_roads() {
+                let ff = c.free_flow()[road];
+                for &s in c.road_speeds(road) {
+                    prop_assert!((5.0..=ff * 1.05 + 1e-3).contains(&s), "speed {s}");
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// The rate limiter holds for any seed.
-    #[test]
-    fn step_changes_always_rate_limited(seed in 0u64..1000) {
-        let c = small_corridor(seed, 4);
-        let max = c.config().max_step_frac;
-        for road in 0..c.n_roads() {
-            let s = c.road_speeds(road);
-            for w in s.windows(2) {
-                prop_assert!((w[1] - w[0]).abs() / w[0] <= max + 1e-3);
+/// The rate limiter holds for any seed.
+#[test]
+fn step_changes_always_rate_limited() {
+    check(
+        "step changes always rate limited",
+        |rng| rng.random_range(0u64..1000),
+        |&seed| {
+            let c = small_corridor(seed, 4);
+            let max = c.config().max_step_frac;
+            for road in 0..c.n_roads() {
+                let s = c.road_speeds(road);
+                for w in s.windows(2) {
+                    prop_assert!((w[1] - w[0]).abs() / w[0] <= max + 1e-3);
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Min–max normalization round-trips over its fitted range.
-    #[test]
-    fn normalizer_roundtrip(values in proptest::collection::vec(1.0f32..200.0, 2..64)) {
-        let n = Normalizer::fit(values.iter());
-        for &v in &values {
-            let rt = n.denormalize(n.normalize(v));
-            prop_assert!((rt - v).abs() < 1e-2, "{v} -> {rt}");
-            prop_assert!((0.0..=1.0 + 1e-6).contains(&n.normalize(v)));
-        }
-    }
-
-    /// Degenerate (constant) inputs never divide by zero.
-    #[test]
-    fn normalizer_handles_constant_input(v in -50.0f32..50.0) {
-        let values = [v; 8];
-        let n = Normalizer::fit(values.iter());
-        prop_assert!(n.normalize(v).is_finite());
-    }
-
-    /// Train and test windows never share an interval, for any split seed.
-    #[test]
-    fn split_is_leakage_free(seed in 0u64..200) {
-        let cal = Calendar::new(10, 6, vec![]);
-        let corridor = Corridor::generate_with_calendar(SimConfig::default(), cal);
-        let cfg = DataConfig { seed, ..DataConfig::default() };
-        let alpha = cfg.alpha;
-        let beta = cfg.beta;
-        let data = TrafficDataset::new(corridor, cfg);
-        prop_assume!(!data.test_samples().is_empty());
-        let test_covered: std::collections::HashSet<usize> = data
-            .test_samples()
-            .iter()
-            .flat_map(|&t| t - alpha..=t + beta)
-            .collect();
-        for &t in data.train_samples() {
-            for u in t + 1 - 2 * alpha..=t + beta {
-                prop_assert!(!test_covered.contains(&u));
+/// Min–max normalization round-trips over its fitted range.
+#[test]
+fn normalizer_roundtrip() {
+    check(
+        "normalizer roundtrip",
+        |rng| {
+            let n = rng.random_range(2usize..64);
+            (0..n)
+                .map(|_| rng.random_range(1.0f32..200.0))
+                .collect::<Vec<f32>>()
+        },
+        |values| {
+            prop_assume!(values.len() >= 2);
+            let n = Normalizer::fit(values.iter());
+            for &v in values {
+                let rt = n.denormalize(n.normalize(v));
+                prop_assert!((rt - v).abs() < 1e-2, "{v} -> {rt}");
+                prop_assert!((0.0..=1.0 + 1e-6).contains(&n.normalize(v)));
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Feature encoding never produces NaN for any valid sample and mask.
-    #[test]
-    fn features_are_always_finite(seed in 0u64..100, pick in 0usize..1000) {
-        let cal = Calendar::new(6, 6, vec![2]);
-        let sim = SimConfig { seed, ..SimConfig::default() };
-        let data = TrafficDataset::new(
-            Corridor::generate_with_calendar(sim, cal),
-            DataConfig::default(),
-        );
-        prop_assume!(!data.train_samples().is_empty());
-        let t = data.train_samples()[pick % data.train_samples().len()];
-        for (_, mask) in FeatureMask::fig5_grid() {
-            let f = data.features(t, mask);
-            prop_assert!(f.target.is_finite());
-            for row in &f.speed_matrix {
-                prop_assert!(row.iter().all(|v| v.is_finite()));
+/// Degenerate (constant) inputs never divide by zero.
+#[test]
+fn normalizer_handles_constant_input() {
+    check(
+        "normalizer handles constant input",
+        |rng| rng.random_range(-50.0f32..50.0),
+        |&v| {
+            let values = [v; 8];
+            let n = Normalizer::fit(values.iter());
+            prop_assert!(n.normalize(v).is_finite());
+            Ok(())
+        },
+    );
+}
+
+/// Train and test windows never share an interval, for any split seed.
+#[test]
+fn split_is_leakage_free() {
+    check(
+        "split is leakage free",
+        |rng| rng.random_range(0u64..200),
+        |&seed| {
+            let cal = Calendar::new(10, 6, vec![]);
+            let corridor = Corridor::generate_with_calendar(SimConfig::default(), cal);
+            let cfg = DataConfig {
+                seed,
+                ..DataConfig::default()
+            };
+            let alpha = cfg.alpha;
+            let beta = cfg.beta;
+            let data = TrafficDataset::new(corridor, cfg);
+            prop_assume!(!data.test_samples().is_empty());
+            let test_covered: std::collections::HashSet<usize> = data
+                .test_samples()
+                .iter()
+                .flat_map(|&t| t - alpha..=t + beta)
+                .collect();
+            for &t in data.train_samples() {
+                for u in t + 1 - 2 * alpha..=t + beta {
+                    prop_assert!(!test_covered.contains(&u));
+                }
             }
-            prop_assert!(f.real_sequence.iter().all(|v| v.is_finite()));
-            prop_assert!(f.non_speed_flat().iter().all(|v| v.is_finite()));
-        }
-    }
+            Ok(())
+        },
+    );
+}
+
+/// Feature encoding never produces NaN for any valid sample and mask.
+#[test]
+fn features_are_always_finite() {
+    check(
+        "features are always finite",
+        |rng| (rng.random_range(0u64..100), rng.random_range(0usize..1000)),
+        |&(seed, pick)| {
+            let cal = Calendar::new(6, 6, vec![2]);
+            let sim = SimConfig {
+                seed,
+                ..SimConfig::default()
+            };
+            let data = TrafficDataset::new(
+                Corridor::generate_with_calendar(sim, cal),
+                DataConfig::default(),
+            );
+            prop_assume!(!data.train_samples().is_empty());
+            let t = data.train_samples()[pick % data.train_samples().len()];
+            for (_, mask) in FeatureMask::fig5_grid() {
+                let f = data.features(t, mask);
+                prop_assert!(f.target.is_finite());
+                for row in &f.speed_matrix {
+                    prop_assert!(row.iter().all(|v| v.is_finite()));
+                }
+                prop_assert!(f.real_sequence.iter().all(|v| v.is_finite()));
+                prop_assert!(f.non_speed_flat().iter().all(|v| v.is_finite()));
+            }
+            Ok(())
+        },
+    );
 }

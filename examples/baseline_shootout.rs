@@ -37,14 +37,35 @@ fn main() {
         .collect();
     let href: Vec<&[f32]> = histories.iter().map(Vec::as_slice).collect();
     let eval = evaluate_fixed(Persistence.predict(&href), &data, &samples);
-    rows.push(("persistence".into(), eval.overall.mae, eval.overall.rmse, eval.overall.mape));
+    rows.push((
+        "persistence".into(),
+        eval.overall.mae,
+        eval.overall.rmse,
+        eval.overall.mape,
+    ));
 
     // Historical average by (hour, weekday-class).
-    let train_times: Vec<usize> = data.train_samples().iter().map(|&t| data.target_time(t)).collect();
-    let train_values: Vec<f32> = train_times.iter().map(|&t| data.corridor().speed(h, t)).collect();
+    let train_times: Vec<usize> = data
+        .train_samples()
+        .iter()
+        .map(|&t| data.target_time(t))
+        .collect();
+    let train_values: Vec<f32> = train_times
+        .iter()
+        .map(|&t| data.corridor().speed(h, t))
+        .collect();
     let ha = HistoricalAverage::fit(&train_times, &train_values, data.corridor().calendar());
-    let eval = evaluate_fixed(ha.predict(&targets, data.corridor().calendar()), &data, &samples);
-    rows.push(("historical avg".into(), eval.overall.mae, eval.overall.rmse, eval.overall.mape));
+    let eval = evaluate_fixed(
+        ha.predict(&targets, data.corridor().calendar()),
+        &data,
+        &samples,
+    );
+    rows.push((
+        "historical avg".into(),
+        eval.overall.mae,
+        eval.overall.rmse,
+        eval.overall.mape,
+    ));
 
     // Prophet.
     let prophet = Prophet::fit(
@@ -54,7 +75,12 @@ fn main() {
         ProphetConfig::default(),
     );
     let eval = evaluate_fixed(prophet.predict(&targets), &data, &samples);
-    rows.push(("prophet".into(), eval.overall.mae, eval.overall.rmse, eval.overall.mape));
+    rows.push((
+        "prophet".into(),
+        eval.overall.mae,
+        eval.overall.rmse,
+        eval.overall.mape,
+    ));
 
     // ARIMA(6, 1, 0) on the target road's training series, one-step-ahead.
     let h_series: Vec<f32> = (0..data.corridor().intervals())
@@ -66,7 +92,12 @@ fn main() {
         .map(|&t| arima.predict_next(&h_series[..t]))
         .collect();
     let eval = evaluate_fixed(preds, &data, &samples);
-    rows.push(("ARIMA(6,1,0)".into(), eval.overall.mae, eval.overall.rmse, eval.overall.mape));
+    rows.push((
+        "ARIMA(6,1,0)".into(),
+        eval.overall.mae,
+        eval.overall.rmse,
+        eval.overall.mape,
+    ));
 
     // ST-KNN over α-step target-road windows.
     let alpha = data.config().alpha;
@@ -86,7 +117,12 @@ fn main() {
         .map(|&t| h_series[t - alpha..t].to_vec())
         .collect();
     let eval = evaluate_fixed(knn.predict(&queries), &data, &samples);
-    rows.push(("ST-KNN (k=8)".into(), eval.overall.mae, eval.overall.rmse, eval.overall.mape));
+    rows.push((
+        "ST-KNN (k=8)".into(),
+        eval.overall.mae,
+        eval.overall.rmse,
+        eval.overall.mape,
+    ));
 
     // APOTS F (small budget).
     let mut cfg = TrainConfig::fast_adversarial(FeatureMask::BOTH);
@@ -95,7 +131,12 @@ fn main() {
     let mut p = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &data, 7);
     let _ = train_apots(p.as_mut(), &data, &cfg);
     let eval = evaluate(p.as_mut(), &data, cfg.mask, &samples);
-    rows.push(("APOTS F".into(), eval.overall.mae, eval.overall.rmse, eval.overall.mape));
+    rows.push((
+        "APOTS F".into(),
+        eval.overall.mae,
+        eval.overall.rmse,
+        eval.overall.mape,
+    ));
 
     println!("model            MAE     RMSE    MAPE");
     for (name, mae, rmse, mape) in rows {

@@ -41,7 +41,9 @@ fn main() {
     let _ = train_apots(apots.as_mut(), &data, &apots_cfg);
 
     println!("alert threshold: {alert_kmh:.0} km/h on road {h}\n");
-    println!("accident    real-alert  plain-alert  apots-alert   (intervals after onset; – = missed)");
+    println!(
+        "accident    real-alert  plain-alert  apots-alert   (intervals after onset; – = missed)"
+    );
 
     let accidents: Vec<_> = data
         .corridor()
@@ -54,11 +56,14 @@ fn main() {
     let mut plain_hits = 0usize;
     let mut apots_hits = 0usize;
     for inc in accidents.iter().take(12) {
-        let window = inc.start..(inc.start + inc.duration + inc.recovery).min(data.corridor().intervals());
+        let window =
+            inc.start..(inc.start + inc.duration + inc.recovery).min(data.corridor().intervals());
         let real_alert = window
             .clone()
             .position(|t| data.corridor().speed(h, t) < alert_kmh);
-        let Some(real_alert) = real_alert else { continue };
+        let Some(real_alert) = real_alert else {
+            continue;
+        };
         scored += 1;
 
         let detect = |model: &mut dyn apots::predictor::Predictor, mask| {

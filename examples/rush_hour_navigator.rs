@@ -29,14 +29,20 @@ fn main() {
     config.epochs = 3;
     config.max_train_samples = Some(1536);
     let mut predictor = build_predictor(PredictorKind::Hybrid, HyperPreset::Fast, &data, 7);
-    println!("training APOTS H on {} samples…", data.train_samples().len());
+    println!(
+        "training APOTS H on {} samples…",
+        data.train_samples().len()
+    );
     let report = train_apots(predictor.as_mut(), &data, &config);
     println!("final epoch mse {:.5}\n", report.final_mse());
 
     // The worst morning rush in the simulation.
     let rush = scenarios::morning_rush(data.corridor());
     let h = data.corridor().target_road();
-    println!("navigating {} (intervals {}..{})", rush.name, rush.start, rush.end);
+    println!(
+        "navigating {} (intervals {}..{})",
+        rush.name, rush.start, rush.end
+    );
 
     let trace = predict_trace(predictor.as_mut(), &data, config.mask, rush.range());
     println!("\ndeparture  predicted   real     predicted  real");

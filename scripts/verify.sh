@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Offline verification gate for the hermetic APOTS workspace.
+#
+# The workspace carries zero external dependencies (see DESIGN.md §6),
+# so everything below must succeed with the network disabled. Run from
+# anywhere; operates on the repo this script lives in.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline =="
+cargo build --workspace --release --offline
+
+echo "== cargo test -q --offline =="
+cargo test --workspace -q --offline
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== hermeticity: no external crates in any manifest =="
+if grep -rn 'rand\|proptest\|serde\|criterion\|crossbeam' \
+    Cargo.toml crates/*/Cargo.toml \
+    | grep -v 'apots-' | grep -v '^\s*#' | grep -v 'description'; then
+  echo "ERROR: external dependency mention found above" >&2
+  exit 1
+fi
+
+echo "verify.sh: all green"

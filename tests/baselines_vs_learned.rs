@@ -76,8 +76,16 @@ fn persistence_is_a_strong_short_horizon_floor() {
         .collect();
     let href: Vec<&[f32]> = histories.iter().map(Vec::as_slice).collect();
     let eval = evaluate_fixed(Persistence.predict(&href), &data, data.test_samples());
-    assert!(eval.overall.mape > 0.5, "persistence too good: {}", eval.overall.mape);
-    assert!(eval.overall.mape < 30.0, "persistence too bad: {}", eval.overall.mape);
+    assert!(
+        eval.overall.mape > 0.5,
+        "persistence too good: {}",
+        eval.overall.mape
+    );
+    assert!(
+        eval.overall.mape < 30.0,
+        "persistence too bad: {}",
+        eval.overall.mape
+    );
 }
 
 #[test]

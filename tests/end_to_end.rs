@@ -67,7 +67,11 @@ fn adversarial_training_is_stable_end_to_end() {
     }
     let eval = evaluate(p.as_mut(), &data, cfg.mask, data.test_samples());
     assert!(eval.overall.mape.is_finite());
-    assert!(eval.overall.mape < 200.0, "MAPE exploded: {}", eval.overall.mape);
+    assert!(
+        eval.overall.mape < 200.0,
+        "MAPE exploded: {}",
+        eval.overall.mape
+    );
 }
 
 #[test]
@@ -77,7 +81,9 @@ fn training_is_deterministic_under_seed() {
         let cfg = tiny_cfg(false);
         let mut p = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &data, 9);
         let _ = train_plain(p.as_mut(), &data, &cfg);
-        evaluate(p.as_mut(), &data, cfg.mask, data.test_samples()).overall.mape
+        evaluate(p.as_mut(), &data, cfg.mask, data.test_samples())
+            .overall
+            .mape
     };
     let a = run();
     let b = run();

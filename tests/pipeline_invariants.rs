@@ -3,9 +3,7 @@
 use apots::config::PredictorKind;
 use apots::encode::{encode_context, encode_inputs, PredictorInput};
 use apots_traffic::calendar::Calendar;
-use apots_traffic::{
-    Corridor, DataConfig, FeatureMask, NonSpeedMask, SimConfig, TrafficDataset,
-};
+use apots_traffic::{Corridor, DataConfig, FeatureMask, NonSpeedMask, SimConfig, TrafficDataset};
 
 fn dataset() -> TrafficDataset {
     let calendar = Calendar::new(10, 6, vec![4]);
