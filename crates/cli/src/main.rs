@@ -16,7 +16,9 @@ use apots::checkpoint::Checkpoint;
 use apots::config::{HyperPreset, PredictorKind, TrainConfig};
 use apots::eval::{evaluate, predict_trace};
 use apots::predictor::build_predictor;
-use apots::trainer::{train_apots, train_plain};
+use apots::runtime::TrainOptions;
+use apots::trainer::train_with_options;
+use apots_serde::atomic::write_atomic;
 use apots_traffic::calendar::Calendar;
 use apots_traffic::{
     Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset, INTERVALS_PER_DAY,
@@ -48,6 +50,10 @@ fn usage() -> &'static str {
      \x20 train      train a predictor and write a checkpoint\n\
      \x20            [--kind F|L|C|H] [--adversarial] [--epochs N]\n\
      \x20            [--days N] [--seed N] [--preset fast|paper] --out FILE\n\
+     \x20            [--checkpoint-dir DIR] [--save-every N] [--resume]\n\
+     \x20            (crash-safe: checkpoints are written atomically with a\n\
+     \x20            checksum; --resume continues an interrupted run and\n\
+     \x20            reproduces the uninterrupted result exactly)\n\
      \x20 eval       evaluate a checkpoint on the held-out test windows\n\
      \x20            --model FILE [--days N] [--seed N] [--json]\n\
      \x20 predict    print a predicted speed trace for a time window\n\
@@ -129,7 +135,8 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
             "target_road": h,
             "speeds": (0..c.n_roads()).map(|r| c.road_speeds(r)).collect::<Vec<_>>(),
         });
-        std::fs::write(path, json.to_string()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        write_atomic(std::path::Path::new(path), &json.to_string())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("wrote {path}");
     }
     Ok(())
@@ -163,6 +170,14 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     }
     cfg.seed = args.get_u64("seed")?.unwrap_or(7);
 
+    let resume = args.has_flag("resume");
+    let save_every = args.get_usize("save-every")?.unwrap_or(1);
+    let mut options = match args.get_str("checkpoint-dir") {
+        Some(dir) => TrainOptions::checkpointed(dir, save_every, resume),
+        None if resume => return Err("--resume requires --checkpoint-dir".into()),
+        None => TrainOptions::default(),
+    };
+
     let mut p = build_predictor(kind, preset, &data, cfg.seed);
     println!(
         "training {} ({}, {} epochs) on {} samples…",
@@ -175,16 +190,25 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         cfg.epochs,
         data.train_samples().len()
     );
-    let report = if adversarial {
-        train_apots(p.as_mut(), &data, &cfg)
-    } else {
-        train_plain(p.as_mut(), &data, &cfg)
-    };
+    let report = train_with_options(p.as_mut(), &data, &cfg, &mut options)
+        .map_err(|e| format!("training failed: {e}"))?;
+    if let Some(n) = report.resumed_at {
+        println!("resumed from a checkpoint covering {n} completed epoch(s)");
+    }
     for (i, e) in report.epochs.iter().enumerate() {
         println!("epoch {i:2}: mse {:.5} d_loss {:.4}", e.mse, e.d_loss);
     }
-    std::fs::write(out, Checkpoint::capture(p.as_mut()).to_json())
-        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    if report.divergence_rollbacks > 0 {
+        println!(
+            "divergence sentinel rolled back {} epoch pass(es); final LR scale {}",
+            report.divergence_rollbacks, report.lr_scale
+        );
+    }
+    write_atomic(
+        std::path::Path::new(out),
+        &Checkpoint::capture(p.as_mut()).to_json(),
+    )
+    .map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("wrote checkpoint {out}");
     Ok(())
 }
@@ -199,7 +223,8 @@ fn load_model(args: &Args, data: &TrafficDataset) -> Result<Box<dyn apots::Predi
         "paper" => HyperPreset::Paper,
         _ => HyperPreset::Fast,
     };
-    Ok(ck.restore(preset, data))
+    ck.restore(preset, data)
+        .map_err(|e| format!("bad checkpoint: {e}"))
 }
 
 fn cmd_eval(args: &Args) -> Result<(), String> {

@@ -32,17 +32,24 @@ impl Checkpoint {
     /// Rebuilds a predictor of the stored kind (sized for `data` under
     /// `preset`) and restores the parameters into it.
     ///
-    /// # Panics
-    /// Panics if the stored kind label is unknown or the architecture
-    /// shapes do not match (e.g. wrong preset).
-    pub fn restore(&self, preset: HyperPreset, data: &TrafficDataset) -> Box<dyn Predictor> {
+    /// # Errors
+    /// Returns a descriptive error if the stored kind label is unknown or
+    /// the architecture shapes do not match (e.g. wrong preset) — corrupt
+    /// input must never abort a long-running process.
+    pub fn restore(
+        &self,
+        preset: HyperPreset,
+        data: &TrafficDataset,
+    ) -> Result<Box<dyn Predictor>, String> {
         let kind = PredictorKind::all()
             .into_iter()
             .find(|k| k.label() == self.kind)
-            .unwrap_or_else(|| panic!("Checkpoint: unknown predictor kind {:?}", self.kind));
+            .ok_or_else(|| format!("Checkpoint: unknown predictor kind {:?}", self.kind))?;
         let mut p = build_predictor(kind, preset, data, 0);
-        self.state.restore_params(&mut p.params_mut());
-        p
+        self.state
+            .restore_params(&mut p.params_mut())
+            .map_err(|e| format!("Checkpoint: {e}"))?;
+        Ok(p)
     }
 
     /// Serializes to JSON text (`{"kind": …, "state": {…}}`).
@@ -102,7 +109,7 @@ mod tests {
 
         let json = Checkpoint::capture(p.as_mut()).to_json();
         let restored = Checkpoint::from_json(&json).unwrap();
-        let mut q = restored.restore(HyperPreset::Fast, &data);
+        let mut q = restored.restore(HyperPreset::Fast, &data).unwrap();
         let roundtrip = evaluate(q.as_mut(), &data, cfg.mask, data.test_samples());
 
         assert_eq!(original.predictions, roundtrip.predictions);
@@ -115,20 +122,33 @@ mod tests {
         for kind in PredictorKind::all() {
             let mut p = build_predictor(kind, HyperPreset::Fast, &data, 4);
             let ck = Checkpoint::capture(p.as_mut());
-            let mut q = ck.restore(HyperPreset::Fast, &data);
+            let mut q = ck.restore(HyperPreset::Fast, &data).unwrap();
             assert_eq!(q.kind(), kind);
             assert_eq!(q.param_count(), p.param_count());
         }
     }
 
     #[test]
-    #[should_panic(expected = "unknown predictor kind")]
-    fn restore_rejects_unknown_kind() {
+    fn restore_rejects_unknown_kind_without_panicking() {
         let data = dataset();
         let ck = Checkpoint {
             kind: "Z".into(),
             state: StateDict::capture_params(&[]),
         };
-        let _ = ck.restore(HyperPreset::Fast, &data);
+        let err = ck.restore(HyperPreset::Fast, &data).err().unwrap();
+        assert!(err.contains("unknown predictor kind"), "{err}");
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_architecture_without_panicking() {
+        let data = dataset();
+        let mut fc = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &data, 4);
+        // Claim the FC weights belong to the LSTM: shapes cannot match.
+        let ck = Checkpoint {
+            kind: "L".into(),
+            state: StateDict::capture_params(&fc.params_mut()),
+        };
+        let err = ck.restore(HyperPreset::Fast, &data).err().unwrap();
+        assert!(err.contains("mismatch"), "{err}");
     }
 }

@@ -23,7 +23,13 @@
 //! * [`discriminator`] — the five-layer fully-connected conditional
 //!   discriminator of §V-A;
 //! * [`trainer`] — plain (MSE-only) and adversarial (APOTS) training
-//!   loops, including the α:1 MSE-to-adversarial loss ratio of footnote 1;
+//!   loops, including the α:1 MSE-to-adversarial loss ratio of footnote 1,
+//!   unified under a crash-safe resumable runtime (divergence sentinel,
+//!   durable checkpoints, fault-injection hooks);
+//! * [`runtime`] — the crash-safety types: [`TrainError`],
+//!   [`TrainOptions`], the full-state [`TrainCheckpoint`], kill points;
+//! * [`persist`] — the 2-deep rotating [`CheckpointStore`] built on the
+//!   atomic sealed writer in `apots_serde::atomic`;
 //! * [`eval`] — test-set evaluation in km/h, situation-segmented metrics
 //!   and scenario trace prediction.
 //!
@@ -52,7 +58,9 @@ pub mod config;
 pub mod discriminator;
 pub mod encode;
 pub mod eval;
+pub mod persist;
 pub mod predictor;
+pub mod runtime;
 pub mod trainer;
 
 pub use cgan::CGan;
@@ -60,5 +68,12 @@ pub use checkpoint::Checkpoint;
 pub use config::{HyperPreset, PredictorKind, TrainConfig};
 pub use discriminator::Discriminator;
 pub use eval::{evaluate, EvalResult};
+pub use persist::{CheckpointStore, LoadSource};
 pub use predictor::{build_predictor, Predictor};
-pub use trainer::{train_apots, train_plain, TrainReport};
+pub use runtime::{
+    config_fingerprint, BatchCtx, KillPoint, TrainCheckpoint, TrainError, TrainOptions,
+};
+pub use trainer::{
+    train_apots, train_apots_with, train_apots_with_options, train_plain, train_with_options,
+    TrainReport,
+};

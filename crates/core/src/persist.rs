@@ -1,0 +1,206 @@
+//! Durable checkpoint storage with a 2-deep rotation.
+//!
+//! A [`CheckpointStore`] owns one directory and keeps at most two
+//! generations of a sealed JSON document:
+//!
+//! * `latest.json` — the newest successfully-written checkpoint;
+//! * `prev.json` — the generation before it.
+//!
+//! Every save goes through the atomic writer
+//! ([`apots_serde::atomic::write_sealed`]): write-to-temp → fsync →
+//! rename → directory fsync, with an FNV-1a content checksum inside the
+//! envelope. On load, a torn, truncated, bit-flipped, or otherwise
+//! checksum-failing `latest.json` is *detected* and the loader falls
+//! back to `prev.json` instead of panicking; only when both generations
+//! are unreadable does the store report corruption.
+
+use std::path::{Path, PathBuf};
+
+use apots_serde::atomic::{read_sealed, write_sealed};
+use apots_serde::Json;
+
+/// Where a loaded checkpoint came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadSource {
+    /// `latest.json` verified cleanly.
+    Latest,
+    /// `latest.json` was missing or corrupt; `prev.json` was used.
+    Previous,
+}
+
+/// A two-generation rotating store of sealed checkpoint documents.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    /// Returns an error if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, String> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create checkpoint dir {}: {e}", dir.display()))?;
+        Ok(Self { dir })
+    }
+
+    /// Path of the newest generation.
+    pub fn latest_path(&self) -> PathBuf {
+        self.dir.join("latest.json")
+    }
+
+    /// Path of the previous generation.
+    pub fn prev_path(&self) -> PathBuf {
+        self.dir.join("prev.json")
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Durably persists a new generation.
+    ///
+    /// Rotation order matters for crash safety: the current `latest` is
+    /// first renamed to `prev` (atomic), then the new document is written
+    /// atomically as `latest`. A crash between the two steps leaves only
+    /// `prev` — which the loader handles as a clean fallback.
+    ///
+    /// # Errors
+    /// Returns an error if any filesystem step fails.
+    pub fn save(&self, payload: Json) -> Result<(), String> {
+        let latest = self.latest_path();
+        if latest.exists() {
+            std::fs::rename(&latest, self.prev_path())
+                .map_err(|e| format!("cannot rotate {}: {e}", latest.display()))?;
+        }
+        write_sealed(&latest, payload)
+    }
+
+    /// Loads the newest verifiable generation.
+    ///
+    /// Returns `Ok(None)` when the store holds no checkpoint at all,
+    /// `Ok(Some((payload, source)))` when either generation verifies, and
+    /// an error only when at least one generation exists but *none*
+    /// verifies (every copy is corrupt).
+    pub fn load(&self) -> Result<Option<(Json, LoadSource)>, String> {
+        let latest = self.latest_path();
+        let prev = self.prev_path();
+        let latest_exists = latest.exists();
+        let prev_exists = prev.exists();
+        if !latest_exists && !prev_exists {
+            return Ok(None);
+        }
+        let latest_err = if latest_exists {
+            match read_sealed(&latest) {
+                Ok(payload) => return Ok(Some((payload, LoadSource::Latest))),
+                Err(e) => Some(e),
+            }
+        } else {
+            None
+        };
+        if let Some(e) = &latest_err {
+            eprintln!(
+                "warning: checkpoint {}: {e}; falling back to previous generation",
+                latest.display()
+            );
+        }
+        let prev_err = if prev_exists {
+            match read_sealed(&prev) {
+                Ok(payload) => return Ok(Some((payload, LoadSource::Previous))),
+                Err(e) => Some(e),
+            }
+        } else {
+            None
+        };
+        Err(format!(
+            "no verifiable checkpoint in {}: latest: {}; prev: {}",
+            self.dir.display(),
+            latest_err.as_deref().unwrap_or("missing"),
+            prev_err.as_deref().unwrap_or("missing"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apots_serde::json;
+
+    fn store(tag: &str) -> CheckpointStore {
+        let dir = std::env::temp_dir().join(format!("apots-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        CheckpointStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn empty_store_loads_none() {
+        let s = store("empty");
+        assert_eq!(s.load().unwrap(), None);
+        let _ = std::fs::remove_dir_all(s.dir());
+    }
+
+    #[test]
+    fn save_load_and_rotation() {
+        let s = store("rotate");
+        s.save(json!({"epoch": 1usize})).unwrap();
+        let (p, src) = s.load().unwrap().unwrap();
+        assert_eq!(p.get("epoch").unwrap().as_usize(), Some(1));
+        assert_eq!(src, LoadSource::Latest);
+
+        s.save(json!({"epoch": 2usize})).unwrap();
+        assert!(
+            s.prev_path().exists(),
+            "rotation must keep the prior generation"
+        );
+        let (p, _) = s.load().unwrap().unwrap();
+        assert_eq!(p.get("epoch").unwrap().as_usize(), Some(2));
+
+        // Third save drops generation 1 entirely.
+        s.save(json!({"epoch": 3usize})).unwrap();
+        let prev = read_sealed(&s.prev_path()).unwrap();
+        assert_eq!(prev.get("epoch").unwrap().as_usize(), Some(2));
+        let _ = std::fs::remove_dir_all(s.dir());
+    }
+
+    #[test]
+    fn torn_latest_falls_back_to_prev() {
+        let s = store("torn");
+        s.save(json!({"epoch": 1usize})).unwrap();
+        s.save(json!({"epoch": 2usize})).unwrap();
+        // Simulate a torn write: truncate latest mid-document.
+        let text = std::fs::read_to_string(s.latest_path()).unwrap();
+        std::fs::write(s.latest_path(), &text[..text.len() / 2]).unwrap();
+        let (p, src) = s.load().unwrap().unwrap();
+        assert_eq!(src, LoadSource::Previous);
+        assert_eq!(p.get("epoch").unwrap().as_usize(), Some(1));
+        let _ = std::fs::remove_dir_all(s.dir());
+    }
+
+    #[test]
+    fn bit_flip_in_latest_falls_back_to_prev() {
+        let s = store("flip");
+        s.save(json!({"value": 1111i64})).unwrap();
+        s.save(json!({"value": 2222i64})).unwrap();
+        let text = std::fs::read_to_string(s.latest_path()).unwrap();
+        std::fs::write(s.latest_path(), text.replace("2222", "2223")).unwrap();
+        let (p, src) = s.load().unwrap().unwrap();
+        assert_eq!(src, LoadSource::Previous);
+        assert_eq!(p.get("value").unwrap().as_f64(), Some(1111.0));
+        let _ = std::fs::remove_dir_all(s.dir());
+    }
+
+    #[test]
+    fn both_generations_corrupt_is_an_error_not_a_panic() {
+        let s = store("allbad");
+        s.save(json!({"epoch": 1usize})).unwrap();
+        s.save(json!({"epoch": 2usize})).unwrap();
+        std::fs::write(s.latest_path(), "garbage").unwrap();
+        std::fs::write(s.prev_path(), "{also: garbage").unwrap();
+        let err = s.load().unwrap_err();
+        assert!(err.contains("no verifiable checkpoint"), "{err}");
+        let _ = std::fs::remove_dir_all(s.dir());
+    }
+}

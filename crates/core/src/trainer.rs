@@ -1,4 +1,5 @@
-//! Training loops: plain MSE training and the APOTS adversarial loop.
+//! Training loops: plain MSE training and the APOTS adversarial loop,
+//! unified under a crash-safe, resumable runtime.
 //!
 //! The adversarial loop implements Eq 1/2/4 of the paper faithfully:
 //!
@@ -11,23 +12,58 @@
 //! 3. the predictor is trained on the sum of the `α` per-window MSE terms
 //!    plus one adversarial term `log(1 − D(Ŝ|E))` — the α:1 ratio of the
 //!    paper's footnote 1 (minimising `J_P`, Eq 1).
+//!
+//! # Crash-safe runtime
+//!
+//! [`train_with_options`] is the full-featured entry point. Around the
+//! per-epoch loop it provides:
+//!
+//! * **Durable checkpoints** — when [`TrainOptions::checkpoint_dir`] is
+//!   set, a full-state [`TrainCheckpoint`] (parameters, both Adam
+//!   optimizers, RNG stream, early-stopping monitor, LR scale, stats) is
+//!   sealed and atomically persisted through the rotating
+//!   [`CheckpointStore`] every [`TrainOptions::save_every`] epochs.
+//!   Resuming from such a checkpoint reproduces the uninterrupted run
+//!   **bit-identically**, because the only RNG consumer inside the loop
+//!   is the epoch shuffle and every optimizer moment survives the
+//!   round-trip exactly.
+//! * **A divergence sentinel** — every batch's loss, gradient norm, and
+//!   post-step parameters are checked for finiteness. On a trip the
+//!   epoch is rolled back to its in-memory start-of-epoch snapshot, the
+//!   learning rate is halved (persistently, via
+//!   [`TrainReport::lr_scale`]), and the epoch is replayed — up to
+//!   [`TrainOptions::max_divergence_retries`] times before the run fails
+//!   with a structured [`TrainError::Diverged`] instead of silently
+//!   emitting NaN parameters.
+//! * **Fault-injection hooks** — test-only kill points
+//!   ([`KillPoint::EpochStart`], [`KillPoint::AfterSave`]) and a
+//!   per-batch NaN poisoner that exercises the *real* sentinel path.
+//!
+//! The legacy entry points [`train_plain`] / [`train_apots`] /
+//! [`train_apots_with`] are thin wrappers over the same loop with
+//! default options.
 
 use apots_nn::layer::Param;
 use apots_nn::loss::{
     bce_with_logits, generator_loss_nonsaturating, generator_loss_saturating, mse,
 };
 use apots_nn::optim::{clip_global_norm, Adam, Optimizer};
+use apots_nn::{AdamState, EarlyStopping, StateDict};
 use apots_tensor::rng::seeded;
-use apots_tensor::Tensor;
+use apots_tensor::{SeededRng, Tensor};
 use apots_traffic::TrafficDataset;
 
 use crate::config::{GenLoss, TrainConfig};
 use crate::discriminator::Discriminator;
 use crate::encode::{encode_context, encode_inputs};
+use crate::persist::CheckpointStore;
 use crate::predictor::Predictor;
+use crate::runtime::{
+    config_fingerprint, BatchCtx, KillPoint, TrainCheckpoint, TrainError, TrainOptions,
+};
 
 /// Per-epoch training statistics.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpochStats {
     /// Mean MSE of the final-window prediction (the actual target).
     pub mse: f32,
@@ -38,16 +74,38 @@ pub struct EpochStats {
 }
 
 /// A finished training run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct TrainReport {
-    /// Stats per epoch, in order.
+    /// Stats per epoch, in order (includes epochs replayed from a
+    /// resumed checkpoint, so the report always covers the whole run).
     pub epochs: Vec<EpochStats>,
+    /// How many times the divergence sentinel rolled an epoch back.
+    pub divergence_rollbacks: usize,
+    /// Final learning-rate scale after sentinel halvings (1.0 = never
+    /// tripped).
+    pub lr_scale: f32,
+    /// `Some(n)` if the run resumed from a checkpoint covering `n`
+    /// completed epochs.
+    pub resumed_at: Option<usize>,
+}
+
+impl Default for TrainReport {
+    fn default() -> Self {
+        Self {
+            epochs: Vec::new(),
+            divergence_rollbacks: 0,
+            lr_scale: 1.0,
+            resumed_at: None,
+        }
+    }
 }
 
 impl TrainReport {
-    /// Final-epoch MSE (∞ if no epochs ran).
-    pub fn final_mse(&self) -> f32 {
-        self.epochs.last().map_or(f32::INFINITY, |e| e.mse)
+    /// Final-epoch MSE, or `None` if no epochs ran. (This used to return
+    /// `f32::INFINITY` for an empty report, which callers routinely
+    /// mistook for a real — if terrible — measurement.)
+    pub fn final_mse(&self) -> Option<f32> {
+        self.epochs.last().map(|e| e.mse)
     }
 }
 
@@ -87,7 +145,7 @@ impl GradAccumulator {
 fn epoch_batches(
     data: &TrafficDataset,
     config: &TrainConfig,
-    rng: &mut apots_tensor::SeededRng,
+    rng: &mut SeededRng,
 ) -> Vec<Vec<usize>> {
     let mut batches = data.train_batches(config.batch_size, rng);
     if let Some(cap) = config.max_train_samples {
@@ -97,7 +155,31 @@ fn epoch_batches(
     batches
 }
 
+/// Builds the discriminator [`train_apots`] uses internally: widths follow
+/// the preset implied by the config's sample cap (the Fast widths are
+/// ample for α = 12 sequences), seeded independently of the predictor.
+pub fn build_discriminator(data: &TrafficDataset, config: &TrainConfig) -> Discriminator {
+    let alpha = data.config().alpha;
+    let n_roads = data.corridor().n_roads();
+    let cond_width = apots_traffic::SampleFeatures::flat_width(n_roads, alpha);
+    let hidden = if config.max_train_samples.is_some() {
+        crate::config::HyperPreset::Fast.resolve().disc_hidden
+    } else {
+        crate::config::HyperPreset::Paper.resolve().disc_hidden
+    };
+    Discriminator::new(
+        alpha,
+        cond_width,
+        hidden,
+        config.conditional_discriminator,
+        config.seed ^ 0x5EED_D15C,
+    )
+}
+
 /// Plain (MSE-only) training — the paper's "w/o Adv." column.
+///
+/// Thin wrapper over [`train_with_options`] with default options; panics
+/// on the (structured) failure modes the full API reports as errors.
 pub fn train_plain(
     predictor: &mut dyn Predictor,
     data: &TrafficDataset,
@@ -107,41 +189,10 @@ pub fn train_plain(
         !config.adversarial,
         "train_plain called with adversarial config"
     );
-    let mut opt = Adam::new(config.learning_rate);
-    let mut rng = seeded(config.seed);
-    let mut report = TrainReport::default();
-    let mut stopper = config
-        .early_stopping
-        .map(|(patience, delta)| apots_nn::EarlyStopping::new(patience, delta));
-
-    for epoch in 0..config.epochs {
-        opt.set_learning_rate(config.learning_rate * config.lr_schedule.factor(epoch));
-        let mut epoch_mse = 0.0f64;
-        let mut n_batches = 0usize;
-        for batch in epoch_batches(data, config, &mut rng) {
-            let (input, targets) = encode_inputs(predictor.kind(), data, &batch, config.mask);
-            let out = predictor.forward(&input, true);
-            let (loss, grad) = mse(&out, &targets);
-            predictor.backward(&grad);
-            let mut params = predictor.params_mut();
-            clip_global_norm(&mut params, config.grad_clip);
-            opt.step(params);
-            epoch_mse += f64::from(loss);
-            n_batches += 1;
-        }
-        let m = (epoch_mse / n_batches.max(1) as f64) as f32;
-        report.epochs.push(EpochStats {
-            mse: m,
-            p_loss: m,
-            d_loss: 0.0,
-        });
-        if let Some(s) = &mut stopper {
-            if s.update(m) {
-                break;
-            }
-        }
+    match run_training(predictor, None, data, config, &mut TrainOptions::default()) {
+        Ok(report) => report,
+        Err(e) => panic!("train_plain: {e}"),
     }
-    report
 }
 
 /// APOTS adversarial training — the paper's "w/ Adv." column.
@@ -153,23 +204,7 @@ pub fn train_apots(
     data: &TrafficDataset,
     config: &TrainConfig,
 ) -> TrainReport {
-    let alpha = data.config().alpha;
-    let n_roads = data.corridor().n_roads();
-    let cond_width = apots_traffic::SampleFeatures::flat_width(n_roads, alpha);
-    // The discriminator widths follow the preset implied by the config's
-    // epoch budget; the Fast widths are ample for α = 12 sequences.
-    let hidden = if config.max_train_samples.is_some() {
-        crate::config::HyperPreset::Fast.resolve().disc_hidden
-    } else {
-        crate::config::HyperPreset::Paper.resolve().disc_hidden
-    };
-    let mut disc = Discriminator::new(
-        alpha,
-        cond_width,
-        hidden,
-        config.conditional_discriminator,
-        config.seed ^ 0x5EED_D15C,
-    );
+    let mut disc = build_discriminator(data, config);
     train_apots_with(predictor, &mut disc, data, config)
 }
 
@@ -180,142 +215,532 @@ pub fn train_apots_with(
     data: &TrafficDataset,
     config: &TrainConfig,
 ) -> TrainReport {
+    match train_apots_with_options(predictor, disc, data, config, &mut TrainOptions::default()) {
+        Ok(report) => report,
+        Err(e) => panic!("train_apots_with: {e}"),
+    }
+}
+
+/// The crash-safe entry point: plain or adversarial training (the config
+/// decides; the discriminator is built internally for adversarial runs)
+/// with checkpointing, resume, the divergence sentinel, and fault
+/// injection per `options`.
+///
+/// # Errors
+/// * [`TrainError::Diverged`] — the sentinel exhausted its retry budget;
+/// * [`TrainError::ConfigMismatch`] — resume found a checkpoint produced
+///   under a different configuration;
+/// * [`TrainError::Corrupt`] / [`TrainError::Io`] — checkpoint decoding
+///   or filesystem failures;
+/// * [`TrainError::Killed`] — a fault-injection kill point fired.
+pub fn train_with_options(
+    predictor: &mut dyn Predictor,
+    data: &TrafficDataset,
+    config: &TrainConfig,
+    options: &mut TrainOptions<'_>,
+) -> Result<TrainReport, TrainError> {
+    if config.adversarial {
+        let mut disc = build_discriminator(data, config);
+        run_training(predictor, Some(&mut disc), data, config, options)
+    } else {
+        run_training(predictor, None, data, config, options)
+    }
+}
+
+/// [`train_with_options`] with an externally-built discriminator (for the
+/// conditioning ablation).
+///
+/// # Errors
+/// As [`train_with_options`].
+pub fn train_apots_with_options(
+    predictor: &mut dyn Predictor,
+    disc: &mut Discriminator,
+    data: &TrafficDataset,
+    config: &TrainConfig,
+    options: &mut TrainOptions<'_>,
+) -> Result<TrainReport, TrainError> {
     assert!(config.adversarial, "train_apots called with plain config");
-    let alpha = data.config().alpha;
-    assert_eq!(disc.seq_width(), alpha, "discriminator width must equal α");
+    run_training(predictor, Some(disc), data, config, options)
+}
+
+/// In-memory start-of-epoch snapshot the divergence sentinel rolls back
+/// to. Restoring it (including the RNG stream) and replaying the epoch
+/// with a halved learning rate is fully deterministic.
+struct EpochSnapshot {
+    pred: StateDict,
+    p_opt: AdamState,
+    disc: Option<StateDict>,
+    d_opt: Option<AdamState>,
+    rng: (u64, u64),
+}
+
+impl EpochSnapshot {
+    fn capture(
+        predictor: &mut dyn Predictor,
+        disc: Option<&mut Discriminator>,
+        p_opt: &Adam,
+        d_opt: Option<&Adam>,
+        rng: &SeededRng,
+    ) -> Self {
+        Self {
+            pred: StateDict::capture_params(&predictor.params_mut()),
+            p_opt: p_opt.capture_state(),
+            disc: disc.map(|d| StateDict::capture_params(&d.params_mut())),
+            d_opt: d_opt.map(Adam::capture_state),
+            rng: rng.state(),
+        }
+    }
+
+    /// Restores the snapshot into the live training state. Cannot fail:
+    /// the snapshot was captured from these exact objects.
+    fn restore(
+        &self,
+        predictor: &mut dyn Predictor,
+        disc: Option<&mut Discriminator>,
+        p_opt: &mut Adam,
+        d_opt: Option<&mut Adam>,
+        rng: &mut SeededRng,
+    ) {
+        self.pred
+            .restore_params(&mut predictor.params_mut())
+            .expect("epoch snapshot restores into the model it was captured from");
+        p_opt
+            .restore_state(self.p_opt.clone())
+            .expect("epoch snapshot restores into the optimizer it was captured from");
+        if let (Some(d), Some(s)) = (disc, &self.disc) {
+            s.restore_params(&mut d.params_mut())
+                .expect("epoch snapshot restores into the discriminator it was captured from");
+        }
+        if let (Some(o), Some(s)) = (d_opt, &self.d_opt) {
+            o.restore_state(s.clone())
+                .expect("epoch snapshot restores into the optimizer it was captured from");
+        }
+        *rng = SeededRng::from_state(self.rng.0, self.rng.1);
+    }
+}
+
+fn fire_kill(options: &mut TrainOptions<'_>, point: KillPoint) -> bool {
+    options.kill_hook.as_mut().is_some_and(|h| h(point))
+}
+
+/// `true` when every parameter tensor is finite (checked via the squared
+/// norm, which any NaN/Inf contaminates).
+fn params_finite(params: &[Param<'_>]) -> bool {
+    params.iter().all(|p| p.value.norm_sq().is_finite())
+}
+
+/// Injects a NaN into the first gradient slot — the poison hook's payload,
+/// placed *before* the sentinel checks so the real detection path runs.
+fn poison_grads(params: &mut [Param<'_>]) {
+    if let Some(p) = params.first_mut() {
+        if let Some(g) = p.grad.data_mut().first_mut() {
+            *g = f32::NAN;
+        }
+    }
+}
+
+/// The unified training loop. `disc: None` is plain MSE training;
+/// `Some(_)` is the APOTS adversarial loop (with MSE-only warm-up).
+fn run_training(
+    predictor: &mut dyn Predictor,
+    mut disc: Option<&mut Discriminator>,
+    data: &TrafficDataset,
+    config: &TrainConfig,
+    options: &mut TrainOptions<'_>,
+) -> Result<TrainReport, TrainError> {
+    if let Some(d) = disc.as_deref_mut() {
+        let alpha = data.config().alpha;
+        assert_eq!(d.seq_width(), alpha, "discriminator width must equal α");
+    }
+    let fingerprint = config_fingerprint(predictor.kind(), config);
+    let store = match &options.checkpoint_dir {
+        Some(dir) => Some(CheckpointStore::open(dir.clone()).map_err(TrainError::Io)?),
+        None => None,
+    };
+    let save_every = options.save_every.max(1);
 
     let mut p_opt = Adam::new(config.learning_rate);
-    let mut d_opt = Adam::new(config.learning_rate);
+    let mut d_opt = if disc.is_some() {
+        Some(Adam::new(config.learning_rate))
+    } else {
+        None
+    };
     let mut rng = seeded(config.seed);
     let mut report = TrainReport::default();
     let mut stopper = config
         .early_stopping
-        .map(|(patience, delta)| apots_nn::EarlyStopping::new(patience, delta));
+        .map(|(patience, delta)| EarlyStopping::new(patience, delta));
+    let mut lr_scale = 1.0f32;
+    let mut start_epoch = 0usize;
+    let mut stopped = false;
 
-    for epoch in 0..config.epochs {
-        let lr = config.learning_rate * config.lr_schedule.factor(epoch);
-        p_opt.set_learning_rate(lr);
-        d_opt.set_learning_rate(lr);
-        let mut sums = (0.0f64, 0.0f64, 0.0f64); // (mse, p_loss, d_loss)
-        let mut n_batches = 0usize;
-        let warming_up = epoch < config.adv_warmup_epochs;
-
-        for batch in epoch_batches(data, config, &mut rng) {
-            let b = batch.len();
-
-            if warming_up {
-                // Pure-MSE warm-up: identical to a plain training batch.
-                let (input, targets) = encode_inputs(predictor.kind(), data, &batch, config.mask);
-                let out = predictor.forward(&input, true);
-                let (loss, grad) = mse(&out, &targets);
-                predictor.backward(&grad);
-                let mut params = predictor.params_mut();
-                clip_global_norm(&mut params, config.grad_clip);
-                p_opt.step(params);
-                sums.0 += f64::from(loss);
-                sums.1 += f64::from(loss);
-                n_batches += 1;
-                continue;
-            }
-
-            // --- Pass A: predict the α-step sequence Ŝ. -----------------
-            // Window k ends at base time t − (α−1−k); its prediction is
-            // ŝ at t − (α−1−k) + β, so together they form Ŝ_{t−α+β+1:t+β}.
-            let windows: Vec<Vec<usize>> = (0..alpha)
-                .map(|k| batch.iter().map(|&t| t - (alpha - 1 - k)).collect())
-                .collect();
-            let mut fake_seq = Tensor::zeros(&[b, alpha]);
-            let mut window_targets = Vec::with_capacity(alpha);
-            for (k, w) in windows.iter().enumerate() {
-                let (input, targets) = encode_inputs(predictor.kind(), data, w, config.mask);
-                let out = predictor.forward(&input, true);
-                for bi in 0..b {
-                    fake_seq.set2(bi, k, out.at2(bi, 0));
+    // --- Resume from the newest verifiable checkpoint, if asked. --------
+    if options.resume {
+        if let Some(store) = &store {
+            if let Some((payload, _source)) = store.load().map_err(TrainError::Corrupt)? {
+                let ck = TrainCheckpoint::from_json(&payload).map_err(TrainError::Corrupt)?;
+                if ck.fingerprint != fingerprint {
+                    return Err(TrainError::ConfigMismatch {
+                        expected: fingerprint,
+                        found: ck.fingerprint,
+                    });
                 }
-                window_targets.push(targets);
-            }
-            let (real_seq, cond) = encode_context(data, &batch, config.mask);
-
-            // --- D step: maximise J_D (Eq 2/4). -------------------------
-            let mut seq_rows = Vec::with_capacity(2 * b);
-            for i in 0..b {
-                seq_rows.push(real_seq.row(i).to_vec());
-            }
-            for i in 0..b {
-                seq_rows.push(fake_seq.row(i).to_vec());
-            }
-            let seq_all = Tensor::from_rows(&seq_rows);
-            let mut cond_rows = Vec::with_capacity(2 * b);
-            for i in 0..b {
-                cond_rows.push(cond.row(i).to_vec());
-            }
-            for i in 0..b {
-                cond_rows.push(cond.row(i).to_vec());
-            }
-            let cond_all = Tensor::from_rows(&cond_rows);
-            let mut labels = vec![1.0f32; b];
-            labels.extend(std::iter::repeat_n(0.0f32, b));
-            let labels = Tensor::new(vec![2 * b, 1], labels);
-
-            let logits = disc.forward(&seq_all, &cond_all, true);
-            let (d_loss, dgrad) = bce_with_logits(&logits, &labels);
-            let _ = disc.backward(&dgrad);
-            let mut d_params = disc.params_mut();
-            clip_global_norm(&mut d_params, config.grad_clip);
-            d_opt.step(d_params);
-
-            // --- P step: minimise J_P (Eq 1/4). -------------------------
-            // Adversarial term through the (frozen-this-step) D.
-            let logits_fake = disc.forward(&fake_seq, &cond, true);
-            let (raw_adv_loss, mut dlogits) = match config.gen_loss {
-                GenLoss::Saturating => generator_loss_saturating(&logits_fake),
-                GenLoss::NonSaturating => generator_loss_nonsaturating(&logits_fake),
-            };
-            let adv_loss = config.adv_weight * raw_adv_loss;
-            dlogits.scale_in_place(config.adv_weight);
-            let dseq = disc.backward(&dlogits); // ∂(λ·L_adv)/∂Ŝ, [b, α]
-
-            let mut acc = GradAccumulator::new();
-            let mut mse_final = 0.0f32;
-            let mut mse_sum = 0.0f32;
-            for (k, w) in windows.iter().enumerate() {
-                let (input, _) = encode_inputs(predictor.kind(), data, w, config.mask);
-                let out = predictor.forward(&input, true);
-                let (m, mgrad) = mse(&out, &window_targets[k]);
-                let adv_col = Tensor::new(vec![b, 1], (0..b).map(|bi| dseq.at2(bi, k)).collect());
-                let total_grad = mgrad.add(&adv_col);
-                predictor.backward(&total_grad);
-                acc.absorb(&predictor.params_mut());
-                mse_sum += m;
-                if k == alpha - 1 {
-                    mse_final = m;
+                if ck.predictor_kind != predictor.kind().label() {
+                    return Err(TrainError::Corrupt(format!(
+                        "checkpoint is for predictor kind {:?}, run uses {:?}",
+                        ck.predictor_kind,
+                        predictor.kind().label()
+                    )));
                 }
-            }
-            let mut p_params = predictor.params_mut();
-            acc.restore(&mut p_params);
-            clip_global_norm(&mut p_params, config.grad_clip);
-            p_opt.step(p_params);
-
-            sums.0 += f64::from(mse_final);
-            sums.1 += f64::from(mse_sum + adv_loss);
-            sums.2 += f64::from(d_loss);
-            n_batches += 1;
-        }
-
-        let n = n_batches.max(1) as f64;
-        let stats = EpochStats {
-            mse: (sums.0 / n) as f32,
-            p_loss: (sums.1 / n) as f32,
-            d_loss: (sums.2 / n) as f32,
-        };
-        report.epochs.push(stats);
-        if let Some(s) = &mut stopper {
-            if s.update(stats.mse) {
-                break;
+                ck.predictor
+                    .restore_params(&mut predictor.params_mut())
+                    .map_err(|e| TrainError::Corrupt(format!("predictor: {e}")))?;
+                p_opt
+                    .restore_state(ck.p_opt.clone())
+                    .map_err(|e| TrainError::Corrupt(format!("p_opt: {e}")))?;
+                match (disc.as_deref_mut(), &ck.discriminator) {
+                    (Some(d), Some(s)) => s
+                        .restore_params(&mut d.params_mut())
+                        .map_err(|e| TrainError::Corrupt(format!("discriminator: {e}")))?,
+                    (Some(_), None) => {
+                        return Err(TrainError::Corrupt(
+                            "adversarial run but checkpoint has no discriminator state".into(),
+                        ))
+                    }
+                    (None, Some(_)) => {
+                        return Err(TrainError::Corrupt(
+                            "plain run but checkpoint carries discriminator state".into(),
+                        ))
+                    }
+                    (None, None) => {}
+                }
+                match (&mut d_opt, ck.d_opt) {
+                    (Some(o), Some(s)) => o
+                        .restore_state(s)
+                        .map_err(|e| TrainError::Corrupt(format!("d_opt: {e}")))?,
+                    (Some(_), None) => {
+                        return Err(TrainError::Corrupt(
+                            "adversarial run but checkpoint has no discriminator optimizer".into(),
+                        ))
+                    }
+                    (None, Some(_)) => {
+                        return Err(TrainError::Corrupt(
+                            "plain run but checkpoint carries a discriminator optimizer".into(),
+                        ))
+                    }
+                    (None, None) => {}
+                }
+                if let (Some(s), Some((best, stale))) = (&mut stopper, ck.stopper) {
+                    s.restore(best, stale);
+                }
+                rng = SeededRng::from_state(ck.rng_state.0, ck.rng_state.1);
+                report.epochs = ck.stats;
+                report.divergence_rollbacks = ck.rollbacks;
+                report.resumed_at = Some(ck.epoch);
+                lr_scale = ck.lr_scale;
+                start_epoch = ck.epoch;
+                stopped = ck.stopped;
             }
         }
     }
-    report
+
+    // --- The epoch loop. -------------------------------------------------
+    for epoch in start_epoch..config.epochs {
+        if stopped {
+            break;
+        }
+        if fire_kill(options, KillPoint::EpochStart(epoch)) {
+            return Err(TrainError::Killed { epoch });
+        }
+
+        let snapshot =
+            EpochSnapshot::capture(predictor, disc.as_deref_mut(), &p_opt, d_opt.as_ref(), &rng);
+        let mut attempt = 0usize;
+        let stats = loop {
+            let lr = config.learning_rate * config.lr_schedule.factor(epoch) * lr_scale;
+            p_opt.set_learning_rate(lr);
+            if let Some(o) = &mut d_opt {
+                o.set_learning_rate(lr);
+            }
+            match run_epoch(
+                predictor,
+                disc.as_deref_mut(),
+                data,
+                config,
+                &mut rng,
+                epoch,
+                attempt,
+                &mut p_opt,
+                &mut d_opt,
+                options,
+            ) {
+                Ok(stats) => break stats,
+                Err(batch) => {
+                    report.divergence_rollbacks += 1;
+                    attempt += 1;
+                    if attempt > options.max_divergence_retries {
+                        return Err(TrainError::Diverged {
+                            epoch,
+                            attempts: attempt,
+                        });
+                    }
+                    snapshot.restore(
+                        predictor,
+                        disc.as_deref_mut(),
+                        &mut p_opt,
+                        d_opt.as_mut(),
+                        &mut rng,
+                    );
+                    lr_scale *= 0.5;
+                    eprintln!(
+                        "warning: non-finite values at epoch {epoch} batch {batch}; \
+                         rolled back and halved the learning rate (retry {attempt}/{})",
+                        options.max_divergence_retries
+                    );
+                }
+            }
+        };
+        report.epochs.push(stats);
+        report.lr_scale = lr_scale;
+        if let Some(s) = &mut stopper {
+            if s.update(stats.mse) {
+                stopped = true;
+            }
+        }
+
+        // --- Durable checkpoint at the epoch boundary. -------------------
+        let completed = epoch + 1;
+        if let Some(store) = &store {
+            if completed % save_every == 0 || completed == config.epochs || stopped {
+                let ck = TrainCheckpoint {
+                    epoch: completed,
+                    stopped,
+                    lr_scale,
+                    rollbacks: report.divergence_rollbacks,
+                    fingerprint,
+                    rng_state: rng.state(),
+                    predictor_kind: predictor.kind().label().to_string(),
+                    predictor: StateDict::capture_params(&predictor.params_mut()),
+                    p_opt: p_opt.capture_state(),
+                    discriminator: disc
+                        .as_deref_mut()
+                        .map(|d| StateDict::capture_params(&d.params_mut())),
+                    d_opt: d_opt.as_ref().map(Adam::capture_state),
+                    stopper: stopper.as_ref().map(EarlyStopping::state),
+                    stats: report.epochs.clone(),
+                };
+                store.save(ck.to_json()).map_err(TrainError::Io)?;
+                if fire_kill(options, KillPoint::AfterSave(completed)) {
+                    return Err(TrainError::Killed { epoch: completed });
+                }
+            }
+        }
+    }
+    report.lr_scale = lr_scale;
+    Ok(report)
+}
+
+/// Runs one epoch over shuffled batches. Returns the index of the first
+/// batch where the sentinel detected non-finite values, or the averaged
+/// epoch stats on success.
+#[allow(clippy::too_many_arguments)]
+fn run_epoch(
+    predictor: &mut dyn Predictor,
+    mut disc: Option<&mut Discriminator>,
+    data: &TrafficDataset,
+    config: &TrainConfig,
+    rng: &mut SeededRng,
+    epoch: usize,
+    attempt: usize,
+    p_opt: &mut Adam,
+    d_opt: &mut Option<Adam>,
+    options: &mut TrainOptions<'_>,
+) -> Result<EpochStats, usize> {
+    let mut sums = (0.0f64, 0.0f64, 0.0f64); // (mse, p_loss, d_loss)
+    let mut n_batches = 0usize;
+    let warming_up = epoch < config.adv_warmup_epochs;
+
+    for (bi, batch) in epoch_batches(data, config, rng).into_iter().enumerate() {
+        let poisoned = options.poison_hook.as_mut().is_some_and(|h| {
+            h(BatchCtx {
+                epoch,
+                batch: bi,
+                attempt,
+            })
+        });
+        let ok = match disc.as_deref_mut() {
+            Some(d) if !warming_up => adversarial_batch(
+                predictor,
+                d,
+                data,
+                &batch,
+                config,
+                p_opt,
+                d_opt
+                    .as_mut()
+                    .expect("adversarial runs carry a discriminator optimizer"),
+                poisoned,
+                &mut sums,
+            ),
+            _ => plain_batch(predictor, data, &batch, config, p_opt, poisoned, &mut sums),
+        };
+        if !ok {
+            return Err(bi);
+        }
+        n_batches += 1;
+    }
+
+    let n = n_batches.max(1) as f64;
+    Ok(EpochStats {
+        mse: (sums.0 / n) as f32,
+        p_loss: (sums.1 / n) as f32,
+        d_loss: (sums.2 / n) as f32,
+    })
+}
+
+/// One plain-MSE batch (also the adversarial warm-up batch). Returns
+/// `false` when the sentinel detects non-finite values.
+fn plain_batch(
+    predictor: &mut dyn Predictor,
+    data: &TrafficDataset,
+    batch: &[usize],
+    config: &TrainConfig,
+    p_opt: &mut Adam,
+    poisoned: bool,
+    sums: &mut (f64, f64, f64),
+) -> bool {
+    let (input, targets) = encode_inputs(predictor.kind(), data, batch, config.mask);
+    let out = predictor.forward(&input, true);
+    let (loss, grad) = mse(&out, &targets);
+    predictor.backward(&grad);
+    let mut params = predictor.params_mut();
+    if poisoned {
+        poison_grads(&mut params);
+    }
+    let grad_norm = clip_global_norm(&mut params, config.grad_clip);
+    if !loss.is_finite() || !grad_norm.is_finite() {
+        return false;
+    }
+    p_opt.step(params);
+    if !params_finite(&predictor.params_mut()) {
+        return false;
+    }
+    sums.0 += f64::from(loss);
+    sums.1 += f64::from(loss);
+    true
+}
+
+/// One full adversarial batch (D step + P step, Eq 1/2/4). Returns
+/// `false` when the sentinel detects non-finite values in either model.
+#[allow(clippy::too_many_arguments)]
+fn adversarial_batch(
+    predictor: &mut dyn Predictor,
+    disc: &mut Discriminator,
+    data: &TrafficDataset,
+    batch: &[usize],
+    config: &TrainConfig,
+    p_opt: &mut Adam,
+    d_opt: &mut Adam,
+    poisoned: bool,
+    sums: &mut (f64, f64, f64),
+) -> bool {
+    let alpha = data.config().alpha;
+    let b = batch.len();
+
+    // --- Pass A: predict the α-step sequence Ŝ. -------------------------
+    // Window k ends at base time t − (α−1−k); its prediction is ŝ at
+    // t − (α−1−k) + β, so together they form Ŝ_{t−α+β+1:t+β}.
+    let windows: Vec<Vec<usize>> = (0..alpha)
+        .map(|k| batch.iter().map(|&t| t - (alpha - 1 - k)).collect())
+        .collect();
+    let mut fake_seq = Tensor::zeros(&[b, alpha]);
+    let mut window_targets = Vec::with_capacity(alpha);
+    for (k, w) in windows.iter().enumerate() {
+        let (input, targets) = encode_inputs(predictor.kind(), data, w, config.mask);
+        let out = predictor.forward(&input, true);
+        for bi in 0..b {
+            fake_seq.set2(bi, k, out.at2(bi, 0));
+        }
+        window_targets.push(targets);
+    }
+    let (real_seq, cond) = encode_context(data, batch, config.mask);
+
+    // --- D step: maximise J_D (Eq 2/4). ---------------------------------
+    let mut seq_rows = Vec::with_capacity(2 * b);
+    for i in 0..b {
+        seq_rows.push(real_seq.row(i).to_vec());
+    }
+    for i in 0..b {
+        seq_rows.push(fake_seq.row(i).to_vec());
+    }
+    let seq_all = Tensor::from_rows(&seq_rows);
+    let mut cond_rows = Vec::with_capacity(2 * b);
+    for i in 0..b {
+        cond_rows.push(cond.row(i).to_vec());
+    }
+    for i in 0..b {
+        cond_rows.push(cond.row(i).to_vec());
+    }
+    let cond_all = Tensor::from_rows(&cond_rows);
+    let mut labels = vec![1.0f32; b];
+    labels.extend(std::iter::repeat_n(0.0f32, b));
+    let labels = Tensor::new(vec![2 * b, 1], labels);
+
+    let logits = disc.forward(&seq_all, &cond_all, true);
+    let (d_loss, dgrad) = bce_with_logits(&logits, &labels);
+    let _ = disc.backward(&dgrad);
+    let mut d_params = disc.params_mut();
+    let d_norm = clip_global_norm(&mut d_params, config.grad_clip);
+    if !d_loss.is_finite() || !d_norm.is_finite() {
+        return false;
+    }
+    d_opt.step(d_params);
+
+    // --- P step: minimise J_P (Eq 1/4). ---------------------------------
+    // Adversarial term through the (frozen-this-step) D.
+    let logits_fake = disc.forward(&fake_seq, &cond, true);
+    let (raw_adv_loss, mut dlogits) = match config.gen_loss {
+        GenLoss::Saturating => generator_loss_saturating(&logits_fake),
+        GenLoss::NonSaturating => generator_loss_nonsaturating(&logits_fake),
+    };
+    let adv_loss = config.adv_weight * raw_adv_loss;
+    dlogits.scale_in_place(config.adv_weight);
+    let dseq = disc.backward(&dlogits); // ∂(λ·L_adv)/∂Ŝ, [b, α]
+
+    let mut acc = GradAccumulator::new();
+    let mut mse_final = 0.0f32;
+    let mut mse_sum = 0.0f32;
+    for (k, w) in windows.iter().enumerate() {
+        let (input, _) = encode_inputs(predictor.kind(), data, w, config.mask);
+        let out = predictor.forward(&input, true);
+        let (m, mgrad) = mse(&out, &window_targets[k]);
+        let adv_col = Tensor::new(vec![b, 1], (0..b).map(|bi| dseq.at2(bi, k)).collect());
+        let total_grad = mgrad.add(&adv_col);
+        predictor.backward(&total_grad);
+        acc.absorb(&predictor.params_mut());
+        mse_sum += m;
+        if k == alpha - 1 {
+            mse_final = m;
+        }
+    }
+    let mut p_params = predictor.params_mut();
+    acc.restore(&mut p_params);
+    if poisoned {
+        poison_grads(&mut p_params);
+    }
+    let p_norm = clip_global_norm(&mut p_params, config.grad_clip);
+    if !(mse_sum + adv_loss).is_finite() || !p_norm.is_finite() {
+        return false;
+    }
+    p_opt.step(p_params);
+    if !params_finite(&predictor.params_mut()) || !params_finite(&disc.params_mut()) {
+        return false;
+    }
+
+    sums.0 += f64::from(mse_final);
+    sums.1 += f64::from(mse_sum + adv_loss);
+    sums.2 += f64::from(d_loss);
+    true
 }
 
 #[cfg(test)]
@@ -357,9 +782,11 @@ mod tests {
         let report = train_plain(p.as_mut(), &ds, &cfg);
         assert_eq!(report.epochs.len(), 5);
         let first = report.epochs[0].mse;
-        let last = report.final_mse();
+        let last = report.final_mse().unwrap();
         assert!(last < first, "MSE {first} → {last}");
         assert!(last.is_finite());
+        assert_eq!(report.divergence_rollbacks, 0);
+        assert_eq!(report.lr_scale, 1.0);
     }
 
     #[test]
@@ -384,7 +811,12 @@ mod tests {
         cfg.gen_loss = crate::config::GenLoss::NonSaturating;
         let mut p = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &ds, 3);
         let report = train_apots(p.as_mut(), &ds, &cfg);
-        assert!(report.final_mse().is_finite());
+        assert!(report.final_mse().unwrap().is_finite());
+    }
+
+    #[test]
+    fn empty_report_has_no_final_mse() {
+        assert_eq!(TrainReport::default().final_mse(), None);
     }
 
     #[test]
@@ -436,5 +868,82 @@ mod tests {
         let mut rng = apots_tensor::rng::seeded(1);
         let batches = epoch_batches(&ds, &cfg, &mut rng);
         assert_eq!(batches.len(), 2);
+    }
+
+    // --- Sentinel & fault-injection tests. ------------------------------
+
+    #[test]
+    fn sentinel_rolls_back_and_recovers_from_a_poisoned_batch() {
+        let ds = dataset();
+        let cfg = tiny_config(false);
+        let mut p = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &ds, 7);
+        let mut options = TrainOptions {
+            // Poison epoch 1, batch 0, first attempt only: the replay
+            // with the halved learning rate must run clean.
+            poison_hook: Some(Box::new(|c: BatchCtx| {
+                c.epoch == 1 && c.batch == 0 && c.attempt == 0
+            })),
+            ..TrainOptions::default()
+        };
+        let report = train_with_options(p.as_mut(), &ds, &cfg, &mut options).unwrap();
+        assert_eq!(report.epochs.len(), 2);
+        assert_eq!(report.divergence_rollbacks, 1);
+        assert_eq!(report.lr_scale, 0.5);
+        for e in &report.epochs {
+            assert!(e.mse.is_finite());
+        }
+        // The recovered model itself must be finite.
+        assert!(params_finite(&p.params_mut()));
+    }
+
+    #[test]
+    fn sentinel_gives_up_after_the_retry_budget() {
+        let ds = dataset();
+        let cfg = tiny_config(false);
+        let mut p = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &ds, 8);
+        let mut options = TrainOptions {
+            max_divergence_retries: 2,
+            // Poison every first batch of epoch 0, on every attempt.
+            poison_hook: Some(Box::new(|c: BatchCtx| c.epoch == 0 && c.batch == 0)),
+            ..TrainOptions::default()
+        };
+        let err = train_with_options(p.as_mut(), &ds, &cfg, &mut options).unwrap_err();
+        assert_eq!(
+            err,
+            TrainError::Diverged {
+                epoch: 0,
+                attempts: 3
+            }
+        );
+    }
+
+    #[test]
+    fn sentinel_protects_the_adversarial_loop_too() {
+        let ds = dataset();
+        let cfg = tiny_config(true);
+        let mut p = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &ds, 9);
+        let mut options = TrainOptions {
+            poison_hook: Some(Box::new(|c: BatchCtx| {
+                c.epoch == 0 && c.batch == 1 && c.attempt == 0
+            })),
+            ..TrainOptions::default()
+        };
+        let report = train_with_options(p.as_mut(), &ds, &cfg, &mut options).unwrap();
+        assert_eq!(report.divergence_rollbacks, 1);
+        assert!(report.final_mse().unwrap().is_finite());
+        assert!(params_finite(&p.params_mut()));
+    }
+
+    #[test]
+    fn kill_hook_stops_the_run_with_a_structured_error() {
+        let ds = dataset();
+        let cfg = tiny_config(false);
+        let mut p = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &ds, 10);
+        let mut options = TrainOptions {
+            kill_hook: Some(Box::new(|point| point == KillPoint::EpochStart(1))),
+            ..TrainOptions::default()
+        };
+        let err = train_with_options(p.as_mut(), &ds, &cfg, &mut options).unwrap_err();
+        assert_eq!(err, TrainError::Killed { epoch: 1 });
     }
 }

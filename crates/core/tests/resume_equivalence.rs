@@ -1,0 +1,410 @@
+//! Crash-safety acceptance suite: kill-at-any-point → resume must
+//! reproduce the uninterrupted run **bit-identically**, and every
+//! corruption mode of the checkpoint store must surface as a structured
+//! fallback or error — never a panic, never silently-wrong parameters.
+//!
+//! The kill points are injected through the trainer's fault-injection
+//! hooks, so the code path under test is exactly the production path.
+
+use apots::config::{HyperPreset, PredictorKind, TrainConfig};
+use apots::eval::evaluate;
+use apots::persist::CheckpointStore;
+use apots::predictor::build_predictor;
+use apots::runtime::{KillPoint, TrainError, TrainOptions};
+use apots::trainer::{train_with_options, TrainReport};
+use apots_check::{check_with, prop_assert, Config as CheckConfig, Rng};
+use apots_traffic::calendar::Calendar;
+use apots_traffic::{Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset};
+
+fn dataset() -> TrafficDataset {
+    let cal = Calendar::new(8, 6, vec![]);
+    TrafficDataset::new(
+        Corridor::generate_with_calendar(SimConfig::default(), cal),
+        DataConfig::default(),
+    )
+}
+
+fn tiny_cfg(adversarial: bool, seed: u64) -> TrainConfig {
+    let mut c = if adversarial {
+        TrainConfig::fast_adversarial(FeatureMask::BOTH)
+    } else {
+        TrainConfig::fast_plain(FeatureMask::BOTH)
+    };
+    c.epochs = 3;
+    c.adv_warmup_epochs = 1; // exercise both the warm-up and GAN branches
+    c.max_train_samples = Some(32);
+    c.batch_size = 16;
+    c.seed = seed;
+    c
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("apots-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Trains a fresh predictor under `options` and returns the report plus
+/// the bit patterns of every test-set prediction.
+fn train_and_eval(
+    kind: PredictorKind,
+    data: &TrafficDataset,
+    cfg: &TrainConfig,
+    options: &mut TrainOptions<'_>,
+) -> Result<(TrainReport, Vec<u32>), TrainError> {
+    let mut p = build_predictor(kind, HyperPreset::Fast, data, cfg.seed);
+    let report = train_with_options(p.as_mut(), data, cfg, options)?;
+    let eval = evaluate(p.as_mut(), data, cfg.mask, data.test_samples());
+    let bits = eval.predictions.iter().map(|v| v.to_bits()).collect();
+    Ok((report, bits))
+}
+
+/// The tentpole guarantee: for every predictor kind, plain and
+/// adversarial, a run killed at an epoch boundary and resumed from its
+/// durable checkpoint ends bit-identical to the uninterrupted run.
+#[test]
+fn kill_and_resume_reproduces_the_uninterrupted_run_for_every_kind() {
+    let data = dataset();
+    for kind in PredictorKind::all() {
+        for adversarial in [false, true] {
+            let cfg = tiny_cfg(adversarial, 11);
+            let dir = tmp_dir(&format!("eq-{}-{}", kind.label(), u8::from(adversarial)));
+
+            // Uninterrupted baseline, no checkpointing at all.
+            let (baseline, baseline_bits) =
+                train_and_eval(kind, &data, &cfg, &mut TrainOptions::default()).unwrap();
+            assert_eq!(baseline.epochs.len(), 3);
+
+            // Interrupted run: killed before epoch 2 starts.
+            let mut killed = TrainOptions::checkpointed(&dir, 1, false);
+            killed.kill_hook = Some(Box::new(|p| p == KillPoint::EpochStart(2)));
+            let err = train_and_eval(kind, &data, &cfg, &mut killed)
+                .err()
+                .unwrap();
+            assert_eq!(err, TrainError::Killed { epoch: 2 });
+
+            // Resumed run must match the baseline exactly.
+            let mut resume = TrainOptions::checkpointed(&dir, 1, true);
+            let (resumed, resumed_bits) = train_and_eval(kind, &data, &cfg, &mut resume).unwrap();
+            assert_eq!(resumed.resumed_at, Some(2), "{kind:?} adv={adversarial}");
+            assert_eq!(
+                resumed.epochs, baseline.epochs,
+                "{kind:?} adv={adversarial}: per-epoch stats diverged after resume"
+            );
+            assert_eq!(
+                resumed_bits, baseline_bits,
+                "{kind:?} adv={adversarial}: predictions not bit-identical after resume"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// `save_every > 1` + a kill right after the durable save: the resumed
+/// run re-trains only the un-checkpointed epochs and still matches.
+#[test]
+fn sparse_checkpoint_cadence_still_resumes_exactly() {
+    let data = dataset();
+    let mut cfg = tiny_cfg(false, 5);
+    cfg.epochs = 4;
+    let dir = tmp_dir("cadence");
+
+    let (baseline, baseline_bits) =
+        train_and_eval(PredictorKind::Fc, &data, &cfg, &mut TrainOptions::default()).unwrap();
+
+    let mut killed = TrainOptions::checkpointed(&dir, 2, false);
+    killed.kill_hook = Some(Box::new(|p| p == KillPoint::AfterSave(2)));
+    let err = train_and_eval(PredictorKind::Fc, &data, &cfg, &mut killed)
+        .err()
+        .unwrap();
+    assert_eq!(err, TrainError::Killed { epoch: 2 });
+
+    let mut resume = TrainOptions::checkpointed(&dir, 2, true);
+    let (resumed, resumed_bits) =
+        train_and_eval(PredictorKind::Fc, &data, &cfg, &mut resume).unwrap();
+    assert_eq!(resumed.resumed_at, Some(2));
+    assert_eq!(resumed.epochs, baseline.epochs);
+    assert_eq!(resumed_bits, baseline_bits);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A torn (truncated) `latest.json` is detected by the checksum envelope;
+/// the loader falls back to the previous generation and the resumed run
+/// — now redoing one extra epoch — still matches the baseline.
+#[test]
+fn torn_latest_checkpoint_falls_back_to_previous_generation() {
+    let data = dataset();
+    let cfg = tiny_cfg(false, 21);
+    let dir = tmp_dir("torn");
+
+    let (baseline, baseline_bits) =
+        train_and_eval(PredictorKind::Fc, &data, &cfg, &mut TrainOptions::default()).unwrap();
+
+    let mut killed = TrainOptions::checkpointed(&dir, 1, false);
+    killed.kill_hook = Some(Box::new(|p| p == KillPoint::EpochStart(2)));
+    let _ = train_and_eval(PredictorKind::Fc, &data, &cfg, &mut killed);
+
+    // Simulate a torn write on the newest generation.
+    let store = CheckpointStore::open(&dir).unwrap();
+    let text = std::fs::read_to_string(store.latest_path()).unwrap();
+    std::fs::write(store.latest_path(), &text[..text.len() / 2]).unwrap();
+
+    let mut resume = TrainOptions::checkpointed(&dir, 1, true);
+    let (resumed, resumed_bits) =
+        train_and_eval(PredictorKind::Fc, &data, &cfg, &mut resume).unwrap();
+    assert_eq!(
+        resumed.resumed_at,
+        Some(1),
+        "fallback must land on the 1-epoch generation"
+    );
+    assert_eq!(resumed.epochs, baseline.epochs);
+    assert_eq!(resumed_bits, baseline_bits);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// When every generation is garbage, resume reports a structured
+/// [`TrainError::Corrupt`] instead of panicking or silently restarting.
+#[test]
+fn garbage_in_every_generation_is_a_structured_error() {
+    let data = dataset();
+    let cfg = tiny_cfg(false, 31);
+    let dir = tmp_dir("garbage");
+
+    let mut killed = TrainOptions::checkpointed(&dir, 1, false);
+    killed.kill_hook = Some(Box::new(|p| p == KillPoint::EpochStart(2)));
+    let _ = train_and_eval(PredictorKind::Fc, &data, &cfg, &mut killed);
+
+    let store = CheckpointStore::open(&dir).unwrap();
+    std::fs::write(store.latest_path(), "not json").unwrap();
+    std::fs::write(store.prev_path(), "{\"format\":\"apots-envelope\"").unwrap();
+
+    let err = train_and_eval(
+        PredictorKind::Fc,
+        &data,
+        &cfg,
+        &mut TrainOptions::checkpointed(&dir, 1, true),
+    )
+    .err()
+    .unwrap();
+    assert!(
+        matches!(err, TrainError::Corrupt(_)),
+        "expected Corrupt, got {err:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A checkpoint produced under a different configuration is refused with
+/// both fingerprints in the error — it must never be silently applied.
+#[test]
+fn resume_refuses_a_checkpoint_from_a_different_config() {
+    let data = dataset();
+    let cfg = tiny_cfg(false, 41);
+    let dir = tmp_dir("mismatch");
+
+    let mut killed = TrainOptions::checkpointed(&dir, 1, false);
+    killed.kill_hook = Some(Box::new(|p| p == KillPoint::EpochStart(2)));
+    let _ = train_and_eval(PredictorKind::Fc, &data, &cfg, &mut killed);
+
+    let mut other = cfg.clone();
+    other.learning_rate *= 2.0;
+    let err = train_and_eval(
+        PredictorKind::Fc,
+        &data,
+        &other,
+        &mut TrainOptions::checkpointed(&dir, 1, true),
+    )
+    .err()
+    .unwrap();
+    assert!(
+        matches!(err, TrainError::ConfigMismatch { .. }),
+        "expected ConfigMismatch, got {err:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Early-stopping monitor state survives the resume: a run that stops
+/// early does so at the same epoch whether or not it was interrupted.
+#[test]
+fn early_stopping_state_survives_resume() {
+    let data = dataset();
+    let mut cfg = tiny_cfg(false, 51);
+    cfg.epochs = 5;
+    // A huge min-delta makes every epoch "stale": the run must stop after
+    // `patience` epochs, interrupted or not.
+    cfg.early_stopping = Some((2, 1e6));
+    let dir = tmp_dir("earlystop");
+
+    let (baseline, baseline_bits) =
+        train_and_eval(PredictorKind::Fc, &data, &cfg, &mut TrainOptions::default()).unwrap();
+    assert!(
+        baseline.epochs.len() < cfg.epochs,
+        "early stopping should have fired ({} epochs)",
+        baseline.epochs.len()
+    );
+
+    let mut killed = TrainOptions::checkpointed(&dir, 1, false);
+    killed.kill_hook = Some(Box::new(|p| p == KillPoint::EpochStart(1)));
+    let err = train_and_eval(PredictorKind::Fc, &data, &cfg, &mut killed)
+        .err()
+        .unwrap();
+    assert_eq!(err, TrainError::Killed { epoch: 1 });
+
+    let (resumed, resumed_bits) = train_and_eval(
+        PredictorKind::Fc,
+        &data,
+        &cfg,
+        &mut TrainOptions::checkpointed(&dir, 1, true),
+    )
+    .unwrap();
+    assert_eq!(resumed.epochs, baseline.epochs);
+    assert_eq!(resumed_bits, baseline_bits);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A finished run resumed again is a no-op: no extra epochs, same model.
+#[test]
+fn resuming_a_finished_run_trains_zero_epochs() {
+    let data = dataset();
+    let cfg = tiny_cfg(false, 61);
+    let dir = tmp_dir("finished");
+
+    let (first, first_bits) = train_and_eval(
+        PredictorKind::Fc,
+        &data,
+        &cfg,
+        &mut TrainOptions::checkpointed(&dir, 1, false),
+    )
+    .unwrap();
+    let (again, again_bits) = train_and_eval(
+        PredictorKind::Fc,
+        &data,
+        &cfg,
+        &mut TrainOptions::checkpointed(&dir, 1, true),
+    )
+    .unwrap();
+    assert_eq!(again.resumed_at, Some(cfg.epochs));
+    assert_eq!(again.epochs, first.epochs);
+    assert_eq!(again_bits, first_bits);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// --- Property tests (apots-check). -------------------------------------
+
+/// Resume equivalence holds for *any* kill epoch and seed, plain and
+/// adversarial alike.
+#[test]
+fn prop_resume_is_equivalent_at_any_kill_epoch() {
+    let data = dataset();
+    let cfg_budget = CheckConfig {
+        cases: 6,
+        ..CheckConfig::default()
+    };
+    check_with(
+        &cfg_budget,
+        "resume equivalence at random kill epochs",
+        |rng| {
+            let kill_epoch = 1 + (rng.next_u64() % 2) as usize; // 1 or 2
+            let seed = rng.next_u64() % 1000;
+            let adversarial = rng.next_u64() % 2 == 1;
+            (kill_epoch, seed, adversarial)
+        },
+        |&(kill_epoch, seed, adversarial)| {
+            let cfg = tiny_cfg(adversarial, seed);
+            let dir = tmp_dir(&format!("prop-{kill_epoch}-{seed}-{adversarial}"));
+            let (baseline, baseline_bits) =
+                train_and_eval(PredictorKind::Fc, &data, &cfg, &mut TrainOptions::default())
+                    .map_err(|e| e.to_string())?;
+
+            let mut killed = TrainOptions::checkpointed(&dir, 1, false);
+            killed.kill_hook = Some(Box::new(move |p| p == KillPoint::EpochStart(kill_epoch)));
+            let killed_err = train_and_eval(PredictorKind::Fc, &data, &cfg, &mut killed).err();
+            prop_assert!(
+                killed_err == Some(TrainError::Killed { epoch: kill_epoch }),
+                "kill hook did not fire: {killed_err:?}"
+            );
+
+            let (resumed, resumed_bits) = train_and_eval(
+                PredictorKind::Fc,
+                &data,
+                &cfg,
+                &mut TrainOptions::checkpointed(&dir, 1, true),
+            )
+            .map_err(|e| e.to_string())?;
+            let _ = std::fs::remove_dir_all(&dir);
+            prop_assert!(
+                resumed.resumed_at == Some(kill_epoch),
+                "resumed at {:?}, expected {kill_epoch}",
+                resumed.resumed_at
+            );
+            prop_assert!(
+                resumed_bits == baseline_bits && resumed.epochs == baseline.epochs,
+                "resume diverged from baseline (kill={kill_epoch} seed={seed} adv={adversarial})"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Arbitrary single-byte corruption of `latest.json` never loads wrong
+/// data: the store returns the intact previous generation or an error.
+#[test]
+fn prop_corrupted_latest_never_yields_wrong_payload() {
+    // Build a real 2-generation store once.
+    let dir = tmp_dir("prop-corrupt");
+    let store = CheckpointStore::open(&dir).unwrap();
+    store
+        .save(apots_serde::json!({"gen": 1usize, "xs": (0..32).collect::<Vec<i32>>()}))
+        .unwrap();
+    store
+        .save(apots_serde::json!({"gen": 2usize, "xs": (32..64).collect::<Vec<i32>>()}))
+        .unwrap();
+    let latest_text = std::fs::read_to_string(store.latest_path()).unwrap();
+    let prev_payload = apots_serde::atomic::read_sealed(&store.prev_path()).unwrap();
+
+    let cfg_budget = CheckConfig {
+        cases: 48,
+        ..CheckConfig::default()
+    };
+    check_with(
+        &cfg_budget,
+        "corrupted latest falls back or errors, never lies",
+        |rng| {
+            let pos = (rng.next_u64() as usize) % latest_text.len();
+            let truncate = rng.next_u64() % 2 == 0;
+            let new_byte = b' ' + (rng.next_u64() % 94) as u8; // printable
+            (pos, truncate, new_byte)
+        },
+        |&(pos, truncate, new_byte)| {
+            let corrupted = if truncate {
+                latest_text[..pos].to_string()
+            } else {
+                let mut bytes = latest_text.clone().into_bytes();
+                if bytes[pos] == new_byte {
+                    return Ok(()); // not actually a corruption
+                }
+                bytes[pos] = new_byte;
+                match String::from_utf8(bytes) {
+                    Ok(s) => s,
+                    Err(_) => return Ok(()),
+                }
+            };
+            std::fs::write(store.latest_path(), &corrupted)
+                .map_err(|e| format!("setup write failed: {e}"))?;
+            match store.load() {
+                // Either the corruption was detected and the previous
+                // generation served…
+                Ok(Some((payload, _))) => prop_assert!(
+                    payload == prev_payload || corrupted == latest_text, // degenerate: same text
+                    "store returned a payload that matches neither generation \
+                     (pos={pos} truncate={truncate})"
+                ),
+                // …or everything was declared corrupt (cannot happen here
+                // since prev is intact) — but never a panic.
+                Ok(None) => return Err("store lost both generations".into()),
+                Err(_) => return Err("intact prev generation was not served".into()),
+            }
+            Ok(())
+        },
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -42,7 +42,7 @@ fn main() {
                 kind.label(),
                 u8::from(adversarial),
                 secs * 1000.0 / 256.0,
-                report.final_mse(),
+                report.final_mse().expect("calibration runs ≥ 1 epoch"),
             );
         }
     }

@@ -16,12 +16,15 @@
 //! Every binary is deterministic under `APOTS_SEED`, prints the paper's
 //! rows/series to stdout and appends a JSON record under `results/`.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use apots::config::{HyperPreset, PredictorKind, TrainConfig};
 use apots::eval::{evaluate, EvalResult};
 use apots::predictor::{build_predictor, Predictor};
-use apots::trainer::{train_apots, train_plain, TrainReport};
+use apots::runtime::{config_fingerprint, TrainOptions};
+use apots::trainer::{train_with_options, TrainReport};
+use apots_serde::atomic::write_atomic;
 use apots_traffic::{Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset};
 
 /// Environment-tunable experiment settings.
@@ -35,6 +38,16 @@ pub struct Env {
     pub epochs: Option<usize>,
     /// Per-epoch sample-cap override (`APOTS_MAX_SAMPLES`).
     pub max_samples: Option<usize>,
+    /// Root directory for durable training checkpoints
+    /// (`APOTS_CHECKPOINT_DIR`); each run gets a fingerprint-named
+    /// subdirectory, so a grid of runs never collides. Unset = no
+    /// checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint cadence in epochs (`APOTS_SAVE_EVERY`, default 1).
+    pub save_every: usize,
+    /// Resume interrupted runs from their checkpoints
+    /// (`APOTS_RESUME` = `1`).
+    pub resume: bool,
 }
 
 impl Env {
@@ -54,11 +67,44 @@ impl Env {
         let max_samples = std::env::var("APOTS_MAX_SAMPLES")
             .ok()
             .and_then(|v| v.parse().ok());
+        let checkpoint_dir = std::env::var("APOTS_CHECKPOINT_DIR")
+            .ok()
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from);
+        let save_every = std::env::var("APOTS_SAVE_EVERY")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1);
+        let resume = matches!(
+            std::env::var("APOTS_RESUME").as_deref(),
+            Ok("1") | Ok("true")
+        );
         Self {
             preset,
             seed,
             epochs,
             max_samples,
+            checkpoint_dir,
+            save_every,
+            resume,
+        }
+    }
+
+    /// Builds [`TrainOptions`] for one `(kind, config)` run: when
+    /// [`Env::checkpoint_dir`] is set, the run checkpoints into a
+    /// subdirectory named after its config fingerprint (`ck_<hex>`), so
+    /// experiment grids never mix checkpoints between runs.
+    pub fn train_options(
+        &self,
+        kind: PredictorKind,
+        config: &TrainConfig,
+    ) -> TrainOptions<'static> {
+        match &self.checkpoint_dir {
+            Some(root) => {
+                let sub = root.join(format!("ck_{:016x}", config_fingerprint(kind, config)));
+                TrainOptions::checkpointed(sub, self.save_every, self.resume)
+            }
+            None => TrainOptions::default(),
         }
     }
 
@@ -111,19 +157,22 @@ pub fn run_model(
 }
 
 /// Trains a predictor and returns it together with the outcome (for trace
-/// experiments that keep predicting afterwards).
+/// experiments that keep predicting afterwards). Honors the env-driven
+/// checkpoint settings ([`Env::train_options`]) so a killed experiment
+/// binary restarts from its last durable epoch instead of from scratch.
 pub fn run_model_keep(
     data: &TrafficDataset,
     kind: PredictorKind,
     preset: HyperPreset,
     config: &TrainConfig,
 ) -> (Box<dyn Predictor>, RunOutcome) {
+    let env = Env::from_env();
+    let mut options = env.train_options(kind, config);
     let mut predictor = build_predictor(kind, preset, data, config.seed);
     let start = Instant::now();
-    let report = if config.adversarial {
-        train_apots(predictor.as_mut(), data, config)
-    } else {
-        train_plain(predictor.as_mut(), data, config)
+    let report = match train_with_options(predictor.as_mut(), data, config, &mut options) {
+        Ok(report) => report,
+        Err(e) => panic!("training {kind:?} failed: {e}"),
     };
     let train_secs = start.elapsed().as_secs_f64();
     let eval = evaluate(predictor.as_mut(), data, config.mask, data.test_samples());
@@ -151,6 +200,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 }
 
 /// Appends a JSON record of an experiment's outputs under `results/`.
+///
+/// The write goes through the crash-safe atomic writer, so a killed
+/// experiment binary never leaves a torn half-document behind — readers
+/// see the previous record or the new one, nothing in between.
 pub fn save_json(name: &str, value: &apots_serde::Json) {
     let dir = std::path::Path::new("results");
     if std::fs::create_dir_all(dir).is_err() {
@@ -158,7 +211,7 @@ pub fn save_json(name: &str, value: &apots_serde::Json) {
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match std::fs::write(&path, value.to_string_pretty()) {
+    match write_atomic(&path, &value.to_string_pretty()) {
         Ok(()) => println!("\n[saved {}]", path.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
     }

@@ -47,7 +47,7 @@ pub use dropout::Dropout;
 pub use gru::Gru;
 pub use layer::{Layer, Param};
 pub use lstm::Lstm;
-pub use optim::{clip_global_norm, Adam, Optimizer, Sgd};
+pub use optim::{clip_global_norm, Adam, AdamState, Optimizer, Sgd};
 pub use schedule::{EarlyStopping, LrSchedule};
 pub use sequential::Sequential;
 pub use state::StateDict;

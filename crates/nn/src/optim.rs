@@ -5,9 +5,11 @@
 //! `step` with the same `params_mut()` ordering every time (which layer
 //! containers guarantee).
 
+use apots_serde::{Json, Map};
 use apots_tensor::Tensor;
 
 use crate::layer::Param;
+use crate::state::StateDict;
 
 /// A gradient-descent update rule.
 pub trait Optimizer {
@@ -111,6 +113,97 @@ impl Adam {
             m: Vec::new(),
             v: Vec::new(),
         }
+    }
+
+    /// Number of update steps taken so far (the bias-correction counter).
+    pub fn step_count(&self) -> u64 {
+        self.t
+    }
+
+    /// Snapshots the full optimizer state (step counter + first/second
+    /// moment estimates) for checkpointing. Capturing a never-stepped
+    /// optimizer yields empty moment lists, which restore back to the
+    /// lazily-initialized state.
+    pub fn capture_state(&self) -> AdamState {
+        AdamState {
+            t: self.t,
+            m: StateDict::from_tensors(self.m.clone()),
+            v: StateDict::from_tensors(self.v.clone()),
+        }
+    }
+
+    /// Restores a snapshot captured by [`Adam::capture_state`].
+    ///
+    /// # Errors
+    /// Returns an error if the snapshot is internally inconsistent
+    /// (mismatched first/second moment counts or shapes); the optimizer is
+    /// left untouched on error.
+    pub fn restore_state(&mut self, state: AdamState) -> Result<(), String> {
+        let m = state.m.into_tensors();
+        let v = state.v.into_tensors();
+        if m.len() != v.len() {
+            return Err(format!(
+                "AdamState: {} first moments but {} second moments",
+                m.len(),
+                v.len()
+            ));
+        }
+        for (i, (a, b)) in m.iter().zip(&v).enumerate() {
+            if a.shape() != b.shape() {
+                return Err(format!(
+                    "AdamState: moment {i} shape mismatch ({:?} vs {:?})",
+                    a.shape(),
+                    b.shape()
+                ));
+            }
+        }
+        self.t = state.t;
+        self.m = m;
+        self.v = v;
+        Ok(())
+    }
+}
+
+/// A serializable snapshot of an [`Adam`] optimizer's mutable state.
+///
+/// Hyper-parameters (`lr`, betas, eps) are *not* part of the snapshot —
+/// they belong to the training configuration, which the checkpoint layer
+/// fingerprints separately.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamState {
+    /// Bias-correction step counter.
+    pub t: u64,
+    /// First-moment estimates, in parameter order.
+    pub m: StateDict,
+    /// Second-moment estimates, in parameter order.
+    pub v: StateDict,
+}
+
+impl AdamState {
+    /// Serializes to `{"t": …, "m": {…}, "v": {…}}`. The step counter is
+    /// written as a decimal string so the full `u64` range survives the
+    /// JSON number type (`f64` loses integers beyond 2⁵³).
+    pub fn to_json(&self) -> Json {
+        let mut root = Map::new();
+        root.insert("t".to_string(), Json::from(self.t.to_string()));
+        root.insert("m".to_string(), self.m.to_json());
+        root.insert("v".to_string(), self.v.to_json());
+        Json::Obj(root)
+    }
+
+    /// Deserializes a value produced by [`AdamState::to_json`].
+    pub fn from_json(value: &Json) -> Result<Self, String> {
+        let t = value
+            .get("t")
+            .and_then(Json::as_str)
+            .ok_or("AdamState: missing \"t\" string")?
+            .parse::<u64>()
+            .map_err(|e| format!("AdamState: bad \"t\": {e}"))?;
+        let m = StateDict::from_json(value.get("m").ok_or("AdamState: missing \"m\"")?)
+            .map_err(|e| format!("AdamState m: {e}"))?;
+        let v = StateDict::from_json(value.get("v").ok_or("AdamState: missing \"v\"")?)
+            .map_err(|e| format!("AdamState v: {e}"))?;
+        Ok(Self { t, m, v })
     }
 }
 
@@ -249,6 +342,76 @@ mod tests {
         assert!(last < 1e-3, "loss {last}");
         assert!((layer.weights().data()[0] - 2.0).abs() < 0.1);
         assert!((layer.bias().data()[0] - 1.0).abs() < 0.2);
+    }
+
+    /// Checkpoint contract: capture → fresh optimizer → restore must make
+    /// subsequent steps bit-identical to an uninterrupted optimizer.
+    #[test]
+    fn adam_state_roundtrip_resumes_bit_identically() {
+        let mut w_a = Tensor::from_vec(vec![1.0, -2.0, 0.5]);
+        let mut w_b = w_a.clone();
+        let grads: Vec<Vec<f32>> = vec![
+            vec![0.3, -1.0, 0.7],
+            vec![-0.2, 0.4, 0.1],
+            vec![0.9, 0.9, -0.9],
+        ];
+        let mut opt_a = Adam::new(0.01);
+        // Take two steps, snapshot mid-run.
+        for g in &grads[..2] {
+            let mut grad = Tensor::from_vec(g.clone());
+            opt_a.step(vec![Param {
+                value: &mut w_a,
+                grad: &mut grad,
+            }]);
+        }
+        assert_eq!(opt_a.step_count(), 2);
+        let snap = opt_a.capture_state();
+        let json = snap.to_json().to_string();
+        let back = AdamState::from_json(&apots_serde::Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, snap);
+
+        let mut opt_b = Adam::new(0.01);
+        opt_b.restore_state(back).unwrap();
+        // Fast-forward the fresh weights to the snapshot point…
+        w_b.data_mut().copy_from_slice(w_a.data());
+        // …then both take the same third step and must agree exactly.
+        let mut ga = Tensor::from_vec(grads[2].clone());
+        let mut gb = ga.clone();
+        opt_a.step(vec![Param {
+            value: &mut w_a,
+            grad: &mut ga,
+        }]);
+        opt_b.step(vec![Param {
+            value: &mut w_b,
+            grad: &mut gb,
+        }]);
+        assert_eq!(
+            w_a.data().iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+            w_b.data().iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+        );
+    }
+
+    #[test]
+    fn adam_restore_rejects_inconsistent_snapshots() {
+        let mut opt = Adam::new(0.01);
+        let bad = AdamState {
+            t: 1,
+            m: crate::state::StateDict::from_tensors(vec![Tensor::zeros(&[2])]),
+            v: crate::state::StateDict::from_tensors(vec![]),
+        };
+        assert!(opt.restore_state(bad).unwrap_err().contains("moments"));
+        let bad_shape = AdamState {
+            t: 1,
+            m: crate::state::StateDict::from_tensors(vec![Tensor::zeros(&[2])]),
+            v: crate::state::StateDict::from_tensors(vec![Tensor::zeros(&[3])]),
+        };
+        assert!(opt
+            .restore_state(bad_shape)
+            .unwrap_err()
+            .contains("shape mismatch"));
+        // The failed restores left the optimizer pristine.
+        assert_eq!(opt.step_count(), 0);
+        assert!(opt.capture_state().m.is_empty());
     }
 
     #[test]

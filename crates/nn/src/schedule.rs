@@ -82,6 +82,19 @@ impl EarlyStopping {
     pub fn best(&self) -> f32 {
         self.best
     }
+
+    /// Snapshots the mutable monitor state `(best, stale)` for
+    /// checkpointing. `best` is `f32::INFINITY` until the first update.
+    pub fn state(&self) -> (f32, usize) {
+        (self.best, self.stale)
+    }
+
+    /// Restores a `(best, stale)` pair captured by [`EarlyStopping::state`]
+    /// into this monitor (patience/min_delta stay as constructed).
+    pub fn restore(&mut self, best: f32, stale: usize) {
+        self.best = best;
+        self.stale = stale;
+    }
 }
 
 #[cfg(test)]
@@ -126,6 +139,22 @@ mod tests {
         assert!(!es.update(0.95)); // stale 1
         assert!(es.update(0.95)); // stale 2 → stop
         assert_eq!(es.best(), 0.9);
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_monitoring_exactly() {
+        let mut a = EarlyStopping::new(3, 0.0);
+        assert!(!a.update(1.0));
+        assert!(!a.update(1.1)); // stale 1
+        let (best, stale) = a.state();
+        assert_eq!((best, stale), (1.0, 1));
+        let mut b = EarlyStopping::new(3, 0.0);
+        b.restore(best, stale);
+        // Both monitors must now agree on every subsequent decision.
+        for v in [1.2, 0.8, 0.9, 0.95, 0.97] {
+            assert_eq!(a.update(v), b.update(v), "diverged at {v}");
+            assert_eq!(a.state(), b.state());
+        }
     }
 
     #[test]

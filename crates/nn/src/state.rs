@@ -31,32 +31,58 @@ impl StateDict {
         }
     }
 
+    /// Wraps an explicit tensor list (e.g. optimizer moment buffers).
+    pub fn from_tensors(tensors: Vec<Tensor>) -> Self {
+        Self { tensors }
+    }
+
+    /// The snapshot's tensors, in capture order.
+    pub fn tensors(&self) -> &[Tensor] {
+        &self.tensors
+    }
+
+    /// Consumes the snapshot, yielding its tensors.
+    pub fn into_tensors(self) -> Vec<Tensor> {
+        self.tensors
+    }
+
     /// Writes the snapshot back into `layer`.
     ///
-    /// # Panics
-    /// Panics if the parameter count or any shape differs — restoring into
-    /// a different architecture is a programming error.
-    pub fn restore(&self, layer: &mut dyn Layer) {
-        self.restore_params(&mut layer.params_mut());
+    /// # Errors
+    /// Returns a descriptive error if the parameter count or any shape
+    /// differs — restoring into a different architecture must never abort
+    /// a long-running process (the caller decides how to recover).
+    pub fn restore(&self, layer: &mut dyn Layer) -> Result<(), String> {
+        self.restore_params(&mut layer.params_mut())
     }
 
     /// Writes the snapshot back into an explicit parameter list.
-    pub fn restore_params(&self, params: &mut [Param<'_>]) {
-        assert_eq!(
-            self.tensors.len(),
-            params.len(),
-            "StateDict: parameter count mismatch ({} saved, {} in model)",
-            self.tensors.len(),
-            params.len()
-        );
-        for (i, (saved, p)) in self.tensors.iter().zip(params.iter_mut()).enumerate() {
-            assert_eq!(
-                saved.shape(),
-                p.value.shape(),
-                "StateDict: shape mismatch at parameter {i}"
-            );
+    ///
+    /// # Errors
+    /// Returns an error on parameter-count or shape mismatch; on error the
+    /// target parameters are left untouched (validation happens before any
+    /// write, so a failed restore never yields a half-restored model).
+    pub fn restore_params(&self, params: &mut [Param<'_>]) -> Result<(), String> {
+        if self.tensors.len() != params.len() {
+            return Err(format!(
+                "StateDict: parameter count mismatch ({} saved, {} in model)",
+                self.tensors.len(),
+                params.len()
+            ));
+        }
+        for (i, (saved, p)) in self.tensors.iter().zip(params.iter()).enumerate() {
+            if saved.shape() != p.value.shape() {
+                return Err(format!(
+                    "StateDict: shape mismatch at parameter {i} (saved {:?}, model {:?})",
+                    saved.shape(),
+                    p.value.shape()
+                ));
+            }
+        }
+        for (saved, p) in self.tensors.iter().zip(params.iter_mut()) {
             p.value.data_mut().copy_from_slice(saved.data());
         }
+        Ok(())
     }
 
     /// Number of parameter tensors in the snapshot.
@@ -177,7 +203,7 @@ mod tests {
         assert_ne!(before, trained);
 
         // …and restoring brings the original outputs back exactly.
-        snapshot.restore(&mut a);
+        snapshot.restore(&mut a).unwrap();
         let restored = a.forward(&x, false);
         assert_eq!(before, restored);
     }
@@ -198,7 +224,7 @@ mod tests {
                 .push(Sigmoid::new())
         };
         assert_ne!(b.forward(&x, false), expected);
-        StateDict::capture(&mut a).restore(&mut b);
+        StateDict::capture(&mut a).restore(&mut b).unwrap();
         assert_eq!(b.forward(&x, false), expected);
     }
 
@@ -228,20 +254,34 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "parameter count mismatch")]
-    fn restore_rejects_wrong_architecture() {
+    fn restore_rejects_wrong_architecture_without_panicking() {
         let mut a = net();
         let mut rng = seeded(6);
         let mut small = Sequential::new().push(Dense::new(4, 2, &mut rng));
-        StateDict::capture(&mut a).restore(&mut small);
+        let err = StateDict::capture(&mut a).restore(&mut small).unwrap_err();
+        assert!(err.contains("parameter count mismatch"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "shape mismatch")]
-    fn restore_rejects_wrong_shapes() {
+    fn restore_rejects_wrong_shapes_and_leaves_target_untouched() {
         let mut rng = seeded(7);
         let mut a = Sequential::new().push(Dense::new(4, 8, &mut rng));
         let mut b = Sequential::new().push(Dense::new(8, 4, &mut rng));
-        StateDict::capture(&mut a).restore(&mut b);
+        let before = StateDict::capture(&mut b);
+        let err = StateDict::capture(&mut a).restore(&mut b).unwrap_err();
+        assert!(err.contains("shape mismatch"), "{err}");
+        // Validation precedes any write: b is untouched after the failure.
+        assert_eq!(StateDict::capture(&mut b), before);
+    }
+
+    #[test]
+    fn from_tensors_roundtrips_accessors() {
+        let t = vec![
+            apots_tensor::Tensor::from_vec(vec![1.0, 2.0]),
+            apots_tensor::Tensor::zeros(&[2, 2]),
+        ];
+        let sd = StateDict::from_tensors(t.clone());
+        assert_eq!(sd.tensors(), &t[..]);
+        assert_eq!(sd.clone().into_tensors(), t);
     }
 }

@@ -23,6 +23,7 @@
 
 use std::fmt;
 
+pub mod atomic;
 mod parse;
 
 pub use parse::Error;

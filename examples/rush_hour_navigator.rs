@@ -34,7 +34,10 @@ fn main() {
         data.train_samples().len()
     );
     let report = train_apots(predictor.as_mut(), &data, &config);
-    println!("final epoch mse {:.5}\n", report.final_mse());
+    println!(
+        "final epoch mse {:.5}\n",
+        report.final_mse().expect("training ran ≥ 1 epoch")
+    );
 
     // The worst morning rush in the simulation.
     let rush = scenarios::morning_rush(data.corridor());

@@ -14,6 +14,9 @@ cargo build --workspace --release --offline
 echo "== cargo test -q --offline =="
 cargo test --workspace -q --offline
 
+echo "== crash-safety: resume-equivalence & fault-injection suite =="
+cargo test -p apots --test resume_equivalence --release --offline -q
+
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 

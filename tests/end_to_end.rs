@@ -47,7 +47,7 @@ fn plain_training_beats_untrained() {
     let report = train_plain(trained.as_mut(), &data, &cfg);
     let after = evaluate(trained.as_mut(), &data, cfg.mask, data.test_samples());
 
-    assert!(report.final_mse().is_finite());
+    assert!(report.final_mse().expect("epochs ran").is_finite());
     assert!(
         after.overall.mape < before.overall.mape,
         "training did not help: {} → {}",
@@ -113,7 +113,7 @@ fn every_predictor_kind_survives_one_adversarial_epoch() {
         let mut p = build_predictor(kind, HyperPreset::Fast, &data, 3);
         let report = train_apots(p.as_mut(), &data, &cfg);
         assert!(
-            report.final_mse().is_finite(),
+            report.final_mse().expect("epochs ran").is_finite(),
             "{kind:?} produced non-finite loss"
         );
     }
