@@ -57,11 +57,26 @@ fn usage() -> &'static str {
      \x20 eval       evaluate a checkpoint on the held-out test windows\n\
      \x20            --model FILE [--days N] [--seed N] [--json]\n\
      \x20 predict    print a predicted speed trace for a time window\n\
-     \x20            --model FILE --day N --from HH:MM --to HH:MM"
+     \x20            --model FILE --day N --from HH:MM --to HH:MM\n\
+     \n\
+     global options:\n\
+     \x20 --threads N  pin the compute pool to N threads (default: the\n\
+     \x20              APOTS_THREADS env var, else all cores; outputs are\n\
+     \x20              bit-identical for any value)"
 }
 
 fn run(argv: &[String]) -> Result<(), String> {
     let (cmd, args) = Args::parse(argv)?;
+    // Global --threads N: pins the compute pool for this invocation
+    // (overrides APOTS_THREADS; 1 = exact serial path). Results are
+    // bit-identical for any setting — see DESIGN.md §9 — so this is a
+    // pure wall-clock knob.
+    if let Some(n) = args.get_usize("threads")? {
+        if n == 0 {
+            return Err("--threads must be positive".into());
+        }
+        apots_par::set_threads(n);
+    }
     match cmd.as_str() {
         "simulate" => cmd_simulate(&args),
         "train" => cmd_train(&args),

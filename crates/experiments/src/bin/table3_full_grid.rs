@@ -8,7 +8,7 @@
 use apots::config::PredictorKind;
 use apots::eval::evaluate_fixed;
 use apots_baselines::prophet::{Prophet, ProphetConfig};
-use apots_experiments::{build_dataset, print_table, run_model, save_json, table3_masks, Env};
+use apots_experiments::{build_dataset, print_table, run_grid, save_json, table3_masks, Env};
 use apots_metrics::gain::improvement_percent;
 use apots_metrics::paired_t_test;
 use apots_metrics::ErrorSummary;
@@ -28,22 +28,37 @@ fn main() {
     // the paper found no difference; we fit the full model on both rows).
     let prophet = fit_prophet(&data);
 
-    // ---- The 16 neural configurations. -------------------------------
-    // results[kind][mask_idx][adv_idx]
+    // ---- The 16 neural configurations, fanned out across the pool. ----
+    // Jobs are built in kind → mask → adversarial nesting order;
+    // `run_grid` returns outcomes in that same order and each run is
+    // bit-identical to training it alone, so the table is byte-for-byte
+    // the one the old serial loop produced.
     let kinds = PredictorKind::all();
     let masks = table3_masks();
-    let mut cells: Vec<Vec<Vec<ErrorSummary>>> = Vec::new();
+    let mut jobs = Vec::new();
     for kind in kinds {
-        let mut per_mask = Vec::new();
-        for (mlabel, mask) in masks {
-            let mut per_adv = Vec::new();
+        for (_, mask) in masks {
             for adversarial in [false, true] {
                 let cfg = if adversarial {
                     apots_experiments::adv_cfg(kind, mask, &env)
                 } else {
                     apots_experiments::plain_cfg(kind, mask, &env)
                 };
-                let out = run_model(&data, kind, env.preset, &cfg);
+                jobs.push((kind, cfg));
+            }
+        }
+    }
+    let outcomes = run_grid(&data, env.preset, &jobs);
+
+    // results[kind][mask_idx][adv_idx]
+    let mut cells: Vec<Vec<Vec<ErrorSummary>>> = Vec::new();
+    let mut next = outcomes.into_iter();
+    for kind in kinds {
+        let mut per_mask = Vec::new();
+        for (mlabel, _) in masks {
+            let mut per_adv = Vec::new();
+            for adversarial in [false, true] {
+                let out = next.next().expect("grid outcome count mismatch");
                 println!(
                     "{} / {mlabel} / adv={}: MAE {:.2} RMSE {:.2} MAPE {:.2} ({:.0}s)",
                     kind.label(),

@@ -186,6 +186,33 @@ pub fn run_model_keep(
     )
 }
 
+/// Trains and evaluates a batch of `(kind, config)` runs, fanning them
+/// out across the `apots-par` pool — one task per run, so a Table-III
+/// style grid uses every core instead of crawling through 16 configs
+/// serially. Within a run the kernels execute on the worker's thread
+/// (nested parallel regions run inline), so each run computes exactly
+/// what it would have computed alone: outcomes are bit-identical to the
+/// serial grid and come back in input order. A panic inside any run
+/// (e.g. a training failure) propagates to the caller.
+pub fn run_grid(
+    data: &TrafficDataset,
+    preset: HyperPreset,
+    jobs: &[(PredictorKind, TrainConfig)],
+) -> Vec<RunOutcome> {
+    let mut slots: Vec<Option<RunOutcome>> = jobs.iter().map(|_| None).collect();
+    {
+        let items: Vec<(&mut Option<RunOutcome>, &(PredictorKind, TrainConfig))> =
+            slots.iter_mut().zip(jobs.iter()).collect();
+        apots_par::parallel_items(items, |(slot, (kind, config))| {
+            *slot = Some(run_model(data, *kind, preset, config));
+        });
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("grid job did not produce an outcome"))
+        .collect()
+}
+
 /// Renders a markdown-style table to stdout.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n## {title}\n");

@@ -24,7 +24,7 @@ impl Relu {
 impl Layer for Relu {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         self.cached_input = Some(input.clone());
-        input.map(|v| v.max(0.0))
+        input.par_map(|v| v.max(0.0))
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -32,7 +32,7 @@ impl Layer for Relu {
             .cached_input
             .as_ref()
             .expect("Relu::backward called before forward");
-        x.zip_with(grad_out, |xi, g| if xi > 0.0 { g } else { 0.0 })
+        x.par_zip_with(grad_out, |xi, g| if xi > 0.0 { g } else { 0.0 })
     }
 }
 
@@ -63,7 +63,7 @@ impl Layer for LeakyRelu {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         self.cached_input = Some(input.clone());
         let s = self.slope;
-        input.map(|v| if v > 0.0 { v } else { s * v })
+        input.par_map(|v| if v > 0.0 { v } else { s * v })
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -72,7 +72,7 @@ impl Layer for LeakyRelu {
             .as_ref()
             .expect("LeakyRelu::backward called before forward");
         let s = self.slope;
-        x.zip_with(grad_out, |xi, g| if xi > 0.0 { g } else { s * g })
+        x.par_zip_with(grad_out, |xi, g| if xi > 0.0 { g } else { s * g })
     }
 }
 
@@ -101,7 +101,7 @@ impl Sigmoid {
 
 impl Layer for Sigmoid {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        let out = input.map(sigmoid_scalar);
+        let out = input.par_map(sigmoid_scalar);
         self.cached_output = Some(out.clone());
         out
     }
@@ -111,7 +111,7 @@ impl Layer for Sigmoid {
             .cached_output
             .as_ref()
             .expect("Sigmoid::backward called before forward");
-        y.zip_with(grad_out, |yi, g| g * yi * (1.0 - yi))
+        y.par_zip_with(grad_out, |yi, g| g * yi * (1.0 - yi))
     }
 }
 
@@ -130,7 +130,7 @@ impl Tanh {
 
 impl Layer for Tanh {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        let out = input.map(f32::tanh);
+        let out = input.par_map(f32::tanh);
         self.cached_output = Some(out.clone());
         out
     }
@@ -140,7 +140,7 @@ impl Layer for Tanh {
             .cached_output
             .as_ref()
             .expect("Tanh::backward called before forward");
-        y.zip_with(grad_out, |yi, g| g * (1.0 - yi * yi))
+        y.par_zip_with(grad_out, |yi, g| g * (1.0 - yi * yi))
     }
 }
 

@@ -64,43 +64,58 @@ impl Conv2d {
     }
 
     /// Lowers `[b, c, h, w]` input into the `[b*h*w, c*kh*kw]` patch matrix.
+    ///
+    /// Parallelised over patch rows: each `(bi, y, xw)` row of the output
+    /// is written by exactly one task, so the result is bit-identical to
+    /// the serial loop for any thread count.
     fn im2col(&self, input: &Tensor) -> Tensor {
         let s = input.shape();
         let (b, c, h, w) = (s[0], s[1], s[2], s[3]);
         let (ph, pw) = (self.kh / 2, self.kw / 2);
-        let patch = c * self.kh * self.kw;
-        let mut cols = vec![0.0f32; b * h * w * patch];
+        let (kh, kw) = (self.kh, self.kw);
+        let patch = c * kh * kw;
+        let n_rows = b * h * w;
+        let mut cols = vec![0.0f32; n_rows * patch];
         let x = input.data();
-        for bi in 0..b {
-            for y in 0..h {
-                for xw in 0..w {
-                    let row_base = ((bi * h + y) * w + xw) * patch;
-                    let mut p = row_base;
-                    for ci in 0..c {
-                        let chan_base = (bi * c + ci) * h * w;
-                        for ky in 0..self.kh {
-                            let sy = y as isize + ky as isize - ph as isize;
-                            if sy < 0 || sy >= h as isize {
-                                p += self.kw;
-                                continue;
+        let chunk_rows = apots_par::rows_per_chunk(n_rows, 64);
+        apots_par::parallel_chunks_mut(&mut cols, chunk_rows * patch, |ci_chunk, chunk| {
+            let row0 = ci_chunk * chunk_rows;
+            for (local, out_row) in chunk.chunks_exact_mut(patch).enumerate() {
+                let r = row0 + local;
+                let bi = r / (h * w);
+                let rem = r % (h * w);
+                let (y, xw) = (rem / w, rem % w);
+                let mut p = 0;
+                for ci in 0..c {
+                    let chan_base = (bi * c + ci) * h * w;
+                    for ky in 0..kh {
+                        let sy = y as isize + ky as isize - ph as isize;
+                        if sy < 0 || sy >= h as isize {
+                            p += kw;
+                            continue;
+                        }
+                        let src_row = chan_base + sy as usize * w;
+                        for kx in 0..kw {
+                            let sx = xw as isize + kx as isize - pw as isize;
+                            if sx >= 0 && sx < w as isize {
+                                out_row[p] = x[src_row + sx as usize];
                             }
-                            let src_row = chan_base + sy as usize * w;
-                            for kx in 0..self.kw {
-                                let sx = xw as isize + kx as isize - pw as isize;
-                                if sx >= 0 && sx < w as isize {
-                                    cols[p] = x[src_row + sx as usize];
-                                }
-                                p += 1;
-                            }
+                            p += 1;
                         }
                     }
                 }
             }
-        }
-        Tensor::new(vec![b * h * w, patch], cols)
+        });
+        Tensor::new(vec![n_rows, patch], cols)
     }
 
     /// Scatters patch-matrix gradients back into input-image gradients.
+    ///
+    /// Parallelised per `(bi, ci)` image plane: every target element
+    /// `dx[bi][ci][sy][sx]` receives its contributions in the same
+    /// lexicographic `(y, xw, ky, kx)` order as the serial triple loop
+    /// (for a fixed target, the channel loop position is irrelevant), so
+    /// the accumulated f32 values are bit-identical for any thread count.
     fn col2im(&self, dcols: &Tensor, input_shape: &[usize]) -> Tensor {
         let (b, c, h, w) = (
             input_shape[0],
@@ -109,41 +124,50 @@ impl Conv2d {
             input_shape[3],
         );
         let (ph, pw) = (self.kh / 2, self.kw / 2);
-        let patch = c * self.kh * self.kw;
-        let mut dx = vec![0.0f32; b * c * h * w];
+        let (kh, kw) = (self.kh, self.kw);
+        let patch = c * kh * kw;
+        let plane = h * w;
+        let mut dx = vec![0.0f32; b * c * plane];
         let dc = dcols.data();
-        for bi in 0..b {
-            for y in 0..h {
-                for xw in 0..w {
-                    let row_base = ((bi * h + y) * w + xw) * patch;
-                    let mut p = row_base;
-                    for ci in 0..c {
-                        let chan_base = (bi * c + ci) * h * w;
-                        for ky in 0..self.kh {
+        let planes_per_chunk = apots_par::rows_per_chunk(b * c, 1);
+        apots_par::parallel_chunks_mut(&mut dx, planes_per_chunk * plane, |chunk_i, chunk| {
+            let plane0 = chunk_i * planes_per_chunk;
+            for (local, dplane) in chunk.chunks_exact_mut(plane).enumerate() {
+                let (bi, ci) = ((plane0 + local) / c, (plane0 + local) % c);
+                for y in 0..h {
+                    for xw in 0..w {
+                        let p0 = ((bi * h + y) * w + xw) * patch + ci * kh * kw;
+                        for ky in 0..kh {
                             let sy = y as isize + ky as isize - ph as isize;
                             if sy < 0 || sy >= h as isize {
-                                p += self.kw;
                                 continue;
                             }
-                            let dst_row = chan_base + sy as usize * w;
-                            for kx in 0..self.kw {
+                            let dst_row = sy as usize * w;
+                            let src = p0 + ky * kw;
+                            for kx in 0..kw {
                                 let sx = xw as isize + kx as isize - pw as isize;
                                 if sx >= 0 && sx < w as isize {
-                                    dx[dst_row + sx as usize] += dc[p];
+                                    dplane[dst_row + sx as usize] += dc[src + kx];
                                 }
-                                p += 1;
                             }
                         }
                     }
                 }
             }
-        }
+        });
         Tensor::new(input_shape.to_vec(), dx)
+    }
+
+    /// True when no im2col patch matrix is currently held (used by tests
+    /// to assert the cache is released after `backward` and never built by
+    /// eval-mode forwards — it is the layer's largest allocation).
+    pub fn holds_cached_cols(&self) -> bool {
+        self.cached_cols.is_some()
     }
 }
 
 impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         assert_eq!(input.rank(), 4, "Conv2d expects [batch, ch, h, w] input");
         let s = input.shape().to_vec();
         assert_eq!(
@@ -155,53 +179,66 @@ impl Layer for Conv2d {
         let cols = self.im2col(input);
         let mut m = cols.matmul(&self.w); // [b*h*w, out_ch]
         m.add_row_broadcast(&self.b);
-        // Rearrange [b*h*w, f] -> [b, f, h, w].
-        let mut out = vec![0.0f32; b * self.out_ch * h * w];
+        // Rearrange [b*h*w, f] -> [b, f, h, w]; each task owns one batch
+        // image (a contiguous out_ch*h*w slab of the output).
+        let f_ch = self.out_ch;
+        let mut out = vec![0.0f32; b * f_ch * h * w];
         let md = m.data();
-        for bi in 0..b {
+        apots_par::parallel_chunks_mut(&mut out, f_ch * h * w, |bi, slab| {
             for y in 0..h {
                 for xw in 0..w {
-                    let row = ((bi * h + y) * w + xw) * self.out_ch;
-                    for f in 0..self.out_ch {
-                        out[((bi * self.out_ch + f) * h + y) * w + xw] = md[row + f];
+                    let row = ((bi * h + y) * w + xw) * f_ch;
+                    for f in 0..f_ch {
+                        slab[(f * h + y) * w + xw] = md[row + f];
                     }
                 }
             }
+        });
+        // The im2col patch matrix is the layer's largest allocation
+        // ([b*h*w, in_ch*kh*kw]); it only exists to be reused by the next
+        // backward pass, so eval-mode forwards must not retain it.
+        if train {
+            self.cached_cols = Some(cols);
+            self.cached_input_shape = Some(s);
+        } else {
+            self.cached_cols = None;
+            self.cached_input_shape = None;
         }
-        self.cached_cols = Some(cols);
-        self.cached_input_shape = Some(s);
-        Tensor::new(vec![b, self.out_ch, h, w], out)
+        Tensor::new(vec![b, f_ch, h, w], out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // `take()` releases the patch matrix once this pass is done with
+        // it instead of pinning it until the next forward.
         let cols = self
             .cached_cols
-            .as_ref()
-            .expect("Conv2d::backward called before forward");
+            .take()
+            .expect("Conv2d::backward called before a train-mode forward");
         let in_shape = self
             .cached_input_shape
-            .clone()
-            .expect("Conv2d::backward called before forward");
+            .take()
+            .expect("Conv2d::backward called before a train-mode forward");
         let (b, h, w) = (in_shape[0], in_shape[2], in_shape[3]);
         assert_eq!(
             grad_out.shape(),
             &[b, self.out_ch, h, w],
             "Conv2d grad shape mismatch"
         );
-        // Rearrange grad [b, f, h, w] -> [b*h*w, f].
-        let mut dm = vec![0.0f32; b * h * w * self.out_ch];
+        // Rearrange grad [b, f, h, w] -> [b*h*w, f]; each task owns the
+        // h*w*out_ch slab of rows belonging to one batch image.
+        let f_ch = self.out_ch;
+        let mut dm = vec![0.0f32; b * h * w * f_ch];
         let gd = grad_out.data();
-        for bi in 0..b {
-            for f in 0..self.out_ch {
+        apots_par::parallel_chunks_mut(&mut dm, h * w * f_ch, |bi, slab| {
+            for f in 0..f_ch {
                 for y in 0..h {
                     for xw in 0..w {
-                        dm[((bi * h + y) * w + xw) * self.out_ch + f] =
-                            gd[((bi * self.out_ch + f) * h + y) * w + xw];
+                        slab[(y * w + xw) * f_ch + f] = gd[((bi * f_ch + f) * h + y) * w + xw];
                     }
                 }
             }
-        }
-        let dm = Tensor::new(vec![b * h * w, self.out_ch], dm);
+        });
+        let dm = Tensor::new(vec![b * h * w, f_ch], dm);
         self.dw = cols.matmul_at_b(&dm);
         self.db = dm.sum_axis0();
         let dcols = dm.matmul_a_bt(&self.w);
@@ -274,6 +311,55 @@ mod tests {
         let y = conv.forward(&x, true);
         assert!(y.data()[..4].iter().all(|&v| v == 1.5));
         assert!(y.data()[4..].iter().all(|&v| v == -2.5));
+    }
+
+    /// Regression: the im2col patch matrix must not be retained after
+    /// `backward` consumes it, and eval-mode forwards must never build up
+    /// a cache at all (it is the layer's largest allocation).
+    #[test]
+    fn patch_cache_released_after_backward_and_absent_in_eval() {
+        let mut rng = seeded(11);
+        let mut conv = Conv2d::new(2, 4, 3, 3, &mut rng);
+        let x = Tensor::randn(&[2, 2, 4, 5], 0.0, 1.0, &mut rng);
+
+        // Train-mode forward caches; backward takes the cache with it.
+        let _ = conv.forward(&x, true);
+        assert!(conv.holds_cached_cols(), "train forward should cache cols");
+        let _ = conv.backward(&Tensor::ones(&[2, 4, 4, 5]));
+        assert!(
+            !conv.holds_cached_cols(),
+            "backward must release the im2col cache"
+        );
+
+        // Eval-mode forward never caches, and clears any stale cache.
+        let _ = conv.forward(&x, true);
+        let _ = conv.forward(&x, false);
+        assert!(
+            !conv.holds_cached_cols(),
+            "eval forward must not retain the im2col cache"
+        );
+    }
+
+    /// Train/eval forwards compute identical outputs (caching is the only
+    /// difference), and eval-then-backward is rejected.
+    #[test]
+    fn eval_forward_matches_train_forward() {
+        let mut rng = seeded(12);
+        let mut conv = Conv2d::new(3, 2, 3, 3, &mut rng);
+        let x = Tensor::randn(&[1, 3, 6, 4], 0.0, 1.0, &mut rng);
+        let y_train = conv.forward(&x, true);
+        let y_eval = conv.forward(&x, false);
+        assert_eq!(y_train, y_eval);
+    }
+
+    #[test]
+    #[should_panic(expected = "before a train-mode forward")]
+    fn backward_after_eval_forward_panics() {
+        let mut rng = seeded(13);
+        let mut conv = Conv2d::new(1, 1, 1, 1, &mut rng);
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        let _ = conv.forward(&x, false);
+        let _ = conv.backward(&Tensor::zeros(&[1, 1, 2, 2]));
     }
 
     #[test]

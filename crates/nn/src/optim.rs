@@ -224,6 +224,11 @@ impl Optimizer for Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (lr, beta1, beta2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        // Each element's update is independent, so chunking the moment /
+        // weight / gradient slices at identical boundaries and fanning the
+        // chunks across the pool is bit-identical to the serial loop.
+        const GRAIN: usize = 4096;
         for ((p, m), v) in params
             .into_iter()
             .zip(self.m.iter_mut())
@@ -233,13 +238,21 @@ impl Optimizer for Adam {
             let md = m.data_mut();
             let vd = v.data_mut();
             let w = p.value.data_mut();
-            for i in 0..g.len() {
-                md[i] = self.beta1 * md[i] + (1.0 - self.beta1) * g[i];
-                vd[i] = self.beta2 * vd[i] + (1.0 - self.beta2) * g[i] * g[i];
-                let m_hat = md[i] / bc1;
-                let v_hat = vd[i] / bc2;
-                w[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
-            }
+            let items: Vec<_> = md
+                .chunks_mut(GRAIN)
+                .zip(vd.chunks_mut(GRAIN))
+                .zip(w.chunks_mut(GRAIN))
+                .zip(g.chunks(GRAIN))
+                .collect();
+            apots_par::parallel_items(items, |(((mc, vc), wc), gc)| {
+                for i in 0..gc.len() {
+                    mc[i] = beta1 * mc[i] + (1.0 - beta1) * gc[i];
+                    vc[i] = beta2 * vc[i] + (1.0 - beta2) * gc[i] * gc[i];
+                    let m_hat = mc[i] / bc1;
+                    let v_hat = vc[i] / bc2;
+                    wc[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+                }
+            });
         }
     }
 

@@ -1,0 +1,316 @@
+//! Register-blocked matmul row kernels.
+//!
+//! Each function computes a contiguous *row block* of the output matrix so
+//! the public entry points in `tensor.rs` can partition work across the
+//! `apots-par` pool by output rows. The blocking (4-row panels × 4-step
+//! `kk` unrolling) exists purely for instruction-level parallelism and
+//! load amortisation — **every output element still accumulates its
+//! products in ascending `kk` order as one sequential f32 chain**, exactly
+//! like the loops in [`crate::reference`]. Rust never contracts `a*b + c`
+//! into an FMA or re-associates float adds on its own, so the results are
+//! bit-identical to the reference for all inputs, on any thread count.
+//!
+//! Do not "optimise" these kernels with multiple partial accumulators per
+//! element or `kk`-range splitting: that changes rounding and breaks the
+//! determinism contract (DESIGN.md §9) that the serial/parallel equality
+//! property suite enforces.
+
+/// Rows-per-panel of the register block.
+const MR: usize = 4;
+/// Columns per C-resident register tile (two 8-lane vectors on AVX2).
+const NT: usize = 16;
+
+/// The shared inner loop of `matmul`/`matmul_at_b`: computes a 4-row ×
+/// `NT`-column *C-resident* tile of the output. The 64 accumulators live
+/// in registers across the entire `kk` loop, so output traffic is a single
+/// store per element; `get_a(kk)` fetches the four LHS scalars for this
+/// row panel (contiguous for `matmul`, stride-`m` for `matmul_at_b`).
+///
+/// Each accumulator advances in ascending `kk` — the bit contract.
+#[inline(always)]
+fn tile4xn<Fa: Fn(usize) -> [f32; 4]>(
+    b: &[f32],
+    k: usize,
+    n: usize,
+    j: usize,
+    get_a: &Fa,
+    o0: &mut [f32],
+    o1: &mut [f32],
+    o2: &mut [f32],
+    o3: &mut [f32],
+) {
+    let mut acc0 = [0.0f32; NT];
+    let mut acc1 = [0.0f32; NT];
+    let mut acc2 = [0.0f32; NT];
+    let mut acc3 = [0.0f32; NT];
+    for kk in 0..k {
+        let bb = &b[kk * n + j..][..NT];
+        let [a0, a1, a2, a3] = get_a(kk);
+        for t in 0..NT {
+            let v = bb[t];
+            acc0[t] += a0 * v;
+            acc1[t] += a1 * v;
+            acc2[t] += a2 * v;
+            acc3[t] += a3 * v;
+        }
+    }
+    o0[j..j + NT].copy_from_slice(&acc0);
+    o1[j..j + NT].copy_from_slice(&acc1);
+    o2[j..j + NT].copy_from_slice(&acc2);
+    o3[j..j + NT].copy_from_slice(&acc3);
+}
+
+/// Column remainder of a 4-row panel: one scalar chain per row.
+#[inline(always)]
+fn tail4x1<Fa: Fn(usize) -> [f32; 4]>(
+    b: &[f32],
+    k: usize,
+    n: usize,
+    j: usize,
+    get_a: &Fa,
+    o0: &mut [f32],
+    o1: &mut [f32],
+    o2: &mut [f32],
+    o3: &mut [f32],
+) {
+    let (mut c0, mut c1, mut c2, mut c3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for kk in 0..k {
+        let v = b[kk * n + j];
+        let [a0, a1, a2, a3] = get_a(kk);
+        c0 += a0 * v;
+        c1 += a1 * v;
+        c2 += a2 * v;
+        c3 += a3 * v;
+    }
+    o0[j] = c0;
+    o1[j] = c1;
+    o2[j] = c2;
+    o3[j] = c3;
+}
+
+/// Single-row remainder: ascending-kk accumulation into the (zeroed) row.
+#[inline(always)]
+fn row1<Fa: Fn(usize) -> f32>(b: &[f32], k: usize, n: usize, get_a: &Fa, o_row: &mut [f32]) {
+    for kk in 0..k {
+        let av = get_a(kk);
+        let bb = &b[kk * n..][..n];
+        for j in 0..n {
+            o_row[j] += av * bb[j];
+        }
+    }
+}
+
+/// Splits a 4-row output panel into its row slices.
+#[inline(always)]
+fn split4(panel: &mut [f32], n: usize) -> (&mut [f32], &mut [f32], &mut [f32], &mut [f32]) {
+    let (o0, rest) = panel.split_at_mut(n);
+    let (o1, rest) = rest.split_at_mut(n);
+    let (o2, o3) = rest.split_at_mut(n);
+    (o0, o1, o2, o3)
+}
+
+/// Computes `out_rows = a_rows · b` where `a_rows: [rows, k]` is the slice
+/// of the LHS for this row block, `b: [k, n]` is the full RHS and
+/// `out_rows: [rows, n]` is this block's slice of the output (zeroed by
+/// the caller).
+pub(crate) fn matmul_block(a_rows: &[f32], b: &[f32], out_rows: &mut [f32], k: usize, n: usize) {
+    if n == 0 {
+        return;
+    }
+    let rows = out_rows.len() / n;
+    debug_assert_eq!(out_rows.len(), rows * n);
+    debug_assert_eq!(a_rows.len(), rows * k);
+    debug_assert_eq!(b.len(), k * n);
+
+    let mut i = 0;
+    while i + MR <= rows {
+        let (o0, o1, o2, o3) = split4(&mut out_rows[i * n..(i + MR) * n], n);
+        let a0 = &a_rows[i * k..][..k];
+        let a1 = &a_rows[(i + 1) * k..][..k];
+        let a2 = &a_rows[(i + 2) * k..][..k];
+        let a3 = &a_rows[(i + 3) * k..][..k];
+        let get_a = |kk: usize| [a0[kk], a1[kk], a2[kk], a3[kk]];
+
+        let mut j = 0;
+        while j + NT <= n {
+            tile4xn(b, k, n, j, &get_a, o0, o1, o2, o3);
+            j += NT;
+        }
+        while j < n {
+            tail4x1(b, k, n, j, &get_a, o0, o1, o2, o3);
+            j += 1;
+        }
+        i += MR;
+    }
+    // Remainder rows: one row at a time, same ascending-kk chain.
+    while i < rows {
+        let a_row = &a_rows[i * k..][..k];
+        row1(b, k, n, &|kk| a_row[kk], &mut out_rows[i * n..][..n]);
+        i += 1;
+    }
+}
+
+/// Computes rows `[i0, i0 + rows)` of `out = aᵀ · b` for `a: [k, m]`,
+/// `b: [k, n]`. `out_rows` is this block's `[rows, n]` output slice
+/// (zeroed by the caller); row `i` of the block is output row `i0 + i`,
+/// i.e. column `i0 + i` of `a`.
+pub(crate) fn matmul_at_b_block(
+    a: &[f32],
+    b: &[f32],
+    out_rows: &mut [f32],
+    i0: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    if n == 0 {
+        return;
+    }
+    let rows = out_rows.len() / n;
+    debug_assert_eq!(out_rows.len(), rows * n);
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+
+    let mut i = 0;
+    while i + MR <= rows {
+        let gi = i0 + i;
+        let (o0, o1, o2, o3) = split4(&mut out_rows[i * n..(i + MR) * n], n);
+        // LHS is accessed down a column: a[kk][gi + r] at stride m.
+        let get_a = |kk: usize| {
+            let base = kk * m + gi;
+            [a[base], a[base + 1], a[base + 2], a[base + 3]]
+        };
+
+        let mut j = 0;
+        while j + NT <= n {
+            tile4xn(b, k, n, j, &get_a, o0, o1, o2, o3);
+            j += NT;
+        }
+        while j < n {
+            tail4x1(b, k, n, j, &get_a, o0, o1, o2, o3);
+            j += 1;
+        }
+        i += MR;
+    }
+    while i < rows {
+        let gi = i0 + i;
+        row1(b, k, n, &|kk| a[kk * m + gi], &mut out_rows[i * n..][..n]);
+        i += 1;
+    }
+}
+
+/// Columns-per-panel for the `a · bᵀ` kernel.
+const NR: usize = 4;
+
+/// Computes `out_rows = a_rows · bᵀ` where `a_rows: [rows, k]` is this
+/// block's LHS slice, `b: [n, k]` is the full RHS and `out_rows: [rows, n]`
+/// is this block's output slice. Each element is one dot product evaluated
+/// as a single sequential chain over ascending `kk`; the 4×4 panel runs 16
+/// such independent chains concurrently for ILP.
+pub(crate) fn matmul_a_bt_block(
+    a_rows: &[f32],
+    b: &[f32],
+    out_rows: &mut [f32],
+    k: usize,
+    n: usize,
+) {
+    if n == 0 {
+        return;
+    }
+    let rows = out_rows.len() / n;
+    debug_assert_eq!(out_rows.len(), rows * n);
+    debug_assert_eq!(a_rows.len(), rows * k);
+    debug_assert_eq!(b.len(), n * k);
+
+    let mut i = 0;
+    while i + MR <= rows {
+        let a0 = &a_rows[i * k..][..k];
+        let a1 = &a_rows[(i + 1) * k..][..k];
+        let a2 = &a_rows[(i + 2) * k..][..k];
+        let a3 = &a_rows[(i + 3) * k..][..k];
+        let mut panel = out_rows[i * n..(i + MR) * n].chunks_exact_mut(n);
+        let o0 = panel.next().unwrap();
+        let o1 = panel.next().unwrap();
+        let o2 = panel.next().unwrap();
+        let o3 = panel.next().unwrap();
+
+        let mut j = 0;
+        while j + NR <= n {
+            let b0 = &b[j * k..][..k];
+            let b1 = &b[(j + 1) * k..][..k];
+            let b2 = &b[(j + 2) * k..][..k];
+            let b3 = &b[(j + 3) * k..][..k];
+            let (mut c00, mut c01, mut c02, mut c03) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            let (mut c10, mut c11, mut c12, mut c13) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            let (mut c20, mut c21, mut c22, mut c23) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            let (mut c30, mut c31, mut c32, mut c33) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for kk in 0..k {
+                let (av0, av1, av2, av3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+                let (bv0, bv1, bv2, bv3) = (b0[kk], b1[kk], b2[kk], b3[kk]);
+                c00 += av0 * bv0;
+                c01 += av0 * bv1;
+                c02 += av0 * bv2;
+                c03 += av0 * bv3;
+                c10 += av1 * bv0;
+                c11 += av1 * bv1;
+                c12 += av1 * bv2;
+                c13 += av1 * bv3;
+                c20 += av2 * bv0;
+                c21 += av2 * bv1;
+                c22 += av2 * bv2;
+                c23 += av2 * bv3;
+                c30 += av3 * bv0;
+                c31 += av3 * bv1;
+                c32 += av3 * bv2;
+                c33 += av3 * bv3;
+            }
+            o0[j] = c00;
+            o0[j + 1] = c01;
+            o0[j + 2] = c02;
+            o0[j + 3] = c03;
+            o1[j] = c10;
+            o1[j + 1] = c11;
+            o1[j + 2] = c12;
+            o1[j + 3] = c13;
+            o2[j] = c20;
+            o2[j + 1] = c21;
+            o2[j + 2] = c22;
+            o2[j + 3] = c23;
+            o3[j] = c30;
+            o3[j + 1] = c31;
+            o3[j + 2] = c32;
+            o3[j + 3] = c33;
+            j += NR;
+        }
+        while j < n {
+            let bb = &b[j * k..][..k];
+            let (mut c0, mut c1, mut c2, mut c3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for kk in 0..k {
+                let bv = bb[kk];
+                c0 += a0[kk] * bv;
+                c1 += a1[kk] * bv;
+                c2 += a2[kk] * bv;
+                c3 += a3[kk] * bv;
+            }
+            o0[j] = c0;
+            o1[j] = c1;
+            o2[j] = c2;
+            o3[j] = c3;
+            j += 1;
+        }
+        i += MR;
+    }
+    while i < rows {
+        let a_row = &a_rows[i * k..][..k];
+        let o_row = &mut out_rows[i * n..][..n];
+        for (j, o) in o_row.iter_mut().enumerate() {
+            let bb = &b[j * k..][..k];
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a_row[kk] * bb[kk];
+            }
+            *o = acc;
+        }
+        i += 1;
+    }
+}

@@ -16,7 +16,9 @@
 //! * all randomness is funnelled through caller-provided [`rng::Rng`]
 //!   instances so experiments are reproducible end-to-end.
 
+mod kernels;
 pub mod linalg;
+pub mod reference;
 pub mod rng;
 mod tensor;
 

@@ -1,0 +1,79 @@
+//! Specification kernels: the naive, single-threaded matrix products.
+//!
+//! These are the *semantic definition* of the three matmul kernels. The
+//! production paths in [`crate::Tensor`] (register-blocked, row-partitioned
+//! across the `apots-par` pool) must produce **bit-identical** results to
+//! these loops for every input, because both evaluate each output element
+//! as the same sequential accumulation chain over ascending `kk`:
+//!
+//! ```text
+//! out[i][j] = ((0 + a[i][0]*b[0][j]) + a[i][1]*b[1][j]) + … + a[i][k-1]*b[k-1][j]
+//! ```
+//!
+//! f32 addition is not associative, so *order is the contract*: any kernel
+//! that re-associates (multiple partial accumulators, k-splitting, FMA
+//! contraction) would drift from these bits. The property suite in
+//! `apots-check`-based tests and the `parallel_kernels` bench both compare
+//! against this module.
+//!
+//! Note these loops deliberately do **not** carry the historical
+//! `if a == 0.0 { continue; }` fast path: skipping a zero LHS element also
+//! skips `0.0 * NaN`/`0.0 * inf` (which must yield NaN), masking exactly
+//! the non-finite values the divergence sentinel (DESIGN.md §8) exists to
+//! catch. See the NaN-propagation regression tests in `tensor.rs`.
+
+/// `out = a · b` for `a: [m, k]`, `b: [k, n]`, both row-major.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "reference::matmul lhs length");
+    assert_eq!(b.len(), k * n, "reference::matmul rhs length");
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// `out = aᵀ · b` for `a: [k, m]`, `b: [k, n]` (no transpose materialised).
+pub fn matmul_at_b(a: &[f32], b: &[f32], k: usize, m: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), k * m, "reference::matmul_at_b lhs length");
+    assert_eq!(b.len(), k * n, "reference::matmul_at_b rhs length");
+    let mut out = vec![0.0f32; m * n];
+    for kk in 0..k {
+        let a_row = &a[kk * m..(kk + 1) * m];
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// `out = a · bᵀ` for `a: [m, k]`, `b: [n, k]` (no transpose materialised).
+pub fn matmul_a_bt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "reference::matmul_a_bt lhs length");
+    assert_eq!(b.len(), n * k, "reference::matmul_a_bt rhs length");
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        for (j, o) in o_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    }
+    out
+}

@@ -332,6 +332,59 @@ impl Tensor {
         }
     }
 
+    // ----- parallel elementwise (bit-identical to the serial variants) -----
+
+    /// Grain (elements per task) for parallel elementwise kernels: these
+    /// ops are memory-bound, so small tensors stay on the calling thread.
+    const ELEMWISE_GRAIN: usize = 4096;
+
+    /// Applies `f` to every element, producing a new tensor; chunks of the
+    /// output are filled in parallel. Since `f` runs independently per
+    /// element, the result is bit-identical to [`Self::map`] for pure `f`.
+    pub fn par_map<F: Fn(f32) -> f32 + Sync>(&self, f: F) -> Self {
+        let mut out = vec![0.0f32; self.data.len()];
+        let src = &self.data;
+        apots_par::parallel_chunks_mut(&mut out, Self::ELEMWISE_GRAIN, |ci, chunk| {
+            let base = ci * Self::ELEMWISE_GRAIN;
+            let src = &src[base..base + chunk.len()];
+            for (o, &v) in chunk.iter_mut().zip(src.iter()) {
+                *o = f(v);
+            }
+        });
+        Self {
+            shape: self.shape.clone(),
+            data: out,
+        }
+    }
+
+    /// Applies `f` to every element in place, in parallel. Bit-identical
+    /// to [`Self::map_in_place`] for pure `f`.
+    pub fn par_map_in_place<F: Fn(f32) -> f32 + Sync>(&mut self, f: F) {
+        apots_par::parallel_chunks_mut(&mut self.data, Self::ELEMWISE_GRAIN, |_ci, chunk| {
+            for v in chunk {
+                *v = f(*v);
+            }
+        });
+    }
+
+    /// Combines two same-shaped tensors element-wise with `f`, in parallel.
+    /// Bit-identical to [`Self::zip_with`] for pure `f`.
+    pub fn par_zip_with<F: Fn(f32, f32) -> f32 + Sync>(&self, other: &Self, f: F) -> Self {
+        self.assert_same_shape(other, "par_zip_with");
+        let mut out = vec![0.0f32; self.data.len()];
+        let (lhs, rhs) = (&self.data, &other.data);
+        apots_par::parallel_chunks_mut(&mut out, Self::ELEMWISE_GRAIN, |ci, chunk| {
+            let base = ci * Self::ELEMWISE_GRAIN;
+            for (i, o) in chunk.iter_mut().enumerate() {
+                *o = f(lhs[base + i], rhs[base + i]);
+            }
+        });
+        Self {
+            shape: self.shape.clone(),
+            data: out,
+        }
+    }
+
     /// Fills the tensor with zeros without reallocating.
     pub fn fill_zero(&mut self) {
         self.data.iter_mut().for_each(|v| *v = 0.0);
@@ -416,7 +469,15 @@ impl Tensor {
 
     /// Matrix product `self · other` of two rank-2 tensors.
     ///
-    /// Uses the cache-friendly i-k-j loop ordering.
+    /// Register-blocked and row-partitioned across the `apots-par` pool.
+    /// Bit-identical to [`crate::reference::matmul`] for every input and
+    /// thread count: each output element accumulates its products in
+    /// ascending `kk` order as one sequential f32 chain (see DESIGN.md §9).
+    ///
+    /// Note there is deliberately no `a == 0.0` fast path: skipping a zero
+    /// LHS element would also skip `0.0 * NaN` / `0.0 * inf` (which must
+    /// produce NaN), masking the non-finite values the training runtime's
+    /// divergence sentinel exists to detect.
     pub fn matmul(&self, other: &Self) -> Self {
         assert_eq!(self.rank(), 2, "matmul lhs must be rank-2");
         assert_eq!(other.rank(), 2, "matmul rhs must be rank-2");
@@ -424,18 +485,15 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul dimension mismatch: [{m}, {k}] · [{k2}, {n}]");
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
+        if n > 0 {
+            let chunk_rows = apots_par::rows_per_chunk(m, 8);
+            let a = &self.data;
+            let b = &other.data;
+            apots_par::parallel_chunks_mut(&mut out, chunk_rows * n, |ci, out_chunk| {
+                let i0 = ci * chunk_rows;
+                let rows = out_chunk.len() / n;
+                crate::kernels::matmul_block(&a[i0 * k..(i0 + rows) * k], b, out_chunk, k, n);
+            });
         }
         Self {
             shape: vec![m, n],
@@ -446,7 +504,10 @@ impl Tensor {
     /// `selfᵀ · other` without materialising the transpose.
     ///
     /// For `self: [k, m]` and `other: [k, n]` returns `[m, n]`. This is the
-    /// kernel behind weight gradients (`xᵀ · dy`).
+    /// kernel behind weight gradients (`xᵀ · dy`). Row-partitioned over the
+    /// output; bit-identical to [`crate::reference::matmul_at_b`] for any
+    /// thread count (ascending-`kk` chains, no zero-skip — see
+    /// [`Self::matmul`] for why the skip was a bug).
     pub fn matmul_at_b(&self, other: &Self) -> Self {
         assert_eq!(self.rank(), 2, "matmul_at_b lhs must be rank-2");
         assert_eq!(other.rank(), 2, "matmul_at_b rhs must be rank-2");
@@ -457,18 +518,14 @@ impl Tensor {
             "matmul_at_b dimension mismatch: [{k}, {m}]ᵀ · [{k2}, {n}]"
         );
         let mut out = vec![0.0f32; m * n];
-        for kk in 0..k {
-            let a_row = &self.data[kk * m..(kk + 1) * m];
-            let b_row = &other.data[kk * n..(kk + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let o_row = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
+        if n > 0 {
+            let chunk_rows = apots_par::rows_per_chunk(m, 8);
+            let a = &self.data;
+            let b = &other.data;
+            apots_par::parallel_chunks_mut(&mut out, chunk_rows * n, |ci, out_chunk| {
+                let i0 = ci * chunk_rows;
+                crate::kernels::matmul_at_b_block(a, b, out_chunk, i0, k, m, n);
+            });
         }
         Self {
             shape: vec![m, n],
@@ -479,7 +536,9 @@ impl Tensor {
     /// `self · otherᵀ` without materialising the transpose.
     ///
     /// For `self: [m, k]` and `other: [n, k]` returns `[m, n]`. This is the
-    /// kernel behind input gradients (`dy · wᵀ`).
+    /// kernel behind input gradients (`dy · wᵀ`). Row-partitioned over the
+    /// output; bit-identical to [`crate::reference::matmul_a_bt`] for any
+    /// thread count (one sequential dot-product chain per element).
     pub fn matmul_a_bt(&self, other: &Self) -> Self {
         assert_eq!(self.rank(), 2, "matmul_a_bt lhs must be rank-2");
         assert_eq!(other.rank(), 2, "matmul_a_bt rhs must be rank-2");
@@ -490,17 +549,15 @@ impl Tensor {
             "matmul_a_bt dimension mismatch: [{m}, {k}] · [{n}, {k2}]ᵀ"
         );
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (j, o) in o_row.iter_mut().enumerate() {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
+        if n > 0 {
+            let chunk_rows = apots_par::rows_per_chunk(m, 8);
+            let a = &self.data;
+            let b = &other.data;
+            apots_par::parallel_chunks_mut(&mut out, chunk_rows * n, |ci, out_chunk| {
+                let i0 = ci * chunk_rows;
+                let rows = out_chunk.len() / n;
+                crate::kernels::matmul_a_bt_block(&a[i0 * k..(i0 + rows) * k], b, out_chunk, k, n);
+            });
         }
         Self {
             shape: vec![m, n],
@@ -519,11 +576,19 @@ impl Tensor {
             self.shape[1]
         );
         let c = self.shape[1];
-        for row in self.data.chunks_exact_mut(c) {
-            for (v, b) in row.iter_mut().zip(bias.data.iter()) {
-                *v += b;
-            }
+        if c == 0 {
+            return;
         }
+        let rows = self.shape[0];
+        let chunk_rows = apots_par::rows_per_chunk(rows, 64);
+        let bias = &bias.data;
+        apots_par::parallel_chunks_mut(&mut self.data, chunk_rows * c, |_ci, chunk| {
+            for row in chunk.chunks_exact_mut(c) {
+                for (v, b) in row.iter_mut().zip(bias.iter()) {
+                    *v += b;
+                }
+            }
+        });
     }
 
     /// Horizontally concatenates rank-2 tensors with equal row counts.
@@ -702,6 +767,94 @@ mod tests {
         for (x, y) in expect.data().iter().zip(got.data()) {
             assert!((x - y).abs() < 1e-5);
         }
+    }
+
+    /// Regression for the old `if a == 0.0 { continue; }` fast path: a NaN
+    /// planted in the RHS must propagate through every matmul kernel even
+    /// when the matching LHS element is zero (`0.0 * NaN` is NaN, not 0.0).
+    /// The skip silently produced finite output, masking exactly the
+    /// non-finite values the divergence sentinel watches for.
+    #[test]
+    fn nan_in_rhs_propagates_through_all_matmul_kernels() {
+        // LHS is all zeros: under the buggy skip, every row was bypassed.
+        let a = Tensor::zeros(&[2, 3]);
+        let mut b = Tensor::ones(&[3, 4]);
+        b.data_mut()[5] = f32::NAN; // b[1][1]
+        let c = a.matmul(&b);
+        assert!(c.at2(0, 1).is_nan(), "matmul swallowed 0*NaN");
+        assert!(c.at2(1, 1).is_nan(), "matmul swallowed 0*NaN");
+        assert!(c.at2(0, 0).is_finite(), "NaN leaked into unrelated column");
+
+        // matmul_at_b: lhs [k=3, m=2] all zeros, rhs [k=3, n=4] with NaN.
+        let at = Tensor::zeros(&[3, 2]);
+        let c = at.matmul_at_b(&b);
+        assert!(c.at2(0, 1).is_nan(), "matmul_at_b swallowed 0*NaN");
+        assert!(c.at2(1, 1).is_nan(), "matmul_at_b swallowed 0*NaN");
+        assert!(c.at2(0, 0).is_finite(), "NaN leaked into unrelated column");
+
+        // matmul_a_bt: rhs [n=4, k=3] with NaN in row 1.
+        let mut bt = Tensor::ones(&[4, 3]);
+        bt.data_mut()[4] = f32::NAN; // bt[1][1]
+        let c = a.matmul_a_bt(&bt);
+        assert!(c.at2(0, 1).is_nan(), "matmul_a_bt swallowed 0*NaN");
+        assert!(c.at2(1, 1).is_nan(), "matmul_a_bt swallowed 0*NaN");
+        assert!(c.at2(0, 0).is_finite(), "NaN leaked into unrelated column");
+
+        // Inf behaves the same way (0.0 * inf is NaN).
+        let mut binf = Tensor::ones(&[3, 4]);
+        binf.data_mut()[0] = f32::INFINITY;
+        let c = a.matmul(&binf);
+        assert!(c.at2(0, 0).is_nan(), "matmul swallowed 0*inf");
+    }
+
+    /// The blocked, pool-partitioned kernels must be bit-identical to the
+    /// naive specification loops in `crate::reference` — odd shapes stress
+    /// every panel/remainder combination of the 4×4 blocking.
+    #[test]
+    fn blocked_matmuls_bit_match_reference() {
+        let mut rng = crate::SeededRng::seed_from_u64(1234);
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (2, 3, 2),
+            (4, 4, 4),
+            (5, 7, 6),
+            (8, 16, 3),
+            (9, 5, 13),
+            (17, 11, 19),
+        ] {
+            let a = Tensor::rand_uniform(&[m, k], -2.0, 2.0, &mut rng);
+            let b = Tensor::rand_uniform(&[k, n], -2.0, 2.0, &mut rng);
+            let got = a.matmul(&b);
+            let want = crate::reference::matmul(a.data(), b.data(), m, k, n);
+            assert_eq!(got.data(), &want[..], "matmul {m}x{k}x{n} drifted");
+
+            let at = Tensor::rand_uniform(&[k, m], -2.0, 2.0, &mut rng);
+            let got = at.matmul_at_b(&b);
+            let want = crate::reference::matmul_at_b(at.data(), b.data(), k, m, n);
+            assert_eq!(got.data(), &want[..], "matmul_at_b {k}x{m}x{n} drifted");
+
+            let bt = Tensor::rand_uniform(&[n, k], -2.0, 2.0, &mut rng);
+            let got = a.matmul_a_bt(&bt);
+            let want = crate::reference::matmul_a_bt(a.data(), bt.data(), m, k, n);
+            assert_eq!(got.data(), &want[..], "matmul_a_bt {m}x{k}x{n} drifted");
+        }
+    }
+
+    #[test]
+    fn par_elementwise_matches_serial() {
+        let mut rng = crate::SeededRng::seed_from_u64(77);
+        let a = Tensor::rand_uniform(&[33, 17], -3.0, 3.0, &mut rng);
+        let b = Tensor::rand_uniform(&[33, 17], -3.0, 3.0, &mut rng);
+        assert_eq!(a.par_map(|v| v.tanh()), a.map(|v| v.tanh()));
+        assert_eq!(
+            a.par_zip_with(&b, |x, y| x * y),
+            a.zip_with(&b, |x, y| x * y)
+        );
+        let mut c = a.clone();
+        let mut d = a.clone();
+        c.par_map_in_place(|v| v.max(0.0));
+        d.map_in_place(|v| v.max(0.0));
+        assert_eq!(c, d);
     }
 
     #[test]

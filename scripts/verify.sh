@@ -11,11 +11,20 @@ cd "$(dirname "$0")/.."
 echo "== cargo build --release --offline =="
 cargo build --workspace --release --offline
 
-echo "== cargo test -q --offline =="
-cargo test --workspace -q --offline
+echo "== cargo test -q --offline (APOTS_THREADS=1: exact serial path) =="
+APOTS_THREADS=1 cargo test --workspace -q --offline
+
+echo "== cargo test -q --offline (APOTS_THREADS=4: pooled path) =="
+APOTS_THREADS=4 cargo test --workspace -q --offline
 
 echo "== crash-safety: resume-equivalence & fault-injection suite =="
 cargo test -p apots --test resume_equivalence --release --offline -q
+
+echo "== determinism: serial/parallel bit-equality suite (APOTS_THREADS=4) =="
+APOTS_THREADS=4 cargo test -p apots --test parallel_equivalence --release --offline -q
+
+echo "== bench smoke: parallel kernels (emits BENCH_parallel_kernels.json) =="
+APOTS_BENCH_SMOKE_EMIT=1 cargo bench -p apots-bench --bench parallel_kernels --offline -- --test
 
 echo "== cargo fmt --check =="
 cargo fmt --all --check
