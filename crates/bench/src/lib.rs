@@ -24,6 +24,8 @@
 //! `"mode": "smoke"`), which is how CI keeps a bench trajectory without
 //! paying for a full measurement run.
 
+pub mod alloc_count;
+
 use std::time::{Duration, Instant};
 
 /// One measured benchmark, in nanoseconds per iteration.

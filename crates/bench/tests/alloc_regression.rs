@@ -1,0 +1,147 @@
+//! **Allocation-regression gate** — the enforcement side of the
+//! workspace-arena contract (DESIGN.md §10): after the warmup epoch has
+//! populated the per-thread buffer pool, the kernel hot path (every
+//! forward → loss → backward segment the trainer brackets with
+//! `apots::hotpath::guard()`) performs **zero heap allocations** on the
+//! serial path, for all four predictor kinds and for the adversarial
+//! loop.
+//!
+//! Mechanics: this test binary installs [`apots_bench::alloc_count`]'s
+//! counting global allocator and its hot-path probe, trains each
+//! predictor for four epochs at `APOTS_THREADS=1` (pinned via
+//! `set_threads`, so the surrounding environment cannot widen the pool),
+//! snapshots the counters at the first batch of every epoch, and asserts
+//! the deltas for epochs ≥ 2 (0-based) are exactly zero.
+//!
+//! The first two epochs are warmup and may allocate freely: epoch 0
+//! fills the arena with the hot path's working set, and epoch 1 absorbs
+//! the epoch-boundary snapshot's first clone of the lazily-initialized
+//! Adam moments (the snapshot checks its clones out of the same pool, so
+//! the first time it runs with live moments it drains buffers the hot
+//! path then has to replace — once). From epoch 2 on the pool holds the
+//! complete working set and the hot path must be silent. The
+//! contract deliberately excludes encode, batch index construction,
+//! `params_mut` collection, gradient clipping, optimizer stepping and
+//! checkpointing — those run outside the hot-path guards (and the Adam
+//! serial fast path keeps the optimizer allocation-free in practice
+//! anyway, but it is not part of this gate).
+
+use std::cell::RefCell;
+
+use apots::config::{HyperPreset, PredictorKind, TrainConfig};
+use apots::predictor::build_predictor;
+use apots::runtime::{BatchCtx, TrainOptions};
+use apots::trainer::train_with_options;
+use apots_bench::alloc_count;
+use apots_traffic::calendar::Calendar;
+use apots_traffic::{Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset};
+
+#[global_allocator]
+static GLOBAL: alloc_count::CountingAlloc = alloc_count::CountingAlloc;
+
+fn dataset() -> TrafficDataset {
+    let cal = Calendar::new(8, 6, vec![]);
+    TrafficDataset::new(
+        Corridor::generate_with_calendar(SimConfig::default(), cal),
+        DataConfig::default(),
+    )
+}
+
+/// Per-epoch `(allocs, bytes)` counted inside hot-path segments while
+/// training `kind` for `epochs` epochs.
+fn hot_path_allocs_per_epoch(
+    data: &TrafficDataset,
+    kind: PredictorKind,
+    adversarial: bool,
+    epochs: usize,
+) -> Vec<(u64, u64)> {
+    let mut cfg = if adversarial {
+        TrainConfig::fast_adversarial(FeatureMask::BOTH)
+    } else {
+        TrainConfig::fast_plain(FeatureMask::BOTH)
+    };
+    cfg.epochs = epochs;
+    cfg.adv_warmup_epochs = 0;
+    cfg.max_train_samples = Some(64);
+    cfg.batch_size = 32;
+    let mut p = build_predictor(kind, HyperPreset::Fast, data, 1);
+
+    let marks: RefCell<Vec<(u64, u64)>> = RefCell::new(Vec::new());
+    alloc_count::reset();
+    alloc_count::arm();
+    {
+        let mut opts = TrainOptions {
+            // The per-batch hook fires before any hot-path work in the
+            // batch, so a snapshot at batch 0 is an epoch-boundary mark.
+            poison_hook: Some(Box::new(|ctx: BatchCtx| {
+                if ctx.batch == 0 && ctx.attempt == 0 {
+                    marks.borrow_mut().push(alloc_count::counters());
+                }
+                false
+            })),
+            ..TrainOptions::default()
+        };
+        train_with_options(p.as_mut(), data, &cfg, &mut opts).expect("training failed");
+    }
+    alloc_count::disarm();
+    marks.borrow_mut().push(alloc_count::counters());
+
+    let marks = marks.into_inner();
+    assert_eq!(marks.len(), epochs + 1, "expected one mark per epoch + end");
+    marks
+        .windows(2)
+        .map(|w| (w[1].0 - w[0].0, w[1].1 - w[0].1))
+        .collect()
+}
+
+/// The single test: one per-process global allocator + probe install, so
+/// every scenario runs under the same instrumented binary, serially.
+#[test]
+fn steady_state_epochs_allocate_nothing_on_the_hot_path() {
+    // Pin the serial path regardless of APOTS_THREADS: the zero-alloc
+    // contract applies to per-thread arenas without pool scheduling.
+    apots_par::set_threads(1);
+    assert!(
+        alloc_count::install_probe(),
+        "another hot-path probe is already installed in this process"
+    );
+
+    let data = dataset();
+    let mut failures = Vec::new();
+
+    for kind in PredictorKind::all() {
+        let per_epoch = hot_path_allocs_per_epoch(&data, kind, false, 4);
+        assert!(
+            per_epoch[0].0 > 0,
+            "{kind:?} plain: warmup epoch should allocate while the arena fills \
+             (counted {:?}) — is the probe wired up?",
+            per_epoch[0]
+        );
+        for (e, &(allocs, bytes)) in per_epoch.iter().enumerate().skip(2) {
+            if allocs != 0 {
+                failures.push(format!(
+                    "{kind:?} plain epoch {e}: {allocs} hot-path allocations ({bytes} bytes)"
+                ));
+            }
+        }
+    }
+
+    // The adversarial loop exercises the discriminator + generator-loss
+    // segments too; the hybrid predictor covers conv + LSTM + dense.
+    let per_epoch = hot_path_allocs_per_epoch(&data, PredictorKind::Hybrid, true, 4);
+    assert!(per_epoch[0].0 > 0, "adversarial warmup should allocate");
+    for (e, &(allocs, bytes)) in per_epoch.iter().enumerate().skip(2) {
+        if allocs != 0 {
+            failures.push(format!(
+                "Hybrid adversarial epoch {e}: {allocs} hot-path allocations ({bytes} bytes)"
+            ));
+        }
+    }
+
+    apots_par::reset_threads();
+    assert!(
+        failures.is_empty(),
+        "steady-state hot path must be allocation-free:\n  {}",
+        failures.join("\n  ")
+    );
+}

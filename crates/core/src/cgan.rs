@@ -118,7 +118,7 @@ impl CGan {
                 let cond_all = Tensor::from_rows(&cond_rows);
                 let mut labels = vec![1.0f32; b];
                 labels.extend(std::iter::repeat_n(0.0f32, b));
-                let labels = Tensor::new(vec![2 * b, 1], labels);
+                let labels = Tensor::new(&[2 * b, 1], labels);
                 let logits = self.discriminator.forward(&seq_all, &cond_all, true);
                 let (d_loss, dgrad) = bce_with_logits(&logits, &labels);
                 let _ = self.discriminator.backward(&dgrad);

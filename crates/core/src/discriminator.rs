@@ -154,7 +154,7 @@ mod tests {
             let seq = Tensor::concat_cols(&[&real.transpose2(), &fake.transpose2()]).transpose2(); // stack rows: [32, 6]
             let mut labels = vec![1.0f32; 16];
             labels.extend(vec![0.0f32; 16]);
-            let labels = Tensor::new(vec![32, 1], labels);
+            let labels = Tensor::new(&[32, 1], labels);
             let logits = d.forward(&seq, &cond, true);
             let (loss, grad) = bce_with_logits(&logits, &labels);
             let _ = d.backward(&grad);

@@ -9,7 +9,7 @@
 //! * `L` consumes per-time-step vectors `[(2m+1) speeds ⊕ 4 scalars]`, with
 //!   day-type appended after the recurrent stack.
 
-use apots_tensor::Tensor;
+use apots_tensor::{workspace, Tensor};
 use apots_traffic::{FeatureMask, SampleFeatures, TrafficDataset};
 
 use crate::config::PredictorKind;
@@ -68,10 +68,11 @@ pub fn encode_inputs(
 ) -> (PredictorInput, Tensor) {
     assert!(!times.is_empty(), "encode_inputs: empty batch");
     let feats: Vec<SampleFeatures> = times.iter().map(|&t| data.features(t, mask)).collect();
-    let targets = Tensor::new(
-        vec![times.len(), 1],
-        feats.iter().map(|f| f.target).collect(),
-    );
+    let targets = Tensor::build(&[times.len(), 1], |d| {
+        for (dst, f) in d.iter_mut().zip(&feats) {
+            *dst = f.target;
+        }
+    });
     let input = match kind {
         PredictorKind::Fc => PredictorInput::Flat(encode_flat(&feats)),
         PredictorKind::Cnn | PredictorKind::Hybrid => {
@@ -97,14 +98,14 @@ pub fn encode_context(
     assert!(!times.is_empty(), "encode_context: empty batch");
     let feats: Vec<SampleFeatures> = times.iter().map(|&t| data.features(t, mask)).collect();
     let alpha = feats[0].alpha();
-    let mut real = Vec::with_capacity(times.len() * alpha);
+    let mut real = workspace::checkout_empty(times.len() * alpha);
     let mut cond_rows = Vec::with_capacity(times.len());
     for f in &feats {
         real.extend_from_slice(&f.real_sequence);
         cond_rows.push(f.conditioning_flat());
     }
     (
-        Tensor::new(vec![times.len(), alpha], real),
+        Tensor::new(&[times.len(), alpha], real),
         Tensor::from_rows(&cond_rows),
     )
 }
@@ -122,8 +123,8 @@ fn encode_image(feats: &[SampleFeatures]) -> (Tensor, Tensor) {
     let r = feats[0].n_roads();
     let alpha = feats[0].alpha();
     let channels = IMAGE_CHANNELS;
-    let mut image = vec![0.0f32; b * channels * r * alpha];
-    let mut day = Vec::with_capacity(b * 4);
+    let mut image = workspace::checkout(b * channels * r * alpha);
+    let mut day = workspace::checkout_empty(b * 4);
     for (bi, f) in feats.iter().enumerate() {
         let base = bi * channels * r * alpha;
         // Channel 0: the speed matrix of Eq 6; channel 1: volume matrix.
@@ -147,8 +148,8 @@ fn encode_image(feats: &[SampleFeatures]) -> (Tensor, Tensor) {
         day.extend_from_slice(&f.day_type);
     }
     (
-        Tensor::new(vec![b, channels, r, alpha], image),
-        Tensor::new(vec![b, 4], day),
+        Tensor::new(&[b, channels, r, alpha], image),
+        Tensor::new(&[b, 4], day),
     )
 }
 
@@ -157,8 +158,8 @@ fn encode_seq(feats: &[SampleFeatures]) -> (Tensor, Tensor) {
     let r = feats[0].n_roads();
     let alpha = feats[0].alpha();
     let width = 2 * r + SCALAR_CHANNELS;
-    let mut seq = vec![0.0f32; b * alpha * width];
-    let mut day = Vec::with_capacity(b * 4);
+    let mut seq = workspace::checkout(b * alpha * width);
+    let mut day = workspace::checkout_empty(b * 4);
     for (bi, f) in feats.iter().enumerate() {
         for k in 0..alpha {
             let base = (bi * alpha + k) * width;
@@ -174,8 +175,8 @@ fn encode_seq(feats: &[SampleFeatures]) -> (Tensor, Tensor) {
         day.extend_from_slice(&f.day_type);
     }
     (
-        Tensor::new(vec![b, alpha, width], seq),
-        Tensor::new(vec![b, 4], day),
+        Tensor::new(&[b, alpha, width], seq),
+        Tensor::new(&[b, 4], day),
     )
 }
 

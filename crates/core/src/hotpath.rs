@@ -1,0 +1,83 @@
+//! Hot-path probe: a process-wide hook bracketing the kernel hot path.
+//!
+//! The training loop ([`crate::trainer`]) wraps each forward → loss →
+//! backward segment in a [`guard`], which calls the installed probe with
+//! `true` on entry and `false` on exit. External allocation accounting
+//! (the counting allocator in `apots-bench`) installs a probe that tracks
+//! a per-thread scope depth and counts heap traffic only while the depth
+//! is positive — giving an exact measurement of allocations inside the
+//! kernels without instrumenting encode, batching, optimizer bookkeeping
+//! or checkpointing (which are outside the steady-state-allocation-free
+//! contract; see DESIGN.md §10).
+//!
+//! With no probe installed the guard is one `OnceLock` load per segment —
+//! negligible against the matmuls it brackets.
+
+use std::sync::OnceLock;
+
+static PROBE: OnceLock<fn(bool)> = OnceLock::new();
+
+/// Installs the process-wide probe. The first installation wins; returns
+/// `false` (keeping the existing probe) on later calls.
+pub fn install(probe: fn(bool)) -> bool {
+    PROBE.set(probe).is_ok()
+}
+
+/// RAII guard for one hot-path segment: fires `probe(true)` now and
+/// `probe(false)` on drop. Guards may nest; probes see balanced calls.
+#[must_use = "the hot-path segment ends when the guard drops"]
+pub struct HotPathGuard(());
+
+/// Opens a hot-path segment.
+#[inline]
+pub fn guard() -> HotPathGuard {
+    if let Some(p) = PROBE.get() {
+        p(true);
+    }
+    HotPathGuard(())
+}
+
+impl Drop for HotPathGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(p) = PROBE.get() {
+            p(false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicI64, Ordering};
+
+    static BALANCE: AtomicI64 = AtomicI64::new(0);
+    static PEAK: AtomicI64 = AtomicI64::new(0);
+
+    fn probe(enter: bool) {
+        let b = if enter {
+            BALANCE.fetch_add(1, Ordering::SeqCst) + 1
+        } else {
+            BALANCE.fetch_sub(1, Ordering::SeqCst) - 1
+        };
+        PEAK.fetch_max(b, Ordering::SeqCst);
+    }
+
+    /// One process-wide test (OnceLock admits a single install per
+    /// process): installation wins once, guards nest and balance.
+    #[test]
+    fn install_once_and_guards_balance() {
+        assert!(install(probe));
+        assert!(!install(probe), "second install must be rejected");
+        {
+            let _a = guard();
+            {
+                let _b = guard();
+                assert_eq!(BALANCE.load(Ordering::SeqCst), 2);
+            }
+            assert_eq!(BALANCE.load(Ordering::SeqCst), 1);
+        }
+        assert_eq!(BALANCE.load(Ordering::SeqCst), 0);
+        assert_eq!(PEAK.load(Ordering::SeqCst), 2);
+    }
+}

@@ -58,6 +58,7 @@ pub mod config;
 pub mod discriminator;
 pub mod encode;
 pub mod eval;
+pub mod hotpath;
 pub mod persist;
 pub mod predictor;
 pub mod runtime;

@@ -312,7 +312,7 @@ impl HybridPredictor {
         let [c, r, a] = shape;
         let b = fmap.shape()[0];
         let d = fmap.data();
-        let mut out = vec![0.0f32; b * a * c * r];
+        let mut out = apots_tensor::workspace::checkout(b * a * c * r);
         for bi in 0..b {
             for ci in 0..c {
                 for ri in 0..r {
@@ -323,7 +323,7 @@ impl HybridPredictor {
                 }
             }
         }
-        Tensor::new(vec![b, a, c * r], out)
+        Tensor::new(&[b, a, c * r], out)
     }
 
     /// Inverse of [`Self::map_to_seq`] for gradients.
@@ -331,7 +331,7 @@ impl HybridPredictor {
         let [c, r, a] = shape;
         let b = dseq.shape()[0];
         let d = dseq.data();
-        let mut out = vec![0.0f32; b * c * r * a];
+        let mut out = apots_tensor::workspace::checkout(b * c * r * a);
         for bi in 0..b {
             for ci in 0..c {
                 for ri in 0..r {
@@ -342,7 +342,7 @@ impl HybridPredictor {
                 }
             }
         }
-        Tensor::new(vec![b, c, r, a], out)
+        Tensor::new(&[b, c, r, a], out)
     }
 }
 
@@ -479,7 +479,7 @@ mod tests {
     #[test]
     fn hybrid_permutation_roundtrip() {
         let shape = [3usize, 2, 4];
-        let fmap = Tensor::new(vec![2, 3, 2, 4], (0..48).map(|v| v as f32).collect());
+        let fmap = Tensor::new(&[2, 3, 2, 4], (0..48).map(|v| v as f32).collect());
         let seq = HybridPredictor::map_to_seq(&fmap, shape);
         assert_eq!(seq.shape(), &[2, 4, 6]);
         let back = HybridPredictor::seq_to_map(&seq, shape);

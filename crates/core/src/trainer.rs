@@ -56,6 +56,7 @@ use apots_traffic::TrafficDataset;
 use crate::config::{GenLoss, TrainConfig};
 use crate::discriminator::Discriminator;
 use crate::encode::{encode_context, encode_inputs};
+use crate::hotpath;
 use crate::persist::CheckpointStore;
 use crate::predictor::Predictor;
 use crate::runtime::{
@@ -610,9 +611,15 @@ fn plain_batch(
     sums: &mut (f64, f64, f64),
 ) -> bool {
     let (input, targets) = encode_inputs(predictor.kind(), data, batch, config.mask);
-    let out = predictor.forward(&input, true);
-    let (loss, grad) = mse(&out, &targets);
-    predictor.backward(&grad);
+    let loss = {
+        // Forward → loss → backward is the measured kernel hot path
+        // (DESIGN.md §10): steady-state allocation-free by contract.
+        let _hp = hotpath::guard();
+        let out = predictor.forward(&input, true);
+        let (loss, grad) = mse(&out, &targets);
+        predictor.backward(&grad);
+        loss
+    };
     let mut params = predictor.params_mut();
     if poisoned {
         poison_grads(&mut params);
@@ -657,38 +664,43 @@ fn adversarial_batch(
     let mut window_targets = Vec::with_capacity(alpha);
     for (k, w) in windows.iter().enumerate() {
         let (input, targets) = encode_inputs(predictor.kind(), data, w, config.mask);
-        let out = predictor.forward(&input, true);
-        for bi in 0..b {
-            fake_seq.set2(bi, k, out.at2(bi, 0));
+        {
+            let _hp = hotpath::guard();
+            let out = predictor.forward(&input, true);
+            for bi in 0..b {
+                fake_seq.set2(bi, k, out.at2(bi, 0));
+            }
         }
         window_targets.push(targets);
     }
     let (real_seq, cond) = encode_context(data, batch, config.mask);
 
     // --- D step: maximise J_D (Eq 2/4). ---------------------------------
-    let mut seq_rows = Vec::with_capacity(2 * b);
-    for i in 0..b {
-        seq_rows.push(real_seq.row(i).to_vec());
-    }
-    for i in 0..b {
-        seq_rows.push(fake_seq.row(i).to_vec());
-    }
-    let seq_all = Tensor::from_rows(&seq_rows);
-    let mut cond_rows = Vec::with_capacity(2 * b);
-    for i in 0..b {
-        cond_rows.push(cond.row(i).to_vec());
-    }
-    for i in 0..b {
-        cond_rows.push(cond.row(i).to_vec());
-    }
-    let cond_all = Tensor::from_rows(&cond_rows);
-    let mut labels = vec![1.0f32; b];
-    labels.extend(std::iter::repeat_n(0.0f32, b));
-    let labels = Tensor::new(vec![2 * b, 1], labels);
+    // Real rows on top, fake rows below — row-major concatenation is a
+    // straight copy of each source tensor's data (same values as the old
+    // per-row `from_rows` construction, without the row Vecs).
+    let seq_all = Tensor::build(&[2 * b, alpha], |d| {
+        d[..b * alpha].copy_from_slice(real_seq.data());
+        d[b * alpha..].copy_from_slice(fake_seq.data());
+    });
+    let cw = cond.cols();
+    let cond_all = Tensor::build(&[2 * b, cw], |d| {
+        d[..b * cw].copy_from_slice(cond.data());
+        d[b * cw..].copy_from_slice(cond.data());
+    });
+    // Labels: 1 for the b real rows, 0 for the b fake rows (`build` hands
+    // out a zeroed buffer).
+    let labels = Tensor::build(&[2 * b, 1], |d| {
+        d[..b].fill(1.0);
+    });
 
-    let logits = disc.forward(&seq_all, &cond_all, true);
-    let (d_loss, dgrad) = bce_with_logits(&logits, &labels);
-    let _ = disc.backward(&dgrad);
+    let d_loss = {
+        let _hp = hotpath::guard();
+        let logits = disc.forward(&seq_all, &cond_all, true);
+        let (d_loss, dgrad) = bce_with_logits(&logits, &labels);
+        let _ = disc.backward(&dgrad);
+        d_loss
+    };
     let mut d_params = disc.params_mut();
     let d_norm = clip_global_norm(&mut d_params, config.grad_clip);
     if !d_loss.is_finite() || !d_norm.is_finite() {
@@ -698,25 +710,36 @@ fn adversarial_batch(
 
     // --- P step: minimise J_P (Eq 1/4). ---------------------------------
     // Adversarial term through the (frozen-this-step) D.
-    let logits_fake = disc.forward(&fake_seq, &cond, true);
-    let (raw_adv_loss, mut dlogits) = match config.gen_loss {
-        GenLoss::Saturating => generator_loss_saturating(&logits_fake),
-        GenLoss::NonSaturating => generator_loss_nonsaturating(&logits_fake),
+    let (adv_loss, dseq) = {
+        let _hp = hotpath::guard();
+        let logits_fake = disc.forward(&fake_seq, &cond, true);
+        let (raw_adv_loss, mut dlogits) = match config.gen_loss {
+            GenLoss::Saturating => generator_loss_saturating(&logits_fake),
+            GenLoss::NonSaturating => generator_loss_nonsaturating(&logits_fake),
+        };
+        let adv_loss = config.adv_weight * raw_adv_loss;
+        dlogits.scale_in_place(config.adv_weight);
+        (adv_loss, disc.backward(&dlogits)) // ∂(λ·L_adv)/∂Ŝ, [b, α]
     };
-    let adv_loss = config.adv_weight * raw_adv_loss;
-    dlogits.scale_in_place(config.adv_weight);
-    let dseq = disc.backward(&dlogits); // ∂(λ·L_adv)/∂Ŝ, [b, α]
 
     let mut acc = GradAccumulator::new();
     let mut mse_final = 0.0f32;
     let mut mse_sum = 0.0f32;
     for (k, w) in windows.iter().enumerate() {
         let (input, _) = encode_inputs(predictor.kind(), data, w, config.mask);
-        let out = predictor.forward(&input, true);
-        let (m, mgrad) = mse(&out, &window_targets[k]);
-        let adv_col = Tensor::new(vec![b, 1], (0..b).map(|bi| dseq.at2(bi, k)).collect());
-        let total_grad = mgrad.add(&adv_col);
-        predictor.backward(&total_grad);
+        let m = {
+            let _hp = hotpath::guard();
+            let out = predictor.forward(&input, true);
+            let (m, mgrad) = mse(&out, &window_targets[k]);
+            let adv_col = Tensor::build(&[b, 1], |d| {
+                for (bi, dst) in d.iter_mut().enumerate() {
+                    *dst = dseq.at2(bi, k);
+                }
+            });
+            let total_grad = mgrad.add(&adv_col);
+            predictor.backward(&total_grad);
+            m
+        };
         acc.absorb(&predictor.params_mut());
         mse_sum += m;
         if k == alpha - 1 {

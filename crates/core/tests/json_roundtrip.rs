@@ -84,8 +84,8 @@ fn empty_state_and_zero_size_tensors_roundtrip() {
     assert_eq!(back.to_json().to_string(), json);
 
     // A zero-element tensor ([0] shape) among normal ones.
-    let mut zero = Tensor::new(vec![0], vec![]);
-    let mut zero_grad = Tensor::new(vec![0], vec![]);
+    let mut zero = Tensor::new(&[0], vec![]);
+    let mut zero_grad = Tensor::new(&[0], vec![]);
     let mut small = Tensor::from_vec(vec![1.5, -2.25, 3.0e-8]);
     let mut small_grad = Tensor::from_vec(vec![0.0; 3]);
     let params = vec![

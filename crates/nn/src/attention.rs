@@ -169,7 +169,7 @@ impl Layer for TemporalAttention {
             dinput[i] += v;
         }
 
-        Tensor::new(vec![b, t, h], dinput)
+        Tensor::new(&[b, t, h], dinput)
     }
 
     fn params_mut(&mut self) -> Vec<Param<'_>> {

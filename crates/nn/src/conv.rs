@@ -6,7 +6,7 @@
 //! padding with odd kernels and stride 1 is all we need.
 
 use apots_tensor::rng::Rng;
-use apots_tensor::Tensor;
+use apots_tensor::{workspace, Tensor};
 
 use crate::init::he_uniform;
 use crate::layer::{Layer, Param};
@@ -23,7 +23,7 @@ pub struct Conv2d {
     dw: Tensor, // [in_ch*kh*kw, out_ch]
     db: Tensor, // [out_ch]
     cached_cols: Option<Tensor>,
-    cached_input_shape: Option<Vec<usize>>,
+    cached_input_shape: Option<[usize; 4]>,
 }
 
 impl Conv2d {
@@ -75,7 +75,7 @@ impl Conv2d {
         let (kh, kw) = (self.kh, self.kw);
         let patch = c * kh * kw;
         let n_rows = b * h * w;
-        let mut cols = vec![0.0f32; n_rows * patch];
+        let mut cols = workspace::checkout(n_rows * patch);
         let x = input.data();
         let chunk_rows = apots_par::rows_per_chunk(n_rows, 64);
         apots_par::parallel_chunks_mut(&mut cols, chunk_rows * patch, |ci_chunk, chunk| {
@@ -106,7 +106,7 @@ impl Conv2d {
                 }
             }
         });
-        Tensor::new(vec![n_rows, patch], cols)
+        Tensor::new(&[n_rows, patch], cols)
     }
 
     /// Scatters patch-matrix gradients back into input-image gradients.
@@ -127,7 +127,7 @@ impl Conv2d {
         let (kh, kw) = (self.kh, self.kw);
         let patch = c * kh * kw;
         let plane = h * w;
-        let mut dx = vec![0.0f32; b * c * plane];
+        let mut dx = workspace::checkout(b * c * plane);
         let dc = dcols.data();
         let planes_per_chunk = apots_par::rows_per_chunk(b * c, 1);
         apots_par::parallel_chunks_mut(&mut dx, planes_per_chunk * plane, |chunk_i, chunk| {
@@ -155,7 +155,7 @@ impl Conv2d {
                 }
             }
         });
-        Tensor::new(input_shape.to_vec(), dx)
+        Tensor::new(input_shape, dx)
     }
 
     /// True when no im2col patch matrix is currently held (used by tests
@@ -169,7 +169,12 @@ impl Conv2d {
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         assert_eq!(input.rank(), 4, "Conv2d expects [batch, ch, h, w] input");
-        let s = input.shape().to_vec();
+        let s = [
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        ];
         assert_eq!(
             s[1], self.in_ch,
             "Conv2d: input has {} channels, layer expects {}",
@@ -182,7 +187,7 @@ impl Layer for Conv2d {
         // Rearrange [b*h*w, f] -> [b, f, h, w]; each task owns one batch
         // image (a contiguous out_ch*h*w slab of the output).
         let f_ch = self.out_ch;
-        let mut out = vec![0.0f32; b * f_ch * h * w];
+        let mut out = workspace::checkout(b * f_ch * h * w);
         let md = m.data();
         apots_par::parallel_chunks_mut(&mut out, f_ch * h * w, |bi, slab| {
             for y in 0..h {
@@ -204,7 +209,7 @@ impl Layer for Conv2d {
             self.cached_cols = None;
             self.cached_input_shape = None;
         }
-        Tensor::new(vec![b, f_ch, h, w], out)
+        Tensor::new(&[b, f_ch, h, w], out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -227,7 +232,7 @@ impl Layer for Conv2d {
         // Rearrange grad [b, f, h, w] -> [b*h*w, f]; each task owns the
         // h*w*out_ch slab of rows belonging to one batch image.
         let f_ch = self.out_ch;
-        let mut dm = vec![0.0f32; b * h * w * f_ch];
+        let mut dm = workspace::checkout(b * h * w * f_ch);
         let gd = grad_out.data();
         apots_par::parallel_chunks_mut(&mut dm, h * w * f_ch, |bi, slab| {
             for f in 0..f_ch {
@@ -238,9 +243,12 @@ impl Layer for Conv2d {
                 }
             }
         });
-        let dm = Tensor::new(vec![b * h * w, f_ch], dm);
-        self.dw = cols.matmul_at_b(&dm);
-        self.db = dm.sum_axis0();
+        let dm = Tensor::new(&[b * h * w, f_ch], dm);
+        // `_into` accumulation into the persistent grad tensors: no
+        // gradient allocation in steady state (bit-identical to the
+        // allocating kernels; DESIGN.md §10).
+        cols.matmul_at_b_into(&dm, &mut self.dw);
+        dm.sum_axis0_into(&mut self.db);
         let dcols = dm.matmul_a_bt(&self.w);
         self.col2im(&dcols, &in_shape)
     }
@@ -269,7 +277,7 @@ mod tests {
         let mut rng = seeded(1);
         let mut conv = Conv2d::new(1, 1, 1, 1, &mut rng);
         conv.w.data_mut()[0] = 1.0;
-        let x = Tensor::new(vec![1, 1, 2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = Tensor::new(&[1, 1, 2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         let y = conv.forward(&x, true);
         assert_eq!(y.shape(), &[1, 1, 2, 3]);
         assert_eq!(y.data(), x.data());

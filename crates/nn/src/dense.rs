@@ -80,8 +80,11 @@ impl Layer for Dense {
             self.out_features(),
             "Dense grad feature mismatch"
         );
-        self.dw = x.matmul_at_b(grad_out); // xᵀ · dy
-        self.db = grad_out.sum_axis0();
+        // Accumulate into the persistent grad tensors (`_into` kernels are
+        // bit-identical to their allocating twins; see DESIGN.md §9/§10) so
+        // steady-state backward performs no gradient allocation at all.
+        x.matmul_at_b_into(grad_out, &mut self.dw); // xᵀ · dy
+        grad_out.sum_axis0_into(&mut self.db);
         grad_out.matmul_a_bt(&self.w) // dy · wᵀ
     }
 

@@ -42,16 +42,18 @@ impl Layer for Dropout {
         }
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
-        let mask_data: Vec<f32> = (0..input.len())
-            .map(|_| {
-                if self.rng.random::<f32>() < keep {
+        // Pooled construction (same RNG draw order as the old
+        // collect-into-Vec path, so masks are unchanged bit-for-bit).
+        let rng = &mut self.rng;
+        let mask = Tensor::build(input.shape(), |d| {
+            for v in d.iter_mut() {
+                *v = if rng.random::<f32>() < keep {
                     scale
                 } else {
                     0.0
-                }
-            })
-            .collect();
-        let mask = Tensor::new(input.shape().to_vec(), mask_data);
+                };
+            }
+        });
         let out = input.mul(&mask);
         self.cached_mask = Some(mask);
         out

@@ -17,8 +17,9 @@ use crate::activation::sigmoid_scalar;
 use crate::init::xavier_uniform;
 use crate::layer::{Layer, Param};
 
+/// Per-timestep forward cache used by BPTT. The input rows live once in
+/// [`Gru::x_seq`] (the whole `[B, T, I]` tensor), not per step.
 struct StepCache {
-    x: Tensor,      // [B, I]
     h_prev: Tensor, // [B, H]
     z: Tensor,      // [B, H]
     r: Tensor,      // [B, H]
@@ -45,6 +46,10 @@ pub struct Gru {
     // Gradients, same order.
     grads: Vec<Tensor>,
     cache: Vec<StepCache>,
+    /// The forward input `[B, T, I]`, cached whole for BPTT's per-step
+    /// `xᵀ·d(gate)` weight gradients (one clone instead of `T` row-block
+    /// copies).
+    x_seq: Option<Tensor>,
 }
 
 impl Gru {
@@ -89,23 +94,13 @@ impl Gru {
             bhn: Tensor::zeros(&[hidden_size]),
             grads,
             cache: Vec::new(),
+            x_seq: None,
         }
     }
 
     /// Hidden width.
     pub fn hidden_size(&self) -> usize {
         self.hidden_size
-    }
-
-    fn time_slice(x: &Tensor, t: usize) -> Tensor {
-        let s = x.shape();
-        let (b, steps, feat) = (s[0], s[1], s[2]);
-        let mut out = Vec::with_capacity(b * feat);
-        for bi in 0..b {
-            let base = (bi * steps + t) * feat;
-            out.extend_from_slice(&x.data()[base..base + feat]);
-        }
-        Tensor::new(vec![b, feat], out)
     }
 }
 
@@ -120,32 +115,90 @@ impl Layer for Gru {
         self.cache.clear();
 
         let mut h = Tensor::zeros(&[b, hsz]);
-        let mut seq_out: Vec<Tensor> = Vec::new();
+        // All timesteps' input projections in one dispatch per gate:
+        // `[B·T, I] · [I, H]`, reshaped to `[B, T, H]` so the per-step
+        // gather is the usual strided time slice. Each element's
+        // ascending-kk chain is identical to the per-step `x_t·W`, so bits
+        // are unchanged — but each matmul is `T`× taller (better panel
+        // utilisation and fewer launches).
+        let mut xz = Tensor::zeros(&[b * steps, hsz]);
+        let mut xr = Tensor::zeros(&[b * steps, hsz]);
+        let mut xn = Tensor::zeros(&[b * steps, hsz]);
+        input.matmul_flat_into(&self.wxz, &mut xz);
+        input.matmul_flat_into(&self.wxr, &mut xr);
+        input.matmul_flat_into(&self.wxn, &mut xn);
+        xz.reshape_in_place(&[b, steps, hsz]);
+        xr.reshape_in_place(&[b, steps, hsz]);
+        xn.reshape_in_place(&[b, steps, hsz]);
+        // Step-reused workspaces: the three gate pre-activation buffers
+        // (together the [B, 3H] gate workspace) and the h·W scratch.
+        let mut z_pre = Tensor::zeros(&[b, hsz]);
+        let mut r_pre = Tensor::zeros(&[b, hsz]);
+        let mut n_pre = Tensor::zeros(&[b, hsz]);
+        let mut hw = Tensor::zeros(&[b, hsz]);
+        // Sequence mode writes hidden states straight into the [B, T, H]
+        // output (no per-step h clones).
+        let mut seq = self
+            .return_sequences
+            .then(|| Tensor::zeros(&[b, steps, hsz]));
 
         for t in 0..steps {
-            let x = Self::time_slice(input, t);
-            let mut z_pre = x.matmul(&self.wxz);
-            z_pre.add_assign_t(&h.matmul(&self.whz));
+            xz.time_slice_into(t, &mut z_pre);
+            h.matmul_into(&self.whz, &mut hw);
+            z_pre.add_assign_t(&hw);
             z_pre.add_row_broadcast(&self.bz);
-            let z = z_pre.map(sigmoid_scalar);
 
-            let mut r_pre = x.matmul(&self.wxr);
-            r_pre.add_assign_t(&h.matmul(&self.whr));
+            xr.time_slice_into(t, &mut r_pre);
+            h.matmul_into(&self.whr, &mut hw);
+            r_pre.add_assign_t(&hw);
             r_pre.add_row_broadcast(&self.br);
-            let r = r_pre.map(sigmoid_scalar);
 
-            let mut hn = h.matmul(&self.whn);
+            let mut hn = Tensor::zeros(&[b, hsz]);
+            h.matmul_into(&self.whn, &mut hn);
             hn.add_row_broadcast(&self.bhn);
-            let mut n_pre = x.matmul(&self.wxn);
+            xn.time_slice_into(t, &mut n_pre);
             n_pre.add_row_broadcast(&self.bn);
-            n_pre.add_assign_t(&r.mul(&hn));
-            let n = n_pre.map(f32::tanh);
 
-            // h' = (1 − z)⊙n + z⊙h.
-            let h_new = n.zip_with(&z, |ni, zi| (1.0 - zi) * ni).add(&z.mul(&h));
+            let mut z = Tensor::zeros(&[b, hsz]);
+            let mut r = Tensor::zeros(&[b, hsz]);
+            let mut n = Tensor::zeros(&[b, hsz]);
+            let mut h_new = Tensor::zeros(&[b, hsz]);
+            {
+                // Fused gate kernel: per element this evaluates exactly the
+                // unfused chains —
+                //   z = σ(z_pre), r = σ(r_pre),
+                //   n = tanh(n_pre + r·hn)   [as round(npre + round(r·hn))]
+                //   h' = (1 − z)·n + z·h     [as ((1−z)·n) + (z·h)]
+                // so results are bit-identical (DESIGN.md §9/§10).
+                let zp = z_pre.data();
+                let rp = r_pre.data();
+                let np = n_pre.data();
+                let hnd = hn.data();
+                let hp = h.data();
+                let zd = z.data_mut();
+                let rd = r.data_mut();
+                let nd = n.data_mut();
+                let hd = h_new.data_mut();
+                let mut seq_d = seq.as_mut().map(|s| s.data_mut());
+                for bi in 0..b {
+                    for j in 0..hsz {
+                        let e = bi * hsz + j;
+                        let zv = sigmoid_scalar(zp[e]);
+                        let rv = sigmoid_scalar(rp[e]);
+                        let nv = (np[e] + rv * hnd[e]).tanh();
+                        let hv = (1.0 - zv) * nv + zv * hp[e];
+                        zd[e] = zv;
+                        rd[e] = rv;
+                        nd[e] = nv;
+                        hd[e] = hv;
+                        if let Some(sd) = seq_d.as_deref_mut() {
+                            sd[(bi * steps + t) * hsz + j] = hv;
+                        }
+                    }
+                }
+            }
 
             self.cache.push(StepCache {
-                x,
                 h_prev: h,
                 z,
                 r,
@@ -153,22 +206,12 @@ impl Layer for Gru {
                 hn,
             });
             h = h_new;
-            if self.return_sequences {
-                seq_out.push(h.clone());
-            }
         }
+        self.x_seq = Some(input.clone());
 
-        if self.return_sequences {
-            let mut out = vec![0.0f32; b * steps * hsz];
-            for (t, h_t) in seq_out.iter().enumerate() {
-                for bi in 0..b {
-                    let dst = (bi * steps + t) * hsz;
-                    out[dst..dst + hsz].copy_from_slice(h_t.row(bi));
-                }
-            }
-            Tensor::new(vec![b, steps, hsz], out)
-        } else {
-            h
+        match seq {
+            Some(out) => out,
+            None => h,
         }
     }
 
@@ -178,76 +221,134 @@ impl Layer for Gru {
             "Gru::backward called before forward"
         );
         let steps = self.cache.len();
-        let b = self.cache[0].x.shape()[0];
+        let x_seq = self
+            .x_seq
+            .take()
+            .expect("Gru::backward called before forward");
+        let b = x_seq.shape()[0];
         let hsz = self.hidden_size;
         let isz = self.input_size;
 
         for g in &mut self.grads {
             g.fill_zero();
         }
-        let grad_at = |t: usize| -> Tensor {
-            if self.return_sequences {
-                assert_eq!(grad_out.shape(), &[b, steps, hsz], "Gru grad shape");
-                Self::time_slice(grad_out, t)
-            } else {
-                assert_eq!(grad_out.shape(), &[b, hsz], "Gru grad shape");
-                if t == steps - 1 {
-                    grad_out.clone()
-                } else {
-                    Tensor::zeros(&[b, hsz])
-                }
-            }
-        };
+        if self.return_sequences {
+            assert_eq!(grad_out.shape(), &[b, steps, hsz], "Gru grad shape");
+        } else {
+            assert_eq!(grad_out.shape(), &[b, hsz], "Gru grad shape");
+        }
 
         let mut dh_next = Tensor::zeros(&[b, hsz]);
-        let mut dx_all = vec![0.0f32; b * steps * isz];
+        // Step-reused scratch: the upstream-gradient gather, the fused
+        // gate-gradient buffers, per-step matmul accumulands and the
+        // input-gradient row block.
+        let mut dh = Tensor::zeros(&[b, hsz]);
+        let mut dz_pre = Tensor::zeros(&[b, hsz]);
+        let mut dr_pre = Tensor::zeros(&[b, hsz]);
+        let mut dn_pre = Tensor::zeros(&[b, hsz]);
+        let mut dhn = Tensor::zeros(&[b, hsz]);
+        let mut dh_prev = Tensor::zeros(&[b, hsz]);
+        let mut gx = Tensor::zeros(&[isz, hsz]);
+        let mut gh = Tensor::zeros(&[hsz, hsz]);
+        let mut gb = Tensor::zeros(&[hsz]);
+        let mut dx = Tensor::zeros(&[b, isz]);
+        let mut tmp_x = Tensor::zeros(&[b, isz]);
+        let mut tmp_h = Tensor::zeros(&[b, hsz]);
+        let mut dx_all = Tensor::zeros(&[b, steps, isz]);
+        // Per-step gather of the cached input rows out of the whole-sequence
+        // tensor (reused scratch, same rows the unbatched version cached).
+        let mut x_t = Tensor::zeros(&[b, isz]);
 
         for t in (0..steps).rev() {
             let sc = &self.cache[t];
-            let mut dh = grad_at(t);
+            // Upstream gradient on h_t into the reused scratch row buffer.
+            if self.return_sequences {
+                grad_out.time_slice_into(t, &mut dh);
+            } else if t == steps - 1 {
+                dh.data_mut().copy_from_slice(grad_out.data());
+            } else {
+                dh.fill_zero();
+            }
             dh.add_assign_t(&dh_next);
 
-            // h' = (1−z)⊙n + z⊙h_prev
-            let dz = dh.mul(&sc.h_prev.sub(&sc.n));
-            let dn = dh.zip_with(&sc.z, |d, z| d * (1.0 - z));
-            let mut dh_prev = dh.mul(&sc.z);
-
-            // n = tanh(n_pre), n_pre = x·Wxn + bn + r⊙hn
-            let dn_pre = dn.zip_with(&sc.n, |d, n| d * (1.0 - n * n));
-            let dr = dn_pre.mul(&sc.hn);
-            let dhn = dn_pre.mul(&sc.r);
-
-            // Gate pre-activations.
-            let dz_pre = dz.zip_with(&sc.z, |d, y| d * y * (1.0 - y));
-            let dr_pre = dr.zip_with(&sc.r, |d, y| d * y * (1.0 - y));
+            {
+                // Fused gate-gradient kernel; per element, the exact
+                // chains of the unfused version (DESIGN.md §9/§10):
+                //   dz      = dh·(h_prev − n)
+                //   dn      = dh·(1 − z)
+                //   dh_prev = dh·z                (partial; matmuls add below)
+                //   dn_pre  = dn·(1 − n²)
+                //   dr      = dn_pre·hn,  dhn = dn_pre·r
+                //   dz_pre  = (dz·z)·(1 − z),  dr_pre = (dr·r)·(1 − r)
+                let dhd = dh.data();
+                let hpd = sc.h_prev.data();
+                let zd = sc.z.data();
+                let rd = sc.r.data();
+                let nd = sc.n.data();
+                let hnd = sc.hn.data();
+                let dzp = dz_pre.data_mut();
+                let drp = dr_pre.data_mut();
+                let dnp = dn_pre.data_mut();
+                let dhnd = dhn.data_mut();
+                let dhp = dh_prev.data_mut();
+                for e in 0..b * hsz {
+                    let d = dhd[e];
+                    let dzv = d * (hpd[e] - nd[e]);
+                    let dnv = d * (1.0 - zd[e]);
+                    dhp[e] = d * zd[e];
+                    let dnpv = dnv * (1.0 - nd[e] * nd[e]);
+                    let drv = dnpv * hnd[e];
+                    dnp[e] = dnpv;
+                    dhnd[e] = dnpv * rd[e];
+                    dzp[e] = dzv * zd[e] * (1.0 - zd[e]);
+                    drp[e] = drv * rd[e] * (1.0 - rd[e]);
+                }
+            }
 
             // Parameter gradients (order mirrors `params_mut`).
-            self.grads[0].add_assign_t(&sc.x.matmul_at_b(&dz_pre)); // wxz
-            self.grads[1].add_assign_t(&sc.h_prev.matmul_at_b(&dz_pre)); // whz
-            self.grads[2].add_assign_t(&dz_pre.sum_axis0()); // bz
-            self.grads[3].add_assign_t(&sc.x.matmul_at_b(&dr_pre)); // wxr
-            self.grads[4].add_assign_t(&sc.h_prev.matmul_at_b(&dr_pre)); // whr
-            self.grads[5].add_assign_t(&dr_pre.sum_axis0()); // br
-            self.grads[6].add_assign_t(&sc.x.matmul_at_b(&dn_pre)); // wxn
-            self.grads[7].add_assign_t(&sc.h_prev.matmul_at_b(&dhn)); // whn
-            self.grads[8].add_assign_t(&dn_pre.sum_axis0()); // bn
-            self.grads[9].add_assign_t(&dhn.sum_axis0()); // bhn
+            x_seq.time_slice_into(t, &mut x_t);
+            x_t.matmul_at_b_into(&dz_pre, &mut gx);
+            self.grads[0].add_assign_t(&gx); // wxz
+            sc.h_prev.matmul_at_b_into(&dz_pre, &mut gh);
+            self.grads[1].add_assign_t(&gh); // whz
+            dz_pre.sum_axis0_into(&mut gb);
+            self.grads[2].add_assign_t(&gb); // bz
+            x_t.matmul_at_b_into(&dr_pre, &mut gx);
+            self.grads[3].add_assign_t(&gx); // wxr
+            sc.h_prev.matmul_at_b_into(&dr_pre, &mut gh);
+            self.grads[4].add_assign_t(&gh); // whr
+            dr_pre.sum_axis0_into(&mut gb);
+            self.grads[5].add_assign_t(&gb); // br
+            x_t.matmul_at_b_into(&dn_pre, &mut gx);
+            self.grads[6].add_assign_t(&gx); // wxn
+            sc.h_prev.matmul_at_b_into(&dhn, &mut gh);
+            self.grads[7].add_assign_t(&gh); // whn
+            dn_pre.sum_axis0_into(&mut gb);
+            self.grads[8].add_assign_t(&gb); // bn
+            dhn.sum_axis0_into(&mut gb);
+            self.grads[9].add_assign_t(&gb); // bhn
 
-            // Input and recurrent gradients.
-            let mut dx = dz_pre.matmul_a_bt(&self.wxz);
-            dx.add_assign_t(&dr_pre.matmul_a_bt(&self.wxr));
-            dx.add_assign_t(&dn_pre.matmul_a_bt(&self.wxn));
+            // Input and recurrent gradients (same accumulation order as
+            // the allocating version, so the f32 chains match).
+            dz_pre.matmul_a_bt_into(&self.wxz, &mut dx);
+            dr_pre.matmul_a_bt_into(&self.wxr, &mut tmp_x);
+            dx.add_assign_t(&tmp_x);
+            dn_pre.matmul_a_bt_into(&self.wxn, &mut tmp_x);
+            dx.add_assign_t(&tmp_x);
             for bi in 0..b {
                 let dst = (bi * steps + t) * isz;
-                dx_all[dst..dst + isz].copy_from_slice(dx.row(bi));
+                dx_all.data_mut()[dst..dst + isz].copy_from_slice(dx.row(bi));
             }
-            dh_prev.add_assign_t(&dz_pre.matmul_a_bt(&self.whz));
-            dh_prev.add_assign_t(&dr_pre.matmul_a_bt(&self.whr));
-            dh_prev.add_assign_t(&dhn.matmul_a_bt(&self.whn));
-            dh_next = dh_prev;
+            dz_pre.matmul_a_bt_into(&self.whz, &mut tmp_h);
+            dh_prev.add_assign_t(&tmp_h);
+            dr_pre.matmul_a_bt_into(&self.whr, &mut tmp_h);
+            dh_prev.add_assign_t(&tmp_h);
+            dhn.matmul_a_bt_into(&self.whn, &mut tmp_h);
+            dh_prev.add_assign_t(&tmp_h);
+            std::mem::swap(&mut dh_next, &mut dh_prev);
         }
 
-        Tensor::new(vec![b, steps, isz], dx_all)
+        dx_all
     }
 
     fn params_mut(&mut self) -> Vec<Param<'_>> {

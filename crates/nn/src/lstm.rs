@@ -16,9 +16,9 @@ use crate::activation::sigmoid_scalar;
 use crate::init::xavier_uniform;
 use crate::layer::{Layer, Param};
 
-/// Per-timestep forward cache used by BPTT.
+/// Per-timestep forward cache used by BPTT. The input rows live once in
+/// [`Lstm::x_seq`] (the whole `[B, T, I]` tensor), not per step.
 struct StepCache {
-    x: Tensor,      // [B, I]
     h_prev: Tensor, // [B, H]
     c_prev: Tensor, // [B, H]
     i: Tensor,      // [B, H]
@@ -40,6 +40,10 @@ pub struct Lstm {
     dwh: Tensor, // [H, 4H]
     db: Tensor,  // [4H]
     cache: Vec<StepCache>,
+    /// The forward input `[B, T, I]`, cached whole for BPTT's per-step
+    /// `xᵀ·dz` weight gradients (one clone instead of `T` row-block
+    /// copies).
+    x_seq: Option<Tensor>,
 }
 
 impl Lstm {
@@ -75,6 +79,7 @@ impl Lstm {
             dwh: Tensor::zeros(&[hidden_size, 4 * hidden_size]),
             db: Tensor::zeros(&[4 * hidden_size]),
             cache: Vec::new(),
+            x_seq: None,
         }
     }
 
@@ -91,19 +96,6 @@ impl Lstm {
     /// Whether forward returns the full sequence of hidden states.
     pub fn returns_sequences(&self) -> bool {
         self.return_sequences
-    }
-
-    /// Extracts time step `t` of a `[B, T, I]` tensor as `[B, I]`.
-    fn time_slice(x: &Tensor, t: usize) -> Tensor {
-        let s = x.shape();
-        let (b, steps, feat) = (s[0], s[1], s[2]);
-        debug_assert!(t < steps);
-        let mut out = Vec::with_capacity(b * feat);
-        for bi in 0..b {
-            let base = (bi * steps + t) * feat;
-            out.extend_from_slice(&x.data()[base..base + feat]);
-        }
-        Tensor::new(vec![b, feat], out)
     }
 }
 
@@ -123,34 +115,81 @@ impl Layer for Lstm {
 
         let mut h = Tensor::zeros(&[b, hsz]);
         let mut c = Tensor::zeros(&[b, hsz]);
-        let mut seq_out = Vec::with_capacity(b * steps * hsz);
+        // All timesteps' input projections in one dispatch: `[B·T, I] ·
+        // [I, 4H]`, reshaped to `[B, T, 4H]` so the per-step gather is the
+        // usual strided time slice. Each element's ascending-kk chain is
+        // identical to the per-step `x_t·wx`, so bits are unchanged — but
+        // the matmul is `T`× wider (better panel utilisation, one launch,
+        // and large enough for the pool to engage).
+        let mut xz = Tensor::zeros(&[b * steps, 4 * hsz]);
+        input.matmul_flat_into(&self.wx, &mut xz);
+        xz.reshape_in_place(&[b, steps, 4 * hsz]);
+        // Preallocated per-step workspaces, reused across all timesteps:
+        // the [B, 4H] gate pre-activation buffer and the h·wh scratch.
+        let mut z = Tensor::zeros(&[b, 4 * hsz]);
+        let mut zh = Tensor::zeros(&[b, 4 * hsz]);
+        // In sequence mode, hidden states are written straight into the
+        // row-major [B, T, H] output (no per-step h clones).
+        let mut seq = self
+            .return_sequences
+            .then(|| Tensor::zeros(&[b, steps, hsz]));
 
         for t in 0..steps {
-            let x_t = Self::time_slice(input, t);
-            let mut z = x_t.matmul(&self.wx);
-            z.add_assign_t(&h.matmul(&self.wh));
+            xz.time_slice_into(t, &mut z);
+            h.matmul_into(&self.wh, &mut zh);
+            z.add_assign_t(&zh);
             z.add_row_broadcast(&self.b);
 
             let mut i_g = Tensor::zeros(&[b, hsz]);
             let mut f_g = Tensor::zeros(&[b, hsz]);
             let mut g_g = Tensor::zeros(&[b, hsz]);
             let mut o_g = Tensor::zeros(&[b, hsz]);
-            for bi in 0..b {
-                let zr = z.row(bi);
-                for j in 0..hsz {
-                    i_g.set2(bi, j, sigmoid_scalar(zr[j]));
-                    f_g.set2(bi, j, sigmoid_scalar(zr[hsz + j]));
-                    g_g.set2(bi, j, zr[2 * hsz + j].tanh());
-                    o_g.set2(bi, j, sigmoid_scalar(zr[3 * hsz + j]));
+            let mut c_new = Tensor::zeros(&[b, hsz]);
+            let mut tanh_c = Tensor::zeros(&[b, hsz]);
+            let mut h_new = Tensor::zeros(&[b, hsz]);
+            {
+                // Fused gate split + cell update: one pass over the [B, 4H]
+                // pre-activations computes every gate and the new cell /
+                // hidden state. Each output element depends only on its own
+                // inputs via the exact expressions of the unfused version
+                // (`f·c + i·g` is evaluated `(f·c) + (i·g)`, no FMA), so
+                // the results are bit-identical (DESIGN.md §9/§10).
+                let zd = z.data();
+                let cp = c.data();
+                let id = i_g.data_mut();
+                let fd = f_g.data_mut();
+                let gd = g_g.data_mut();
+                let od = o_g.data_mut();
+                let cd = c_new.data_mut();
+                let td = tanh_c.data_mut();
+                let hd = h_new.data_mut();
+                let mut seq_d = seq.as_mut().map(|s| s.data_mut());
+                for bi in 0..b {
+                    let zr = &zd[bi * 4 * hsz..(bi + 1) * 4 * hsz];
+                    for j in 0..hsz {
+                        let e = bi * hsz + j;
+                        let iv = sigmoid_scalar(zr[j]);
+                        let fv = sigmoid_scalar(zr[hsz + j]);
+                        let gv = zr[2 * hsz + j].tanh();
+                        let ov = sigmoid_scalar(zr[3 * hsz + j]);
+                        let cn = fv * cp[e] + iv * gv;
+                        let tc = cn.tanh();
+                        let hn = ov * tc;
+                        id[e] = iv;
+                        fd[e] = fv;
+                        gd[e] = gv;
+                        od[e] = ov;
+                        cd[e] = cn;
+                        td[e] = tc;
+                        hd[e] = hn;
+                        if let Some(sd) = seq_d.as_deref_mut() {
+                            sd[(bi * steps + t) * hsz + j] = hn;
+                        }
+                    }
                 }
             }
 
-            let c_new = f_g.mul(&c).add(&i_g.mul(&g_g));
-            let tanh_c = c_new.map(f32::tanh);
-            let h_new = o_g.mul(&tanh_c);
-
             self.cache.push(StepCache {
-                x: x_t,
                 h_prev: h,
                 c_prev: c,
                 i: i_g,
@@ -161,25 +200,12 @@ impl Layer for Lstm {
             });
             h = h_new;
             c = c_new;
-
-            if self.return_sequences {
-                // Stash row-major [B, T, H]: we collect per time step and
-                // interleave below.
-                seq_out.push(h.clone());
-            }
         }
+        self.x_seq = Some(input.clone());
 
-        if self.return_sequences {
-            let mut out = vec![0.0f32; b * steps * hsz];
-            for (t, h_t) in seq_out.iter().enumerate() {
-                for bi in 0..b {
-                    let dst = (bi * steps + t) * hsz;
-                    out[dst..dst + hsz].copy_from_slice(h_t.row(bi));
-                }
-            }
-            Tensor::new(vec![b, steps, hsz], out)
-        } else {
-            h
+        match seq {
+            Some(out) => out,
+            None => h,
         }
     }
 
@@ -189,24 +215,18 @@ impl Layer for Lstm {
             "Lstm::backward called before forward"
         );
         let steps = self.cache.len();
-        let b = self.cache[0].x.shape()[0];
+        let x_seq = self
+            .x_seq
+            .take()
+            .expect("Lstm::backward called before forward");
+        let b = x_seq.shape()[0];
         let hsz = self.hidden_size;
         let isz = self.input_size;
-
-        // Per-step upstream gradient on h_t.
-        let grad_at = |t: usize| -> Tensor {
-            if self.return_sequences {
-                assert_eq!(grad_out.shape(), &[b, steps, hsz], "Lstm grad shape");
-                Self::time_slice(grad_out, t)
-            } else {
-                assert_eq!(grad_out.shape(), &[b, hsz], "Lstm grad shape");
-                if t == steps - 1 {
-                    grad_out.clone()
-                } else {
-                    Tensor::zeros(&[b, hsz])
-                }
-            }
-        };
+        if self.return_sequences {
+            assert_eq!(grad_out.shape(), &[b, steps, hsz], "Lstm grad shape");
+        } else {
+            assert_eq!(grad_out.shape(), &[b, hsz], "Lstm grad shape");
+        }
 
         self.dwx.fill_zero();
         self.dwh.fill_zero();
@@ -214,43 +234,89 @@ impl Layer for Lstm {
 
         let mut dh_next = Tensor::zeros(&[b, hsz]);
         let mut dc_next = Tensor::zeros(&[b, hsz]);
-        let mut dx_all = vec![0.0f32; b * steps * isz];
+        // Step-reused scratch: the upstream-gradient gather, the fused
+        // [B, 4H] pre-activation gradient, per-step weight-gradient
+        // accumulands and the input-gradient row block.
+        let mut dh = Tensor::zeros(&[b, hsz]);
+        let mut dz = Tensor::zeros(&[b, 4 * hsz]);
+        let mut dwx_t = Tensor::zeros(&[isz, 4 * hsz]);
+        let mut dwh_t = Tensor::zeros(&[hsz, 4 * hsz]);
+        let mut db_t = Tensor::zeros(&[4 * hsz]);
+        let mut dx_t = Tensor::zeros(&[b, isz]);
+        let mut dx_all = Tensor::zeros(&[b, steps, isz]);
+        // Per-step gather of the cached input rows out of the whole-sequence
+        // tensor (reused scratch, same rows the unbatched version cached).
+        let mut x_t = Tensor::zeros(&[b, isz]);
 
         for t in (0..steps).rev() {
             let sc = &self.cache[t];
-            let mut dh = grad_at(t);
+            // Upstream gradient on h_t into the reused scratch row buffer
+            // (one gather per step — no fresh Vec per (step × call)).
+            if self.return_sequences {
+                grad_out.time_slice_into(t, &mut dh);
+            } else if t == steps - 1 {
+                dh.data_mut().copy_from_slice(grad_out.data());
+            } else {
+                dh.fill_zero();
+            }
             dh.add_assign_t(&dh_next);
 
-            // dc = dc_next + dh ⊙ o ⊙ (1 − tanh²(c))
-            let mut dc = dc_next.clone();
-            dc.add_assign_t(&dh.mul(&sc.o).mul(&sc.tanh_c.map(|v| 1.0 - v * v)));
+            {
+                // Fused gate-gradient kernel: one pass computes, per
+                // element, the exact chains of the unfused version —
+                //   dc   = dc_next + (dh·o)·(1 − tc²)
+                //   dzi  = (dc·g)·i·(1 − i)      [as ((d·y)·(1−y))]
+                //   dzf  = (dc·c_prev)·f·(1 − f)
+                //   dzg  = (dc·i)·(1 − g²)
+                //   dzo  = (dh·tc)·o·(1 − o)
+                //   dc_next' = dc·f
+                // writing dz straight into its [B, 4H] column layout
+                // (identical to concat_cols([dzi, dzf, dzg, dzo])).
+                let dhd = dh.data();
+                let od = sc.o.data();
+                let td = sc.tanh_c.data();
+                let gd = sc.g.data();
+                let idt = sc.i.data();
+                let fd = sc.f.data();
+                let cpd = sc.c_prev.data();
+                let dcn = dc_next.data_mut();
+                let dzd = dz.data_mut();
+                for bi in 0..b {
+                    let zr = &mut dzd[bi * 4 * hsz..(bi + 1) * 4 * hsz];
+                    for j in 0..hsz {
+                        let e = bi * hsz + j;
+                        let tc = td[e];
+                        let dcv = dcn[e] + (dhd[e] * od[e]) * (1.0 - tc * tc);
+                        let dov = dhd[e] * tc;
+                        let div = dcv * gd[e];
+                        let dfv = dcv * cpd[e];
+                        let dgv = dcv * idt[e];
+                        dcn[e] = dcv * fd[e];
+                        zr[j] = div * idt[e] * (1.0 - idt[e]);
+                        zr[hsz + j] = dfv * fd[e] * (1.0 - fd[e]);
+                        zr[2 * hsz + j] = dgv * (1.0 - gd[e] * gd[e]);
+                        zr[3 * hsz + j] = dov * od[e] * (1.0 - od[e]);
+                    }
+                }
+            }
 
-            let do_ = dh.mul(&sc.tanh_c);
-            let di = dc.mul(&sc.g);
-            let df = dc.mul(&sc.c_prev);
-            let dg = dc.mul(&sc.i);
-            dc_next = dc.mul(&sc.f);
+            x_seq.time_slice_into(t, &mut x_t);
+            x_t.matmul_at_b_into(&dz, &mut dwx_t);
+            self.dwx.add_assign_t(&dwx_t);
+            sc.h_prev.matmul_at_b_into(&dz, &mut dwh_t);
+            self.dwh.add_assign_t(&dwh_t);
+            dz.sum_axis0_into(&mut db_t);
+            self.db.add_assign_t(&db_t);
 
-            // Pre-activation gradients.
-            let dzi = di.zip_with(&sc.i, |d, y| d * y * (1.0 - y));
-            let dzf = df.zip_with(&sc.f, |d, y| d * y * (1.0 - y));
-            let dzg = dg.zip_with(&sc.g, |d, y| d * (1.0 - y * y));
-            let dzo = do_.zip_with(&sc.o, |d, y| d * y * (1.0 - y));
-            let dz = Tensor::concat_cols(&[&dzi, &dzf, &dzg, &dzo]); // [B, 4H]
-
-            self.dwx.add_assign_t(&sc.x.matmul_at_b(&dz));
-            self.dwh.add_assign_t(&sc.h_prev.matmul_at_b(&dz));
-            self.db.add_assign_t(&dz.sum_axis0());
-
-            let dx_t = dz.matmul_a_bt(&self.wx); // [B, I]
+            dz.matmul_a_bt_into(&self.wx, &mut dx_t); // [B, I]
             for bi in 0..b {
                 let dst = (bi * steps + t) * isz;
-                dx_all[dst..dst + isz].copy_from_slice(dx_t.row(bi));
+                dx_all.data_mut()[dst..dst + isz].copy_from_slice(dx_t.row(bi));
             }
-            dh_next = dz.matmul_a_bt(&self.wh); // [B, H]
+            dz.matmul_a_bt_into(&self.wh, &mut dh_next); // [B, H]
         }
 
-        Tensor::new(vec![b, steps, isz], dx_all)
+        dx_all
     }
 
     fn params_mut(&mut self) -> Vec<Param<'_>> {

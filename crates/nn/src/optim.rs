@@ -238,13 +238,17 @@ impl Optimizer for Adam {
             let md = m.data_mut();
             let vd = v.data_mut();
             let w = p.value.data_mut();
-            let items: Vec<_> = md
-                .chunks_mut(GRAIN)
-                .zip(vd.chunks_mut(GRAIN))
-                .zip(w.chunks_mut(GRAIN))
-                .zip(g.chunks(GRAIN))
-                .collect();
-            apots_par::parallel_items(items, |(((mc, vc), wc), gc)| {
+            // The chunk body; identical math on the serial and parallel
+            // paths (each element is independent, so the split is only a
+            // scheduling choice and never changes rounding).
+            #[inline(always)]
+            fn update_chunk(
+                mc: &mut [f32],
+                vc: &mut [f32],
+                wc: &mut [f32],
+                gc: &[f32],
+                (beta1, beta2, bc1, bc2, lr, eps): (f32, f32, f32, f32, f32, f32),
+            ) {
                 for i in 0..gc.len() {
                     mc[i] = beta1 * mc[i] + (1.0 - beta1) * gc[i];
                     vc[i] = beta2 * vc[i] + (1.0 - beta2) * gc[i] * gc[i];
@@ -252,7 +256,24 @@ impl Optimizer for Adam {
                     let v_hat = vc[i] / bc2;
                     wc[i] -= lr * m_hat / (v_hat.sqrt() + eps);
                 }
-            });
+            }
+            let coeffs = (beta1, beta2, bc1, bc2, lr, eps);
+            if g.len() <= GRAIN || apots_par::current_threads() <= 1 {
+                // Serial fast path: no `items` Vec, no scheduling — this is
+                // the allocation-free route taken by single-thread training
+                // and by every parameter smaller than one grain.
+                update_chunk(md, vd, w, g, coeffs);
+            } else {
+                let items: Vec<_> = md
+                    .chunks_mut(GRAIN)
+                    .zip(vd.chunks_mut(GRAIN))
+                    .zip(w.chunks_mut(GRAIN))
+                    .zip(g.chunks(GRAIN))
+                    .collect();
+                apots_par::parallel_items(items, |(((mc, vc), wc), gc)| {
+                    update_chunk(mc, vc, wc, gc, coeffs);
+                });
+            }
         }
     }
 

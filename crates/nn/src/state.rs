@@ -158,7 +158,7 @@ fn tensor_from_json(value: &Json) -> Result<Tensor, String> {
             data.len()
         ));
     }
-    Ok(Tensor::new(shape, data))
+    Ok(Tensor::new(&shape, data))
 }
 
 #[cfg(test)]

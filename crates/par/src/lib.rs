@@ -394,6 +394,10 @@ where
 /// Splits `data` into consecutive chunks of `chunk_len` elements and
 /// runs `f(chunk_index, chunk)` on each in parallel. Chunk boundaries
 /// are deterministic; the last chunk may be short.
+///
+/// With one effective thread (or when nested in a parallel region) the
+/// chunks run inline in ascending order with **no allocation** — the
+/// items `Vec` is only built when work actually fans out to the pool.
 pub fn parallel_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
 where
     T: Send,
@@ -403,6 +407,13 @@ where
         return;
     }
     let chunk_len = chunk_len.max(1);
+    let n_chunks = data.len().div_ceil(chunk_len);
+    if n_chunks <= 1 || current_threads() <= 1 || in_parallel_region() {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
     let items: Vec<(usize, &mut [T])> = data.chunks_mut(chunk_len).enumerate().collect();
     parallel_items(items, |(i, chunk)| f(i, chunk));
 }

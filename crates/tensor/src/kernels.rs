@@ -21,14 +21,20 @@ const MR: usize = 4;
 const NT: usize = 16;
 
 /// The shared inner loop of `matmul`/`matmul_at_b`: computes a 4-row ×
-/// `NT`-column *C-resident* tile of the output. The 64 accumulators live
-/// in registers across the entire `kk` loop, so output traffic is a single
-/// store per element; `get_a(kk)` fetches the four LHS scalars for this
-/// row panel (contiguous for `matmul`, stride-`m` for `matmul_at_b`).
+/// `W`-column *C-resident* tile of the output (`W ∈ {16, 8, 4}`: the full
+/// two-vector AVX2 tile plus narrower fallbacks so small column counts —
+/// conv filter banks are 6–12 wide — still vectorize instead of falling
+/// through to the scalar tail). The `4·W` accumulators live in registers
+/// across the entire `kk` loop, so output traffic is a single store per
+/// element; `get_a(kk)` fetches the four LHS scalars for this row panel
+/// (contiguous for `matmul`, stride-`m` for `matmul_at_b`).
 ///
-/// Each accumulator advances in ascending `kk` — the bit contract.
+/// Each accumulator advances in ascending `kk` — the bit contract. The
+/// tile width only changes *which* elements share a pass, never the
+/// per-element chain, so narrowing is bit-neutral.
 #[inline(always)]
-fn tile4xn<Fa: Fn(usize) -> [f32; 4]>(
+#[allow(clippy::too_many_arguments)]
+fn tile4xw<const W: usize, Fa: Fn(usize) -> [f32; 4]>(
     b: &[f32],
     k: usize,
     n: usize,
@@ -39,14 +45,14 @@ fn tile4xn<Fa: Fn(usize) -> [f32; 4]>(
     o2: &mut [f32],
     o3: &mut [f32],
 ) {
-    let mut acc0 = [0.0f32; NT];
-    let mut acc1 = [0.0f32; NT];
-    let mut acc2 = [0.0f32; NT];
-    let mut acc3 = [0.0f32; NT];
+    let mut acc0 = [0.0f32; W];
+    let mut acc1 = [0.0f32; W];
+    let mut acc2 = [0.0f32; W];
+    let mut acc3 = [0.0f32; W];
     for kk in 0..k {
-        let bb = &b[kk * n + j..][..NT];
+        let bb = &b[kk * n + j..][..W];
         let [a0, a1, a2, a3] = get_a(kk);
-        for t in 0..NT {
+        for t in 0..W {
             let v = bb[t];
             acc0[t] += a0 * v;
             acc1[t] += a1 * v;
@@ -54,14 +60,49 @@ fn tile4xn<Fa: Fn(usize) -> [f32; 4]>(
             acc3[t] += a3 * v;
         }
     }
-    o0[j..j + NT].copy_from_slice(&acc0);
-    o1[j..j + NT].copy_from_slice(&acc1);
-    o2[j..j + NT].copy_from_slice(&acc2);
-    o3[j..j + NT].copy_from_slice(&acc3);
+    o0[j..j + W].copy_from_slice(&acc0);
+    o1[j..j + W].copy_from_slice(&acc1);
+    o2[j..j + W].copy_from_slice(&acc2);
+    o3[j..j + W].copy_from_slice(&acc3);
+}
+
+/// Column sweep of a 4-row panel: full `NT`-wide tiles, then 8- and
+/// 4-wide narrowing steps, then the scalar tail. Shared by `matmul` and
+/// `matmul_at_b` (they differ only in `get_a`).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn sweep4<Fa: Fn(usize) -> [f32; 4]>(
+    b: &[f32],
+    k: usize,
+    n: usize,
+    get_a: &Fa,
+    o0: &mut [f32],
+    o1: &mut [f32],
+    o2: &mut [f32],
+    o3: &mut [f32],
+) {
+    let mut j = 0;
+    while j + NT <= n {
+        tile4xw::<NT, _>(b, k, n, j, get_a, o0, o1, o2, o3);
+        j += NT;
+    }
+    if j + 8 <= n {
+        tile4xw::<8, _>(b, k, n, j, get_a, o0, o1, o2, o3);
+        j += 8;
+    }
+    if j + 4 <= n {
+        tile4xw::<4, _>(b, k, n, j, get_a, o0, o1, o2, o3);
+        j += 4;
+    }
+    while j < n {
+        tail4x1(b, k, n, j, get_a, o0, o1, o2, o3);
+        j += 1;
+    }
 }
 
 /// Column remainder of a 4-row panel: one scalar chain per row.
 #[inline(always)]
+#[allow(clippy::too_many_arguments)]
 fn tail4x1<Fa: Fn(usize) -> [f32; 4]>(
     b: &[f32],
     k: usize,
@@ -131,15 +172,7 @@ pub(crate) fn matmul_block(a_rows: &[f32], b: &[f32], out_rows: &mut [f32], k: u
         let a3 = &a_rows[(i + 3) * k..][..k];
         let get_a = |kk: usize| [a0[kk], a1[kk], a2[kk], a3[kk]];
 
-        let mut j = 0;
-        while j + NT <= n {
-            tile4xn(b, k, n, j, &get_a, o0, o1, o2, o3);
-            j += NT;
-        }
-        while j < n {
-            tail4x1(b, k, n, j, &get_a, o0, o1, o2, o3);
-            j += 1;
-        }
+        sweep4(b, k, n, &get_a, o0, o1, o2, o3);
         i += MR;
     }
     // Remainder rows: one row at a time, same ascending-kk chain.
@@ -181,15 +214,7 @@ pub(crate) fn matmul_at_b_block(
             [a[base], a[base + 1], a[base + 2], a[base + 3]]
         };
 
-        let mut j = 0;
-        while j + NT <= n {
-            tile4xn(b, k, n, j, &get_a, o0, o1, o2, o3);
-            j += NT;
-        }
-        while j < n {
-            tail4x1(b, k, n, j, &get_a, o0, o1, o2, o3);
-            j += 1;
-        }
+        sweep4(b, k, n, &get_a, o0, o1, o2, o3);
         i += MR;
     }
     while i < rows {

@@ -21,6 +21,7 @@ pub mod linalg;
 pub mod reference;
 pub mod rng;
 mod tensor;
+pub mod workspace;
 
 pub use rng::Rng;
 pub use tensor::Tensor;

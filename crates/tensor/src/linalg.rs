@@ -77,7 +77,7 @@ pub fn cholesky(a: &Tensor) -> Result<Tensor, LinalgError> {
         }
     }
     Ok(Tensor::new(
-        vec![n, n],
+        &[n, n],
         l.into_iter().map(|v| v as f32).collect(),
     ))
 }
@@ -187,7 +187,7 @@ mod tests {
     #[test]
     fn cholesky_known_factor() {
         // A = [[4, 2], [2, 3]] => L = [[2, 0], [1, sqrt(2)]]
-        let a = Tensor::new(vec![2, 2], vec![4.0, 2.0, 2.0, 3.0]);
+        let a = Tensor::new(&[2, 2], vec![4.0, 2.0, 2.0, 3.0]);
         let l = cholesky(&a).unwrap();
         assert!((l.at2(0, 0) - 2.0).abs() < 1e-6);
         assert!((l.at2(1, 0) - 1.0).abs() < 1e-6);
@@ -197,7 +197,7 @@ mod tests {
 
     #[test]
     fn cholesky_rejects_non_spd() {
-        let a = Tensor::new(vec![2, 2], vec![1.0, 2.0, 2.0, 1.0]); // indefinite
+        let a = Tensor::new(&[2, 2], vec![1.0, 2.0, 2.0, 1.0]); // indefinite
         assert!(matches!(
             cholesky(&a),
             Err(LinalgError::NotPositiveDefinite { .. })
@@ -212,7 +212,7 @@ mod tests {
 
     #[test]
     fn solve_recovers_known_solution() {
-        let a = Tensor::new(vec![2, 2], vec![4.0, 2.0, 2.0, 3.0]);
+        let a = Tensor::new(&[2, 2], vec![4.0, 2.0, 2.0, 3.0]);
         let x_true = Tensor::from_vec(vec![1.0, -2.0]);
         let b = Tensor::from_vec(vec![
             4.0 * 1.0 + 2.0 * -2.0, // 0
@@ -226,7 +226,7 @@ mod tests {
 
     #[test]
     fn solve_rejects_bad_rhs() {
-        let a = Tensor::new(vec![2, 2], vec![4.0, 2.0, 2.0, 3.0]);
+        let a = Tensor::new(&[2, 2], vec![4.0, 2.0, 2.0, 3.0]);
         let b = Tensor::from_vec(vec![1.0, 2.0, 3.0]);
         assert!(matches!(
             cholesky_solve(&a, &b),

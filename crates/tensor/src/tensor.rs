@@ -1,4 +1,78 @@
 use crate::rng::{normal, Rng};
+use crate::workspace;
+
+/// Minimum multiply–accumulate count before a matmul is worth handing to
+/// the `apots-par` pool: below this, dispatch overhead (task vector +
+/// latch) exceeds the kernel time for the small recurrent-step matrices
+/// that dominate training, so the row partition collapses to one chunk
+/// and `parallel_chunks_mut` takes its inline serial path. Scheduling
+/// never affects which f32 chain an output element runs (DESIGN.md §9),
+/// so this threshold is bit-neutral.
+const PAR_GRAIN_MACS: usize = 1 << 18;
+
+/// Rows per chunk for an `m × k × n` matmul-family dispatch.
+#[inline]
+fn matmul_chunk_rows(m: usize, k: usize, n: usize) -> usize {
+    if m * k * n < PAR_GRAIN_MACS {
+        m
+    } else {
+        apots_par::rows_per_chunk(m, 8)
+    }
+}
+
+/// Maximum tensor rank. The workspace uses at most rank-4
+/// (`[batch, channels, height, width]` conv feature maps).
+pub const MAX_RANK: usize = 4;
+
+/// Inline, heap-free shape descriptor. Unused trailing dims are zeroed so
+/// derived equality works; the public view is always the `len`-prefix of
+/// `dims`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct Shape {
+    len: u8,
+    dims: [usize; MAX_RANK],
+}
+
+impl Shape {
+    #[inline]
+    fn of(shape: &[usize]) -> Self {
+        assert!(
+            shape.len() <= MAX_RANK,
+            "tensor rank {} exceeds MAX_RANK {MAX_RANK}",
+            shape.len()
+        );
+        let mut dims = [0usize; MAX_RANK];
+        dims[..shape.len()].copy_from_slice(shape);
+        Shape {
+            len: shape.len() as u8,
+            dims,
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[usize] {
+        &self.dims[..self.len as usize]
+    }
+
+    #[inline]
+    fn product(&self) -> usize {
+        self.as_slice().iter().product()
+    }
+}
+
+impl std::fmt::Debug for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl std::ops::Index<usize> for Shape {
+    type Output = usize;
+    #[inline]
+    fn index(&self, i: usize) -> &usize {
+        &self.as_slice()[i]
+    }
+}
 
 /// A dense, row-major, n-dimensional `f32` tensor.
 ///
@@ -7,19 +81,52 @@ use crate::rng::{normal, Rng};
 /// rank-4 (conv feature maps, `[batch, channels, height, width]`) tensors.
 /// Tensors serialize as `{shape, data}` (used by the model checkpoint
 /// format of `apots-nn`, via the in-house `apots-serde` JSON module).
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Storage is pooled: constructors check buffers out of the per-thread
+/// [`crate::workspace`] arena and `Drop`/`Clone` return/draw from it, so
+/// steady-state tensor churn performs no heap allocation (DESIGN.md §10).
+#[derive(Debug)]
 pub struct Tensor {
-    shape: Vec<usize>,
+    shape: Shape,
     data: Vec<f32>,
 }
 
+impl Drop for Tensor {
+    #[inline]
+    fn drop(&mut self) {
+        workspace::recycle(std::mem::take(&mut self.data));
+    }
+}
+
+impl Clone for Tensor {
+    #[inline]
+    fn clone(&self) -> Self {
+        let mut data = workspace::checkout_empty(self.data.len());
+        data.extend_from_slice(&self.data);
+        Self {
+            shape: self.shape,
+            data,
+        }
+    }
+}
+
+impl PartialEq for Tensor {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape && self.data == other.data
+    }
+}
+
 impl Tensor {
-    /// Creates a tensor from an explicit shape and backing data.
+    /// Creates a tensor from an explicit shape and backing data. The
+    /// caller's buffer is adopted as-is (and returned to the arena when
+    /// the tensor drops).
     ///
     /// # Panics
     /// Panics if `data.len()` does not equal the product of `shape`.
-    pub fn new(shape: Vec<usize>, data: Vec<f32>) -> Self {
-        let expected: usize = shape.iter().product();
+    pub fn new(shape: &[usize], data: Vec<f32>) -> Self {
+        let shape = Shape::of(shape);
+        let expected = shape.product();
         assert_eq!(
             data.len(),
             expected,
@@ -31,13 +138,22 @@ impl Tensor {
         Self { shape, data }
     }
 
-    /// Creates a tensor filled with zeros.
+    /// Creates a tensor filled with zeros (pooled).
     pub fn zeros(shape: &[usize]) -> Self {
-        let len = shape.iter().product();
+        let s = Shape::of(shape);
         Self {
-            shape: shape.to_vec(),
-            data: vec![0.0; len],
+            data: workspace::checkout(s.product()),
+            shape: s,
         }
+    }
+
+    /// Creates a zeroed tensor and hands its storage to `fill` before
+    /// returning it. The pooled replacement for the
+    /// `vec![0.0; n]` + index-loop + `Tensor::new` construction idiom.
+    pub fn build<F: FnOnce(&mut [f32])>(shape: &[usize], fill: F) -> Self {
+        let mut t = Self::zeros(shape);
+        fill(&mut t.data);
+        t
     }
 
     /// Creates a tensor filled with ones.
@@ -47,17 +163,13 @@ impl Tensor {
 
     /// Creates a tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
-        let len = shape.iter().product();
-        Self {
-            shape: shape.to_vec(),
-            data: vec![value; len],
-        }
+        Self::build(shape, |d| d.fill(value))
     }
 
-    /// Creates a rank-1 tensor from a vector.
+    /// Creates a rank-1 tensor from a vector (buffer adopted as-is).
     pub fn from_vec(data: Vec<f32>) -> Self {
         Self {
-            shape: vec![data.len()],
+            shape: Shape::of(&[data.len()]),
             data,
         }
     }
@@ -69,7 +181,7 @@ impl Tensor {
     pub fn from_rows(rows: &[Vec<f32>]) -> Self {
         let nrows = rows.len();
         let ncols = rows.first().map_or(0, Vec::len);
-        let mut data = Vec::with_capacity(nrows * ncols);
+        let mut data = workspace::checkout_empty(nrows * ncols);
         for (i, row) in rows.iter().enumerate() {
             assert_eq!(
                 row.len(),
@@ -80,41 +192,39 @@ impl Tensor {
             data.extend_from_slice(row);
         }
         Self {
-            shape: vec![nrows, ncols],
+            shape: Shape::of(&[nrows, ncols]),
             data,
         }
     }
 
     /// Uniform random tensor over `[lo, hi)`.
     pub fn rand_uniform<R: Rng>(shape: &[usize], lo: f32, hi: f32, rng: &mut R) -> Self {
-        let len: usize = shape.iter().product();
-        let data = (0..len).map(|_| rng.random_range(lo..hi)).collect();
-        Self {
-            shape: shape.to_vec(),
-            data,
-        }
+        Self::build(shape, |d| {
+            for v in d.iter_mut() {
+                *v = rng.random_range(lo..hi);
+            }
+        })
     }
 
     /// Gaussian random tensor (Box–Muller, see [`crate::rng::normal`]).
     pub fn randn<R: Rng>(shape: &[usize], mean: f32, std: f32, rng: &mut R) -> Self {
-        let len: usize = shape.iter().product();
-        let data = (0..len).map(|_| normal(rng, mean, std)).collect();
-        Self {
-            shape: shape.to_vec(),
-            data,
-        }
+        Self::build(shape, |d| {
+            for v in d.iter_mut() {
+                *v = normal(rng, mean, std);
+            }
+        })
     }
 
     /// The tensor's shape.
     #[inline]
     pub fn shape(&self) -> &[usize] {
-        &self.shape
+        self.shape.as_slice()
     }
 
     /// Number of dimensions.
     #[inline]
     pub fn rank(&self) -> usize {
-        self.shape.len()
+        self.shape.len as usize
     }
 
     /// Total number of elements.
@@ -142,8 +252,8 @@ impl Tensor {
     }
 
     /// Consumes the tensor, returning the backing storage.
-    pub fn into_data(self) -> Vec<f32> {
-        self.data
+    pub fn into_data(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Number of rows of a rank-2 tensor.
@@ -221,9 +331,11 @@ impl Tensor {
             shape,
             expected
         );
+        let mut data = workspace::checkout_empty(self.data.len());
+        data.extend_from_slice(&self.data);
         Self {
-            shape: shape.to_vec(),
-            data: self.data.clone(),
+            shape: Shape::of(shape),
+            data,
         }
     }
 
@@ -231,7 +343,7 @@ impl Tensor {
     pub fn reshape_in_place(&mut self, shape: &[usize]) {
         let expected: usize = shape.iter().product();
         assert_eq!(self.data.len(), expected, "cannot reshape in place");
-        self.shape = shape.to_vec();
+        self.shape = Shape::of(shape);
     }
 
     // ----- element-wise algebra -------------------------------------------
@@ -305,9 +417,28 @@ impl Tensor {
 
     /// Applies `f` to every element, producing a new tensor.
     pub fn map<F: FnMut(f32) -> f32>(&self, mut f: F) -> Self {
+        let mut data = workspace::checkout_empty(self.data.len());
+        data.extend(self.data.iter().map(|&v| f(v)));
         Self {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            shape: self.shape,
+            data,
+        }
+    }
+
+    /// Applies `f` to every element of `self`, writing the results into
+    /// `out` (same element count; `out` takes `self`'s shape). Bit-identical
+    /// to [`Self::map`] for pure `f` — same serial element order.
+    pub fn map_into<F: FnMut(f32) -> f32>(&self, out: &mut Self, mut f: F) {
+        assert_eq!(
+            out.data.len(),
+            self.data.len(),
+            "map_into: output length {} does not match input {}",
+            out.data.len(),
+            self.data.len()
+        );
+        out.shape = self.shape;
+        for (o, &v) in out.data.iter_mut().zip(self.data.iter()) {
+            *o = f(v);
         }
     }
 
@@ -321,15 +452,52 @@ impl Tensor {
     /// Combines two same-shaped tensors element-wise with `f`.
     pub fn zip_with<F: FnMut(f32, f32) -> f32>(&self, other: &Self, mut f: F) -> Self {
         self.assert_same_shape(other, "zip_with");
-        Self {
-            shape: self.shape.clone(),
-            data: self
-                .data
+        let mut data = workspace::checkout_empty(self.data.len());
+        data.extend(
+            self.data
                 .iter()
                 .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+                .map(|(&a, &b)| f(a, b)),
+        );
+        Self {
+            shape: self.shape,
+            data,
         }
+    }
+
+    /// Combines two same-shaped tensors element-wise with `f`, writing the
+    /// results into `out` (same element count; `out` takes `self`'s shape).
+    /// Bit-identical to [`Self::zip_with`] for pure `f`.
+    pub fn zip_with_into<F: FnMut(f32, f32) -> f32>(&self, other: &Self, out: &mut Self, mut f: F) {
+        self.assert_same_shape(other, "zip_with_into");
+        assert_eq!(
+            out.data.len(),
+            self.data.len(),
+            "zip_with_into: output length {} does not match input {}",
+            out.data.len(),
+            self.data.len()
+        );
+        out.shape = self.shape;
+        for ((o, &a), &b) in out
+            .data
+            .iter_mut()
+            .zip(self.data.iter())
+            .zip(other.data.iter())
+        {
+            *o = f(a, b);
+        }
+    }
+
+    /// Element-wise sum into `out`: bit-identical to [`Self::add`].
+    pub fn add_into(&self, other: &Self, out: &mut Self) {
+        self.assert_same_shape(other, "add_into");
+        self.zip_with_into(other, out, |a, b| a + b);
+    }
+
+    /// Element-wise product into `out`: bit-identical to [`Self::mul`].
+    pub fn mul_into(&self, other: &Self, out: &mut Self) {
+        self.assert_same_shape(other, "mul_into");
+        self.zip_with_into(other, out, |a, b| a * b);
     }
 
     // ----- parallel elementwise (bit-identical to the serial variants) -----
@@ -342,7 +510,7 @@ impl Tensor {
     /// output are filled in parallel. Since `f` runs independently per
     /// element, the result is bit-identical to [`Self::map`] for pure `f`.
     pub fn par_map<F: Fn(f32) -> f32 + Sync>(&self, f: F) -> Self {
-        let mut out = vec![0.0f32; self.data.len()];
+        let mut out = workspace::checkout(self.data.len());
         let src = &self.data;
         apots_par::parallel_chunks_mut(&mut out, Self::ELEMWISE_GRAIN, |ci, chunk| {
             let base = ci * Self::ELEMWISE_GRAIN;
@@ -352,7 +520,7 @@ impl Tensor {
             }
         });
         Self {
-            shape: self.shape.clone(),
+            shape: self.shape,
             data: out,
         }
     }
@@ -371,7 +539,7 @@ impl Tensor {
     /// Bit-identical to [`Self::zip_with`] for pure `f`.
     pub fn par_zip_with<F: Fn(f32, f32) -> f32 + Sync>(&self, other: &Self, f: F) -> Self {
         self.assert_same_shape(other, "par_zip_with");
-        let mut out = vec![0.0f32; self.data.len()];
+        let mut out = workspace::checkout(self.data.len());
         let (lhs, rhs) = (&self.data, &other.data);
         apots_par::parallel_chunks_mut(&mut out, Self::ELEMWISE_GRAIN, |ci, chunk| {
             let base = ci * Self::ELEMWISE_GRAIN;
@@ -380,7 +548,7 @@ impl Tensor {
             }
         });
         Self {
-            shape: self.shape.clone(),
+            shape: self.shape,
             data: out,
         }
     }
@@ -425,27 +593,33 @@ impl Tensor {
     ///
     /// This is the reduction used for bias gradients.
     pub fn sum_axis0(&self) -> Self {
+        let mut out = Self::zeros(&[self.cols()]);
+        self.sum_axis0_into(&mut out);
+        out
+    }
+
+    /// Column sums written into `out` (length-`cols` rank-1): bit-identical
+    /// to [`Self::sum_axis0`] — same ascending-row accumulation order.
+    pub fn sum_axis0_into(&self, out: &mut Self) {
         assert_eq!(self.rank(), 2, "sum_axis0 requires rank-2");
         let (r, c) = (self.shape[0], self.shape[1]);
-        let mut out = vec![0.0f32; c];
+        assert_eq!(out.data.len(), c, "sum_axis0_into: bad output length");
+        out.shape = Shape::of(&[c]);
+        out.data.fill(0.0);
         for i in 0..r {
             let row = &self.data[i * c..(i + 1) * c];
-            for (o, v) in out.iter_mut().zip(row.iter()) {
+            for (o, v) in out.data.iter_mut().zip(row.iter()) {
                 *o += v;
             }
         }
-        Self::from_vec(out)
     }
 
     /// Row sums of a rank-2 tensor (a length-`rows` rank-1 tensor).
     pub fn sum_axis1(&self) -> Self {
         assert_eq!(self.rank(), 2, "sum_axis1 requires rank-2");
-        let c = self.shape[1];
-        let out = self
-            .data
-            .chunks_exact(c)
-            .map(|row| row.iter().sum())
-            .collect();
+        let (r, c) = (self.shape[0], self.shape[1]);
+        let mut out = workspace::checkout_empty(r);
+        out.extend(self.data.chunks_exact(c).map(|row| row.iter().sum::<f32>()));
         Self::from_vec(out)
     }
 
@@ -455,14 +629,14 @@ impl Tensor {
     pub fn transpose2(&self) -> Self {
         assert_eq!(self.rank(), 2, "transpose2 requires rank-2");
         let (r, c) = (self.shape[0], self.shape[1]);
-        let mut out = vec![0.0f32; r * c];
+        let mut out = workspace::checkout(r * c);
         for i in 0..r {
             for j in 0..c {
                 out[j * r + i] = self.data[i * c + j];
             }
         }
         Self {
-            shape: vec![c, r],
+            shape: Shape::of(&[c, r]),
             data: out,
         }
     }
@@ -479,26 +653,93 @@ impl Tensor {
     /// produce NaN), masking the non-finite values the training runtime's
     /// divergence sentinel exists to detect.
     pub fn matmul(&self, other: &Self) -> Self {
+        let (m, _k, n) = self.matmul_dims(other);
+        let mut out = Self {
+            shape: Shape::of(&[m, n]),
+            data: workspace::checkout(m * n),
+        };
+        self.matmul_dispatch(other, &mut out.data);
+        out
+    }
+
+    /// `self · other` written into `out` (which must already hold exactly
+    /// `m·n` elements; it takes shape `[m, n]`). Bit-identical to
+    /// [`Self::matmul`]: both run the same row-partitioned block kernels
+    /// over a zeroed buffer. `out` must not alias either operand.
+    pub fn matmul_into(&self, other: &Self, out: &mut Self) {
+        let (m, _k, n) = self.matmul_dims(other);
+        assert_eq!(out.data.len(), m * n, "matmul_into: bad output length");
+        out.shape = Shape::of(&[m, n]);
+        out.data.fill(0.0);
+        self.matmul_dispatch(other, &mut out.data);
+    }
+
+    /// `self` flattened over its leading axes (`[..., k] → [rows, k]`)
+    /// times `other: [k, n]`, written into `out` (`rows·n` elements; it
+    /// takes shape `[rows, n]`). The flattening is purely an indexing view
+    /// of the same contiguous row-major data, so every output element runs
+    /// the identical ascending-`kk` chain of a rank-2 [`Self::matmul_into`]
+    /// on the reshaped input. The RNN layers use this to project **all**
+    /// timesteps' inputs in a single dispatch (`[B·T, I] · [I, 4H]`)
+    /// instead of `T` tiny per-step matmuls — bit-identical, one kernel
+    /// launch, and wide enough to parallelize. `out` must not alias either
+    /// operand.
+    pub fn matmul_flat_into(&self, other: &Self, out: &mut Self) {
+        assert!(self.rank() >= 2, "matmul_flat_into lhs must be rank ≥ 2");
+        assert_eq!(other.rank(), 2, "matmul_flat_into rhs must be rank-2");
+        let k = self.shape[self.rank() - 1];
+        assert!(k > 0, "matmul_flat_into: zero-width rows");
+        let rows = self.data.len() / k;
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(
+            k, k2,
+            "matmul_flat_into dimension mismatch: [.., {k}] · [{k2}, {n}]"
+        );
+        assert_eq!(
+            out.data.len(),
+            rows * n,
+            "matmul_flat_into: bad output length"
+        );
+        out.shape = Shape::of(&[rows, n]);
+        out.data.fill(0.0);
+        if n == 0 {
+            return;
+        }
+        let chunk_rows = matmul_chunk_rows(rows, k, n);
+        let a = &self.data;
+        let b = &other.data;
+        apots_par::parallel_chunks_mut(&mut out.data, chunk_rows * n, |ci, out_chunk| {
+            let i0 = ci * chunk_rows;
+            let r = out_chunk.len() / n;
+            crate::kernels::matmul_block(&a[i0 * k..(i0 + r) * k], b, out_chunk, k, n);
+        });
+    }
+
+    #[inline]
+    fn matmul_dims(&self, other: &Self) -> (usize, usize, usize) {
         assert_eq!(self.rank(), 2, "matmul lhs must be rank-2");
         assert_eq!(other.rank(), 2, "matmul rhs must be rank-2");
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul dimension mismatch: [{m}, {k}] · [{k2}, {n}]");
-        let mut out = vec![0.0f32; m * n];
-        if n > 0 {
-            let chunk_rows = apots_par::rows_per_chunk(m, 8);
-            let a = &self.data;
-            let b = &other.data;
-            apots_par::parallel_chunks_mut(&mut out, chunk_rows * n, |ci, out_chunk| {
-                let i0 = ci * chunk_rows;
-                let rows = out_chunk.len() / n;
-                crate::kernels::matmul_block(&a[i0 * k..(i0 + rows) * k], b, out_chunk, k, n);
-            });
+        (m, k, n)
+    }
+
+    /// Shared body of `matmul`/`matmul_into`: requires `out` zeroed.
+    fn matmul_dispatch(&self, other: &Self, out: &mut [f32]) {
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let n = other.shape[1];
+        if n == 0 {
+            return;
         }
-        Self {
-            shape: vec![m, n],
-            data: out,
-        }
+        let chunk_rows = matmul_chunk_rows(m, k, n);
+        let a = &self.data;
+        let b = &other.data;
+        apots_par::parallel_chunks_mut(out, chunk_rows * n, |ci, out_chunk| {
+            let i0 = ci * chunk_rows;
+            let rows = out_chunk.len() / n;
+            crate::kernels::matmul_block(&a[i0 * k..(i0 + rows) * k], b, out_chunk, k, n);
+        });
     }
 
     /// `selfᵀ · other` without materialising the transpose.
@@ -509,6 +750,28 @@ impl Tensor {
     /// thread count (ascending-`kk` chains, no zero-skip — see
     /// [`Self::matmul`] for why the skip was a bug).
     pub fn matmul_at_b(&self, other: &Self) -> Self {
+        let (m, n) = self.matmul_at_b_dims(other);
+        let mut out = Self {
+            shape: Shape::of(&[m, n]),
+            data: workspace::checkout(m * n),
+        };
+        self.matmul_at_b_dispatch(other, &mut out.data);
+        out
+    }
+
+    /// `selfᵀ · other` written into `out` (`m·n` elements, takes shape
+    /// `[m, n]`). Bit-identical to [`Self::matmul_at_b`]; `out` must not
+    /// alias either operand.
+    pub fn matmul_at_b_into(&self, other: &Self, out: &mut Self) {
+        let (m, n) = self.matmul_at_b_dims(other);
+        assert_eq!(out.data.len(), m * n, "matmul_at_b_into: bad output length");
+        out.shape = Shape::of(&[m, n]);
+        out.data.fill(0.0);
+        self.matmul_at_b_dispatch(other, &mut out.data);
+    }
+
+    #[inline]
+    fn matmul_at_b_dims(&self, other: &Self) -> (usize, usize) {
         assert_eq!(self.rank(), 2, "matmul_at_b lhs must be rank-2");
         assert_eq!(other.rank(), 2, "matmul_at_b rhs must be rank-2");
         let (k, m) = (self.shape[0], self.shape[1]);
@@ -517,20 +780,23 @@ impl Tensor {
             k, k2,
             "matmul_at_b dimension mismatch: [{k}, {m}]ᵀ · [{k2}, {n}]"
         );
-        let mut out = vec![0.0f32; m * n];
-        if n > 0 {
-            let chunk_rows = apots_par::rows_per_chunk(m, 8);
-            let a = &self.data;
-            let b = &other.data;
-            apots_par::parallel_chunks_mut(&mut out, chunk_rows * n, |ci, out_chunk| {
-                let i0 = ci * chunk_rows;
-                crate::kernels::matmul_at_b_block(a, b, out_chunk, i0, k, m, n);
-            });
+        (m, n)
+    }
+
+    /// Shared body of `matmul_at_b`/`matmul_at_b_into`: requires `out` zeroed.
+    fn matmul_at_b_dispatch(&self, other: &Self, out: &mut [f32]) {
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let n = other.shape[1];
+        if n == 0 {
+            return;
         }
-        Self {
-            shape: vec![m, n],
-            data: out,
-        }
+        let chunk_rows = matmul_chunk_rows(m, k, n);
+        let a = &self.data;
+        let b = &other.data;
+        apots_par::parallel_chunks_mut(out, chunk_rows * n, |ci, out_chunk| {
+            let i0 = ci * chunk_rows;
+            crate::kernels::matmul_at_b_block(a, b, out_chunk, i0, k, m, n);
+        });
     }
 
     /// `self · otherᵀ` without materialising the transpose.
@@ -540,6 +806,28 @@ impl Tensor {
     /// output; bit-identical to [`crate::reference::matmul_a_bt`] for any
     /// thread count (one sequential dot-product chain per element).
     pub fn matmul_a_bt(&self, other: &Self) -> Self {
+        let (m, n) = self.matmul_a_bt_dims(other);
+        let mut out = Self {
+            shape: Shape::of(&[m, n]),
+            data: workspace::checkout(m * n),
+        };
+        self.matmul_a_bt_dispatch(other, &mut out.data);
+        out
+    }
+
+    /// `self · otherᵀ` written into `out` (`m·n` elements, takes shape
+    /// `[m, n]`). Bit-identical to [`Self::matmul_a_bt`]; `out` must not
+    /// alias either operand.
+    pub fn matmul_a_bt_into(&self, other: &Self, out: &mut Self) {
+        let (m, n) = self.matmul_a_bt_dims(other);
+        assert_eq!(out.data.len(), m * n, "matmul_a_bt_into: bad output length");
+        out.shape = Shape::of(&[m, n]);
+        out.data.fill(0.0);
+        self.matmul_a_bt_dispatch(other, &mut out.data);
+    }
+
+    #[inline]
+    fn matmul_a_bt_dims(&self, other: &Self) -> (usize, usize) {
         assert_eq!(self.rank(), 2, "matmul_a_bt lhs must be rank-2");
         assert_eq!(other.rank(), 2, "matmul_a_bt rhs must be rank-2");
         let (m, k) = (self.shape[0], self.shape[1]);
@@ -548,21 +836,24 @@ impl Tensor {
             k, k2,
             "matmul_a_bt dimension mismatch: [{m}, {k}] · [{n}, {k2}]ᵀ"
         );
-        let mut out = vec![0.0f32; m * n];
-        if n > 0 {
-            let chunk_rows = apots_par::rows_per_chunk(m, 8);
-            let a = &self.data;
-            let b = &other.data;
-            apots_par::parallel_chunks_mut(&mut out, chunk_rows * n, |ci, out_chunk| {
-                let i0 = ci * chunk_rows;
-                let rows = out_chunk.len() / n;
-                crate::kernels::matmul_a_bt_block(&a[i0 * k..(i0 + rows) * k], b, out_chunk, k, n);
-            });
+        (m, n)
+    }
+
+    /// Shared body of `matmul_a_bt`/`matmul_a_bt_into`: requires `out` zeroed.
+    fn matmul_a_bt_dispatch(&self, other: &Self, out: &mut [f32]) {
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let n = other.shape[0];
+        if n == 0 {
+            return;
         }
-        Self {
-            shape: vec![m, n],
-            data: out,
-        }
+        let chunk_rows = matmul_chunk_rows(m, k, n);
+        let a = &self.data;
+        let b = &other.data;
+        apots_par::parallel_chunks_mut(out, chunk_rows * n, |ci, out_chunk| {
+            let i0 = ci * chunk_rows;
+            let rows = out_chunk.len() / n;
+            crate::kernels::matmul_a_bt_block(&a[i0 * k..(i0 + rows) * k], b, out_chunk, k, n);
+        });
     }
 
     /// Adds a rank-1 bias to every row of a rank-2 tensor, in place.
@@ -599,14 +890,14 @@ impl Tensor {
             assert_eq!(p.rows(), rows, "concat_cols row count mismatch");
         }
         let total_cols: usize = parts.iter().map(|p| p.cols()).sum();
-        let mut data = Vec::with_capacity(rows * total_cols);
+        let mut data = workspace::checkout_empty(rows * total_cols);
         for i in 0..rows {
             for p in parts {
                 data.extend_from_slice(p.row(i));
             }
         }
         Self {
-            shape: vec![rows, total_cols],
+            shape: Shape::of(&[rows, total_cols]),
             data,
         }
     }
@@ -620,12 +911,12 @@ impl Tensor {
             "slice_cols [{start}, {}) out of bounds for {c} columns",
             start + width
         );
-        let mut data = Vec::with_capacity(r * width);
+        let mut data = workspace::checkout_empty(r * width);
         for i in 0..r {
             data.extend_from_slice(&self.data[i * c + start..i * c + start + width]);
         }
         Self {
-            shape: vec![r, width],
+            shape: Shape::of(&[r, width]),
             data,
         }
     }
@@ -639,9 +930,37 @@ impl Tensor {
             "slice_rows [{start}, {}) out of bounds for {r} rows",
             start + count
         );
+        let mut data = workspace::checkout_empty(count * c);
+        data.extend_from_slice(&self.data[start * c..(start + count) * c]);
         Self {
-            shape: vec![count, c],
-            data: self.data[start * c..(start + count) * c].to_vec(),
+            shape: Shape::of(&[count, c]),
+            data,
+        }
+    }
+
+    /// Gathers timestep `t` of a rank-3 `[batch, steps, feat]` tensor into
+    /// `out` (`[batch, feat]`, which must already hold `batch·feat`
+    /// elements). The strided gather used by the RNN layers; bit-identical
+    /// to building the slice row by row into a fresh buffer.
+    pub fn time_slice_into(&self, t: usize, out: &mut Self) {
+        assert_eq!(
+            self.rank(),
+            3,
+            "time_slice_into requires rank-3 [batch, steps, feat], got {:?}",
+            self.shape
+        );
+        let (b, steps, feat) = (self.shape[0], self.shape[1], self.shape[2]);
+        assert!(t < steps, "time_slice_into: step {t} out of {steps}");
+        assert_eq!(
+            out.data.len(),
+            b * feat,
+            "time_slice_into: bad output length"
+        );
+        out.shape = Shape::of(&[b, feat]);
+        let w = steps * feat;
+        for bi in 0..b {
+            let src = &self.data[bi * w + t * feat..bi * w + (t + 1) * feat];
+            out.data[bi * feat..(bi + 1) * feat].copy_from_slice(src);
         }
     }
 }
@@ -667,7 +986,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "does not match shape")]
     fn new_rejects_bad_length() {
-        let _ = Tensor::new(vec![2, 2], vec![1.0, 2.0, 3.0]);
+        let _ = Tensor::new(&[2, 2], vec![1.0, 2.0, 3.0]);
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! Per-thread, size-bucketed `f32` buffer pool — the workspace arena.
+//!
+//! Every [`crate::Tensor`] obtains its backing `Vec<f32>` from this pool
+//! ([`checkout`]) and returns it on drop ([`recycle`]). Buffers are
+//! bucketed by power-of-two capacity: a request for `len` elements pops
+//! from bucket `ceil_log2(len)` and a returned buffer files under
+//! `floor_log2(capacity)`, so a recycled buffer always satisfies any
+//! request in its bucket without growing. After a warmup pass has
+//! populated the buckets, steady-state checkout/recycle cycles perform
+//! **zero heap allocations**: checkout is `pop` + `clear` +
+//! `resize(len, 0.0)` within capacity, and recycle pushes into a
+//! pre-reserved bucket `Vec` (or drops the buffer if the bucket is full).
+//!
+//! The pool is thread-local, which is how it integrates with `apots-par`:
+//! each persistent worker owns a private arena, so parallel regions reuse
+//! per-worker scratch with no synchronisation and no cross-thread free
+//! lists. Determinism is unaffected — the pool only changes *where*
+//! buffers come from, never the values written into them (checkout always
+//! returns a zeroed buffer, exactly like `vec![0.0; len]`).
+//!
+//! Lifetime rules and the aliasing contract for `_into` kernels are
+//! documented in DESIGN.md §10.
+
+use std::cell::RefCell;
+
+/// Buckets cover capacities up to 2^31; bucket `i` holds buffers with
+/// `floor_log2(capacity) == i`, i.e. capacity in `[2^i, 2^(i+1))`.
+const BUCKETS: usize = 32;
+
+/// Per-bucket retention cap: beyond this many pooled buffers, recycled
+/// ones are simply freed. Small buckets get a deep cap because RNN BPTT
+/// caches hold several `[B, H]` tensors *per timestep per layer* live at
+/// once (hundreds of same-bucket buffers); large buckets (im2col panes,
+/// sequence outputs) are capped low to bound retained memory.
+fn cap_for_bucket(i: usize) -> usize {
+    if i <= 16 {
+        1024 // buffers ≤ 2^16 elements (256 KiB)
+    } else {
+        32
+    }
+}
+
+struct Arena {
+    buckets: Vec<Vec<Vec<f32>>>,
+    /// Buffers handed out since thread start (diagnostic).
+    checkouts: u64,
+    /// Checkouts served from a bucket without allocating.
+    hits: u64,
+}
+
+impl Arena {
+    fn new() -> Self {
+        // Pre-reserve every bucket so `recycle` never allocates: it runs
+        // inside `Tensor::drop` on the measured hot path.
+        let buckets = (0..BUCKETS)
+            .map(|i| Vec::with_capacity(cap_for_bucket(i)))
+            .collect();
+        Arena {
+            buckets,
+            checkouts: 0,
+            hits: 0,
+        }
+    }
+
+    /// Pops a buffer with capacity >= `min_cap`, cleared to length 0. On a
+    /// miss, allocates with capacity rounded up to the bucket size so the
+    /// buffer files back into the *same* bucket on recycle (otherwise a
+    /// capacity-`min_cap` buffer would land one bucket lower and never be
+    /// found again, defeating warmup).
+    #[inline]
+    fn checkout_empty(&mut self, min_cap: usize) -> Vec<f32> {
+        self.checkouts += 1;
+        if min_cap == 0 {
+            return Vec::new();
+        }
+        // Smallest bucket whose buffers are guaranteed to hold `min_cap`:
+        // buffers in bucket i have capacity >= 2^i, so we need
+        // 2^i >= min_cap, i.e. i = ceil_log2(min_cap).
+        let b = ceil_log2(min_cap);
+        if let Some(bucket) = self.buckets.get_mut(b) {
+            if let Some(mut v) = bucket.pop() {
+                debug_assert!(v.capacity() >= min_cap);
+                self.hits += 1;
+                v.clear();
+                return v;
+            }
+        }
+        Vec::with_capacity(1usize << b)
+    }
+
+    #[inline]
+    fn checkout(&mut self, len: usize) -> Vec<f32> {
+        let mut v = self.checkout_empty(len);
+        v.resize(len, 0.0);
+        v
+    }
+
+    #[inline]
+    fn recycle(&mut self, v: Vec<f32>) {
+        let cap = v.capacity();
+        if cap == 0 {
+            return;
+        }
+        let b = floor_log2(cap);
+        if let Some(bucket) = self.buckets.get_mut(b) {
+            if bucket.len() < cap_for_bucket(b) {
+                bucket.push(v);
+            }
+        }
+        // Bucket full (or capacity out of range): drop `v`, freeing it.
+    }
+
+    fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+    }
+}
+
+#[inline]
+fn ceil_log2(n: usize) -> usize {
+    debug_assert!(n > 0);
+    (usize::BITS - (n - 1).leading_zeros()) as usize
+}
+
+#[inline]
+fn floor_log2(n: usize) -> usize {
+    debug_assert!(n > 0);
+    (usize::BITS - 1 - n.leading_zeros()) as usize
+}
+
+thread_local! {
+    static ARENA: RefCell<Arena> = RefCell::new(Arena::new());
+}
+
+/// Checks out a zeroed buffer of exactly `len` elements from this
+/// thread's arena. Equivalent to `vec![0.0; len]` but allocation-free
+/// when a buffer of the right bucket is pooled.
+#[inline]
+pub fn checkout(len: usize) -> Vec<f32> {
+    // `try_with` so drops during TLS teardown degrade to plain allocation
+    // instead of panicking.
+    ARENA
+        .try_with(|a| a.borrow_mut().checkout(len))
+        .unwrap_or_else(|_| vec![0.0f32; len])
+}
+
+/// Checks out an *empty* buffer with capacity for at least `min_cap`
+/// elements. For fill patterns that `extend`/`push` up to a known bound —
+/// within `min_cap` the pushes never reallocate.
+#[inline]
+pub fn checkout_empty(min_cap: usize) -> Vec<f32> {
+    ARENA
+        .try_with(|a| a.borrow_mut().checkout_empty(min_cap))
+        .unwrap_or_else(|_| Vec::with_capacity(min_cap))
+}
+
+/// Returns a buffer to this thread's arena for reuse. Never allocates;
+/// silently frees the buffer if the arena is full or being torn down.
+#[inline]
+pub fn recycle(v: Vec<f32>) {
+    if v.capacity() == 0 {
+        return;
+    }
+    // Errors (TLS teardown) just drop the buffer.
+    let _ = ARENA.try_with(|a| a.borrow_mut().recycle(v));
+}
+
+/// Pool statistics for this thread: `(checkouts, hits)`.
+pub fn stats() -> (u64, u64) {
+    ARENA
+        .try_with(|a| {
+            let a = a.borrow();
+            (a.checkouts, a.hits)
+        })
+        .unwrap_or((0, 0))
+}
+
+/// Frees every pooled buffer on this thread. Test helper.
+pub fn clear() {
+    let _ = ARENA.try_with(|a| a.borrow_mut().clear());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_is_zeroed() {
+        clear();
+        let mut v = checkout(100);
+        for x in &v {
+            assert_eq!(*x, 0.0);
+        }
+        // Dirty it, recycle, check out again: must come back zeroed.
+        for x in v.iter_mut() {
+            *x = f32::NAN;
+        }
+        let ptr = v.as_ptr();
+        recycle(v);
+        let v2 = checkout(100);
+        assert_eq!(v2.as_ptr(), ptr, "expected pool hit returning same buffer");
+        for x in &v2 {
+            assert_eq!(x.to_bits(), 0.0f32.to_bits());
+        }
+        recycle(v2);
+    }
+
+    #[test]
+    fn bucket_reuse_across_sizes() {
+        clear();
+        // 100 rounds up to bucket 7 (128); a 128-buffer files in bucket 7
+        // too, so a later checkout of any len in (64, 128] reuses it.
+        let v = checkout(100);
+        assert!(v.capacity() >= 100);
+        recycle(v);
+        let v2 = checkout(65);
+        assert_eq!(v2.len(), 65);
+        let (c, h) = stats();
+        assert!(h > 0 && c >= h);
+        recycle(v2);
+    }
+
+    #[test]
+    fn zero_len_checkout() {
+        let v = checkout(0);
+        assert!(v.is_empty());
+        recycle(v); // no-op, must not panic
+    }
+
+    #[test]
+    fn steady_state_no_growth() {
+        clear();
+        // Warm up one buffer, then cycle it many times; the pointer must
+        // remain stable (no reallocation) the whole time.
+        let v = checkout(4096);
+        let ptr = v.as_ptr();
+        recycle(v);
+        for _ in 0..1000 {
+            let v = checkout(4096);
+            assert_eq!(v.as_ptr(), ptr);
+            recycle(v);
+        }
+    }
+
+    #[test]
+    fn log2_helpers() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(floor_log2(1), 0);
+        assert_eq!(floor_log2(2), 1);
+        assert_eq!(floor_log2(3), 1);
+        assert_eq!(floor_log2(4), 2);
+        assert_eq!(floor_log2(7), 2);
+        assert_eq!(floor_log2(8), 3);
+    }
+
+    #[test]
+    fn retention_cap_respected() {
+        clear();
+        // 2^20-element buffers land in bucket 20, which has the low cap.
+        let cap = cap_for_bucket(20);
+        let mut held = Vec::new();
+        for _ in 0..(cap + 10) {
+            held.push(checkout(1 << 20));
+        }
+        for v in held {
+            recycle(v);
+        }
+        // Bucket holds at most `cap`; the rest were freed. Check out
+        // `cap + 1` and count hits.
+        let (_, h0) = stats();
+        let mut held = Vec::new();
+        for _ in 0..(cap + 1) {
+            held.push(checkout(1 << 20));
+        }
+        let (_, h1) = stats();
+        assert_eq!((h1 - h0) as usize, cap);
+        for v in held {
+            recycle(v);
+        }
+        clear();
+    }
+}

@@ -14,7 +14,7 @@ fn gen_tensor(rng: &mut SeededRng, rows: usize, cols: usize) -> Tensor {
     let data = (0..rows * cols)
         .map(|_| rng.random_range(-10.0f32..10.0))
         .collect();
-    Tensor::new(vec![rows, cols], data)
+    Tensor::new(&[rows, cols], data)
 }
 
 fn gen_pair_same_shape(rng: &mut SeededRng) -> (Tensor, Tensor) {

@@ -26,6 +26,25 @@ APOTS_THREADS=4 cargo test -p apots --test parallel_equivalence --release --offl
 echo "== bench smoke: parallel kernels (emits BENCH_parallel_kernels.json) =="
 APOTS_BENCH_SMOKE_EMIT=1 cargo bench -p apots-bench --bench parallel_kernels --offline -- --test
 
+echo "== memory: into-kernel bit-equality + full-epoch golden pins =="
+cargo test -p apots --test into_kernels --test epoch_equality --release --offline -q
+
+echo "== memory: steady-state hot path allocates nothing (DESIGN.md §10) =="
+cargo test -p apots-bench --test alloc_regression --release --offline -q
+
+echo "== bench smoke: alloc profile + train epoch (emit BENCH_*.json) =="
+APOTS_BENCH_SMOKE_EMIT=1 APOTS_BENCH_DIR="$PWD" \
+  cargo bench -p apots-bench --bench alloc_profile --offline -- --test
+APOTS_BENCH_SMOKE_EMIT=1 APOTS_BENCH_DIR="$PWD" \
+  cargo bench -p apots-bench --bench train_epoch --offline -- --test
+
+echo "== memory: BENCH_alloc_profile.json steady state is zero =="
+grep -q '"target": "alloc_profile"' BENCH_alloc_profile.json
+if grep -E '"steady_state_allocs": [0-9]*[1-9]' BENCH_alloc_profile.json; then
+  echo "ERROR: nonzero steady-state hot-path allocations above" >&2
+  exit 1
+fi
+
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 
