@@ -94,17 +94,28 @@ fn hot_path_allocs_per_epoch(
         .collect()
 }
 
-/// The single test: one per-process global allocator + probe install, so
+/// The probe can be installed once per process, and both tests below
+/// share the process-global counters, so they serialize on this lock and
+/// install through this helper.
+static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn ensure_probe() {
+    static INSTALLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    assert!(
+        *INSTALLED.get_or_init(alloc_count::install_probe),
+        "another hot-path probe is already installed in this process"
+    );
+}
+
+/// The baseline gate: one per-process global allocator + probe install, so
 /// every scenario runs under the same instrumented binary, serially.
 #[test]
 fn steady_state_epochs_allocate_nothing_on_the_hot_path() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     // Pin the serial path regardless of APOTS_THREADS: the zero-alloc
     // contract applies to per-thread arenas without pool scheduling.
     apots_par::set_threads(1);
-    assert!(
-        alloc_count::install_probe(),
-        "another hot-path probe is already installed in this process"
-    );
+    ensure_probe();
 
     let data = dataset();
     let mut failures = Vec::new();
@@ -142,6 +153,58 @@ fn steady_state_epochs_allocate_nothing_on_the_hot_path() {
     assert!(
         failures.is_empty(),
         "steady-state hot path must be allocation-free:\n  {}",
+        failures.join("\n  ")
+    );
+}
+
+/// Tracing variant of the gate (DESIGN.md §11): with `apots-obs` armed
+/// and writing a JSONL sink, the steady-state hot path must *still*
+/// allocate nothing. Telemetry records are `Copy` pushes into rings that
+/// were preallocated before steady state (the main thread's ring is
+/// created by the `train.run` span, outside any hot-path guard, during
+/// warmup), metric updates are plain atomics, and draining/flushing —
+/// which allocates freely — only runs at epoch boundaries outside the
+/// guard windows. A regression in any of those moves allocations inside
+/// the guards and trips this test exactly like an arena regression would.
+#[test]
+fn steady_state_epochs_allocate_nothing_while_traced() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    apots_par::set_threads(1);
+    ensure_probe();
+
+    let trace_path =
+        std::env::temp_dir().join(format!("apots-alloc-traced-{}.jsonl", std::process::id()));
+    apots_obs::enable(Some(trace_path.clone()));
+
+    let data = dataset();
+    let mut failures = Vec::new();
+    // Hybrid adversarial covers conv + LSTM + dense plus the
+    // discriminator segments — the widest traced surface.
+    let per_epoch = hot_path_allocs_per_epoch(&data, PredictorKind::Hybrid, true, 4);
+    assert!(per_epoch[0].0 > 0, "traced warmup should allocate");
+    for (e, &(allocs, bytes)) in per_epoch.iter().enumerate().skip(2) {
+        if allocs != 0 {
+            failures.push(format!(
+                "Hybrid adversarial (traced) epoch {e}: {allocs} hot-path \
+                 allocations ({bytes} bytes)"
+            ));
+        }
+    }
+
+    apots_obs::disable();
+    apots_obs::drain_and_flush();
+    // The sink must hold a complete, parseable trace of the run.
+    let text = std::fs::read_to_string(&trace_path).expect("trace sink written");
+    assert!(text.lines().count() > 1, "trace is non-trivial");
+    for line in text.lines() {
+        apots_serde::Json::parse(line).expect("traced run emits strict JSONL");
+    }
+    std::fs::remove_file(&trace_path).ok();
+
+    apots_par::reset_threads();
+    assert!(
+        failures.is_empty(),
+        "steady-state hot path must stay allocation-free under tracing:\n  {}",
         failures.join("\n  ")
     );
 }

@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 pub struct Args {
     values: BTreeMap<String, String>,
     flags: Vec<String>,
+    positionals: Vec<String>,
 }
 
 impl Args {
@@ -18,7 +19,9 @@ impl Args {
     ///
     /// Every option must be `--key value` or a known boolean `--flag`
     /// (flags are detected as `--key` followed by another `--…` or the
-    /// end of input).
+    /// end of input). Bare tokens are collected as positional operands
+    /// (e.g. `metrics-summary trace.jsonl`); commands that take none
+    /// reject them via [`Args::expect_no_positionals`].
     pub fn parse(argv: &[String]) -> Result<(String, Self), String> {
         let mut it = argv.iter().peekable();
         let cmd = it
@@ -27,9 +30,13 @@ impl Args {
             .clone();
         let mut args = Self::default();
         while let Some(token) = it.next() {
-            let key = token
-                .strip_prefix("--")
-                .ok_or_else(|| format!("expected --option, got {token:?}"))?;
+            let key = match token.strip_prefix("--") {
+                Some(k) => k,
+                None => {
+                    args.positionals.push(token.clone());
+                    continue;
+                }
+            };
             if key.is_empty() {
                 return Err("empty option name".into());
             }
@@ -42,6 +49,32 @@ impl Args {
             }
         }
         Ok((cmd, args))
+    }
+
+    /// Positional operand by index.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
+
+    /// Errors when positional operands were given to a command that
+    /// takes none (preserves the strict `--key value` grammar for the
+    /// original subcommands).
+    pub fn expect_no_positionals(&self) -> Result<(), String> {
+        match self.positionals.first() {
+            None => Ok(()),
+            Some(p) => Err(format!("unexpected operand {p:?}")),
+        }
+    }
+
+    /// `f64` option by name (error on malformed values).
+    pub fn get_f64(&self, key: &str) -> Result<Option<f64>, String> {
+        self.values
+            .get(key)
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("--{key} expects a number, got {v:?}"))
+            })
+            .transpose()
     }
 
     /// String option by name.
@@ -117,8 +150,24 @@ mod tests {
     }
 
     #[test]
-    fn rejects_bare_values() {
-        assert!(Args::parse(&strs(&["train", "oops"])).is_err());
+    fn collects_positionals_and_commands_can_reject_them() {
+        let (cmd, args) = Args::parse(&strs(&["metrics-summary", "trace.jsonl"])).unwrap();
+        assert_eq!(cmd, "metrics-summary");
+        assert_eq!(args.positional(0), Some("trace.jsonl"));
+        assert_eq!(args.positional(1), None);
+        // Commands with a pure `--key value` grammar still reject operands.
+        let (_, args) = Args::parse(&strs(&["train", "oops"])).unwrap();
+        assert!(args.expect_no_positionals().is_err());
+        let (_, args) = Args::parse(&strs(&["train", "--epochs", "6"])).unwrap();
+        assert!(args.expect_no_positionals().is_ok());
+    }
+
+    #[test]
+    fn parses_f64_options() {
+        let (_, args) = Args::parse(&strs(&["bench-gate", "--tolerance", "0.2"])).unwrap();
+        assert_eq!(args.get_f64("tolerance").unwrap(), Some(0.2));
+        let (_, args) = Args::parse(&strs(&["bench-gate", "--tolerance", "x"])).unwrap();
+        assert!(args.get_f64("tolerance").is_err());
     }
 
     #[test]

@@ -1,0 +1,5 @@
+//! `apots-cli` binary: thin wrapper over [`apots_cli::cli_main`].
+
+fn main() -> std::process::ExitCode {
+    apots_cli::cli_main()
+}

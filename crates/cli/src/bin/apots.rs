@@ -1,0 +1,5 @@
+//! `apots` binary: short alias for `apots-cli` (same code, second name).
+
+fn main() -> std::process::ExitCode {
+    apots_cli::cli_main()
+}

@@ -25,10 +25,14 @@ use apots_traffic::{
 };
 
 mod args;
+mod bench_gate;
 
 use args::Args;
 
-fn main() -> ExitCode {
+/// Entry point shared by the `apots-cli` and `apots` binaries (the
+/// latter is a short alias so the documented `apots metrics-summary`
+/// invocation works).
+pub fn cli_main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run(&argv) {
         Ok(()) => ExitCode::SUCCESS,
@@ -58,11 +62,20 @@ fn usage() -> &'static str {
      \x20            --model FILE [--days N] [--seed N] [--json]\n\
      \x20 predict    print a predicted speed trace for a time window\n\
      \x20            --model FILE --day N --from HH:MM --to HH:MM\n\
+     \x20 metrics-summary  aggregate a JSONL trace into one JSON report\n\
+     \x20            <trace.jsonl> [--compact]\n\
+     \x20 bench-gate check fresh BENCH_*.json files against the committed\n\
+     \x20            baseline; exits non-zero on regression\n\
+     \x20            [--baselines FILE] [--dir DIR] [--tolerance T]\n\
+     \x20            [--scale-baseline X] [--write-baseline]\n\
      \n\
      global options:\n\
      \x20 --threads N  pin the compute pool to N threads (default: the\n\
      \x20              APOTS_THREADS env var, else all cores; outputs are\n\
-     \x20              bit-identical for any value)"
+     \x20              bit-identical for any value)\n\
+     \x20 --trace FILE write a structured JSONL telemetry trace (overrides\n\
+     \x20              the APOTS_TRACE env var; tracing never changes\n\
+     \x20              numerical results)"
 }
 
 fn run(argv: &[String]) -> Result<(), String> {
@@ -77,17 +90,59 @@ fn run(argv: &[String]) -> Result<(), String> {
         }
         apots_par::set_threads(n);
     }
-    match cmd.as_str() {
-        "simulate" => cmd_simulate(&args),
-        "train" => cmd_train(&args),
-        "eval" => cmd_eval(&args),
-        "predict" => cmd_predict(&args),
+    // Global --trace FILE: start a telemetry session writing a JSONL
+    // trace (overrides APOTS_TRACE). Only compute commands trace —
+    // `metrics-summary` *reads* traces and must never clobber its own
+    // input. Without either knob telemetry stays disabled and every
+    // probe costs one relaxed atomic load (DESIGN.md §11).
+    let traced = matches!(cmd.as_str(), "simulate" | "train" | "eval" | "predict");
+    if traced {
+        match args.get_str("trace") {
+            Some(path) => apots_obs::enable(Some(std::path::PathBuf::from(path))),
+            None => {
+                let _ = apots_obs::init_from_env();
+            }
+        }
+    }
+    let result = match cmd.as_str() {
+        "simulate" => no_operands(&args, cmd_simulate),
+        "train" => no_operands(&args, cmd_train),
+        "eval" => no_operands(&args, cmd_eval),
+        "predict" => no_operands(&args, cmd_predict),
+        "metrics-summary" => cmd_metrics_summary(&args),
+        "bench-gate" => bench_gate::run(&args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
         }
         other => Err(format!("unknown command {other:?}")),
+    };
+    if traced {
+        // The trainer drains at every epoch boundary; this final drain
+        // covers the other commands and the error path.
+        apots_obs::drain_and_flush();
     }
+    result
+}
+
+/// Runs a command with the strict `--key value` grammar (no operands).
+fn no_operands(args: &Args, f: impl FnOnce(&Args) -> Result<(), String>) -> Result<(), String> {
+    args.expect_no_positionals()?;
+    f(args)
+}
+
+fn cmd_metrics_summary(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional(0)
+        .ok_or_else(|| "usage: metrics-summary <trace.jsonl> [--compact]".to_string())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let summary = apots_obs::summary::summarize(&text)?;
+    if args.has_flag("compact") {
+        println!("{summary}");
+    } else {
+        println!("{}", summary.to_string_pretty());
+    }
+    Ok(())
 }
 
 fn build_data(args: &Args) -> Result<TrafficDataset, String> {

@@ -16,7 +16,7 @@
 
 use std::path::{Path, PathBuf};
 
-use apots_serde::atomic::{read_sealed, write_sealed};
+use apots_serde::atomic::{read_sealed, seal, write_atomic};
 use apots_serde::Json;
 
 /// Where a loaded checkpoint came from.
@@ -71,12 +71,23 @@ impl CheckpointStore {
     /// # Errors
     /// Returns an error if any filesystem step fails.
     pub fn save(&self, payload: Json) -> Result<(), String> {
+        let _span = apots_obs::span("ckpt.save", false);
+        let start = std::time::Instant::now();
         let latest = self.latest_path();
         if latest.exists() {
             std::fs::rename(&latest, self.prev_path())
                 .map_err(|e| format!("cannot rotate {}: {e}", latest.display()))?;
         }
-        write_sealed(&latest, payload)
+        // Seal to text here (rather than `write_sealed`) so the byte count
+        // is observable: `ckpt.save.bytes` is deterministic (the envelope
+        // serialization is byte-stable) and golden-hash eligible.
+        let text = seal(payload).to_string();
+        write_atomic(&latest, &text)
+            .map_err(|e| format!("cannot write {}: {e}", latest.display()))?;
+        apots_obs::metrics::CKPT_SAVES.bump();
+        apots_obs::metrics::HIST_CKPT_SAVE_NS.record(start.elapsed().as_nanos() as u64);
+        apots_obs::value("ckpt.save.bytes", true, text.len() as f64);
+        Ok(())
     }
 
     /// Loads the newest verifiable generation.
@@ -86,6 +97,8 @@ impl CheckpointStore {
     /// an error only when at least one generation exists but *none*
     /// verifies (every copy is corrupt).
     pub fn load(&self) -> Result<Option<(Json, LoadSource)>, String> {
+        let _span = apots_obs::span("ckpt.restore", false);
+        let start = std::time::Instant::now();
         let latest = self.latest_path();
         let prev = self.prev_path();
         let latest_exists = latest.exists();
@@ -93,9 +106,14 @@ impl CheckpointStore {
         if !latest_exists && !prev_exists {
             return Ok(None);
         }
+        let done = |payload: Json, source: LoadSource| {
+            apots_obs::metrics::CKPT_RESTORES.bump();
+            apots_obs::metrics::HIST_CKPT_RESTORE_NS.record(start.elapsed().as_nanos() as u64);
+            Ok(Some((payload, source)))
+        };
         let latest_err = if latest_exists {
             match read_sealed(&latest) {
-                Ok(payload) => return Ok(Some((payload, LoadSource::Latest))),
+                Ok(payload) => return done(payload, LoadSource::Latest),
                 Err(e) => Some(e),
             }
         } else {
@@ -109,7 +127,7 @@ impl CheckpointStore {
         }
         let prev_err = if prev_exists {
             match read_sealed(&prev) {
-                Ok(payload) => return Ok(Some((payload, LoadSource::Previous))),
+                Ok(payload) => return done(payload, LoadSource::Previous),
                 Err(e) => Some(e),
             }
         } else {

@@ -353,6 +353,7 @@ fn run_training(
         let alpha = data.config().alpha;
         assert_eq!(d.seq_width(), alpha, "discriminator width must equal α");
     }
+    let run_span = apots_obs::span("train.run", true);
     let fingerprint = config_fingerprint(predictor.kind(), config);
     let store = match &options.checkpoint_dir {
         Some(dir) => Some(CheckpointStore::open(dir.clone()).map_err(TrainError::Io)?),
@@ -454,6 +455,7 @@ fn run_training(
             return Err(TrainError::Killed { epoch });
         }
 
+        let epoch_span = apots_obs::span("train.epoch", true);
         let snapshot =
             EpochSnapshot::capture(predictor, disc.as_deref_mut(), &p_opt, d_opt.as_ref(), &rng);
         let mut attempt = 0usize;
@@ -478,6 +480,8 @@ fn run_training(
                 Ok(stats) => break stats,
                 Err(batch) => {
                     report.divergence_rollbacks += 1;
+                    apots_obs::metrics::TRAIN_ROLLBACKS.bump();
+                    apots_obs::value2("sentinel.rollback", true, epoch as f64, batch as f64);
                     attempt += 1;
                     if attempt > options.max_divergence_retries {
                         return Err(TrainError::Diverged {
@@ -503,9 +507,11 @@ fn run_training(
         };
         report.epochs.push(stats);
         report.lr_scale = lr_scale;
+        apots_obs::value2("epoch.lr_scale", true, epoch as f64, f64::from(lr_scale));
         if let Some(s) = &mut stopper {
             if s.update(stats.mse) {
                 stopped = true;
+                apots_obs::value("earlystop.stop", true, (epoch + 1) as f64);
             }
         }
 
@@ -536,8 +542,17 @@ fn run_training(
                 }
             }
         }
+
+        // Epoch boundary: close the span, then drain the per-thread event
+        // rings and rewrite the trace sink. This is the designated drain
+        // point — strictly outside the `hotpath` probe windows, so traced
+        // steady-state epochs stay allocation-free on the hot path.
+        drop(epoch_span);
+        apots_obs::drain_and_flush();
     }
     report.lr_scale = lr_scale;
+    drop(run_span);
+    apots_obs::drain_and_flush();
     Ok(report)
 }
 
@@ -557,7 +572,7 @@ fn run_epoch(
     d_opt: &mut Option<Adam>,
     options: &mut TrainOptions<'_>,
 ) -> Result<EpochStats, usize> {
-    let mut sums = (0.0f64, 0.0f64, 0.0f64); // (mse, p_loss, d_loss)
+    let mut sums = (0.0f64, 0.0f64, 0.0f64, 0.0f64); // (mse, p_loss, d_loss, grad_norm)
     let mut n_batches = 0usize;
     let warming_up = epoch < config.adv_warmup_epochs;
 
@@ -592,11 +607,22 @@ fn run_epoch(
     }
 
     let n = n_batches.max(1) as f64;
-    Ok(EpochStats {
+    let stats = EpochStats {
         mse: (sums.0 / n) as f32,
         p_loss: (sums.1 / n) as f32,
         d_loss: (sums.2 / n) as f32,
-    })
+    };
+    // Per-epoch telemetry: deterministic (bit-identical training for any
+    // APOTS_THREADS makes these thread-count-invariant), so they are part
+    // of the golden trace hash.
+    if apots_obs::enabled() {
+        let e = epoch as f64;
+        apots_obs::value2("epoch.mse", true, e, f64::from(stats.mse));
+        apots_obs::value2("epoch.p_loss", true, e, f64::from(stats.p_loss));
+        apots_obs::value2("epoch.d_loss", true, e, f64::from(stats.d_loss));
+        apots_obs::value2("epoch.grad_norm", true, e, sums.3 / n);
+    }
+    Ok(stats)
 }
 
 /// One plain-MSE batch (also the adversarial warm-up batch). Returns
@@ -608,7 +634,7 @@ fn plain_batch(
     config: &TrainConfig,
     p_opt: &mut Adam,
     poisoned: bool,
-    sums: &mut (f64, f64, f64),
+    sums: &mut (f64, f64, f64, f64),
 ) -> bool {
     let (input, targets) = encode_inputs(predictor.kind(), data, batch, config.mask);
     let loss = {
@@ -632,8 +658,13 @@ fn plain_batch(
     if !params_finite(&predictor.params_mut()) {
         return false;
     }
+    if apots_obs::enabled() {
+        apots_obs::value("batch.mse", true, f64::from(loss));
+        apots_obs::value("batch.grad_norm", true, f64::from(grad_norm));
+    }
     sums.0 += f64::from(loss);
     sums.1 += f64::from(loss);
+    sums.3 += f64::from(grad_norm);
     true
 }
 
@@ -649,7 +680,7 @@ fn adversarial_batch(
     p_opt: &mut Adam,
     d_opt: &mut Adam,
     poisoned: bool,
-    sums: &mut (f64, f64, f64),
+    sums: &mut (f64, f64, f64, f64),
 ) -> bool {
     let alpha = data.config().alpha;
     let b = batch.len();
@@ -760,9 +791,17 @@ fn adversarial_batch(
         return false;
     }
 
+    if apots_obs::enabled() {
+        apots_obs::value("batch.mse", true, f64::from(mse_final));
+        apots_obs::value("batch.adv_loss", true, f64::from(adv_loss));
+        apots_obs::value("batch.d_loss", true, f64::from(d_loss));
+        apots_obs::value("batch.grad_norm", true, f64::from(p_norm));
+        apots_obs::value("batch.d_grad_norm", true, f64::from(d_norm));
+    }
     sums.0 += f64::from(mse_final);
     sums.1 += f64::from(mse_sum + adv_loss);
     sums.2 += f64::from(d_loss);
+    sums.3 += f64::from(p_norm);
     true
 }
 

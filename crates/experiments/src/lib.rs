@@ -52,7 +52,12 @@ pub struct Env {
 
 impl Env {
     /// Reads the environment; unset variables take defaults.
+    ///
+    /// Also arms structured telemetry when `APOTS_TRACE=<path>` is set
+    /// (every experiment binary calls `from_env` first, so this is the
+    /// single opt-in point; tracing never changes numerical results).
     pub fn from_env() -> Self {
+        let _ = apots_obs::init_from_env();
         let preset = match std::env::var("APOTS_PRESET").as_deref() {
             Ok("paper") => HyperPreset::Paper,
             _ => HyperPreset::Fast,
@@ -176,6 +181,9 @@ pub fn run_model_keep(
     };
     let train_secs = start.elapsed().as_secs_f64();
     let eval = evaluate(predictor.as_mut(), data, config.mask, data.test_samples());
+    // Push evaluation-phase telemetry (kernel counters from `evaluate`)
+    // out to the sink; the trainer already drained at epoch boundaries.
+    apots_obs::drain_and_flush();
     (
         predictor,
         RunOutcome {

@@ -209,6 +209,7 @@ impl AdamState {
 
 impl Optimizer for Adam {
     fn step(&mut self, params: Vec<Param<'_>>) {
+        apots_obs::metrics::OPTIM_ADAM_STEP.bump();
         if self.m.is_empty() {
             self.m = params
                 .iter()

@@ -1,0 +1,297 @@
+//! Global metric registry: const-constructible counters, gauges and
+//! histograms backed by relaxed atomics.
+//!
+//! Every metric is a `static` declared here and listed in one of the
+//! `ALL_*` slices so [`crate::render`] can snapshot the registry and
+//! [`reset_all`] can start a fresh session. Update paths gate on
+//! [`crate::enabled`] internally, so an instrumentation site is a single
+//! call whose disabled cost is one relaxed atomic load.
+//!
+//! `det: true` counters must be thread-count-invariant: they are bumped at
+//! dispatch entry (before any threading decision) or on the main training
+//! thread only. Pool-shape metrics (worker counts, pooled-region tallies)
+//! are `det: false` and excluded from the golden trace hash.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::enabled;
+
+/// Monotonic event tally.
+pub struct Counter {
+    name: &'static str,
+    det: bool,
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// Const-constructs a counter (declare as `static`, list in
+    /// [`ALL_COUNTERS`]).
+    pub const fn new(name: &'static str, det: bool) -> Self {
+        Counter {
+            name,
+            det,
+            v: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `n`; a no-op (one relaxed load) when tracing is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.v.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Bumps by one.
+    #[inline]
+    pub fn bump(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Whether this counter is deterministic (golden-hash eligible).
+    pub fn det(&self) -> bool {
+        self.det
+    }
+
+    fn reset(&self) {
+        self.v.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Last-write-wins instantaneous value.
+pub struct Gauge {
+    name: &'static str,
+    v: AtomicU64,
+}
+
+impl Gauge {
+    /// Const-constructs a gauge (declare as `static`, list in
+    /// [`ALL_GAUGES`]).
+    pub const fn new(name: &'static str) -> Self {
+        Gauge {
+            name,
+            v: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the gauge; a no-op when tracing is disabled.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if enabled() {
+            self.v.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the gauge to `v` if larger (high-water mark).
+    #[inline]
+    pub fn raise(&self, v: u64) {
+        if enabled() {
+            self.v.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn reset(&self) {
+        self.v.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Lock-free count/sum/min/max aggregate over `u64` samples (typically
+/// nanosecond durations).
+pub struct Histogram {
+    name: &'static str,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Point-in-time histogram aggregate.
+#[derive(Clone, Copy, Debug)]
+pub struct HistSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (`u64::MAX` sentinel internally; 0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl Histogram {
+    /// Const-constructs a histogram (declare as `static`, list in
+    /// [`ALL_HISTS`]).
+    pub const fn new(name: &'static str) -> Self {
+        Histogram {
+            name,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample; a no-op when tracing is disabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current aggregate.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let raw_min = self.min.load(Ordering::Relaxed);
+        HistSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { raw_min },
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// Square matmul dispatches (`matmul_into` family entry).
+pub static KERNEL_MATMUL: Counter = Counter::new("kernel.matmul", true);
+/// `AᵀB` matmul dispatches.
+pub static KERNEL_MATMUL_AT_B: Counter = Counter::new("kernel.matmul_at_b", true);
+/// `ABᵀ` matmul dispatches.
+pub static KERNEL_MATMUL_A_BT: Counter = Counter::new("kernel.matmul_a_bt", true);
+/// Flat (time-batched) matmul dispatches.
+pub static KERNEL_MATMUL_FLAT: Counter = Counter::new("kernel.matmul_flat", true);
+/// Elementwise map dispatches (`map`/`map_into`/`map_in_place`/`par_map`).
+pub static KERNEL_MAP: Counter = Counter::new("kernel.map", true);
+/// Elementwise zip dispatches (`zip_with` family).
+pub static KERNEL_ZIP: Counter = Counter::new("kernel.zip", true);
+/// Axis-0 reduction dispatches.
+pub static KERNEL_SUM_AXIS0: Counter = Counter::new("kernel.sum_axis0", true);
+/// Row-broadcast add dispatches.
+pub static KERNEL_ADD_ROW_BROADCAST: Counter = Counter::new("kernel.add_row_broadcast", true);
+/// Matmul dispatches that stayed serial under the `PAR_GRAIN_MACS` gate.
+/// Size-based, decided before any threading — deterministic.
+pub static KERNEL_SERIAL_BELOW_GRAIN: Counter = Counter::new("kernel.serial_below_grain", true);
+/// Adam optimizer steps.
+pub static OPTIM_ADAM_STEP: Counter = Counter::new("optim.adam_step", true);
+/// Divergence-sentinel epoch rollbacks.
+pub static TRAIN_ROLLBACKS: Counter = Counter::new("train.rollbacks", true);
+/// Checkpoint saves completed.
+pub static CKPT_SAVES: Counter = Counter::new("ckpt.saves", true);
+/// Checkpoint restores completed.
+pub static CKPT_RESTORES: Counter = Counter::new("ckpt.restores", true);
+/// Parallel regions executed on the worker pool (thread-count-dependent).
+pub static PAR_REGIONS_POOLED: Counter = Counter::new("par.regions_pooled", false);
+/// Parallel regions executed inline (serial path / nested / below grain).
+pub static PAR_REGIONS_INLINE: Counter = Counter::new("par.regions_inline", false);
+/// Tasks distributed across pooled regions.
+pub static PAR_TASKS: Counter = Counter::new("par.tasks", false);
+
+/// Every registered counter, in stable snapshot order.
+pub static ALL_COUNTERS: &[&Counter] = &[
+    &KERNEL_MATMUL,
+    &KERNEL_MATMUL_AT_B,
+    &KERNEL_MATMUL_A_BT,
+    &KERNEL_MATMUL_FLAT,
+    &KERNEL_MAP,
+    &KERNEL_ZIP,
+    &KERNEL_SUM_AXIS0,
+    &KERNEL_ADD_ROW_BROADCAST,
+    &KERNEL_SERIAL_BELOW_GRAIN,
+    &OPTIM_ADAM_STEP,
+    &TRAIN_ROLLBACKS,
+    &CKPT_SAVES,
+    &CKPT_RESTORES,
+    &PAR_REGIONS_POOLED,
+    &PAR_REGIONS_INLINE,
+    &PAR_TASKS,
+];
+
+/// High-water mark of live pool worker threads.
+pub static GAUGE_PAR_WORKERS: Gauge = Gauge::new("par.workers");
+
+/// Every registered gauge, in stable snapshot order.
+pub static ALL_GAUGES: &[&Gauge] = &[&GAUGE_PAR_WORKERS];
+
+/// Checkpoint save latency (ns).
+pub static HIST_CKPT_SAVE_NS: Histogram = Histogram::new("ckpt.save_ns");
+/// Checkpoint restore latency (ns).
+pub static HIST_CKPT_RESTORE_NS: Histogram = Histogram::new("ckpt.restore_ns");
+
+/// Every registered histogram, in stable snapshot order.
+pub static ALL_HISTS: &[&Histogram] = &[&HIST_CKPT_SAVE_NS, &HIST_CKPT_RESTORE_NS];
+
+/// Zeroes every registered metric (fresh session).
+pub fn reset_all() {
+    for c in ALL_COUNTERS {
+        c.reset();
+    }
+    for g in ALL_GAUGES {
+        g.reset();
+    }
+    for h in ALL_HISTS {
+        h.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique() {
+        let mut names: Vec<&str> = ALL_COUNTERS.iter().map(|c| c.name()).collect();
+        names.extend(ALL_GAUGES.iter().map(|g| g.name()));
+        names.extend(ALL_HISTS.iter().map(|h| h.name()));
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n, "duplicate metric name in registry");
+    }
+
+    #[test]
+    fn histogram_snapshot_empty_min_is_zero() {
+        let h = Histogram::new("t");
+        let s = h.snapshot();
+        assert_eq!((s.count, s.sum, s.min, s.max), (0, 0, 0, 0));
+    }
+}

@@ -123,6 +123,9 @@ struct Job {
     next: AtomicUsize,
     /// Number of tasks that have finished (run, skipped, or panicked).
     done: AtomicUsize,
+    /// Number of distinct threads that claimed at least one task —
+    /// the per-region utilization figure (`par.region` telemetry).
+    runners: AtomicUsize,
     /// Set on the first panic; later tasks are skipped (but counted).
     poisoned: AtomicBool,
     /// First panic payload, re-raised on the caller.
@@ -135,10 +138,15 @@ struct Job {
 impl Job {
     /// Claims and executes tasks until the index space is exhausted.
     fn execute(&self) {
+        let mut claimed_any = false;
         loop {
             let i = self.next.fetch_add(1, Ordering::SeqCst);
             if i >= self.n_tasks {
                 break;
+            }
+            if !claimed_any {
+                claimed_any = true;
+                self.runners.fetch_add(1, Ordering::Relaxed);
             }
             if !self.poisoned.load(Ordering::SeqCst) {
                 // SAFETY: see `TaskRef` — the closure outlives the job.
@@ -221,6 +229,7 @@ impl Pool {
                 .expect("apots-par: failed to spawn worker thread");
             *count += 1;
         }
+        apots_obs::metrics::GAUGE_PAR_WORKERS.raise(*count as u64);
     }
 
     /// Number of persistent workers currently alive (for diagnostics).
@@ -238,6 +247,7 @@ impl Pool {
     pub fn run_tasks(&self, n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
         let threads = current_threads();
         if n_tasks <= 1 || threads <= 1 || in_parallel_region() {
+            apots_obs::metrics::PAR_REGIONS_INLINE.bump();
             for i in 0..n_tasks {
                 task(i);
             }
@@ -257,6 +267,7 @@ impl Pool {
             n_tasks,
             next: AtomicUsize::new(0),
             done: AtomicUsize::new(0),
+            runners: AtomicUsize::new(0),
             poisoned: AtomicBool::new(false),
             panic: Mutex::new(None),
             complete: Mutex::new(false),
@@ -281,6 +292,19 @@ impl Pool {
             done = job.complete_cv.wait(done).unwrap();
         }
         drop(done);
+
+        // Per-region utilization telemetry (`det: false` — the runner
+        // count depends on scheduling). One relaxed load when disabled.
+        if apots_obs::enabled() {
+            apots_obs::metrics::PAR_REGIONS_POOLED.bump();
+            apots_obs::metrics::PAR_TASKS.add(n_tasks as u64);
+            apots_obs::value2(
+                "par.region",
+                false,
+                n_tasks as f64,
+                job.runners.load(Ordering::Relaxed) as f64,
+            );
+        }
 
         let payload = job.panic.lock().unwrap().take();
         if let Some(payload) = payload {

@@ -106,17 +106,6 @@ impl Json {
         parse::parse(text)
     }
 
-    /// Compact serialization.
-    ///
-    /// # Panics
-    /// Panics on non-finite numbers (JSON cannot represent NaN/±Inf).
-    #[allow(clippy::inherent_to_string)]
-    pub fn to_string(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, None, 0);
-        out
-    }
-
     /// Pretty serialization (two-space indent).
     ///
     /// # Panics
@@ -209,9 +198,16 @@ impl Json {
     }
 }
 
+/// Compact serialization (`to_string()` comes via the blanket
+/// [`ToString`] impl).
+///
+/// # Panics
+/// Panics on non-finite numbers (JSON cannot represent NaN/±Inf).
 impl fmt::Display for Json {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.to_string())
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        f.write_str(&out)
     }
 }
 

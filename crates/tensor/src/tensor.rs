@@ -14,6 +14,9 @@ const PAR_GRAIN_MACS: usize = 1 << 18;
 #[inline]
 fn matmul_chunk_rows(m: usize, k: usize, n: usize) -> usize {
     if m * k * n < PAR_GRAIN_MACS {
+        // Size-based decision taken before any threading — the counter is
+        // deterministic for any APOTS_THREADS (trace golden-hash eligible).
+        apots_obs::metrics::KERNEL_SERIAL_BELOW_GRAIN.bump();
         m
     } else {
         apots_par::rows_per_chunk(m, 8)
@@ -417,6 +420,7 @@ impl Tensor {
 
     /// Applies `f` to every element, producing a new tensor.
     pub fn map<F: FnMut(f32) -> f32>(&self, mut f: F) -> Self {
+        apots_obs::metrics::KERNEL_MAP.bump();
         let mut data = workspace::checkout_empty(self.data.len());
         data.extend(self.data.iter().map(|&v| f(v)));
         Self {
@@ -429,6 +433,7 @@ impl Tensor {
     /// `out` (same element count; `out` takes `self`'s shape). Bit-identical
     /// to [`Self::map`] for pure `f` — same serial element order.
     pub fn map_into<F: FnMut(f32) -> f32>(&self, out: &mut Self, mut f: F) {
+        apots_obs::metrics::KERNEL_MAP.bump();
         assert_eq!(
             out.data.len(),
             self.data.len(),
@@ -444,6 +449,7 @@ impl Tensor {
 
     /// Applies `f` to every element in place.
     pub fn map_in_place<F: FnMut(f32) -> f32>(&mut self, mut f: F) {
+        apots_obs::metrics::KERNEL_MAP.bump();
         for v in &mut self.data {
             *v = f(*v);
         }
@@ -451,6 +457,7 @@ impl Tensor {
 
     /// Combines two same-shaped tensors element-wise with `f`.
     pub fn zip_with<F: FnMut(f32, f32) -> f32>(&self, other: &Self, mut f: F) -> Self {
+        apots_obs::metrics::KERNEL_ZIP.bump();
         self.assert_same_shape(other, "zip_with");
         let mut data = workspace::checkout_empty(self.data.len());
         data.extend(
@@ -469,6 +476,7 @@ impl Tensor {
     /// results into `out` (same element count; `out` takes `self`'s shape).
     /// Bit-identical to [`Self::zip_with`] for pure `f`.
     pub fn zip_with_into<F: FnMut(f32, f32) -> f32>(&self, other: &Self, out: &mut Self, mut f: F) {
+        apots_obs::metrics::KERNEL_ZIP.bump();
         self.assert_same_shape(other, "zip_with_into");
         assert_eq!(
             out.data.len(),
@@ -510,6 +518,7 @@ impl Tensor {
     /// output are filled in parallel. Since `f` runs independently per
     /// element, the result is bit-identical to [`Self::map`] for pure `f`.
     pub fn par_map<F: Fn(f32) -> f32 + Sync>(&self, f: F) -> Self {
+        apots_obs::metrics::KERNEL_MAP.bump();
         let mut out = workspace::checkout(self.data.len());
         let src = &self.data;
         apots_par::parallel_chunks_mut(&mut out, Self::ELEMWISE_GRAIN, |ci, chunk| {
@@ -528,6 +537,7 @@ impl Tensor {
     /// Applies `f` to every element in place, in parallel. Bit-identical
     /// to [`Self::map_in_place`] for pure `f`.
     pub fn par_map_in_place<F: Fn(f32) -> f32 + Sync>(&mut self, f: F) {
+        apots_obs::metrics::KERNEL_MAP.bump();
         apots_par::parallel_chunks_mut(&mut self.data, Self::ELEMWISE_GRAIN, |_ci, chunk| {
             for v in chunk {
                 *v = f(*v);
@@ -538,6 +548,7 @@ impl Tensor {
     /// Combines two same-shaped tensors element-wise with `f`, in parallel.
     /// Bit-identical to [`Self::zip_with`] for pure `f`.
     pub fn par_zip_with<F: Fn(f32, f32) -> f32 + Sync>(&self, other: &Self, f: F) -> Self {
+        apots_obs::metrics::KERNEL_ZIP.bump();
         self.assert_same_shape(other, "par_zip_with");
         let mut out = workspace::checkout(self.data.len());
         let (lhs, rhs) = (&self.data, &other.data);
@@ -601,6 +612,7 @@ impl Tensor {
     /// Column sums written into `out` (length-`cols` rank-1): bit-identical
     /// to [`Self::sum_axis0`] — same ascending-row accumulation order.
     pub fn sum_axis0_into(&self, out: &mut Self) {
+        apots_obs::metrics::KERNEL_SUM_AXIS0.bump();
         assert_eq!(self.rank(), 2, "sum_axis0 requires rank-2");
         let (r, c) = (self.shape[0], self.shape[1]);
         assert_eq!(out.data.len(), c, "sum_axis0_into: bad output length");
@@ -705,6 +717,7 @@ impl Tensor {
         if n == 0 {
             return;
         }
+        apots_obs::metrics::KERNEL_MATMUL_FLAT.bump();
         let chunk_rows = matmul_chunk_rows(rows, k, n);
         let a = &self.data;
         let b = &other.data;
@@ -732,6 +745,7 @@ impl Tensor {
         if n == 0 {
             return;
         }
+        apots_obs::metrics::KERNEL_MATMUL.bump();
         let chunk_rows = matmul_chunk_rows(m, k, n);
         let a = &self.data;
         let b = &other.data;
@@ -790,6 +804,7 @@ impl Tensor {
         if n == 0 {
             return;
         }
+        apots_obs::metrics::KERNEL_MATMUL_AT_B.bump();
         let chunk_rows = matmul_chunk_rows(m, k, n);
         let a = &self.data;
         let b = &other.data;
@@ -846,6 +861,7 @@ impl Tensor {
         if n == 0 {
             return;
         }
+        apots_obs::metrics::KERNEL_MATMUL_A_BT.bump();
         let chunk_rows = matmul_chunk_rows(m, k, n);
         let a = &self.data;
         let b = &other.data;
@@ -870,6 +886,7 @@ impl Tensor {
         if c == 0 {
             return;
         }
+        apots_obs::metrics::KERNEL_ADD_ROW_BROADCAST.bump();
         let rows = self.shape[0];
         let chunk_rows = apots_par::rows_per_chunk(rows, 64);
         let bias = &bias.data;

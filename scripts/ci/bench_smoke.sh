@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Stage: bench-smoke — run the three gated benchmark suites in smoke mode
+# and emit their BENCH_*.json result files at the repo root (consumed by
+# the bench-gate stage), then sanity-check the allocation profile.
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+export APOTS_BENCH_SMOKE_EMIT=1
+export APOTS_BENCH_DIR="$PWD"
+cargo bench -p apots-bench --bench parallel_kernels --offline -- --test
+cargo bench -p apots-bench --bench alloc_profile --offline -- --test
+cargo bench -p apots-bench --bench train_epoch --offline -- --test
+
+echo "== BENCH_alloc_profile.json steady state is zero =="
+grep -q '"target": "alloc_profile"' BENCH_alloc_profile.json
+if grep -E '"steady_state_allocs": [0-9]*[1-9]' BENCH_alloc_profile.json; then
+  echo "ERROR: nonzero steady-state hot-path allocations above" >&2
+  exit 1
+fi

@@ -1,0 +1,6 @@
+#!/usr/bin/env bash
+# Stage: build — release build of the whole workspace, offline.
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+cargo build --workspace --release --offline

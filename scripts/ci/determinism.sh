@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Stage: determinism — crash-safety and bit-equality suites:
+#   * resume-equivalence & fault injection (crash-safe training runtime);
+#   * serial/parallel bit-equality at APOTS_THREADS=4 (DESIGN.md §9);
+#   * trace-format goldens: the deterministic trace projection hashes to
+#     the same pinned value at 1 and 4 threads (DESIGN.md §11).
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+cargo test -p apots --test resume_equivalence --release --offline -q
+APOTS_THREADS=4 cargo test -p apots --test parallel_equivalence --release --offline -q
+cargo test -p apots --test trace_format --release --offline -q

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Stage: hermeticity — no external crates may appear in any manifest
+# (DESIGN.md §6: the workspace carries zero external dependencies).
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+if grep -rn 'rand\|proptest\|serde\|criterion\|crossbeam' \
+    Cargo.toml crates/*/Cargo.toml \
+  | grep -v 'apots-' | grep -v '^\s*#' | grep -v 'description'; then
+  echo "ERROR: external dependency mention found above" >&2
+  exit 1
+fi
+echo "hermeticity ok: no external crates referenced"

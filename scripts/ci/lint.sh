@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Stage: lint — formatting and clippy, warnings denied, all targets.
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets --offline -- -D warnings

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Stage: memory — the workspace-arena contract (DESIGN.md §10):
+#   * into-kernel bit-equality + full-epoch golden pins;
+#   * steady-state hot path allocates nothing, untraced AND with the
+#     APOTS_TRACE telemetry session armed (DESIGN.md §11).
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+cargo test -p apots --test into_kernels --test epoch_equality --release --offline -q
+cargo test -p apots-bench --test alloc_regression --release --offline -q

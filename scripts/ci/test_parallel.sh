@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Stage: test-parallel — full test suite on the pooled path
+# (APOTS_THREADS=4); outputs must be bit-identical to the serial run.
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+APOTS_THREADS=4 cargo test --workspace -q --offline

@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Stage: test-serial — full test suite on the exact serial path
+# (APOTS_THREADS=1 pins the compute pool to one thread).
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+APOTS_THREADS=1 cargo test --workspace -q --offline

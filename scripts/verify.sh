@@ -1,59 +1,4 @@
 #!/usr/bin/env bash
-# Offline verification gate for the hermetic APOTS workspace.
-#
-# The workspace carries zero external dependencies (see DESIGN.md §6),
-# so everything below must succeed with the network disabled. Run from
-# anywhere; operates on the repo this script lives in.
-
-set -euo pipefail
-cd "$(dirname "$0")/.."
-
-echo "== cargo build --release --offline =="
-cargo build --workspace --release --offline
-
-echo "== cargo test -q --offline (APOTS_THREADS=1: exact serial path) =="
-APOTS_THREADS=1 cargo test --workspace -q --offline
-
-echo "== cargo test -q --offline (APOTS_THREADS=4: pooled path) =="
-APOTS_THREADS=4 cargo test --workspace -q --offline
-
-echo "== crash-safety: resume-equivalence & fault-injection suite =="
-cargo test -p apots --test resume_equivalence --release --offline -q
-
-echo "== determinism: serial/parallel bit-equality suite (APOTS_THREADS=4) =="
-APOTS_THREADS=4 cargo test -p apots --test parallel_equivalence --release --offline -q
-
-echo "== bench smoke: parallel kernels (emits BENCH_parallel_kernels.json) =="
-APOTS_BENCH_SMOKE_EMIT=1 cargo bench -p apots-bench --bench parallel_kernels --offline -- --test
-
-echo "== memory: into-kernel bit-equality + full-epoch golden pins =="
-cargo test -p apots --test into_kernels --test epoch_equality --release --offline -q
-
-echo "== memory: steady-state hot path allocates nothing (DESIGN.md §10) =="
-cargo test -p apots-bench --test alloc_regression --release --offline -q
-
-echo "== bench smoke: alloc profile + train epoch (emit BENCH_*.json) =="
-APOTS_BENCH_SMOKE_EMIT=1 APOTS_BENCH_DIR="$PWD" \
-  cargo bench -p apots-bench --bench alloc_profile --offline -- --test
-APOTS_BENCH_SMOKE_EMIT=1 APOTS_BENCH_DIR="$PWD" \
-  cargo bench -p apots-bench --bench train_epoch --offline -- --test
-
-echo "== memory: BENCH_alloc_profile.json steady state is zero =="
-grep -q '"target": "alloc_profile"' BENCH_alloc_profile.json
-if grep -E '"steady_state_allocs": [0-9]*[1-9]' BENCH_alloc_profile.json; then
-  echo "ERROR: nonzero steady-state hot-path allocations above" >&2
-  exit 1
-fi
-
-echo "== cargo fmt --check =="
-cargo fmt --all --check
-
-echo "== hermeticity: no external crates in any manifest =="
-if grep -rn 'rand\|proptest\|serde\|criterion\|crossbeam' \
-    Cargo.toml crates/*/Cargo.toml \
-    | grep -v 'apots-' | grep -v '^\s*#' | grep -v 'description'; then
-  echo "ERROR: external dependency mention found above" >&2
-  exit 1
-fi
-
-echo "verify.sh: all green"
+# Thin wrapper kept for compatibility: the verification gate now lives in
+# staged units under scripts/ci/ (see scripts/ci/verify.sh --list).
+exec "$(dirname "$0")/ci/verify.sh" "$@"
