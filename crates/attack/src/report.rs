@@ -1,0 +1,180 @@
+//! The robustness evaluator: every attack × every [`PredictorKind`],
+//! trained plain vs. defended, folded into one strict-JSON report.
+//!
+//! The *defended* arm is the RDAT attack-in-the-loop mode: plain MSE
+//! training plus a worst-of-K-probes robust step per batch. The paper's
+//! GAN objective is deliberately *not* part of this arm — it shapes the
+//! realism of predicted sequences, not sensitivity to input
+//! perturbations, and measured head-to-head it makes every kind *more*
+//! attackable (see DESIGN.md §12). A kind **passes** when its defended
+//! model degrades strictly less than its plain twin under at least 2 of
+//! the 3 attacks; `all_pass` ands the four kinds together and is what
+//! `scripts/ci/robustness.sh` gates on via `--require-pass`.
+//!
+//! The report is built with `apots-serde` maps only (no floats ever pass
+//! through a locale or a HashMap), so its serialized bytes are a pure
+//! function of the config — byte-stability is pinned by a golden FNV-1a
+//! hash in `tests/report_golden.rs`.
+
+use apots::config::{HyperPreset, PredictorKind, RdatConfig, TrainConfig};
+use apots::predictor::build_predictor;
+use apots::runtime::TrainOptions;
+use apots::trainer::train_with_options;
+use apots_serde::{Json, Map};
+use apots_traffic::{FeatureMask, TrafficDataset};
+
+use crate::{run_attack, AttackConfig, AttackKind};
+
+/// Parameters of one robustness-report run.
+#[derive(Debug, Clone)]
+pub struct ReportConfig {
+    /// Architecture widths for every trained model.
+    pub preset: HyperPreset,
+    /// Per-step perturbation bound shared by attacks and the defense.
+    pub theta: f32,
+    /// Forward-query budget per attack run.
+    pub budget: usize,
+    /// Master seed: training seeds, model init seeds and attack seeds
+    /// all derive from it.
+    pub seed: u64,
+    /// Held-out samples attacked (a deterministic prefix of the test
+    /// split).
+    pub eval_samples: usize,
+    /// Training epochs per arm.
+    pub epochs: usize,
+    /// Per-epoch sample cap for training (keeps the 8-model sweep
+    /// CPU-friendly).
+    pub max_train_samples: Option<usize>,
+    /// Feature groups visible to the models and the attacks.
+    pub mask: FeatureMask,
+}
+
+impl Default for ReportConfig {
+    fn default() -> Self {
+        Self {
+            preset: HyperPreset::Fast,
+            theta: apots::perturb::DEFAULT_THETA,
+            budget: 48,
+            seed: 2024,
+            eval_samples: 64,
+            // 16 epochs is where the recurrent kinds (L, H) converge
+            // under the 2048-sample cap; undertrained plain arms are
+            // near-flat and therefore artificially hard to degrade,
+            // which would mask the defense's effect.
+            epochs: 16,
+            max_train_samples: Some(2048),
+            mask: FeatureMask::BOTH,
+        }
+    }
+}
+
+fn num(v: f64) -> Json {
+    Json::Num(v)
+}
+
+/// Trains one arm and measures it under every attack.
+fn arm(
+    data: &TrafficDataset,
+    kind: PredictorKind,
+    cfg: &ReportConfig,
+    defended: bool,
+    samples: &[usize],
+) -> (Json, Vec<f64>) {
+    // Both arms share the identical base recipe; the defended twin only
+    // adds the RDAT robust step, so any degradation gap is attributable
+    // to the defense alone.
+    let base = TrainConfig {
+        epochs: cfg.epochs,
+        max_train_samples: cfg.max_train_samples,
+        ..TrainConfig::plain(cfg.mask)
+    };
+    let mut tc = if defended {
+        base.with_rdat(RdatConfig {
+            theta: cfg.theta,
+            ..RdatConfig::default()
+        })
+    } else {
+        base
+    };
+    tc.seed = cfg.seed ^ (u64::from(defended) << 32);
+    let init_seed = cfg.seed ^ kind.label().as_bytes()[0] as u64;
+    let mut p = build_predictor(kind, cfg.preset, data, init_seed);
+    train_with_options(p.as_mut(), data, &tc, &mut TrainOptions::default())
+        .expect("robustness-report training run");
+
+    let mut attacks = Vec::new();
+    let mut degradations = Vec::new();
+    let mut clean_mse = 0.0;
+    for ak in AttackKind::all() {
+        let outcome = run_attack(
+            p.as_mut(),
+            data,
+            samples,
+            &AttackConfig {
+                kind: ak,
+                theta: cfg.theta,
+                budget: cfg.budget,
+                seed: cfg.seed,
+                mask: cfg.mask,
+            },
+        );
+        clean_mse = outcome.clean_mse;
+        let mut m = Map::new();
+        m.insert("attack".into(), Json::Str(ak.label().into()));
+        m.insert("attacked_mse".into(), num(outcome.attacked_mse));
+        m.insert("degradation".into(), num(outcome.degradation()));
+        m.insert("queries".into(), num(outcome.queries as f64));
+        attacks.push(Json::Obj(m));
+        degradations.push(outcome.degradation());
+    }
+    let mut m = Map::new();
+    m.insert("clean_mse".into(), num(clean_mse));
+    m.insert("attacks".into(), Json::Arr(attacks));
+    (Json::Obj(m), degradations)
+}
+
+/// Runs the full sweep: 4 kinds × {plain, defended} × 3 attacks.
+///
+/// Deterministic for a fixed `cfg` and dataset: bit-identical bytes
+/// across re-runs and across `APOTS_THREADS` settings.
+pub fn robustness_report(data: &TrafficDataset, cfg: &ReportConfig) -> Json {
+    let _span = apots_obs::span("attack.report", true);
+    let samples: Vec<usize> = data
+        .test_samples()
+        .iter()
+        .copied()
+        .take(cfg.eval_samples.max(1))
+        .collect();
+
+    let mut kinds = Vec::new();
+    let mut all_pass = true;
+    for kind in PredictorKind::all() {
+        let (plain, plain_deg) = arm(data, kind, cfg, false, &samples);
+        let (defended, def_deg) = arm(data, kind, cfg, true, &samples);
+        let adv_wins = plain_deg
+            .iter()
+            .zip(&def_deg)
+            .filter(|(p, d)| d < p)
+            .count();
+        let pass = adv_wins >= 2;
+        all_pass &= pass;
+        let mut m = Map::new();
+        m.insert("kind".into(), Json::Str(kind.label().into()));
+        m.insert("plain".into(), plain);
+        m.insert("defended".into(), defended);
+        m.insert("adv_wins".into(), num(adv_wins as f64));
+        m.insert("attacks_total".into(), num(AttackKind::all().len() as f64));
+        m.insert("pass".into(), Json::Bool(pass));
+        kinds.push(Json::Obj(m));
+    }
+
+    let mut root = Map::new();
+    root.insert("schema".into(), Json::Str("apots-robustness-report".into()));
+    root.insert("theta".into(), num(f64::from(cfg.theta)));
+    root.insert("budget".into(), num(cfg.budget as f64));
+    root.insert("seed".into(), num(cfg.seed as f64));
+    root.insert("samples".into(), num(samples.len() as f64));
+    root.insert("kinds".into(), Json::Arr(kinds));
+    root.insert("all_pass".into(), Json::Bool(all_pass));
+    Json::Obj(root)
+}

@@ -1,0 +1,172 @@
+//! **Robustness contract, attacker side** (DESIGN.md §12): every
+//! black-box attack, over random seeds / shapes / budgets,
+//!
+//! 1. emits perturbations inside θ = ±0.3 per step *and* the physical
+//!    speed envelope `[5, free_flow·1.05]` km/h;
+//! 2. never increases the clean MSE when the query budget is zero
+//!    (bit-identical outcome, zero queries, zero RNG consumption);
+//! 3. is bit-identical across `APOTS_THREADS ∈ {1, 4}` and across
+//!    re-runs at the same seed.
+//!
+//! Each property runs the apots-check default of ≥64 cases; the CI stage
+//! `robustness` runs this suite by name.
+
+use apots::config::{HyperPreset, PredictorKind};
+use apots::perturb::{self, SpeedBounds, MIN_SPEED_KMH};
+use apots::predictor::{build_predictor, Predictor};
+use apots_attack::{run_attack, AttackConfig, AttackKind};
+use apots_check::SeededRng;
+use apots_tensor::rng::Rng;
+use apots_traffic::calendar::Calendar;
+use apots_traffic::{Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset};
+
+/// `apots_par::set_threads` is process-global; the determinism property
+/// holds this while it flips thread counts.
+static THREADS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn dataset() -> &'static TrafficDataset {
+    static DS: std::sync::OnceLock<TrafficDataset> = std::sync::OnceLock::new();
+    DS.get_or_init(|| {
+        let cal = Calendar::new(6, 6, vec![]);
+        TrafficDataset::new(
+            Corridor::generate_with_calendar(SimConfig::default(), cal),
+            DataConfig::default(),
+        )
+    })
+}
+
+/// One random attack scenario: seed, sample subset, budget, attack,
+/// predictor kind and feature mask.
+type Case = ((u64, u8, u8), (u8, u8, bool));
+
+fn gen_case(rng: &mut SeededRng) -> Case {
+    (
+        (
+            rng.next_u64(),
+            (rng.next_u64() % 3 + 1) as u8, // 1..=3 samples
+            (rng.next_u64() % 9) as u8,     // budget 0..=8
+        ),
+        (
+            (rng.next_u64() % 3) as u8, // attack
+            (rng.next_u64() % 4) as u8, // predictor kind
+            rng.next_u64() & 1 == 0,    // adjacent rows visible?
+        ),
+    )
+}
+
+fn scenario(case: &Case) -> (Box<dyn Predictor>, Vec<usize>, AttackConfig) {
+    let &((seed, n_samples, budget), (attack, kind, adjacent)) = case;
+    let ds = dataset();
+    let kind = PredictorKind::all()[kind as usize];
+    let mask = if adjacent {
+        FeatureMask::BOTH
+    } else {
+        FeatureMask::SPEED_ONLY
+    };
+    let predictor = build_predictor(kind, HyperPreset::Fast, ds, seed ^ 0x11);
+    let test = ds.test_samples();
+    let start = (seed % (test.len() - n_samples as usize) as u64) as usize;
+    let samples = test[start..start + n_samples as usize].to_vec();
+    let cfg = AttackConfig {
+        kind: AttackKind::all()[attack as usize],
+        theta: perturb::DEFAULT_THETA,
+        budget: budget as usize,
+        seed,
+        mask,
+    };
+    (predictor, samples, cfg)
+}
+
+#[test]
+fn attacks_respect_theta_and_physical_bounds() {
+    apots_check::check("attack_bounds", gen_case, |case: &Case| {
+        let (mut p, samples, cfg) = scenario(case);
+        let ds = dataset();
+        let outcome = run_attack(p.as_mut(), ds, &samples, &cfg);
+        // Deltas are θ-fractions: anything outside [−1, 1] would break
+        // the per-step bound after scaling.
+        if let Some(bad) = outcome.deltas.iter().find(|d| d.abs() > 1.0) {
+            return Err(format!("delta {bad} outside [-1, 1]"));
+        }
+        // Reconstruct the attacked inputs from the reported deltas and
+        // check every speed entry against both bounds.
+        let clean: Vec<_> = samples.iter().map(|&t| ds.features(t, cfg.mask)).collect();
+        let mut attacked = clean.clone();
+        let bounds = SpeedBounds::of(ds);
+        perturb::apply_speed_deltas(
+            &mut attacked,
+            &clean,
+            &outcome.deltas,
+            cfg.theta,
+            cfg.mask,
+            &bounds,
+        );
+        let norm = ds.speed_norm();
+        for (a, c) in attacked.iter().zip(&clean) {
+            for (road, (a_row, c_row)) in a.speed_matrix.iter().zip(&c.speed_matrix).enumerate() {
+                for (&pa, &pc) in a_row.iter().zip(c_row) {
+                    let raw_a = norm.denormalize(pa);
+                    let raw_c = norm.denormalize(pc);
+                    if (raw_a - raw_c).abs() > cfg.theta * raw_c + 1e-3 {
+                        return Err(format!("θ bound violated: {raw_c} → {raw_a}"));
+                    }
+                    if raw_a < MIN_SPEED_KMH - 1e-3 || raw_a > bounds.hi(road) + 1e-3 {
+                        return Err(format!("physical bound violated: {raw_a} on road {road}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn zero_budget_never_hurts_clean_mse() {
+    apots_check::check("attack_zero_budget", gen_case, |case: &Case| {
+        let (mut p, samples, mut cfg) = scenario(case);
+        cfg.budget = 0;
+        let outcome = run_attack(p.as_mut(), dataset(), &samples, &cfg);
+        if outcome.attacked_mse.to_bits() != outcome.clean_mse.to_bits() {
+            return Err(format!(
+                "budget 0 changed the MSE: {} → {}",
+                outcome.clean_mse, outcome.attacked_mse
+            ));
+        }
+        if outcome.queries != 0 {
+            return Err(format!("budget 0 spent {} queries", outcome.queries));
+        }
+        if outcome.deltas.iter().any(|&d| d != 0.0) {
+            return Err("budget 0 produced nonzero deltas".into());
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn attacks_are_bit_identical_across_threads_and_reruns() {
+    let _g = THREADS.lock().unwrap_or_else(|e| e.into_inner());
+    apots_check::check("attack_determinism", gen_case, |case: &Case| {
+        let ds = dataset();
+        let mut fingerprints = Vec::new();
+        for threads in [1usize, 4, 1] {
+            apots_par::set_threads(threads);
+            let (mut p, samples, cfg) = scenario(case);
+            let o = run_attack(p.as_mut(), ds, &samples, &cfg);
+            let delta_bits: Vec<u32> = o.deltas.iter().map(|d| d.to_bits()).collect();
+            fingerprints.push((
+                o.clean_mse.to_bits(),
+                o.attacked_mse.to_bits(),
+                o.queries,
+                delta_bits,
+            ));
+        }
+        apots_par::reset_threads();
+        if fingerprints[0] != fingerprints[1] {
+            return Err("attack outcome depends on APOTS_THREADS".into());
+        }
+        if fingerprints[0] != fingerprints[2] {
+            return Err("attack outcome differs across re-runs at the same seed".into());
+        }
+        Ok(())
+    });
+}

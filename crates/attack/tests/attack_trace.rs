@@ -1,0 +1,90 @@
+//! **Trace contract, attack side** (DESIGN.md §11/§12): a traced attack
+//! run stays inside the line-kind contract of `trace_format.rs`, emits
+//! the `attack.*` instrumentation (`attack.run` span, `attack.runs` /
+//! `attack.queries` counters, the `attack.mse` pair), and
+//! `metrics-summary` folds those lines into the report's `attack`
+//! section.
+
+use apots::config::{HyperPreset, PredictorKind};
+use apots::predictor::build_predictor;
+use apots_attack::{run_attack, AttackConfig, AttackKind};
+use apots_serde::Json;
+use apots_traffic::calendar::Calendar;
+use apots_traffic::{Corridor, DataConfig, SimConfig, TrafficDataset};
+
+#[test]
+fn attack_trace_stays_inside_the_kind_contract_and_summarizes() {
+    // Obs state is process-global; this is the only test in this binary
+    // that enables tracing.
+    apots_obs::enable(None);
+    let ds = TrafficDataset::new(
+        Corridor::generate_with_calendar(SimConfig::default(), Calendar::new(6, 6, vec![])),
+        DataConfig::default(),
+    );
+    let mut p = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &ds, 3);
+    let samples: Vec<usize> = ds.test_samples().iter().copied().take(2).collect();
+    let cfg = AttackConfig {
+        budget: 4,
+        ..AttackConfig::new(AttackKind::Spsa)
+    };
+    let outcome = run_attack(p.as_mut(), &ds, &samples, &cfg);
+    apots_obs::disable();
+    apots_obs::drain();
+    let text = apots_obs::render();
+
+    const KNOWN: [&str; 8] = [
+        "meta",
+        "span_open",
+        "span_close",
+        "value",
+        "counter",
+        "gauge",
+        "hist",
+        "dropped",
+    ];
+    let mut saw_span = false;
+    let mut saw_mse = false;
+    let mut queries = 0.0;
+    for line in text.lines() {
+        let j = Json::parse(line).unwrap_or_else(|e| panic!("bad trace line {line:?}: {e}"));
+        let kind = j.get("kind").and_then(Json::as_str).unwrap();
+        assert!(KNOWN.contains(&kind), "unknown kind {kind:?}");
+        let name = j.get("name").and_then(Json::as_str).unwrap_or("");
+        match (kind, name) {
+            ("span_open", "attack.run") => saw_span = true,
+            ("value", "attack.mse") => saw_mse = true,
+            ("counter", "attack.queries") => {
+                queries = j.get("value").and_then(Json::as_f64).unwrap_or(0.0);
+            }
+            _ => {}
+        }
+    }
+    assert!(saw_span, "no attack.run span in the trace");
+    assert!(saw_mse, "no attack.mse pair in the trace");
+    assert_eq!(queries, outcome.queries as f64, "attack.queries counter");
+
+    let summary = apots_obs::summary::summarize(&text).expect("summarize");
+    let attack = summary.get("attack").expect("attack section");
+    assert_eq!(
+        attack.get("runs").and_then(Json::as_f64),
+        Some(1.0),
+        "attack.runs"
+    );
+    assert_eq!(
+        attack.get("queries").and_then(Json::as_f64),
+        Some(outcome.queries as f64)
+    );
+    let runs = attack
+        .get("measurements")
+        .and_then(Json::as_array)
+        .expect("measurements array");
+    assert_eq!(runs.len(), 1);
+    assert_eq!(
+        runs[0].get("clean_mse").and_then(Json::as_f64),
+        Some(outcome.clean_mse)
+    );
+    assert_eq!(
+        runs[0].get("attacked_mse").and_then(Json::as_f64),
+        Some(outcome.attacked_mse)
+    );
+}

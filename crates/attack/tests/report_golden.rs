@@ -1,0 +1,81 @@
+//! **Robustness-report byte stability**: the serialized report is a pure
+//! function of its config — bit-identical across re-runs and across
+//! `APOTS_THREADS ∈ {1, 4}`, pinned by a golden FNV-1a hash the same way
+//! the trace contract pins its det-hash. If the hash moves after an
+//! intentional change to training numerics, the attacks, or the report
+//! schema, recapture it and note the break in DESIGN.md §12.
+
+use apots_attack::{robustness_report, ReportConfig};
+use apots_serde::atomic::fnv1a_64;
+use apots_serde::Json;
+use apots_traffic::calendar::Calendar;
+use apots_traffic::{Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset};
+
+/// FNV-1a of the tiny report below, captured at `APOTS_THREADS=1`.
+const GOLDEN_REPORT_HASH: u64 = 0xe00521a8c0a6fa80;
+
+fn dataset() -> TrafficDataset {
+    let cal = Calendar::new(6, 6, vec![]);
+    TrafficDataset::new(
+        Corridor::generate_with_calendar(SimConfig::default(), cal),
+        DataConfig::default(),
+    )
+}
+
+fn tiny_cfg() -> ReportConfig {
+    ReportConfig {
+        epochs: 1,
+        max_train_samples: Some(32),
+        eval_samples: 8,
+        budget: 6,
+        seed: 404,
+        mask: FeatureMask::BOTH,
+        ..ReportConfig::default()
+    }
+}
+
+#[test]
+fn report_bytes_are_stable_across_threads_and_pinned() {
+    let ds = dataset();
+    let cfg = tiny_cfg();
+
+    apots_par::set_threads(1);
+    let t1 = robustness_report(&ds, &cfg).to_string();
+    apots_par::set_threads(4);
+    let t4 = robustness_report(&ds, &cfg).to_string();
+    apots_par::reset_threads();
+
+    assert_eq!(t1, t4, "report bytes depend on APOTS_THREADS");
+    let h = fnv1a_64(t1.as_bytes());
+    assert_eq!(
+        h, GOLDEN_REPORT_HASH,
+        "robustness report drifted from the pinned golden (got {h:#018x}); \
+         see the module docs before updating"
+    );
+
+    // The report is strict JSON with the contracted shape.
+    let j = Json::parse(&t1).expect("report parses");
+    assert_eq!(
+        j.get("schema").and_then(Json::as_str),
+        Some("apots-robustness-report")
+    );
+    let kinds = j.get("kinds").and_then(Json::as_array).unwrap();
+    assert_eq!(kinds.len(), 4);
+    for k in kinds {
+        for armname in ["plain", "defended"] {
+            let arm = k.get(armname).unwrap();
+            assert!(arm.get("clean_mse").and_then(Json::as_f64).unwrap() >= 0.0);
+            let attacks = arm.get("attacks").and_then(Json::as_array).unwrap();
+            assert_eq!(attacks.len(), 3);
+            for a in attacks {
+                let deg = a.get("degradation").and_then(Json::as_f64).unwrap();
+                assert!(
+                    deg >= 1.0 - 1e-9,
+                    "an attack can never improve the model: degradation {deg}"
+                );
+            }
+        }
+        assert!(k.get("pass").is_some());
+    }
+    assert!(j.get("all_pass").is_some());
+}

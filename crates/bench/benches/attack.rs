@@ -1,0 +1,56 @@
+//! **Attack bench** — one θ-bounded black-box attack run per attack
+//! family against the Fc predictor, the unit of work behind the
+//! robustness report (DESIGN.md §12). Each measured iteration replays
+//! the full query loop: `budget` batch forwards plus the clean forward,
+//! delta sampling from the in-house PCG stream and the per-sample
+//! incumbent bookkeeping.
+//!
+//! Attacks are deliberately serial (determinism over throughput), so
+//! there is no `threadsN` axis here — the numbers bound the fixed cost
+//! the robustness CI stage pays per attack run.
+
+use std::time::Duration;
+
+use apots::config::{HyperPreset, PredictorKind};
+use apots::predictor::build_predictor;
+use apots_attack::{run_attack, AttackConfig, AttackKind};
+use apots_bench::{criterion_group, criterion_main, Criterion};
+use apots_traffic::calendar::Calendar;
+use apots_traffic::{Corridor, DataConfig, SimConfig, TrafficDataset};
+use std::hint::black_box;
+
+fn dataset() -> TrafficDataset {
+    let cal = Calendar::new(7, 6, vec![3]);
+    TrafficDataset::new(
+        Corridor::generate_with_calendar(SimConfig::default(), cal),
+        DataConfig::default(),
+    )
+}
+
+fn bench_attacks(c: &mut Criterion) {
+    let data = dataset();
+    let samples: Vec<usize> = data.test_samples().iter().copied().take(16).collect();
+    for kind in AttackKind::all() {
+        let cfg = AttackConfig {
+            budget: 32,
+            ..AttackConfig::new(kind)
+        };
+        // Bench names keep the gate's `snake_case` convention, so the
+        // kind labels drop their hyphens.
+        let name = format!("attack_{}_b32_s16_F", kind.label().replace('-', "_"));
+        c.bench_function(&name, |b| {
+            let mut p = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &data, 1);
+            b.iter(|| black_box(run_attack(p.as_mut(), &data, &samples, &cfg)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench_attacks
+}
+criterion_main!(benches);

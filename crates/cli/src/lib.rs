@@ -18,6 +18,7 @@ use apots::eval::{evaluate, predict_trace};
 use apots::predictor::build_predictor;
 use apots::runtime::TrainOptions;
 use apots::trainer::train_with_options;
+use apots_attack::{robustness_report, run_attack, AttackConfig, AttackKind, ReportConfig};
 use apots_serde::atomic::write_atomic;
 use apots_traffic::calendar::Calendar;
 use apots_traffic::{
@@ -62,6 +63,13 @@ fn usage() -> &'static str {
      \x20            --model FILE [--days N] [--seed N] [--json]\n\
      \x20 predict    print a predicted speed trace for a time window\n\
      \x20            --model FILE --day N --from HH:MM --to HH:MM\n\
+     \x20 attack     run a θ-bounded black-box attack on a checkpoint\n\
+     \x20            --model FILE [--attack random-search|greedy|spsa]\n\
+     \x20            [--budget N] [--theta X] [--samples N] [--json]\n\
+     \x20 robustness-report  train 4 kinds plain vs. defended (RDAT),\n\
+     \x20            attack all of them and write a strict-JSON report\n\
+     \x20            [--epochs N] [--budget N] [--theta X] [--samples N]\n\
+     \x20            [--max-train-samples N] [--out FILE] [--require-pass]\n\
      \x20 metrics-summary  aggregate a JSONL trace into one JSON report\n\
      \x20            <trace.jsonl> [--compact]\n\
      \x20 bench-gate check fresh BENCH_*.json files against the committed\n\
@@ -95,7 +103,10 @@ fn run(argv: &[String]) -> Result<(), String> {
     // `metrics-summary` *reads* traces and must never clobber its own
     // input. Without either knob telemetry stays disabled and every
     // probe costs one relaxed atomic load (DESIGN.md §11).
-    let traced = matches!(cmd.as_str(), "simulate" | "train" | "eval" | "predict");
+    let traced = matches!(
+        cmd.as_str(),
+        "simulate" | "train" | "eval" | "predict" | "attack" | "robustness-report"
+    );
     if traced {
         match args.get_str("trace") {
             Some(path) => apots_obs::enable(Some(std::path::PathBuf::from(path))),
@@ -109,6 +120,8 @@ fn run(argv: &[String]) -> Result<(), String> {
         "train" => no_operands(&args, cmd_train),
         "eval" => no_operands(&args, cmd_eval),
         "predict" => no_operands(&args, cmd_predict),
+        "attack" => no_operands(&args, cmd_attack),
+        "robustness-report" => no_operands(&args, cmd_robustness_report),
         "metrics-summary" => cmd_metrics_summary(&args),
         "bench-gate" => bench_gate::run(&args),
         "help" | "--help" | "-h" => {
@@ -327,6 +340,126 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
         println!(
             "by situation: normal {:.2}%, abrupt acc {:.2}%, abrupt dec {:.2}%",
             rows[1], rows[2], rows[3]
+        );
+    }
+    Ok(())
+}
+
+fn parse_theta(args: &Args) -> Result<Option<f32>, String> {
+    match args.get_str("theta") {
+        None => Ok(None),
+        Some(s) => {
+            let v: f32 = s
+                .parse()
+                .map_err(|_| format!("--theta expects a number, got {s:?}"))?;
+            if !(v > 0.0 && v <= 1.0) {
+                return Err(format!("--theta must be in (0, 1], got {v}"));
+            }
+            Ok(Some(v))
+        }
+    }
+}
+
+fn cmd_attack(args: &Args) -> Result<(), String> {
+    let data = build_data(args)?;
+    let mut model = load_model(args, &data)?;
+    let kind = match args.get_str("attack") {
+        None => AttackKind::RandomSearch,
+        Some(s) => AttackKind::parse(s)
+            .ok_or_else(|| format!("unknown attack {s:?} (use random-search, greedy or spsa)"))?,
+    };
+    let mut cfg = AttackConfig::new(kind);
+    if let Some(theta) = parse_theta(args)? {
+        cfg.theta = theta;
+    }
+    if let Some(b) = args.get_usize("budget")? {
+        cfg.budget = b;
+    }
+    if let Some(s) = args.get_u64("attack-seed")? {
+        cfg.seed = s;
+    }
+    let n = args.get_usize("samples")?.unwrap_or(64).max(1);
+    let samples: Vec<usize> = data.test_samples().iter().copied().take(n).collect();
+    let outcome = run_attack(model.as_mut(), &data, &samples, &cfg);
+    if args.has_flag("json") {
+        let json = apots_serde::json!({
+            "attack": kind.label(),
+            "theta": f64::from(cfg.theta),
+            "budget": cfg.budget,
+            "samples": samples.len(),
+            "clean_mse": outcome.clean_mse,
+            "attacked_mse": outcome.attacked_mse,
+            "degradation": outcome.degradation(),
+            "queries": outcome.queries,
+        });
+        println!("{}", json.to_string_pretty());
+    } else {
+        println!(
+            "{} attack on {} test samples (θ = {}, budget {})",
+            kind.label(),
+            samples.len(),
+            cfg.theta,
+            cfg.budget
+        );
+        println!("clean MSE    {:.4} (km/h)²", outcome.clean_mse);
+        println!("attacked MSE {:.4} (km/h)²", outcome.attacked_mse);
+        println!(
+            "degradation  {:.3}× over {} forward queries",
+            outcome.degradation(),
+            outcome.queries
+        );
+    }
+    Ok(())
+}
+
+fn cmd_robustness_report(args: &Args) -> Result<(), String> {
+    let data = build_data(args)?;
+    let mut cfg = ReportConfig::default();
+    if let Some(theta) = parse_theta(args)? {
+        cfg.theta = theta;
+    }
+    if let Some(b) = args.get_usize("budget")? {
+        cfg.budget = b;
+    }
+    if let Some(e) = args.get_usize("epochs")? {
+        if e == 0 {
+            return Err("--epochs must be positive".into());
+        }
+        cfg.epochs = e;
+    }
+    if let Some(n) = args.get_usize("samples")? {
+        cfg.eval_samples = n;
+    }
+    if let Some(n) = args.get_usize("max-train-samples")? {
+        cfg.max_train_samples = Some(n);
+    }
+    if let Some(s) = args.get_u64("report-seed")? {
+        cfg.seed = s;
+    }
+    eprintln!(
+        "robustness sweep: 4 kinds × {{plain, defended}} × {} attacks \
+         ({} epochs each; θ = {}, budget {})…",
+        AttackKind::all().len(),
+        cfg.epochs,
+        cfg.theta,
+        cfg.budget
+    );
+    let report = robustness_report(&data, &cfg);
+    let text = report.to_string_pretty();
+    match args.get_str("out") {
+        Some(path) => {
+            write_atomic(std::path::Path::new(path), &text)
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        None => println!("{text}"),
+    }
+    let all_pass = report.get("all_pass").and_then(apots_serde::Json::as_bool);
+    if args.has_flag("require-pass") && all_pass != Some(true) {
+        return Err(
+            "robustness gate failed: a defended model did not beat its plain \
+             twin under ≥2 of 3 attacks (all_pass = false)"
+                .into(),
         );
     }
     Ok(())

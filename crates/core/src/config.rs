@@ -90,6 +90,38 @@ pub enum GenLoss {
     NonSaturating,
 }
 
+/// RDAT-style defense mode (Liu et al.): attack-in-the-loop sample
+/// reweighting. When enabled, every training batch is followed by a
+/// *robust step*: the trainer probes the batch with worst-of-K random
+/// θ-bounded speed perturbations (the same constraint layer the
+/// `apots-attack` black-box attacks use), upweights the samples whose
+/// loss the probe degraded most, and takes one extra MSE step on the
+/// perturbed batch. The probe RNG rides the epoch stream, so RDAT runs
+/// checkpoint/resume bit-identically through the PR-2 machinery, and the
+/// divergence sentinel covers the robust step like any other batch work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RdatConfig {
+    /// Random θ-bounded probes per batch (worst-of-K; ≥ 1).
+    pub probes: usize,
+    /// Per-step perturbation bound (the paper's θ = 0.3).
+    pub theta: f32,
+    /// Global weight on the robust-step gradient.
+    pub weight: f32,
+    /// Cap on the per-sample vulnerability reweight multiplier.
+    pub weight_cap: f32,
+}
+
+impl Default for RdatConfig {
+    fn default() -> Self {
+        Self {
+            probes: 3,
+            theta: 0.3,
+            weight: 1.0,
+            weight_cap: 3.0,
+        }
+    }
+}
+
 /// Training options shared by the plain and adversarial loops.
 #[derive(Debug, Clone)]
 pub struct TrainConfig {
@@ -128,6 +160,9 @@ pub struct TrainConfig {
     /// Whether the discriminator sees the conditioning vector `E`
     /// (Eq 4; turning this off is the cGAN-vs-GAN ablation).
     pub conditional_discriminator: bool,
+    /// RDAT defense mode (`None` disables; composes with both plain and
+    /// adversarial training).
+    pub rdat: Option<RdatConfig>,
     /// RNG seed for shuffling and dropout.
     pub seed: u64,
 }
@@ -149,6 +184,7 @@ impl TrainConfig {
             adv_weight: 0.05,
             max_train_samples: None,
             conditional_discriminator: true,
+            rdat: None,
             seed: 7,
         }
     }
@@ -185,6 +221,17 @@ impl TrainConfig {
             ..Self::plain(mask)
         }
     }
+
+    /// Enables the RDAT defense mode on top of any base config.
+    pub fn with_rdat(mut self, rdat: RdatConfig) -> Self {
+        assert!(rdat.probes >= 1, "RdatConfig: probes must be >= 1");
+        assert!(
+            rdat.theta > 0.0 && rdat.theta.is_finite(),
+            "RdatConfig: theta must be positive"
+        );
+        self.rdat = Some(rdat);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -219,9 +266,27 @@ mod tests {
     fn config_builders() {
         let c = TrainConfig::plain(FeatureMask::SPEED_ONLY);
         assert!(!c.adversarial);
+        assert!(c.rdat.is_none());
         let a = TrainConfig::fast_adversarial(FeatureMask::BOTH);
         assert!(a.adversarial);
         assert!(a.max_train_samples.is_some());
         assert_eq!(a.learning_rate, 1e-3);
+    }
+
+    #[test]
+    fn rdat_builder_sets_defense_mode() {
+        let c = TrainConfig::fast_plain(FeatureMask::BOTH).with_rdat(RdatConfig::default());
+        let r = c.rdat.unwrap();
+        assert!(r.probes >= 1);
+        assert_eq!(r.theta, 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "probes must be >= 1")]
+    fn rdat_builder_rejects_zero_probes() {
+        let _ = TrainConfig::fast_plain(FeatureMask::BOTH).with_rdat(RdatConfig {
+            probes: 0,
+            ..RdatConfig::default()
+        });
     }
 }

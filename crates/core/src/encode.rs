@@ -68,19 +68,30 @@ pub fn encode_inputs(
 ) -> (PredictorInput, Tensor) {
     assert!(!times.is_empty(), "encode_inputs: empty batch");
     let feats: Vec<SampleFeatures> = times.iter().map(|&t| data.features(t, mask)).collect();
-    let targets = Tensor::build(&[times.len(), 1], |d| {
-        for (dst, f) in d.iter_mut().zip(&feats) {
+    encode_features(kind, &feats)
+}
+
+/// Encodes predictor inputs and normalized targets from pre-built sample
+/// features. This is the entry point for callers that *modify* features
+/// before encoding — the θ-bounded attacks of `apots-attack` and the RDAT
+/// defense step — and [`encode_inputs`] is a thin wrapper over it, so
+/// perturbed and clean batches go through byte-for-byte the same layout
+/// code.
+pub fn encode_features(kind: PredictorKind, feats: &[SampleFeatures]) -> (PredictorInput, Tensor) {
+    assert!(!feats.is_empty(), "encode_features: empty batch");
+    let targets = Tensor::build(&[feats.len(), 1], |d| {
+        for (dst, f) in d.iter_mut().zip(feats) {
             *dst = f.target;
         }
     });
     let input = match kind {
-        PredictorKind::Fc => PredictorInput::Flat(encode_flat(&feats)),
+        PredictorKind::Fc => PredictorInput::Flat(encode_flat(feats)),
         PredictorKind::Cnn | PredictorKind::Hybrid => {
-            let (image, day_type) = encode_image(&feats);
+            let (image, day_type) = encode_image(feats);
             PredictorInput::Image { image, day_type }
         }
         PredictorKind::Lstm => {
-            let (seq, day_type) = encode_seq(&feats);
+            let (seq, day_type) = encode_seq(feats);
             PredictorInput::Seq { seq, day_type }
         }
     };

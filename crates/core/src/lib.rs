@@ -60,6 +60,7 @@ pub mod encode;
 pub mod eval;
 pub mod hotpath;
 pub mod persist;
+pub mod perturb;
 pub mod predictor;
 pub mod runtime;
 pub mod trainer;

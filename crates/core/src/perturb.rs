@@ -1,0 +1,226 @@
+//! θ-bounded speed perturbations — the shared constraint layer under the
+//! black-box attacks (`apots-attack`) and the RDAT defense mode of the
+//! trainer.
+//!
+//! The paper marks a speed change as *abrupt* when the relative step
+//! exceeds θ = ±0.3 (`apots_metrics::situations::DEFAULT_THETA`), and the
+//! simulator never produces speeds outside `[5, free_flow·1.05]` km/h.
+//! A *realistic* adversarial perturbation must respect both: every
+//! perturbed input speed stays within a θ-fraction of its clean value
+//! *and* within the physical envelope of the road it was observed on.
+//! [`apply_speed_deltas`] enforces exactly that, so every attack and the
+//! attack-in-the-loop defense share one clamping implementation — the
+//! invariants property-tested in `crates/attack/tests/attack_invariants.rs`
+//! hold by construction for all of them.
+
+use apots_traffic::{FeatureMask, Normalizer, SampleFeatures, TrafficDataset};
+
+pub use apots_metrics::situations::DEFAULT_THETA;
+
+/// Physical lower speed bound in km/h — the simulator's jam-speed clamp
+/// (`crates/traffic/src/sim.rs` clamps every speed to
+/// `[5, free_flow·1.05]`).
+pub const MIN_SPEED_KMH: f32 = 5.0;
+
+/// Headroom factor over free flow the simulator allows.
+pub const FREE_FLOW_HEADROOM: f32 = 1.05;
+
+/// Per-road physical speed envelope plus the dataset's speed normalizer,
+/// precomputed once per attack/defense run.
+#[derive(Debug, Clone)]
+pub struct SpeedBounds {
+    hi: Vec<f32>,
+    norm: Normalizer,
+}
+
+impl SpeedBounds {
+    /// Reads the envelope off the dataset's corridor.
+    pub fn of(data: &TrafficDataset) -> Self {
+        Self {
+            hi: data
+                .corridor()
+                .free_flow()
+                .iter()
+                .map(|&v| v * FREE_FLOW_HEADROOM)
+                .collect(),
+            norm: data.speed_norm(),
+        }
+    }
+
+    /// Upper physical bound (km/h) for `road`.
+    pub fn hi(&self, road: usize) -> f32 {
+        self.hi[road]
+    }
+
+    /// The dataset's speed normalizer.
+    pub fn norm(&self) -> Normalizer {
+        self.norm
+    }
+}
+
+/// Number of perturbable coordinates per sample: every `(road, step)`
+/// entry of the speed matrix.
+pub fn delta_len(feats: &SampleFeatures) -> usize {
+    feats.n_roads() * feats.alpha()
+}
+
+/// Overwrites the speed matrices of `feats` with θ-bounded perturbations
+/// of `clean`.
+///
+/// `deltas` holds one value per sample × road × step (sample-major,
+/// road-major; see [`delta_len`]) interpreted as a *fraction of θ* and
+/// clamped to `[−1, 1]`. Each perturbed speed is
+///
+/// ```text
+/// raw′ = clamp(raw · (1 + δ·θ),  MIN_SPEED_KMH,  free_flow·1.05)
+/// ```
+///
+/// re-normalized into the model's input space. Because clean speeds
+/// already lie inside the physical envelope, the clamp only ever shrinks
+/// the step, so `|raw′ − raw| ≤ θ·raw` holds for every entry. Rows hidden
+/// by `mask` (masked adjacent roads) are left untouched: perturbing an
+/// input the model never sees is not an attack.
+///
+/// # Panics
+/// Panics if `feats`, `clean` and `deltas` disagree on shape.
+pub fn apply_speed_deltas(
+    feats: &mut [SampleFeatures],
+    clean: &[SampleFeatures],
+    deltas: &[f32],
+    theta: f32,
+    mask: FeatureMask,
+    bounds: &SpeedBounds,
+) {
+    assert_eq!(feats.len(), clean.len(), "sample count mismatch");
+    let per = clean.first().map_or(0, delta_len);
+    assert_eq!(
+        deltas.len(),
+        per * clean.len(),
+        "delta vector does not match sample shape"
+    );
+    let norm = bounds.norm();
+    for (s, (f, c)) in feats.iter_mut().zip(clean).enumerate() {
+        let alpha = c.alpha();
+        for (road, (row, clean_row)) in f.speed_matrix.iter_mut().zip(&c.speed_matrix).enumerate() {
+            if road != c.target_row && !mask.adjacent {
+                continue;
+            }
+            let base = s * per + road * alpha;
+            for (k, v) in row.iter_mut().enumerate() {
+                let d = deltas[base + k].clamp(-1.0, 1.0) * theta;
+                let raw = norm.denormalize(clean_row[k]);
+                let perturbed = (raw * (1.0 + d)).clamp(MIN_SPEED_KMH, bounds.hi(road));
+                *v = norm.normalize(perturbed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apots_traffic::calendar::Calendar;
+    use apots_traffic::{Corridor, DataConfig, SimConfig};
+
+    fn dataset() -> TrafficDataset {
+        let cal = Calendar::new(6, 6, vec![]);
+        TrafficDataset::new(
+            Corridor::generate_with_calendar(SimConfig::default(), cal),
+            DataConfig::default(),
+        )
+    }
+
+    #[test]
+    fn deltas_respect_theta_and_physical_bounds() {
+        let ds = dataset();
+        let bounds = SpeedBounds::of(&ds);
+        let t = ds.train_samples()[3];
+        let clean = vec![ds.features(t, FeatureMask::BOTH)];
+        let mut pert = clean.clone();
+        let n = delta_len(&clean[0]);
+        // Extreme deltas, including out-of-range values that must clamp.
+        let deltas: Vec<f32> = (0..n)
+            .map(|i| if i % 2 == 0 { 5.0 } else { -5.0 })
+            .collect();
+        apply_speed_deltas(
+            &mut pert,
+            &clean,
+            &deltas,
+            DEFAULT_THETA,
+            FeatureMask::BOTH,
+            &bounds,
+        );
+        let norm = ds.speed_norm();
+        for (road, (p_row, c_row)) in pert[0]
+            .speed_matrix
+            .iter()
+            .zip(&clean[0].speed_matrix)
+            .enumerate()
+        {
+            for (&p, &c) in p_row.iter().zip(c_row) {
+                let raw = norm.denormalize(c);
+                let raw_p = norm.denormalize(p);
+                assert!(
+                    (raw_p - raw).abs() <= DEFAULT_THETA * raw + 1e-3,
+                    "θ bound violated: {raw} → {raw_p}"
+                );
+                assert!(raw_p >= MIN_SPEED_KMH - 1e-3);
+                assert!(raw_p <= bounds.hi(road) + 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_deltas_are_identity_up_to_roundtrip() {
+        let ds = dataset();
+        let bounds = SpeedBounds::of(&ds);
+        let t = ds.train_samples()[0];
+        let clean = vec![ds.features(t, FeatureMask::BOTH)];
+        let mut pert = clean.clone();
+        let deltas = vec![0.0f32; delta_len(&clean[0])];
+        apply_speed_deltas(
+            &mut pert,
+            &clean,
+            &deltas,
+            DEFAULT_THETA,
+            FeatureMask::BOTH,
+            &bounds,
+        );
+        for (p_row, c_row) in pert[0].speed_matrix.iter().zip(&clean[0].speed_matrix) {
+            for (&p, &c) in p_row.iter().zip(c_row) {
+                assert!((p - c).abs() < 1e-5, "zero delta moved {c} to {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_rows_stay_untouched() {
+        let ds = dataset();
+        let bounds = SpeedBounds::of(&ds);
+        let t = ds.train_samples()[1];
+        let clean = vec![ds.features(t, FeatureMask::SPEED_ONLY)];
+        let mut pert = clean.clone();
+        let deltas = vec![1.0f32; delta_len(&clean[0])];
+        apply_speed_deltas(
+            &mut pert,
+            &clean,
+            &deltas,
+            DEFAULT_THETA,
+            FeatureMask::SPEED_ONLY,
+            &bounds,
+        );
+        let h = clean[0].target_row;
+        for (road, (p_row, c_row)) in pert[0]
+            .speed_matrix
+            .iter()
+            .zip(&clean[0].speed_matrix)
+            .enumerate()
+        {
+            if road == h {
+                assert!(p_row.iter().zip(c_row).any(|(&p, &c)| p != c));
+            } else {
+                assert_eq!(p_row, c_row, "masked row {road} was perturbed");
+            }
+        }
+    }
+}

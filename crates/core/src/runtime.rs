@@ -99,6 +99,10 @@ pub struct BatchCtx {
     pub batch: usize,
     /// Sentinel attempt for this epoch (0 = first pass).
     pub attempt: usize,
+    /// `true` when this consultation targets the RDAT robust step that
+    /// follows the main batch step (lets fault injection divergence-test
+    /// the attack-in-the-loop path specifically).
+    pub rdat: bool,
 }
 
 /// Kill-switch hook: return `true` to simulate a crash at this point.
@@ -165,9 +169,18 @@ pub fn config_fingerprint(kind: PredictorKind, config: &TrainConfig) -> u64 {
     let early = config
         .early_stopping
         .map(|(p, d)| format!("{p}:{:08x}", d.to_bits()));
+    let rdat = config.rdat.map(|r| {
+        format!(
+            "{}:{:08x}:{:08x}:{:08x}",
+            r.probes,
+            r.theta.to_bits(),
+            r.weight.to_bits(),
+            r.weight_cap.to_bits()
+        )
+    });
     let canonical = format!(
         "kind={}|epochs={}|sched={:?}|early={early:?}|batch={}|lr={:08x}|adv={}|mask={:?}|\
-         clip={:08x}|gen={:?}|warmup={}|advw={:08x}|cap={:?}|cond={}|seed={}",
+         clip={:08x}|gen={:?}|warmup={}|advw={:08x}|cap={:?}|cond={}|rdat={rdat:?}|seed={}",
         kind.label(),
         config.epochs,
         config.lr_schedule,
@@ -409,7 +422,11 @@ mod tests {
     use apots_tensor::Tensor;
     use apots_traffic::FeatureMask;
 
-    fn sample_checkpoint() -> TrainCheckpoint {
+    /// Synthetic checkpoint threading *caller-measured* stats through —
+    /// the fixture used to fabricate `p_loss: 0.3` regardless of what the
+    /// run produced, which hid roundtrip bugs for any value that wasn't
+    /// one of the hard-coded constants.
+    fn sample_checkpoint_with(stats: Vec<EpochStats>) -> TrainCheckpoint {
         TrainCheckpoint {
             epoch: 3,
             stopped: false,
@@ -431,19 +448,23 @@ mod tests {
                 v: StateDict::from_tensors(vec![]),
             }),
             stopper: Some((f32::INFINITY, 0)),
-            stats: vec![
-                EpochStats {
-                    mse: 0.5,
-                    p_loss: 0.5,
-                    d_loss: 0.0,
-                },
-                EpochStats {
-                    mse: 0.25,
-                    p_loss: 0.3,
-                    d_loss: 0.7,
-                },
-            ],
+            stats,
         }
+    }
+
+    fn sample_checkpoint() -> TrainCheckpoint {
+        sample_checkpoint_with(vec![
+            EpochStats {
+                mse: 0.5,
+                p_loss: 0.5,
+                d_loss: 0.0,
+            },
+            EpochStats {
+                mse: 0.25,
+                p_loss: 0.7,
+                d_loss: 0.7,
+            },
+        ])
     }
 
     #[test]
@@ -458,6 +479,51 @@ mod tests {
         // …and so does a non-finite stopper best.
         assert_eq!(back.stopper.unwrap().0, f32::INFINITY);
         assert_eq!(back.to_json().to_string(), text);
+    }
+
+    #[test]
+    fn threaded_stats_roundtrip_bit_exactly() {
+        // Regression: the old fixture fabricated `p_loss: 0.3`, so the
+        // roundtrip test never saw values off the hard-coded happy path.
+        // Thread awkward measured-looking values through and require
+        // bit-exact recovery.
+        let stats = vec![
+            EpochStats {
+                mse: 0.3f32,    // inexact in binary
+                p_loss: 1.0e-7, // denormal-adjacent magnitude
+                d_loss: f32::MIN_POSITIVE,
+            },
+            EpochStats {
+                mse: 1.0 / 3.0,
+                p_loss: std::f32::consts::PI,
+                d_loss: 123456.78,
+            },
+        ];
+        let ck = sample_checkpoint_with(stats.clone());
+        let text = ck.to_json().to_string();
+        let back = TrainCheckpoint::from_json(&Json::parse(&text).unwrap()).unwrap();
+        for (b, s) in back.stats.iter().zip(&stats) {
+            assert_eq!(b.mse.to_bits(), s.mse.to_bits());
+            assert_eq!(b.p_loss.to_bits(), s.p_loss.to_bits());
+            assert_eq!(b.d_loss.to_bits(), s.d_loss.to_bits());
+        }
+        assert_eq!(back.to_json().to_string(), text);
+    }
+
+    #[test]
+    fn fingerprint_covers_rdat_knobs() {
+        use crate::config::RdatConfig;
+        let base = TrainConfig::fast_plain(FeatureMask::BOTH);
+        let f0 = config_fingerprint(PredictorKind::Fc, &base);
+        let with = base.clone().with_rdat(RdatConfig::default());
+        let f1 = config_fingerprint(PredictorKind::Fc, &with);
+        assert_ne!(f0, f1, "enabling RDAT must change the fingerprint");
+        let mut tweaked = with.clone();
+        tweaked.rdat.as_mut().unwrap().probes += 1;
+        assert_ne!(f1, config_fingerprint(PredictorKind::Fc, &tweaked));
+        let mut tweaked = with.clone();
+        tweaked.rdat.as_mut().unwrap().weight = 0.5;
+        assert_ne!(f1, config_fingerprint(PredictorKind::Fc, &tweaked));
     }
 
     #[test]

@@ -53,11 +53,12 @@ use apots_tensor::rng::seeded;
 use apots_tensor::{SeededRng, Tensor};
 use apots_traffic::TrafficDataset;
 
-use crate::config::{GenLoss, TrainConfig};
+use crate::config::{GenLoss, RdatConfig, TrainConfig};
 use crate::discriminator::Discriminator;
-use crate::encode::{encode_context, encode_inputs};
+use crate::encode::{encode_context, encode_features, encode_inputs};
 use crate::hotpath;
 use crate::persist::CheckpointStore;
+use crate::perturb::{self, SpeedBounds};
 use crate::predictor::Predictor;
 use crate::runtime::{
     config_fingerprint, BatchCtx, KillPoint, TrainCheckpoint, TrainError, TrainOptions,
@@ -575,6 +576,9 @@ fn run_epoch(
     let mut sums = (0.0f64, 0.0f64, 0.0f64, 0.0f64); // (mse, p_loss, d_loss, grad_norm)
     let mut n_batches = 0usize;
     let warming_up = epoch < config.adv_warmup_epochs;
+    // RDAT's probe envelope is pure dataset geometry — hoisted out of the
+    // batch loop so the robust step allocates no per-batch bound tables.
+    let bounds = config.rdat.map(|_| SpeedBounds::of(data));
 
     for (bi, batch) in epoch_batches(data, config, rng).into_iter().enumerate() {
         let poisoned = options.poison_hook.as_mut().is_some_and(|h| {
@@ -582,6 +586,7 @@ fn run_epoch(
                 epoch,
                 batch: bi,
                 attempt,
+                rdat: false,
             })
         });
         let ok = match disc.as_deref_mut() {
@@ -602,6 +607,29 @@ fn run_epoch(
         };
         if !ok {
             return Err(bi);
+        }
+        if let (Some(rdat), Some(bounds)) = (&config.rdat, &bounds) {
+            let rdat_poisoned = options.poison_hook.as_mut().is_some_and(|h| {
+                h(BatchCtx {
+                    epoch,
+                    batch: bi,
+                    attempt,
+                    rdat: true,
+                })
+            });
+            if !rdat_step(
+                predictor,
+                data,
+                &batch,
+                config,
+                rdat,
+                bounds,
+                rng,
+                p_opt,
+                rdat_poisoned,
+            ) {
+                return Err(bi);
+            }
         }
         n_batches += 1;
     }
@@ -665,6 +693,153 @@ fn plain_batch(
     sums.0 += f64::from(loss);
     sums.1 += f64::from(loss);
     sums.3 += f64::from(grad_norm);
+    true
+}
+
+/// Per-sample squared errors of a prediction against its targets
+/// (both `[b, 1]`).
+fn per_sample_sq_err(out: &Tensor, targets: &Tensor) -> Vec<f32> {
+    (0..out.rows())
+        .map(|i| {
+            let d = out.at2(i, 0) - targets.at2(i, 0);
+            d * d
+        })
+        .collect()
+}
+
+/// One RDAT robust step (Liu et al.): probes the batch with worst-of-K
+/// random θ-bounded speed perturbations, reweights each sample by how
+/// much the worst probe degraded it, and takes one extra MSE step on the
+/// perturbed batch. Returns `false` when the sentinel detects non-finite
+/// values — the same contract as the main batch steps, so the rollback
+/// machinery covers the defense too.
+///
+/// The probe RNG is the epoch stream: every draw is captured by the
+/// epoch snapshot and the durable checkpoint, so RDAT runs resume
+/// bit-identically through the PR-2 machinery with no extra state.
+#[allow(clippy::too_many_arguments)]
+fn rdat_step(
+    predictor: &mut dyn Predictor,
+    data: &TrafficDataset,
+    batch: &[usize],
+    config: &TrainConfig,
+    rdat: &RdatConfig,
+    bounds: &SpeedBounds,
+    rng: &mut SeededRng,
+    p_opt: &mut Adam,
+    poisoned: bool,
+) -> bool {
+    use apots_tensor::rng::Rng;
+    let b = batch.len();
+    let clean: Vec<_> = batch
+        .iter()
+        .map(|&t| data.features(t, config.mask))
+        .collect();
+    let per = clean.first().map_or(0, perturb::delta_len);
+    if per == 0 {
+        return true;
+    }
+
+    // Clean per-sample reference loss (no grad).
+    let (clean_in, targets) = encode_features(predictor.kind(), &clean);
+    let clean_err = {
+        let _hp = hotpath::guard();
+        let out = predictor.forward(&clean_in, false);
+        per_sample_sq_err(&out, &targets)
+    };
+
+    // Worst-of-K probes: per *sample*, keep the deltas of the probe that
+    // hurt it most. Deltas are drawn sample-major, so each sample's slice
+    // is contiguous and can be copied independently.
+    let mut perturbed = clean.clone();
+    let mut worst_err = clean_err.clone();
+    let mut worst_deltas = vec![0.0f32; per * b];
+    let mut probe_deltas = vec![0.0f32; per * b];
+    for _ in 0..rdat.probes {
+        for d in probe_deltas.iter_mut() {
+            *d = rng.random_range(-1.0f32..1.0);
+        }
+        perturb::apply_speed_deltas(
+            &mut perturbed,
+            &clean,
+            &probe_deltas,
+            rdat.theta,
+            config.mask,
+            bounds,
+        );
+        let (input, _) = encode_features(predictor.kind(), &perturbed);
+        let err = {
+            let _hp = hotpath::guard();
+            let out = predictor.forward(&input, false);
+            per_sample_sq_err(&out, &targets)
+        };
+        for (i, &e) in err.iter().enumerate() {
+            if e > worst_err[i] {
+                worst_err[i] = e;
+                worst_deltas[i * per..(i + 1) * per]
+                    .copy_from_slice(&probe_deltas[i * per..(i + 1) * per]);
+            }
+        }
+    }
+
+    // Vulnerability reweighting: w_i ∝ how much the worst probe opened
+    // the loss gap, capped so a single fragile sample cannot dominate.
+    let gaps: Vec<f32> = worst_err
+        .iter()
+        .zip(&clean_err)
+        .map(|(&w, &c)| (w - c).max(0.0))
+        .collect();
+    let mean_gap = gaps.iter().sum::<f32>() / b.max(1) as f32;
+    let weights: Vec<f32> = gaps
+        .iter()
+        .map(|&g| {
+            if mean_gap > 0.0 {
+                (g / mean_gap).min(rdat.weight_cap)
+            } else {
+                1.0
+            }
+        })
+        .collect();
+
+    // One extra MSE step on the per-sample-worst perturbed batch, each
+    // sample's gradient scaled by rdat.weight · w_i.
+    perturb::apply_speed_deltas(
+        &mut perturbed,
+        &clean,
+        &worst_deltas,
+        rdat.theta,
+        config.mask,
+        bounds,
+    );
+    let (input, _) = encode_features(predictor.kind(), &perturbed);
+    let loss = {
+        let _hp = hotpath::guard();
+        let out = predictor.forward(&input, true);
+        let (loss, mut grad) = mse(&out, &targets);
+        for (i, &w) in weights.iter().enumerate() {
+            let g = grad.at2(i, 0) * rdat.weight * w;
+            grad.set2(i, 0, g);
+        }
+        predictor.backward(&grad);
+        loss
+    };
+    let mut params = predictor.params_mut();
+    if poisoned {
+        poison_grads(&mut params);
+    }
+    let grad_norm = clip_global_norm(&mut params, config.grad_clip);
+    if !loss.is_finite() || !grad_norm.is_finite() || !mean_gap.is_finite() {
+        return false;
+    }
+    p_opt.step(params);
+    if !params_finite(&predictor.params_mut()) {
+        return false;
+    }
+    apots_obs::metrics::RDAT_STEPS.bump();
+    if apots_obs::enabled() {
+        apots_obs::value("rdat.gap", true, f64::from(mean_gap));
+        apots_obs::value("rdat.loss", true, f64::from(loss));
+    }
     true
 }
 

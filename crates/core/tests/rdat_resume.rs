@@ -1,0 +1,180 @@
+//! **Robustness contract, defense side** (DESIGN.md §12): the RDAT
+//! attack-in-the-loop mode composes with the PR-2 crash-safety
+//! machinery. Kill→resume must stay bit-identical even though the robust
+//! step consumes extra RNG per batch (the probe draws ride the epoch
+//! stream, so the checkpointed RNG state covers them), and a divergent
+//! *attack* step — injected through the `rdat: true` poison path — must
+//! trip the same sentinel rollback as a divergent main step.
+
+use apots::config::{HyperPreset, PredictorKind, RdatConfig, TrainConfig};
+use apots::eval::evaluate;
+use apots::predictor::build_predictor;
+use apots::runtime::{BatchCtx, KillPoint, TrainError, TrainOptions};
+use apots::trainer::{train_with_options, TrainReport};
+use apots_traffic::calendar::Calendar;
+use apots_traffic::{Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset};
+
+fn dataset() -> TrafficDataset {
+    let cal = Calendar::new(8, 6, vec![]);
+    TrafficDataset::new(
+        Corridor::generate_with_calendar(SimConfig::default(), cal),
+        DataConfig::default(),
+    )
+}
+
+fn rdat_cfg(adversarial: bool, seed: u64) -> TrainConfig {
+    let mut c = if adversarial {
+        TrainConfig::fast_adversarial(FeatureMask::BOTH)
+    } else {
+        TrainConfig::fast_plain(FeatureMask::BOTH)
+    };
+    c.epochs = 3;
+    c.adv_warmup_epochs = 1;
+    c.max_train_samples = Some(32);
+    c.batch_size = 16;
+    c.seed = seed;
+    c.with_rdat(RdatConfig::default())
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("apots-rdat-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn train_and_eval(
+    kind: PredictorKind,
+    data: &TrafficDataset,
+    cfg: &TrainConfig,
+    options: &mut TrainOptions<'_>,
+) -> Result<(TrainReport, Vec<u32>), TrainError> {
+    let mut p = build_predictor(kind, HyperPreset::Fast, data, cfg.seed);
+    let report = train_with_options(p.as_mut(), data, cfg, options)?;
+    let eval = evaluate(p.as_mut(), data, cfg.mask, data.test_samples());
+    let bits = eval.predictions.iter().map(|v| v.to_bits()).collect();
+    Ok((report, bits))
+}
+
+/// Kill→resume bit-identity for RDAT runs, plain- and adversarial-based.
+/// This is the sharp edge of the defense: the robust step draws probe
+/// deltas from the epoch RNG every batch, so any resume path that lost
+/// those draws would diverge immediately.
+#[test]
+fn rdat_kill_and_resume_is_bit_identical() {
+    let data = dataset();
+    for (kind, adversarial) in [
+        (PredictorKind::Fc, false),
+        (PredictorKind::Fc, true),
+        (PredictorKind::Lstm, false),
+    ] {
+        let cfg = rdat_cfg(adversarial, 17);
+        let dir = tmp_dir(&format!("eq-{}-{}", kind.label(), u8::from(adversarial)));
+
+        let (baseline, baseline_bits) =
+            train_and_eval(kind, &data, &cfg, &mut TrainOptions::default()).unwrap();
+        assert_eq!(baseline.epochs.len(), 3);
+
+        let mut killed = TrainOptions::checkpointed(&dir, 1, false);
+        killed.kill_hook = Some(Box::new(|p| p == KillPoint::EpochStart(2)));
+        let err = train_and_eval(kind, &data, &cfg, &mut killed)
+            .err()
+            .unwrap();
+        assert_eq!(err, TrainError::Killed { epoch: 2 });
+
+        let mut resume = TrainOptions::checkpointed(&dir, 1, true);
+        let (resumed, resumed_bits) = train_and_eval(kind, &data, &cfg, &mut resume).unwrap();
+        assert_eq!(resumed.resumed_at, Some(2), "{kind:?} adv={adversarial}");
+        assert_eq!(
+            resumed.epochs, baseline.epochs,
+            "{kind:?} adv={adversarial}: RDAT per-epoch stats diverged after resume"
+        );
+        assert_eq!(
+            resumed_bits, baseline_bits,
+            "{kind:?} adv={adversarial}: RDAT predictions not bit-identical after resume"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Enabling RDAT must actually change training (it takes extra steps on
+/// perturbed batches) — otherwise the defense arm of the robustness
+/// report would silently compare a model against itself.
+#[test]
+fn rdat_changes_the_trained_model() {
+    let data = dataset();
+    let base = {
+        let mut c = TrainConfig::fast_plain(FeatureMask::BOTH);
+        c.epochs = 3;
+        c.adv_warmup_epochs = 1;
+        c.max_train_samples = Some(32);
+        c.batch_size = 16;
+        c.seed = 17;
+        c
+    };
+    let with_rdat = base.clone().with_rdat(RdatConfig::default());
+    let (_, plain_bits) = train_and_eval(
+        PredictorKind::Fc,
+        &data,
+        &base,
+        &mut TrainOptions::default(),
+    )
+    .unwrap();
+    let (_, rdat_bits) = train_and_eval(
+        PredictorKind::Fc,
+        &data,
+        &with_rdat,
+        &mut TrainOptions::default(),
+    )
+    .unwrap();
+    assert_ne!(plain_bits, rdat_bits, "RDAT had no effect on the model");
+}
+
+/// A divergent robust step — poison injected on the `rdat: true`
+/// consultation only — trips the sentinel: rollback, LR halving, clean
+/// replay, finite model. The main-step path (`rdat: false`) never fires.
+#[test]
+fn divergent_attack_step_trips_the_sentinel_rollback() {
+    let data = dataset();
+    let cfg = rdat_cfg(false, 23);
+    let mut p = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &data, 23);
+    let mut options = TrainOptions {
+        poison_hook: Some(Box::new(|c: BatchCtx| {
+            c.rdat && c.epoch == 1 && c.batch == 0 && c.attempt == 0
+        })),
+        ..TrainOptions::default()
+    };
+    let report = train_with_options(p.as_mut(), &data, &cfg, &mut options).unwrap();
+    assert_eq!(report.epochs.len(), 3);
+    assert_eq!(
+        report.divergence_rollbacks, 1,
+        "poisoned RDAT step must roll the epoch back exactly once"
+    );
+    assert_eq!(report.lr_scale, 0.5);
+    for e in &report.epochs {
+        assert!(e.mse.is_finite());
+    }
+}
+
+/// The sentinel retry budget applies to the robust step too: poisoning
+/// every attempt of an RDAT step fails the run with a structured error.
+#[test]
+fn persistently_divergent_attack_step_exhausts_the_retry_budget() {
+    let data = dataset();
+    let cfg = rdat_cfg(false, 29);
+    let mut p = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &data, 29);
+    let mut options = TrainOptions {
+        max_divergence_retries: 2,
+        poison_hook: Some(Box::new(|c: BatchCtx| {
+            c.rdat && c.epoch == 0 && c.batch == 0
+        })),
+        ..TrainOptions::default()
+    };
+    let err = train_with_options(p.as_mut(), &data, &cfg, &mut options).unwrap_err();
+    assert_eq!(
+        err,
+        TrainError::Diverged {
+            epoch: 0,
+            attempts: 3
+        }
+    );
+}

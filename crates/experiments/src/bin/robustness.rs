@@ -1,0 +1,75 @@
+//! **Robustness sweep** — the adversarial-robustness claim, end to end.
+//!
+//! For each predictor F, C, L, H: train a plain arm and a defended arm
+//! (APOTS adversarial training + the RDAT attack-in-the-loop defense),
+//! then attack both with every θ-bounded black-box attack and compare
+//! the degradation ratios. A kind passes when the defended model
+//! degrades strictly less under at least 2 of the 3 attacks; the CI
+//! stage `robustness` gates on all four kinds passing (DESIGN.md §12).
+
+use apots_attack::{robustness_report, ReportConfig};
+use apots_experiments::{build_dataset, print_table, save_json, Env};
+use apots_serde::Json;
+
+fn main() {
+    let env = Env::from_env();
+    let data = build_dataset(env.seed);
+    let cfg = ReportConfig {
+        preset: env.preset,
+        epochs: env.epochs.unwrap_or(ReportConfig::default().epochs),
+        seed: env.seed,
+        ..ReportConfig::default()
+    };
+    println!("# Robustness — θ-bounded black-box attacks vs. the RDAT defense");
+    println!(
+        "dataset: {} train / {} test samples, preset {:?}; θ = {}, budget {}, {} eval samples",
+        data.train_samples().len(),
+        data.test_samples().len(),
+        env.preset,
+        cfg.theta,
+        cfg.budget,
+        cfg.eval_samples,
+    );
+
+    let report = robustness_report(&data, &cfg);
+    let f = |j: &Json, k: &str| j.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN);
+    let mut rows = Vec::new();
+    for k in report.get("kinds").and_then(Json::as_array).unwrap() {
+        let kind = k.get("kind").and_then(Json::as_str).unwrap_or("?");
+        for armname in ["plain", "defended"] {
+            let arm = k.get(armname).unwrap();
+            let mut row = vec![
+                if armname == "defended" {
+                    format!("RDAT {kind}")
+                } else {
+                    kind.to_string()
+                },
+                format!("{:.2}", f(arm, "clean_mse")),
+            ];
+            for a in arm.get("attacks").and_then(Json::as_array).unwrap() {
+                row.push(format!("{:.2}×", f(a, "degradation")));
+            }
+            rows.push(row);
+        }
+        println!(
+            "{kind}: defended wins {}/{} attacks → {}",
+            f(k, "adv_wins"),
+            f(k, "attacks_total"),
+            if k.get("pass").and_then(Json::as_bool) == Some(true) {
+                "pass"
+            } else {
+                "FAIL"
+            }
+        );
+    }
+    print_table(
+        "Degradation under attack (lower is more robust)",
+        &["model", "clean MSE", "random-search", "greedy", "spsa"],
+        &rows,
+    );
+    println!(
+        "all_pass: {}",
+        report.get("all_pass").and_then(Json::as_bool) == Some(true)
+    );
+    save_json("robustness", &report);
+}

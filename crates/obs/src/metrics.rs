@@ -225,6 +225,12 @@ pub static PAR_REGIONS_POOLED: Counter = Counter::new("par.regions_pooled", fals
 pub static PAR_REGIONS_INLINE: Counter = Counter::new("par.regions_inline", false);
 /// Tasks distributed across pooled regions.
 pub static PAR_TASKS: Counter = Counter::new("par.tasks", false);
+/// Black-box attack runs completed (one per attack × model evaluation).
+pub static ATTACK_RUNS: Counter = Counter::new("attack.runs", true);
+/// Model forward queries consumed by black-box attacks.
+pub static ATTACK_QUERIES: Counter = Counter::new("attack.queries", true);
+/// RDAT robust steps taken (one per batch when the defense is enabled).
+pub static RDAT_STEPS: Counter = Counter::new("rdat.steps", true);
 
 /// Every registered counter, in stable snapshot order.
 pub static ALL_COUNTERS: &[&Counter] = &[
@@ -244,6 +250,9 @@ pub static ALL_COUNTERS: &[&Counter] = &[
     &PAR_REGIONS_POOLED,
     &PAR_REGIONS_INLINE,
     &PAR_TASKS,
+    &ATTACK_RUNS,
+    &ATTACK_QUERIES,
+    &RDAT_STEPS,
 ];
 
 /// High-water mark of live pool worker threads.

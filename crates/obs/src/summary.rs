@@ -125,6 +125,7 @@ pub fn summarize(text: &str) -> Result<Json, String> {
     let mut hists: Vec<(String, Json)> = Vec::new();
     let mut n_events = 0u64;
     let mut dropped = 0.0f64;
+    let mut attack_runs_detail: Vec<Json> = Vec::new();
 
     for j in &lines {
         match kind(j) {
@@ -144,6 +145,14 @@ pub fn summarize(text: &str) -> Result<Json, String> {
                         early_stop = j.get("v0").cloned().unwrap_or(Json::Null);
                     }
                     "ckpt.save.bytes" => ckpt_bytes += f(j, "v0").unwrap_or(0.0),
+                    "attack.mse" => {
+                        if let (Some(v0), Some(v1)) = (f(j, "v0"), f(j, "v1")) {
+                            let mut m = Map::new();
+                            m.insert("clean_mse".into(), Json::Num(v0));
+                            m.insert("attacked_mse".into(), Json::Num(v1));
+                            attack_runs_detail.push(Json::Obj(m));
+                        }
+                    }
                     "par.region" => {
                         region_count += 1;
                         task_sum += f(j, "v0").unwrap_or(0.0);
@@ -236,6 +245,13 @@ pub fn summarize(text: &str) -> Result<Json, String> {
     }
     kernels.insert("total_dispatches".into(), Json::Num(kernel_total));
 
+    // --- robustness harness: attack runs and the RDAT defense ------------
+    let mut attack = Map::new();
+    attack.insert("runs".into(), counter("attack.runs"));
+    attack.insert("queries".into(), counter("attack.queries"));
+    attack.insert("rdat_steps".into(), counter("rdat.steps"));
+    attack.insert("measurements".into(), Json::Arr(attack_runs_detail));
+
     let mut trace = Map::new();
     trace.insert("events".into(), Json::Num(n_events as f64));
     trace.insert("dropped".into(), Json::Num(dropped));
@@ -256,6 +272,7 @@ pub fn summarize(text: &str) -> Result<Json, String> {
     root.insert("pool".into(), Json::Obj(pool));
     root.insert("kernels".into(), Json::Obj(kernels));
     root.insert("optim_steps".into(), counter("optim.adam_step"));
+    root.insert("attack".into(), Json::Obj(attack));
     root.insert(
         "det_hash".into(),
         Json::Str(format!("{:#018x}", det_hash(text)?)),
@@ -307,6 +324,33 @@ mod tests {
         // the report itself is strict JSON
         let text = s.to_string();
         Json::parse(&text).unwrap();
+    }
+
+    #[test]
+    fn summarize_reports_the_attack_section() {
+        let trace = r#"{"kind":"meta","schema":"apots-trace","version":1}
+{"kind":"span_open","name":"attack.run","det":true,"thread":0,"t_ns":10}
+{"kind":"value","name":"attack.mse","det":true,"thread":0,"t_ns":20,"v0":0.5,"v1":0.9}
+{"kind":"span_close","name":"attack.run","det":true,"thread":0,"t_ns":40,"dur_ns":30}
+{"kind":"counter","name":"attack.runs","det":true,"value":1}
+{"kind":"counter","name":"attack.queries","det":true,"value":256}
+{"kind":"counter","name":"rdat.steps","det":true,"value":8}
+"#;
+        let s = summarize(trace).unwrap();
+        let attack = s.get("attack").unwrap();
+        assert_eq!(attack.get("runs").unwrap().as_f64(), Some(1.0));
+        assert_eq!(attack.get("queries").unwrap().as_f64(), Some(256.0));
+        assert_eq!(attack.get("rdat_steps").unwrap().as_f64(), Some(8.0));
+        let ms = attack.get("measurements").unwrap().as_array().unwrap();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].get("clean_mse").unwrap().as_f64(), Some(0.5));
+        assert_eq!(ms[0].get("attacked_mse").unwrap().as_f64(), Some(0.9));
+        // An attack-free trace still carries the (zeroed) section.
+        let plain = summarize(SAMPLE).unwrap();
+        assert_eq!(
+            plain.get("attack").unwrap().get("runs").unwrap().as_f64(),
+            Some(0.0)
+        );
     }
 
     #[test]

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Stage: robustness — the adversarial-robustness contract (DESIGN.md §12):
+#   * attack-invariants property suite: θ/physical bounds, zero-budget
+#     no-op, bit-identity across APOTS_THREADS and re-runs (≥64 cases
+#     per property, in-house apots-check shrinker);
+#   * RDAT defense: kill→resume bit-identity and sentinel rollback under
+#     an injected divergent attack step;
+#   * robustness-report golden: serialized report bytes are thread-
+#     invariant and pinned by an FNV-1a hash;
+#   * the claim itself: a smoke-scale report must show every defended
+#     model degrading strictly less than its plain twin under ≥2 of the
+#     3 attacks (`robustness-report --require-pass`).
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+cargo test -p apots-attack --test attack_invariants --release --offline -q
+cargo test -p apots --test rdat_resume --release --offline -q
+cargo test -p apots-attack --test report_golden --release --offline -q
+
+cargo build -p apots-cli --release --offline
+target/release/apots robustness-report --require-pass --out robustness_report.json
+echo "robustness gate: all four predictor kinds pass"
