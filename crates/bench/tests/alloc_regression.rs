@@ -157,6 +157,71 @@ fn steady_state_epochs_allocate_nothing_on_the_hot_path() {
     );
 }
 
+/// Fault-plane variant of the gate (DESIGN.md §13): with the injectable
+/// filesystem shim *installed but quiescent* (every fault probability
+/// zero), the steady-state hot path must still allocate nothing and the
+/// trained numerics must be bit-identical to the disarmed run. The shim
+/// dispatch is one relaxed atomic load plus a mutex acquire confined to
+/// filesystem operations, which only occur at epoch boundaries — if
+/// either ever leaks into a hot-path guard window, this trips.
+#[test]
+fn quiescent_fault_shim_keeps_the_hot_path_silent_and_numerics_identical() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    apots_par::set_threads(1);
+    ensure_probe();
+
+    let data = dataset();
+
+    // Bit patterns of a short training run, disarmed.
+    let train_bits = |tag: &str| -> Vec<u32> {
+        let mut cfg = TrainConfig::fast_plain(FeatureMask::BOTH);
+        cfg.epochs = 3;
+        cfg.max_train_samples = Some(64);
+        cfg.batch_size = 32;
+        let dir =
+            std::env::temp_dir().join(format!("apots-alloc-faults-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut p = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &data, 1);
+        // Checkpoint every epoch so real fs traffic flows through the
+        // (quiescent) shim while the hot path is measured.
+        let mut opts = TrainOptions::checkpointed(&dir, 1, false);
+        train_with_options(p.as_mut(), &data, &cfg, &mut opts).expect("training failed");
+        let eval = apots::eval::evaluate(p.as_mut(), &data, cfg.mask, data.test_samples());
+        let _ = std::fs::remove_dir_all(&dir);
+        eval.predictions.iter().map(|v| v.to_bits()).collect()
+    };
+
+    let baseline = train_bits("off");
+
+    apots_faults::arm(apots_faults::FaultSpec::quiescent(0xA110C));
+    // No warmup-allocates assertion here: the disarmed baseline above
+    // (and any earlier test in this binary) already filled the arena
+    // with Fc's working set, so even epoch 0 can legitimately be silent.
+    let per_epoch = hot_path_allocs_per_epoch(&data, PredictorKind::Fc, false, 4);
+    let mut failures = Vec::new();
+    for (e, &(allocs, bytes)) in per_epoch.iter().enumerate().skip(2) {
+        if allocs != 0 {
+            failures.push(format!(
+                "Fc plain (quiescent shim) epoch {e}: {allocs} hot-path \
+                 allocations ({bytes} bytes)"
+            ));
+        }
+    }
+    let armed = train_bits("on");
+    apots_faults::disarm();
+
+    apots_par::reset_threads();
+    assert!(
+        failures.is_empty(),
+        "quiescent fault shim must not move allocations into the hot path:\n  {}",
+        failures.join("\n  ")
+    );
+    assert_eq!(
+        armed, baseline,
+        "a quiescent fault shim must not perturb training numerics"
+    );
+}
+
 /// Tracing variant of the gate (DESIGN.md §11): with `apots-obs` armed
 /// and writing a JSONL sink, the steady-state hot path must *still*
 /// allocate nothing. Telemetry records are `Copy` pushes into rings that

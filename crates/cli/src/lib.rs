@@ -14,6 +14,7 @@ use std::process::ExitCode;
 
 use apots::checkpoint::Checkpoint;
 use apots::config::{HyperPreset, PredictorKind, TrainConfig};
+use apots::degrade::{degradation_report, DegradeConfig};
 use apots::eval::{evaluate, predict_trace};
 use apots::predictor::build_predictor;
 use apots::runtime::TrainOptions;
@@ -70,6 +71,11 @@ fn usage() -> &'static str {
      \x20            attack all of them and write a strict-JSON report\n\
      \x20            [--epochs N] [--budget N] [--theta X] [--samples N]\n\
      \x20            [--max-train-samples N] [--out FILE] [--require-pass]\n\
+     \x20 outage-report  train 4 kinds on clean data, evaluate each\n\
+     \x20            through imputed sensor outages and write the\n\
+     \x20            accuracy-vs-outage-rate degradation curves\n\
+     \x20            [--epochs N] [--samples N] [--max-train-samples N]\n\
+     \x20            [--rates R1,R2,…] [--mean-duration N] [--out FILE]\n\
      \x20 metrics-summary  aggregate a JSONL trace into one JSON report\n\
      \x20            <trace.jsonl> [--compact]\n\
      \x20 bench-gate check fresh BENCH_*.json files against the committed\n\
@@ -83,7 +89,10 @@ fn usage() -> &'static str {
      \x20              bit-identical for any value)\n\
      \x20 --trace FILE write a structured JSONL telemetry trace (overrides\n\
      \x20              the APOTS_TRACE env var; tracing never changes\n\
-     \x20              numerical results)"
+     \x20              numerical results)\n\
+     \x20 APOTS_FAULTS arm the deterministic fault-injection plane for\n\
+     \x20              compute commands (env var, e.g. seed=42,eio=0.2;\n\
+     \x20              see DESIGN.md §13)"
 }
 
 fn run(argv: &[String]) -> Result<(), String> {
@@ -105,7 +114,13 @@ fn run(argv: &[String]) -> Result<(), String> {
     // probe costs one relaxed atomic load (DESIGN.md §11).
     let traced = matches!(
         cmd.as_str(),
-        "simulate" | "train" | "eval" | "predict" | "attack" | "robustness-report"
+        "simulate"
+            | "train"
+            | "eval"
+            | "predict"
+            | "attack"
+            | "robustness-report"
+            | "outage-report"
     );
     if traced {
         match args.get_str("trace") {
@@ -113,6 +128,14 @@ fn run(argv: &[String]) -> Result<(), String> {
             None => {
                 let _ = apots_obs::init_from_env();
             }
+        }
+        // Global APOTS_FAULTS=<spec>: arm the deterministic
+        // fault-injection plane for this invocation (DESIGN.md §13).
+        // Compute commands only — `metrics-summary` and `bench-gate`
+        // are pure readers and must see the real filesystem. A bad
+        // spec is a hard error, not a silently-disarmed plane.
+        if let Some(spec) = apots_faults::FaultSpec::from_env()? {
+            apots_faults::arm(spec);
         }
     }
     let result = match cmd.as_str() {
@@ -122,6 +145,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "predict" => no_operands(&args, cmd_predict),
         "attack" => no_operands(&args, cmd_attack),
         "robustness-report" => no_operands(&args, cmd_robustness_report),
+        "outage-report" => no_operands(&args, cmd_outage_report),
         "metrics-summary" => cmd_metrics_summary(&args),
         "bench-gate" => bench_gate::run(&args),
         "help" | "--help" | "-h" => {
@@ -461,6 +485,66 @@ fn cmd_robustness_report(args: &Args) -> Result<(), String> {
              twin under ≥2 of 3 attacks (all_pass = false)"
                 .into(),
         );
+    }
+    Ok(())
+}
+
+fn cmd_outage_report(args: &Args) -> Result<(), String> {
+    let data = build_data(args)?;
+    let mut cfg = DegradeConfig::default();
+    if let Some(e) = args.get_usize("epochs")? {
+        if e == 0 {
+            return Err("--epochs must be positive".into());
+        }
+        cfg.epochs = e;
+    }
+    if let Some(n) = args.get_usize("samples")? {
+        cfg.eval_samples = n;
+    }
+    if let Some(n) = args.get_usize("max-train-samples")? {
+        cfg.max_train_samples = Some(n);
+    }
+    if let Some(s) = args.get_u64("report-seed")? {
+        cfg.seed = s;
+    }
+    if let Some(d) = args.get_usize("mean-duration")? {
+        if d == 0 {
+            return Err("--mean-duration must be positive".into());
+        }
+        cfg.mean_duration = d;
+    }
+    if let Some(spec) = args.get_str("rates") {
+        let mut rates = Vec::new();
+        for part in spec.split(',') {
+            let r: f64 = part
+                .trim()
+                .parse()
+                .map_err(|_| format!("--rates expects numbers, got {part:?}"))?;
+            if !(0.0..1.0).contains(&r) {
+                return Err(format!("--rates values must be in [0, 1), got {r}"));
+            }
+            rates.push(r);
+        }
+        if rates.is_empty() {
+            return Err("--rates must name at least one rate".into());
+        }
+        cfg.rates = rates;
+    }
+    eprintln!(
+        "outage sweep: 4 kinds × {} rates ({} epochs each; mean window {} intervals)…",
+        cfg.rates.len(),
+        cfg.epochs,
+        cfg.mean_duration
+    );
+    let report = degradation_report(&data, &cfg);
+    let text = report.to_string_pretty();
+    match args.get_str("out") {
+        Some(path) => {
+            write_atomic(std::path::Path::new(path), &text)
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        None => println!("{text}"),
     }
     Ok(())
 }

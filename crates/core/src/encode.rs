@@ -10,7 +10,7 @@
 //!   day-type appended after the recurrent stack.
 
 use apots_tensor::{workspace, Tensor};
-use apots_traffic::{FeatureMask, SampleFeatures, TrafficDataset};
+use apots_traffic::{FeatureMask, OutageView, SampleFeatures, TrafficDataset};
 
 use crate::config::PredictorKind;
 
@@ -68,6 +68,26 @@ pub fn encode_inputs(
 ) -> (PredictorInput, Tensor) {
     assert!(!times.is_empty(), "encode_inputs: empty batch");
     let feats: Vec<SampleFeatures> = times.iter().map(|&t| data.features(t, mask)).collect();
+    encode_features(kind, &feats)
+}
+
+/// [`encode_inputs`] as observed through a sensor outage: every input
+/// window reads the imputed [`OutageView`] series (LOCF + segment mean)
+/// while targets keep the ground truth, then flows through the shared
+/// layout code — downstream predictors cannot tell an imputed batch from
+/// a clean one, which is the point of the tolerance contract.
+pub fn encode_inputs_with_outage(
+    kind: PredictorKind,
+    data: &TrafficDataset,
+    times: &[usize],
+    mask: FeatureMask,
+    view: &OutageView,
+) -> (PredictorInput, Tensor) {
+    assert!(!times.is_empty(), "encode_inputs_with_outage: empty batch");
+    let feats: Vec<SampleFeatures> = times
+        .iter()
+        .map(|&t| data.features_with_outage(t, mask, view))
+        .collect();
     encode_features(kind, &feats)
 }
 

@@ -31,7 +31,9 @@
 //! * [`persist`] — the 2-deep rotating [`CheckpointStore`] built on the
 //!   atomic sealed writer in `apots_serde::atomic`;
 //! * [`eval`] — test-set evaluation in km/h, situation-segmented metrics
-//!   and scenario trace prediction.
+//!   and scenario trace prediction;
+//! * [`degrade`] — sensor-outage tolerance: evaluation through imputed
+//!   input windows and the accuracy-vs-outage-rate degradation report.
 //!
 //! ## Quick start
 //!
@@ -55,6 +57,7 @@
 pub mod cgan;
 pub mod checkpoint;
 pub mod config;
+pub mod degrade;
 pub mod discriminator;
 pub mod encode;
 pub mod eval;
@@ -68,6 +71,7 @@ pub mod trainer;
 pub use cgan::CGan;
 pub use checkpoint::Checkpoint;
 pub use config::{HyperPreset, PredictorKind, TrainConfig};
+pub use degrade::{degradation_report, evaluate_with_outage, DegradeConfig};
 pub use discriminator::Discriminator;
 pub use eval::{evaluate, EvalResult};
 pub use persist::{CheckpointStore, LoadSource};

@@ -13,11 +13,20 @@
 //! checksum-failing `latest.json` is *detected* and the loader falls
 //! back to `prev.json` instead of panicking; only when both generations
 //! are unreadable does the store report corruption.
+//!
+//! Every filesystem step runs under the bounded retry policy
+//! ([`apots_faults::RetryPolicy`]): transient failures (`EIO`) are
+//! retried with reproducible jittered backoff before surfacing, while
+//! permanent ones (`ENOSPC`, missing files) fail fast. Opening a store
+//! also sweeps `*.tmp` leftovers from processes that died mid-write —
+//! the atomic writer cleans up after *failed* renames, but a process
+//! killed between create and rename leaves its temp file behind.
 
 use std::path::{Path, PathBuf};
 
-use apots_serde::atomic::{read_sealed, seal, write_atomic};
-use apots_serde::Json;
+use apots_faults::RetryPolicy;
+use apots_serde::atomic::{seal, unseal, write_atomic};
+use apots_serde::{fsio, Json};
 
 /// Where a loaded checkpoint came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,14 +44,28 @@ pub struct CheckpointStore {
 }
 
 impl CheckpointStore {
-    /// Opens (creating if needed) a store rooted at `dir`.
+    /// Opens (creating if needed) a store rooted at `dir`, sweeping any
+    /// stale `*.tmp` files a crashed-mid-write process left behind (they
+    /// would otherwise accumulate forever; the atomic writer only cleans
+    /// up after failed renames, not after its own death).
     ///
     /// # Errors
     /// Returns an error if the directory cannot be created.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, String> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir)
+        RetryPolicy::default()
+            .run(|| fsio::create_dir_all(&dir))
             .map_err(|e| format!("cannot create checkpoint dir {}: {e}", dir.display()))?;
+        // Best-effort sweep: a tmp file that cannot be removed is not
+        // fatal — the next atomic write to the same name truncates it.
+        if let Ok(entries) = std::fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                if name.to_string_lossy().ends_with(".tmp") {
+                    let _ = fsio::remove_file(&entry.path());
+                }
+            }
+        }
         Ok(Self { dir })
     }
 
@@ -74,15 +97,21 @@ impl CheckpointStore {
         let _span = apots_obs::span("ckpt.save", false);
         let start = std::time::Instant::now();
         let latest = self.latest_path();
+        let retry = RetryPolicy::default();
         if latest.exists() {
-            std::fs::rename(&latest, self.prev_path())
+            retry
+                .run(|| fsio::rename(&latest, &self.prev_path()))
                 .map_err(|e| format!("cannot rotate {}: {e}", latest.display()))?;
         }
         // Seal to text here (rather than `write_sealed`) so the byte count
         // is observable: `ckpt.save.bytes` is deterministic (the envelope
         // serialization is byte-stable) and golden-hash eligible.
         let text = seal(payload).to_string();
-        write_atomic(&latest, &text)
+        // The whole atomic write is the retry unit: it is idempotent (a
+        // fresh temp file every attempt), so a transient failure at any
+        // internal boundary safely re-runs from the top.
+        retry
+            .run(|| write_atomic(&latest, &text))
             .map_err(|e| format!("cannot write {}: {e}", latest.display()))?;
         apots_obs::metrics::CKPT_SAVES.bump();
         apots_obs::metrics::HIST_CKPT_SAVE_NS.record(start.elapsed().as_nanos() as u64);
@@ -112,7 +141,7 @@ impl CheckpointStore {
             Ok(Some((payload, source)))
         };
         let latest_err = if latest_exists {
-            match read_sealed(&latest) {
+            match read_sealed_retrying(&latest) {
                 Ok(payload) => return done(payload, LoadSource::Latest),
                 Err(e) => Some(e),
             }
@@ -126,7 +155,7 @@ impl CheckpointStore {
             );
         }
         let prev_err = if prev_exists {
-            match read_sealed(&prev) {
+            match read_sealed_retrying(&prev) {
                 Ok(payload) => return done(payload, LoadSource::Previous),
                 Err(e) => Some(e),
             }
@@ -142,9 +171,22 @@ impl CheckpointStore {
     }
 }
 
+/// [`apots_serde::atomic::read_sealed`] with transient-read retries: a
+/// flaky device gets [`RetryPolicy`]-bounded chances before the error is
+/// classified as corruption by the caller. A zero-length or truncated
+/// file reads *successfully* and fails `unseal` — that is the torn-write
+/// signature the loader's generation fallback handles.
+fn read_sealed_retrying(path: &Path) -> Result<Json, String> {
+    let text = RetryPolicy::default()
+        .run(|| fsio::read_to_string(path))
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    unseal(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use apots_serde::atomic::read_sealed;
     use apots_serde::json;
 
     fn store(tag: &str) -> CheckpointStore {
@@ -207,6 +249,38 @@ mod tests {
         let (p, src) = s.load().unwrap().unwrap();
         assert_eq!(src, LoadSource::Previous);
         assert_eq!(p.get("value").unwrap().as_f64(), Some(1111.0));
+        let _ = std::fs::remove_dir_all(s.dir());
+    }
+
+    #[test]
+    fn open_sweeps_stale_tmp_files() {
+        let s = store("sweep");
+        s.save(json!({"epoch": 1usize})).unwrap();
+        // A process killed between create and rename leaves these behind.
+        let stale = s.dir().join("latest.json.tmp");
+        let unrelated = s.dir().join("notes.txt");
+        std::fs::write(&stale, "half a docu").unwrap();
+        std::fs::write(&unrelated, "keep me").unwrap();
+        let reopened = CheckpointStore::open(s.dir()).unwrap();
+        assert!(!stale.exists(), "stale *.tmp must be swept on open");
+        assert!(unrelated.exists(), "sweep must only touch *.tmp files");
+        // The surviving generations still load.
+        let (p, _) = reopened.load().unwrap().unwrap();
+        assert_eq!(p.get("epoch").unwrap().as_usize(), Some(1));
+        let _ = std::fs::remove_dir_all(s.dir());
+    }
+
+    #[test]
+    fn zero_length_latest_is_a_torn_write_fallback_not_corruption() {
+        let s = store("zerolen");
+        s.save(json!({"epoch": 1usize})).unwrap();
+        s.save(json!({"epoch": 2usize})).unwrap();
+        // A crash after create but before any byte lands leaves a
+        // zero-length latest — the most extreme torn write.
+        std::fs::write(s.latest_path(), "").unwrap();
+        let (p, src) = s.load().unwrap().unwrap();
+        assert_eq!(src, LoadSource::Previous);
+        assert_eq!(p.get("epoch").unwrap().as_usize(), Some(1));
         let _ = std::fs::remove_dir_all(s.dir());
     }
 

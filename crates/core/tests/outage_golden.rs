@@ -1,0 +1,79 @@
+//! **Outage-degradation byte stability**: the serialized degradation
+//! report is a pure function of its config — bit-identical across
+//! re-runs and across `APOTS_THREADS ∈ {1, 4}`, pinned by a golden
+//! FNV-1a hash the same way the trace contract and the robustness
+//! report pin theirs. If the hash moves after an intentional change to
+//! training numerics, the imputation, or the report schema, recapture
+//! it and note the break in DESIGN.md §13.
+
+use apots::degrade::{degradation_report, DegradeConfig};
+use apots_serde::atomic::fnv1a_64;
+use apots_serde::Json;
+use apots_traffic::calendar::Calendar;
+use apots_traffic::{Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset};
+
+/// FNV-1a of the tiny report below, captured at `APOTS_THREADS=1`.
+const GOLDEN_DEGRADE_HASH: u64 = 0xebdfc65fff661fef;
+
+fn dataset() -> TrafficDataset {
+    let cal = Calendar::new(6, 6, vec![]);
+    TrafficDataset::new(
+        Corridor::generate_with_calendar(SimConfig::default(), cal),
+        DataConfig::default(),
+    )
+}
+
+fn tiny_cfg() -> DegradeConfig {
+    DegradeConfig {
+        epochs: 1,
+        max_train_samples: Some(32),
+        eval_samples: 8,
+        rates: vec![0.0, 0.3],
+        seed: 404,
+        mask: FeatureMask::BOTH,
+        ..DegradeConfig::default()
+    }
+}
+
+#[test]
+fn degradation_report_is_stable_across_threads_and_pinned() {
+    let ds = dataset();
+    let cfg = tiny_cfg();
+
+    apots_par::set_threads(1);
+    let t1 = degradation_report(&ds, &cfg).to_string();
+    apots_par::set_threads(4);
+    let t4 = degradation_report(&ds, &cfg).to_string();
+    apots_par::reset_threads();
+
+    assert_eq!(t1, t4, "degradation report bytes depend on APOTS_THREADS");
+    let h = fnv1a_64(t1.as_bytes());
+    assert_eq!(
+        h, GOLDEN_DEGRADE_HASH,
+        "degradation report drifted from the pinned golden (got {h:#018x}); \
+         see the module docs before updating"
+    );
+
+    // The report is strict JSON with the contracted shape.
+    let j = Json::parse(&t1).expect("report parses");
+    assert_eq!(
+        j.get("schema").and_then(Json::as_str),
+        Some("apots-outage-degradation")
+    );
+    let kinds = j.get("kinds").and_then(Json::as_array).unwrap();
+    assert_eq!(kinds.len(), 4, "one curve per predictor kind");
+    for k in kinds {
+        let curve = k.get("curve").and_then(Json::as_array).unwrap();
+        assert_eq!(curve.len(), 2, "one point per swept rate");
+        // The clean baseline point drops nothing.
+        let first = &curve[0];
+        assert_eq!(first.get("rate").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(first.get("realized_rate").and_then(Json::as_f64), Some(0.0));
+        for point in curve {
+            for key in ["mae", "rmse", "mape"] {
+                let v = point.get(key).and_then(Json::as_f64).unwrap();
+                assert!(v.is_finite() && v >= 0.0, "{key} must be finite: {v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! **Sensor-outage degradation sweep** — graceful-degradation claim,
+//! end to end.
+//!
+//! For each predictor F, C, L, H: train once on clean data, then
+//! evaluate through progressively harsher dropout schedules whose input
+//! windows are imputed (LOCF + segment mean). All kinds at a given rate
+//! share one outage plan, so curve differences are architectural. The
+//! JSON lands in `results/outage_degradation.json` (DESIGN.md §13).
+
+use apots::degrade::{degradation_report, DegradeConfig};
+use apots_experiments::{build_dataset, print_table, save_json, Env};
+use apots_serde::Json;
+
+fn main() {
+    let env = Env::from_env();
+    let data = build_dataset(env.seed);
+    let cfg = DegradeConfig {
+        preset: env.preset,
+        epochs: env.epochs.unwrap_or(DegradeConfig::default().epochs),
+        seed: env.seed,
+        ..DegradeConfig::default()
+    };
+    println!("# Outage tolerance — accuracy vs. sensor-outage rate");
+    println!(
+        "dataset: {} train / {} test samples, preset {:?}; rates {:?}, mean window {} intervals",
+        data.train_samples().len(),
+        data.test_samples().len(),
+        env.preset,
+        cfg.rates,
+        cfg.mean_duration,
+    );
+
+    let report = degradation_report(&data, &cfg);
+    let f = |j: &Json, k: &str| j.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN);
+    let header: Vec<String> = std::iter::once("kind".to_string())
+        .chain(
+            cfg.rates
+                .iter()
+                .map(|r| format!("MAPE @ {:.0}%", r * 100.0)),
+        )
+        .collect();
+    let header: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for k in report.get("kinds").and_then(Json::as_array).unwrap() {
+        let kind = k.get("kind").and_then(Json::as_str).unwrap_or("?");
+        let mut row = vec![kind.to_string()];
+        for point in k.get("curve").and_then(Json::as_array).unwrap() {
+            row.push(format!("{:.2}%", f(point, "mape")));
+        }
+        rows.push(row);
+    }
+    print_table("degradation curves (whole-period MAPE)", &header, &rows);
+    save_json("outage_degradation", &report);
+}

@@ -54,10 +54,22 @@ impl Env {
     /// Reads the environment; unset variables take defaults.
     ///
     /// Also arms structured telemetry when `APOTS_TRACE=<path>` is set
+    /// and the fault-injection plane when `APOTS_FAULTS=<spec>` is set
     /// (every experiment binary calls `from_env` first, so this is the
     /// single opt-in point; tracing never changes numerical results).
+    ///
+    /// # Panics
+    /// Panics on a malformed `APOTS_FAULTS` spec — a typo'd fault
+    /// schedule must never silently run disarmed.
     pub fn from_env() -> Self {
         let _ = apots_obs::init_from_env();
+        match apots_faults::FaultSpec::from_env() {
+            Ok(Some(spec)) => {
+                apots_faults::arm(spec);
+            }
+            Ok(None) => {}
+            Err(e) => panic!("{e}"),
+        }
         let preset = match std::env::var("APOTS_PRESET").as_deref() {
             Ok("paper") => HyperPreset::Paper,
             _ => HyperPreset::Fast,

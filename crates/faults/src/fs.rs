@@ -1,0 +1,268 @@
+//! The fault backend: an [`Fs`] implementation that draws from the
+//! in-house PCG at every operation boundary.
+//!
+//! Faults are *hermetic* — `ENOSPC` never fills a disk, a torn write is
+//! a real partial file in a temp directory — and *deterministic*: for a
+//! fixed [`FaultSpec`] and a fixed sequence of operations, the same
+//! operations fail in the same ways with the same partial contents.
+//! Probabilities are evaluated in a fixed order per operation
+//! (availability → transient I/O → torn → short), so the stream is a
+//! pure function of the spec seed and the call sequence.
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use apots_serde::fsio::{self, Fs, RealFs};
+use apots_tensor::rng::{seeded, Rng, SeededRng};
+
+use crate::spec::FaultSpec;
+
+/// Raw `errno` for `EIO` (transient I/O error) on Linux.
+pub const EIO: i32 = 5;
+/// Raw `errno` for `ENOSPC` (device full — permanent) on Linux.
+pub const ENOSPC: i32 = 28;
+
+/// The PCG-driven fault backend. Install with [`arm`] (or
+/// [`fsio::install`] directly for a scoped harness).
+pub struct FaultFs {
+    spec: FaultSpec,
+    rng: Mutex<SeededRng>,
+    injected: AtomicU64,
+}
+
+impl FaultFs {
+    /// Builds a backend whose injection stream is seeded from
+    /// `spec.seed`.
+    pub fn new(spec: FaultSpec) -> Self {
+        let rng = Mutex::new(seeded(spec.seed ^ 0x000F_A017_5EED));
+        FaultFs {
+            spec,
+            rng,
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Total faults injected by this backend so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// The spec this backend runs.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    fn draw(&self, p: f64) -> bool {
+        if p == 0.0 {
+            return false;
+        }
+        let mut rng = self.rng.lock().unwrap_or_else(|e| e.into_inner());
+        rng.random_bool(p)
+    }
+
+    /// Length of the prefix a torn/short write leaves behind.
+    fn partial_len(&self, full: usize) -> usize {
+        let mut rng = self.rng.lock().unwrap_or_else(|e| e.into_inner());
+        rng.random_range(0..=full)
+    }
+
+    fn inject(&self, raw: i32, _what: &str) -> io::Error {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        apots_obs::metrics::FAULTS_INJECTED.bump();
+        // Raw-code construction, not `io::Error::new`: the retry policy
+        // classifies on `raw_os_error()`, which custom errors lose.
+        io::Error::from_raw_os_error(raw)
+    }
+}
+
+impl Fs for FaultFs {
+    fn write_file(&self, path: &Path, contents: &[u8]) -> io::Result<()> {
+        if self.draw(self.spec.enospc) {
+            return Err(self.inject(ENOSPC, "ENOSPC on create"));
+        }
+        if self.draw(self.spec.eio) {
+            return Err(self.inject(EIO, "EIO on write"));
+        }
+        if self.draw(self.spec.torn_write) {
+            // Crash-like: a prefix lands on disk and the caller sees the
+            // failure, as if the process died mid-write.
+            let cut = self.partial_len(contents.len());
+            let _ = RealFs.write_file(path, &contents[..cut]);
+            return Err(self.inject(EIO, "torn write"));
+        }
+        if self.draw(self.spec.short_write) && !contents.is_empty() {
+            // Silent: a strict prefix lands on disk and the op reports
+            // success. Only the checksum envelope catches this.
+            let cut = self.partial_len(contents.len() - 1);
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            apots_obs::metrics::FAULTS_INJECTED.bump();
+            return RealFs.write_file(path, &contents[..cut]);
+        }
+        RealFs.write_file(path, contents)
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        if self.draw(self.spec.fsync) {
+            return Err(self.inject(EIO, "failed fsync"));
+        }
+        RealFs.sync_file(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        if self.draw(self.spec.rename) {
+            return Err(self.inject(EIO, "failed rename"));
+        }
+        RealFs.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        // Cleanup is never faulted: injected errors must not be able to
+        // strand the temp files the durability layer tries to remove.
+        RealFs.remove_file(path)
+    }
+
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        if self.draw(self.spec.eio) {
+            return Err(self.inject(EIO, "EIO on read"));
+        }
+        RealFs.read_to_string(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        if self.draw(self.spec.enospc) {
+            return Err(self.inject(ENOSPC, "ENOSPC on mkdir"));
+        }
+        RealFs.create_dir_all(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        if self.draw(self.spec.fsync) {
+            return Err(self.inject(EIO, "failed dir fsync"));
+        }
+        RealFs.sync_dir(dir)
+    }
+}
+
+/// Builds a [`FaultFs`] from `spec` and installs it process-globally.
+/// Returns the backend so callers can read [`FaultFs::injected`].
+pub fn arm(spec: FaultSpec) -> Arc<FaultFs> {
+    let backend = Arc::new(FaultFs::new(spec));
+    fsio::install(backend.clone());
+    backend
+}
+
+/// Removes any installed fault backend; the fs plane goes back to plain
+/// `std::fs` at zero cost.
+pub fn disarm() {
+    fsio::uninstall();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The fs plane is process-global; tests serialize here.
+    pub(crate) static FS_LOCK: Mutex<()> = Mutex::new(());
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("apots-faultfs-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn quiescent_spec_never_fires() {
+        let fs = FaultFs::new(FaultSpec::quiescent(7));
+        let dir = tmp_dir("quiescent");
+        let p = dir.join("f.txt");
+        for _ in 0..256 {
+            fs.write_file(&p, b"payload").unwrap();
+            fs.sync_file(&p).unwrap();
+            assert_eq!(fs.read_to_string(&p).unwrap(), "payload");
+        }
+        assert_eq!(fs.injected(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_stream_is_deterministic() {
+        let dir = tmp_dir("det");
+        let p = dir.join("f.txt");
+        let spec = FaultSpec::parse("seed=99,eio=0.3,torn_write=0.2,enospc=0.1").unwrap();
+        let outcomes = |spec: &FaultSpec| -> Vec<String> {
+            let fs = FaultFs::new(spec.clone());
+            (0..64)
+                .map(|_| match fs.write_file(&p, b"0123456789") {
+                    Ok(()) => "ok".to_string(),
+                    Err(e) => format!("{e}"),
+                })
+                .collect()
+        };
+        let a = outcomes(&spec);
+        let b = outcomes(&spec);
+        assert_eq!(a, b, "same spec + same op sequence must inject identically");
+        assert!(
+            a.iter().any(|o| o != "ok"),
+            "spec with p>0 fired nothing in 64 ops"
+        );
+        let other = FaultSpec { seed: 100, ..spec };
+        assert_ne!(a, outcomes(&other), "different seeds should decorrelate");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enospc_carries_the_raw_code() {
+        let fs = FaultFs::new(FaultSpec::parse("seed=1,enospc=1").unwrap());
+        let dir = tmp_dir("enospc");
+        let err = fs.write_file(&dir.join("f"), b"x").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(ENOSPC), "{err}");
+        assert_eq!(fs.injected(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_leaves_a_strict_prefix_and_errors() {
+        let fs = FaultFs::new(FaultSpec::parse("seed=3,torn_write=1").unwrap());
+        let dir = tmp_dir("torn");
+        let p = dir.join("f.txt");
+        let full = b"the full intended contents of the file";
+        let err = fs.write_file(&p, full).unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(EIO), "{err}");
+        let on_disk = std::fs::read(&p).unwrap_or_default();
+        assert!(on_disk.len() <= full.len());
+        assert_eq!(&full[..on_disk.len()], &on_disk[..]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn short_write_reports_success_with_truncated_contents() {
+        let fs = FaultFs::new(FaultSpec::parse("seed=5,short_write=1").unwrap());
+        let dir = tmp_dir("short");
+        let p = dir.join("f.txt");
+        let full = b"0123456789abcdef";
+        fs.write_file(&p, full).unwrap();
+        let on_disk = std::fs::read(&p).unwrap();
+        assert!(on_disk.len() < full.len(), "short write must truncate");
+        assert_eq!(&full[..on_disk.len()], &on_disk[..]);
+        assert!(fs.injected() >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn arm_disarm_toggle_the_global_plane() {
+        let _g = FS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let backend = arm(FaultSpec::parse("seed=2,eio=1").unwrap());
+        assert!(fsio::armed());
+        let dir = tmp_dir("armdisarm");
+        let p = dir.join("f.txt");
+        assert!(fsio::write_file(&p, b"x").is_err());
+        assert_eq!(backend.injected(), 1);
+        disarm();
+        assert!(!fsio::armed());
+        fsio::write_file(&p, b"x").unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

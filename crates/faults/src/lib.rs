@@ -1,0 +1,30 @@
+//! # apots-faults
+//!
+//! The workspace's deterministic fault-injection plane and the
+//! degradation machinery it proves out (DESIGN.md §13).
+//!
+//! Three pieces:
+//!
+//! * [`FaultSpec`] — a seed + per-operation probability schedule, parsed
+//!   from the `APOTS_FAULTS` environment variable
+//!   (`seed=42,eio=0.2,torn_write=0.1,...`);
+//! * [`FaultFs`] — an [`apots_serde::fsio::Fs`] backend that draws from
+//!   the in-house PCG at every operation boundary and injects torn
+//!   writes, silent short writes, `ENOSPC`, transient `EIO`, failed
+//!   fsync and failed rename — fully deterministic for a given spec and
+//!   operation sequence, and hermetic (no real devices harmed);
+//! * [`RetryPolicy`] — bounded retry with decorrelated-jitter backoff
+//!   drawn from the same PCG (so retry timing is reproducible), plus the
+//!   transient-vs-permanent [`classify`] split it decides on.
+//!
+//! [`arm`] installs a fault backend process-globally; [`disarm`] removes
+//! it. The fs plane is zero-cost while disarmed (one relaxed atomic load
+//! per operation), which `apots-bench`'s allocation gate pins.
+
+pub mod fs;
+pub mod retry;
+pub mod spec;
+
+pub use fs::{arm, disarm, FaultFs};
+pub use retry::{classify, ErrorClass, RetryPolicy};
+pub use spec::FaultSpec;

@@ -1,0 +1,205 @@
+//! Bounded retry with reproducible decorrelated-jitter backoff.
+//!
+//! Classification first: `EIO`-style failures are *transient* (the next
+//! attempt may succeed — a flaky device, a blip under load), while
+//! `ENOSPC`, missing files and permission errors are *permanent*
+//! (retrying cannot help and only delays the structured error). The
+//! policy retries transients up to a bound, sleeping a
+//! decorrelated-jitter backoff (Brooker's AWS variant: each delay is
+//! uniform in `[base, 3·prev]`, capped) drawn from the in-house PCG —
+//! so a given policy seed produces the same delay sequence on every
+//! run, keeping even the *timing* of failure handling reproducible.
+//!
+//! Exhaustion returns the last error to the caller (the trainer maps it
+//! onto a structured `TrainError`); nothing in this module panics on
+//! I/O failure.
+
+use std::io;
+use std::time::Duration;
+
+use apots_tensor::rng::{seeded, Rng};
+
+/// Transient-vs-permanent split for I/O errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Worth retrying: the same operation may succeed shortly.
+    Transient,
+    /// Retrying cannot help (device full, file missing, bad input).
+    Permanent,
+}
+
+/// Raw `errno` values the classifier pins (Linux).
+const RAW_EIO: i32 = 5;
+const RAW_ENOSPC: i32 = 28;
+
+/// Classifies an I/O error for the retry policy.
+pub fn classify(e: &io::Error) -> ErrorClass {
+    match e.raw_os_error() {
+        Some(RAW_EIO) => ErrorClass::Transient,
+        Some(RAW_ENOSPC) => ErrorClass::Permanent,
+        _ => match e.kind() {
+            io::ErrorKind::Interrupted | io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => {
+                ErrorClass::Transient
+            }
+            _ => ErrorClass::Permanent,
+        },
+    }
+}
+
+/// Bounded retry with decorrelated-jitter backoff.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 1 disables retrying.
+    pub max_attempts: usize,
+    /// Backoff floor in nanoseconds.
+    pub base_ns: u64,
+    /// Backoff ceiling in nanoseconds.
+    pub cap_ns: u64,
+    /// Seed for the jitter stream (per call site, so concurrent sites
+    /// don't share a stream).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 4 attempts, 20 µs floor, 2 ms ceiling: generous enough to ride
+    /// out injected transients, cheap enough for property suites that
+    /// exhaust it thousands of times.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_ns: 20_000,
+            cap_ns: 2_000_000,
+            seed: 0xB0FF_5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Runs `op`, retrying transient failures with jittered backoff.
+    ///
+    /// Every retry bumps the `io.retry` counter. Returns the first
+    /// success, the first *permanent* error, or — after
+    /// [`RetryPolicy::max_attempts`] — the last transient error.
+    pub fn run<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        let mut rng = seeded(self.seed);
+        let mut delay = self.base_ns;
+        for attempt in 1.. {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    if attempt >= self.max_attempts.max(1) || classify(&e) == ErrorClass::Permanent
+                    {
+                        return Err(e);
+                    }
+                    apots_obs::metrics::IO_RETRIES.bump();
+                    delay = self.next_delay(&mut rng, delay);
+                    std::thread::sleep(Duration::from_nanos(delay));
+                }
+            }
+        }
+        unreachable!("retry loop returns from within")
+    }
+
+    /// One decorrelated-jitter step: uniform in `[base, 3·prev]`,
+    /// clamped to the cap.
+    fn next_delay(&self, rng: &mut impl Rng, prev: u64) -> u64 {
+        let hi = prev.saturating_mul(3).max(self.base_ns + 1);
+        rng.random_range(self.base_ns..=hi).min(self.cap_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    fn eio() -> io::Error {
+        io::Error::from_raw_os_error(RAW_EIO)
+    }
+
+    #[test]
+    fn classifies_raw_codes_and_kinds() {
+        assert_eq!(classify(&eio()), ErrorClass::Transient);
+        assert_eq!(
+            classify(&io::Error::from_raw_os_error(RAW_ENOSPC)),
+            ErrorClass::Permanent
+        );
+        assert_eq!(
+            classify(&io::Error::new(io::ErrorKind::Interrupted, "x")),
+            ErrorClass::Transient
+        );
+        assert_eq!(
+            classify(&io::Error::new(io::ErrorKind::NotFound, "x")),
+            ErrorClass::Permanent
+        );
+        assert_eq!(
+            classify(&io::Error::new(io::ErrorKind::PermissionDenied, "x")),
+            ErrorClass::Permanent
+        );
+    }
+
+    #[test]
+    fn retries_transients_until_success() {
+        let calls = Cell::new(0usize);
+        let got = RetryPolicy::default().run(|| {
+            calls.set(calls.get() + 1);
+            if calls.get() < 3 {
+                Err(eio())
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(got.unwrap(), 42);
+        assert_eq!(calls.get(), 3);
+    }
+
+    #[test]
+    fn permanent_errors_fail_fast() {
+        let calls = Cell::new(0usize);
+        let got: io::Result<()> = RetryPolicy::default().run(|| {
+            calls.set(calls.get() + 1);
+            Err(io::Error::from_raw_os_error(RAW_ENOSPC))
+        });
+        assert_eq!(got.unwrap_err().raw_os_error(), Some(RAW_ENOSPC));
+        assert_eq!(calls.get(), 1, "ENOSPC must not be retried");
+    }
+
+    #[test]
+    fn exhaustion_returns_the_last_error() {
+        let calls = Cell::new(0usize);
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            ..RetryPolicy::default()
+        };
+        let got: io::Result<()> = policy.run(|| {
+            calls.set(calls.get() + 1);
+            Err(eio())
+        });
+        assert!(got.is_err());
+        assert_eq!(calls.get(), 5);
+    }
+
+    #[test]
+    fn jitter_sequence_is_reproducible_and_bounded() {
+        let policy = RetryPolicy::default();
+        let seq = |seed: u64| -> Vec<u64> {
+            let mut rng = seeded(seed);
+            let mut delay = policy.base_ns;
+            (0..16)
+                .map(|_| {
+                    delay = policy.next_delay(&mut rng, delay);
+                    delay
+                })
+                .collect()
+        };
+        let a = seq(policy.seed);
+        assert_eq!(a, seq(policy.seed), "same seed ⇒ same delay schedule");
+        for &d in &a {
+            assert!(
+                d >= policy.base_ns && d <= policy.cap_ns,
+                "delay {d} out of bounds"
+            );
+        }
+        assert_ne!(a, seq(policy.seed ^ 1));
+    }
+}

@@ -1,0 +1,192 @@
+//! **Chaos soak** (DESIGN.md §13): random kill points composed with
+//! random fault schedules and repeated resume, for every predictor kind.
+//!
+//! Each scenario replays the full crash-recovery life cycle under an
+//! armed fault plane: train → get killed (or hit an injected I/O
+//! failure) → resume from whatever checkpoint generation survived →
+//! repeat until the run completes or fails structurally. The contract
+//! asserted for every outcome:
+//!
+//! * a run that *completes* is **bit-identical** to the fault-free
+//!   uninterrupted baseline (no silent corruption — a short write that
+//!   slipped through checksums would show up here);
+//! * a run that *fails* does so with a structured [`TrainError`] —
+//!   the `Result` type itself proves no panic escaped.
+
+use std::sync::Mutex;
+
+use apots::config::{HyperPreset, PredictorKind, TrainConfig};
+use apots::eval::evaluate;
+use apots::predictor::build_predictor;
+use apots::runtime::{KillPoint, TrainError, TrainOptions};
+use apots::trainer::train_with_options;
+use apots_check::{seeded, Rng};
+use apots_faults::{arm, disarm, FaultSpec};
+use apots_traffic::calendar::Calendar;
+use apots_traffic::{Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset};
+
+/// Guards the process-global fault plane.
+static PLANE: Mutex<()> = Mutex::new(());
+
+const EPOCHS: usize = 3;
+const SCENARIOS_PER_KIND: usize = 3;
+const MAX_KILLS: usize = 3;
+
+fn dataset() -> TrafficDataset {
+    let cal = Calendar::new(8, 6, vec![]);
+    TrafficDataset::new(
+        Corridor::generate_with_calendar(SimConfig::default(), cal),
+        DataConfig::default(),
+    )
+}
+
+fn tiny_cfg(seed: u64) -> TrainConfig {
+    let mut c = TrainConfig::fast_plain(FeatureMask::BOTH);
+    c.epochs = EPOCHS;
+    c.max_train_samples = Some(128);
+    c.batch_size = 32;
+    c.seed = seed;
+    c
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("apots-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// One scheduled crash: fires once at its kill point, then goes quiet.
+#[derive(Debug, Clone, Copy)]
+enum Kill {
+    EpochStart(usize),
+    AfterSave(usize),
+}
+
+impl Kill {
+    fn draw(rng: &mut impl Rng) -> Self {
+        let epoch = 1 + (rng.next_u64() % EPOCHS as u64) as usize;
+        if rng.next_u64().is_multiple_of(2) {
+            Kill::EpochStart(epoch)
+        } else {
+            Kill::AfterSave(epoch.clamp(1, EPOCHS - 1))
+        }
+    }
+
+    fn matches(self, p: KillPoint) -> bool {
+        match (self, p) {
+            (Kill::EpochStart(n), KillPoint::EpochStart(m)) => n == m,
+            (Kill::AfterSave(n), KillPoint::AfterSave(m)) => n == m,
+            _ => false,
+        }
+    }
+}
+
+/// A mostly-recoverable fault schedule: transient faults dominate (the
+/// retry plane absorbs them), with occasional torn/short writes to
+/// exercise the checksum fallback and a rare hard `ENOSPC`.
+fn scenario_spec(rng: &mut impl Rng) -> FaultSpec {
+    let menu = [0.0, 0.05, 0.1];
+    let seed = rng.next_u64();
+    let mut pick = |scale: f64| menu[(rng.next_u64() % 3) as usize] * scale;
+    FaultSpec {
+        seed,
+        torn_write: pick(1.0),
+        short_write: pick(1.0),
+        enospc: pick(0.2),
+        eio: pick(1.0),
+        fsync: pick(1.0),
+        rename: pick(1.0),
+    }
+}
+
+fn train_bits(
+    kind: PredictorKind,
+    data: &TrafficDataset,
+    cfg: &TrainConfig,
+    options: &mut TrainOptions<'_>,
+) -> Result<Vec<u32>, TrainError> {
+    let mut p = build_predictor(kind, HyperPreset::Fast, data, cfg.seed);
+    train_with_options(p.as_mut(), data, cfg, options)?;
+    let eval = evaluate(p.as_mut(), data, cfg.mask, data.test_samples());
+    Ok(eval.predictions.iter().map(|v| v.to_bits()).collect())
+}
+
+#[test]
+fn chaos_soak_is_bit_identical_or_a_structured_error_for_every_kind() {
+    let _guard = PLANE.lock().unwrap_or_else(|e| e.into_inner());
+    let data = dataset();
+    let mut completed = 0usize;
+    let mut structured_failures = 0usize;
+
+    for kind in PredictorKind::all() {
+        let cfg = tiny_cfg(0xC4A05 ^ kind.label().as_bytes()[0] as u64);
+        // Fault-free uninterrupted baseline: the ground truth every
+        // surviving chaos run must reproduce bit-for-bit.
+        let baseline = train_bits(kind, &data, &cfg, &mut TrainOptions::default())
+            .expect("fault-free baseline");
+
+        for scenario in 0..SCENARIOS_PER_KIND {
+            let mut rng =
+                seeded(0x50A4 ^ (scenario as u64) << 8 ^ kind.label().as_bytes()[0] as u64);
+            let spec = scenario_spec(&mut rng);
+            let n_kills = 1 + (rng.next_u64() % MAX_KILLS as u64) as usize;
+            let kills: Vec<Kill> = (0..n_kills).map(|_| Kill::draw(&mut rng)).collect();
+            let dir = tmp_dir(&format!("{}-{scenario}", kind.label()));
+
+            arm(spec.clone());
+            // Attempt 0 starts fresh; each later attempt resumes from
+            // whatever generation survived the previous crash. Attempts
+            // beyond the kill schedule run without a kill, so the loop
+            // always terminates: completion, or a structured error.
+            let mut outcome: Option<Result<Vec<u32>, TrainError>> = None;
+            for attempt in 0..=kills.len() {
+                let mut options = TrainOptions::checkpointed(&dir, 1, attempt > 0);
+                let kill = kills.get(attempt).copied();
+                options.kill_hook = Some(Box::new(move |p| kill.is_some_and(|k| k.matches(p))));
+                match train_bits(kind, &data, &cfg, &mut options) {
+                    Err(TrainError::Killed { .. }) => continue,
+                    other => {
+                        outcome = Some(other);
+                        break;
+                    }
+                }
+            }
+            disarm();
+            let _ = std::fs::remove_dir_all(&dir);
+
+            match outcome.expect("kill schedule exhausted without a terminal outcome") {
+                Ok(bits) => {
+                    assert_eq!(
+                        bits, baseline,
+                        "{kind:?} scenario {scenario}: chaos run completed but \
+                         diverged from the fault-free baseline (spec {spec:?}, \
+                         kills {kills:?})"
+                    );
+                    completed += 1;
+                }
+                Err(
+                    e @ (TrainError::Io(_) | TrainError::Corrupt(_) | TrainError::Killed { .. }),
+                ) => {
+                    // Structured failure: the fault schedule won. The
+                    // error carries enough context to act on; what it
+                    // must never be is a panic or silent bad data.
+                    assert!(!e.to_string().is_empty());
+                    structured_failures += 1;
+                }
+                Err(other) => panic!(
+                    "{kind:?} scenario {scenario}: unexpected error class {other:?} \
+                     (spec {spec:?})"
+                ),
+            }
+        }
+    }
+
+    // The schedule mix is tuned so chaos is survivable more often than
+    // not; a soak where nothing ever completes is testing nothing.
+    assert!(
+        completed >= 4,
+        "soak too destructive: only {completed} of {} scenarios completed \
+         ({structured_failures} structured failures)",
+        PredictorKind::all().len() * SCENARIOS_PER_KIND
+    );
+}

@@ -231,6 +231,11 @@ pub static ATTACK_RUNS: Counter = Counter::new("attack.runs", true);
 pub static ATTACK_QUERIES: Counter = Counter::new("attack.queries", true);
 /// RDAT robust steps taken (one per batch when the defense is enabled).
 pub static RDAT_STEPS: Counter = Counter::new("rdat.steps", true);
+/// I/O retries taken by the bounded retry policy (save/restore path).
+pub static IO_RETRIES: Counter = Counter::new("io.retry", true);
+/// Faults injected by the `apots-faults` shim (0 unless a fault backend
+/// is armed; deterministic given the `APOTS_FAULTS` spec).
+pub static FAULTS_INJECTED: Counter = Counter::new("faults.injected", true);
 
 /// Every registered counter, in stable snapshot order.
 pub static ALL_COUNTERS: &[&Counter] = &[
@@ -253,6 +258,8 @@ pub static ALL_COUNTERS: &[&Counter] = &[
     &ATTACK_RUNS,
     &ATTACK_QUERIES,
     &RDAT_STEPS,
+    &IO_RETRIES,
+    &FAULTS_INJECTED,
 ];
 
 /// High-water mark of live pool worker threads.

@@ -252,6 +252,11 @@ pub fn summarize(text: &str) -> Result<Json, String> {
     attack.insert("rdat_steps".into(), counter("rdat.steps"));
     attack.insert("measurements".into(), Json::Arr(attack_runs_detail));
 
+    // --- fault plane: retries taken and faults injected ------------------
+    let mut io = Map::new();
+    io.insert("retries".into(), counter("io.retry"));
+    io.insert("faults_injected".into(), counter("faults.injected"));
+
     let mut trace = Map::new();
     trace.insert("events".into(), Json::Num(n_events as f64));
     trace.insert("dropped".into(), Json::Num(dropped));
@@ -273,6 +278,7 @@ pub fn summarize(text: &str) -> Result<Json, String> {
     root.insert("kernels".into(), Json::Obj(kernels));
     root.insert("optim_steps".into(), counter("optim.adam_step"));
     root.insert("attack".into(), Json::Obj(attack));
+    root.insert("io".into(), Json::Obj(io));
     root.insert(
         "det_hash".into(),
         Json::Str(format!("{:#018x}", det_hash(text)?)),
@@ -349,6 +355,24 @@ mod tests {
         let plain = summarize(SAMPLE).unwrap();
         assert_eq!(
             plain.get("attack").unwrap().get("runs").unwrap().as_f64(),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn summarize_reports_the_io_section() {
+        let trace = r#"{"kind":"meta","schema":"apots-trace","version":1}
+{"kind":"counter","name":"io.retry","det":true,"value":3}
+{"kind":"counter","name":"faults.injected","det":true,"value":2}
+"#;
+        let s = summarize(trace).unwrap();
+        let io = s.get("io").unwrap();
+        assert_eq!(io.get("retries").unwrap().as_f64(), Some(3.0));
+        assert_eq!(io.get("faults_injected").unwrap().as_f64(), Some(2.0));
+        // A fault-free trace still carries the (zeroed) section.
+        let plain = summarize(SAMPLE).unwrap();
+        assert_eq!(
+            plain.get("io").unwrap().get("retries").unwrap().as_f64(),
             Some(0.0)
         );
     }

@@ -21,11 +21,10 @@
 //! by other writers will fail the checksum and are treated as corrupt,
 //! which is the correct behavior for self-produced checkpoint files.
 
-use std::fs;
-use std::io::{self, Write};
+use std::io;
 use std::path::Path;
 
-use crate::{Json, Map};
+use crate::{fsio, Json, Map};
 
 /// Envelope magic string; bump [`ENVELOPE_VERSION`] on layout changes.
 pub const ENVELOPE_FORMAT: &str = "apots-envelope";
@@ -59,21 +58,24 @@ pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
         Some(d) => d.join(&tmp_name),
         None => Path::new(&tmp_name).to_path_buf(),
     };
-    {
-        let mut f = fs::File::create(&tmp_path)?;
-        f.write_all(contents.as_bytes())?;
-        f.sync_all()?;
+    // Each boundary routes through the injectable fs plane (`fsio`); with
+    // no backend installed these are plain `std::fs` calls.
+    if let Err(e) = fsio::write_file(&tmp_path, contents.as_bytes()) {
+        let _ = fsio::remove_file(&tmp_path);
+        return Err(e);
     }
-    if let Err(e) = fs::rename(&tmp_path, path) {
-        let _ = fs::remove_file(&tmp_path);
+    if let Err(e) = fsio::sync_file(&tmp_path) {
+        let _ = fsio::remove_file(&tmp_path);
+        return Err(e);
+    }
+    if let Err(e) = fsio::rename(&tmp_path, path) {
+        let _ = fsio::remove_file(&tmp_path);
         return Err(e);
     }
     // Make the rename itself durable by syncing the containing directory
     // (best-effort: directory handles are not fsync-able everywhere).
     if let Some(d) = dir {
-        if let Ok(dirf) = fs::File::open(d) {
-            let _ = dirf.sync_all();
-        }
+        let _ = fsio::sync_dir(d);
     }
     Ok(())
 }
@@ -145,8 +147,8 @@ pub fn write_sealed(path: &Path, payload: Json) -> Result<(), String> {
 
 /// Reads and [`unseal`]s a file written by [`write_sealed`].
 pub fn read_sealed(path: &Path) -> Result<Json, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let text =
+        fsio::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     unseal(&text).map_err(|e| format!("{}: {e}", path.display()))
 }
 
@@ -154,6 +156,7 @@ pub fn read_sealed(path: &Path) -> Result<Json, String> {
 mod tests {
     use super::*;
     use crate::json;
+    use std::fs;
 
     fn tmp_dir(tag: &str) -> std::path::PathBuf {
         let d = std::env::temp_dir().join(format!("apots-atomic-{tag}-{}", std::process::id()));

@@ -1,0 +1,246 @@
+//! Injectable filesystem plane for the durability layer.
+//!
+//! Every file operation [`crate::atomic`] performs — and every one the
+//! checkpoint store layers on top — goes through the free functions in
+//! this module. By default they call straight into `std::fs`. A test or
+//! fault-injection harness can [`install`] an alternative [`Fs`] backend
+//! (e.g. `apots-faults`' `FaultFs`) and every operation boundary becomes
+//! an injection point: torn writes, failed fsyncs, ENOSPC on create,
+//! transient EIO on read, rename failures.
+//!
+//! **Zero-cost when quiescent:** the dispatch gate is a single relaxed
+//! atomic load. With no backend installed there is no lock, no
+//! allocation, and no indirection — the real `std::fs` call is made
+//! directly, so production binaries pay nothing for the injectability.
+//!
+//! The installed backend is process-global (like the `apots-obs` tracing
+//! switch); tests that install backends must serialize on a lock.
+
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The filesystem operations the durability layer performs, each an
+/// injectable boundary.
+///
+/// Write + durability are split into [`Fs::write_file`] (create +
+/// write-all) and [`Fs::sync_file`] (flush to stable storage) so a fault
+/// backend can fail them independently — a torn write and a failed fsync
+/// are different production incidents.
+pub trait Fs: Send + Sync {
+    /// Creates (truncating) `path` and writes `contents` in full.
+    fn write_file(&self, path: &Path, contents: &[u8]) -> io::Result<()>;
+    /// Flushes `path`'s data to stable storage (fsync).
+    fn sync_file(&self, path: &Path) -> io::Result<()>;
+    /// Atomically renames `from` onto `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Reads a file to a UTF-8 string.
+    fn read_to_string(&self, path: &Path) -> io::Result<String>;
+    /// Recursively creates a directory.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Flushes a directory's entries to stable storage (making a
+    /// completed rename durable).
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// The pass-through backend: plain `std::fs`.
+pub struct RealFs;
+
+impl Fs for RealFs {
+    fn write_file(&self, path: &Path, contents: &[u8]) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(contents)
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::File::open(path)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        std::fs::read_to_string(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        std::fs::File::open(dir)?.sync_all()
+    }
+}
+
+/// `true` ⇔ a backend is installed. Relaxed is sufficient: the flag only
+/// gates dispatch, and installers publish the backend under the mutex.
+static ARMED: AtomicBool = AtomicBool::new(false);
+static BACKEND: Mutex<Option<Arc<dyn Fs>>> = Mutex::new(None);
+
+/// Installs a process-global [`Fs`] backend; subsequent operations
+/// dispatch through it until [`uninstall`].
+pub fn install(fs: Arc<dyn Fs>) {
+    let mut slot = BACKEND.lock().unwrap_or_else(|e| e.into_inner());
+    *slot = Some(fs);
+    ARMED.store(true, Ordering::Release);
+}
+
+/// Removes the installed backend; operations go straight to `std::fs`
+/// again.
+pub fn uninstall() {
+    let mut slot = BACKEND.lock().unwrap_or_else(|e| e.into_inner());
+    ARMED.store(false, Ordering::Release);
+    *slot = None;
+}
+
+/// Whether a backend is currently installed.
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+#[inline]
+fn dispatch<R>(real: impl FnOnce(&RealFs) -> R, shimmed: impl FnOnce(&dyn Fs) -> R) -> R {
+    // Fast path: one relaxed load, then the direct std::fs call.
+    if !ARMED.load(Ordering::Acquire) {
+        return real(&RealFs);
+    }
+    let backend = {
+        let slot = BACKEND.lock().unwrap_or_else(|e| e.into_inner());
+        slot.clone()
+    };
+    match backend {
+        Some(b) => shimmed(&*b),
+        None => real(&RealFs),
+    }
+}
+
+/// [`Fs::write_file`] through the installed backend (or `std::fs`).
+pub fn write_file(path: &Path, contents: &[u8]) -> io::Result<()> {
+    dispatch(
+        |r| r.write_file(path, contents),
+        |s| s.write_file(path, contents),
+    )
+}
+
+/// [`Fs::sync_file`] through the installed backend (or `std::fs`).
+pub fn sync_file(path: &Path) -> io::Result<()> {
+    dispatch(|r| r.sync_file(path), |s| s.sync_file(path))
+}
+
+/// [`Fs::rename`] through the installed backend (or `std::fs`).
+pub fn rename(from: &Path, to: &Path) -> io::Result<()> {
+    dispatch(|r| r.rename(from, to), |s| s.rename(from, to))
+}
+
+/// [`Fs::remove_file`] through the installed backend (or `std::fs`).
+pub fn remove_file(path: &Path) -> io::Result<()> {
+    dispatch(|r| r.remove_file(path), |s| s.remove_file(path))
+}
+
+/// [`Fs::read_to_string`] through the installed backend (or `std::fs`).
+pub fn read_to_string(path: &Path) -> io::Result<String> {
+    dispatch(|r| r.read_to_string(path), |s| s.read_to_string(path))
+}
+
+/// [`Fs::create_dir_all`] through the installed backend (or `std::fs`).
+pub fn create_dir_all(path: &Path) -> io::Result<()> {
+    dispatch(|r| r.create_dir_all(path), |s| s.create_dir_all(path))
+}
+
+/// [`Fs::sync_dir`] through the installed backend (or `std::fs`).
+pub fn sync_dir(dir: &Path) -> io::Result<()> {
+    dispatch(|r| r.sync_dir(dir), |s| s.sync_dir(dir))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Installation is process-global state; tests serialize here.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("apots-fsio-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn real_backend_roundtrips() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = tmp_dir("real");
+        let a = dir.join("a.txt");
+        let b = dir.join("b.txt");
+        write_file(&a, b"hello").unwrap();
+        sync_file(&a).unwrap();
+        rename(&a, &b).unwrap();
+        sync_dir(&dir).unwrap();
+        assert_eq!(read_to_string(&b).unwrap(), "hello");
+        remove_file(&b).unwrap();
+        assert!(read_to_string(&b).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A backend that counts dispatches and fails every write.
+    struct CountingFailFs(AtomicUsize);
+
+    impl Fs for CountingFailFs {
+        fn write_file(&self, _p: &Path, _c: &[u8]) -> io::Result<()> {
+            self.0.fetch_add(1, Ordering::Relaxed);
+            Err(io::Error::other("injected"))
+        }
+        fn sync_file(&self, _p: &Path) -> io::Result<()> {
+            Ok(())
+        }
+        fn rename(&self, _f: &Path, _t: &Path) -> io::Result<()> {
+            Ok(())
+        }
+        fn remove_file(&self, _p: &Path) -> io::Result<()> {
+            Ok(())
+        }
+        fn read_to_string(&self, _p: &Path) -> io::Result<String> {
+            Ok(String::new())
+        }
+        fn create_dir_all(&self, _p: &Path) -> io::Result<()> {
+            Ok(())
+        }
+        fn sync_dir(&self, _d: &Path) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn install_routes_and_uninstall_restores() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = tmp_dir("route");
+        let p = dir.join("x.txt");
+
+        let shim = Arc::new(CountingFailFs(AtomicUsize::new(0)));
+        install(shim.clone());
+        assert!(armed());
+        assert!(write_file(&p, b"never lands").is_err());
+        assert_eq!(shim.0.load(Ordering::Relaxed), 1);
+        assert!(!p.exists(), "shimmed write must not touch the real fs");
+
+        uninstall();
+        assert!(!armed());
+        write_file(&p, b"real").unwrap();
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "real");
+        assert_eq!(
+            shim.0.load(Ordering::Relaxed),
+            1,
+            "shim no longer consulted"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -24,6 +24,7 @@
 use std::fmt;
 
 pub mod atomic;
+pub mod fsio;
 mod parse;
 
 pub use parse::Error;

@@ -14,6 +14,7 @@
 use apots_tensor::rng::Rng;
 
 use crate::features::{FeatureMask, SampleFeatures};
+use crate::outage::OutageView;
 use crate::sim::Corridor;
 use crate::INTERVALS_PER_DAY;
 
@@ -246,6 +247,29 @@ impl TrafficDataset {
     /// Disabled groups are zero-filled so the input width never changes
     /// (§V-B Q2). Panics if `t` is not a valid base time.
     pub fn features(&self, t: usize, mask: FeatureMask) -> SampleFeatures {
+        self.features_inner(t, mask, None)
+    }
+
+    /// [`Self::features`] as observed through a sensor outage: the input
+    /// speed/volume windows read the imputed [`OutageView`] series, while
+    /// the prediction target and the real (discriminator) sequence keep
+    /// the ground truth — evaluation must measure accuracy against what
+    /// actually happened, not against the imputation.
+    pub fn features_with_outage(
+        &self,
+        t: usize,
+        mask: FeatureMask,
+        view: &OutageView,
+    ) -> SampleFeatures {
+        self.features_inner(t, mask, Some(view))
+    }
+
+    fn features_inner(
+        &self,
+        t: usize,
+        mask: FeatureMask,
+        view: Option<&OutageView>,
+    ) -> SampleFeatures {
         let alpha = self.config.alpha;
         let beta = self.config.beta;
         assert!(
@@ -263,7 +287,11 @@ impl TrafficDataset {
             }
             let s = self.corridor.road_speeds(r);
             for (k, u) in window.clone().enumerate() {
-                row[k] = self.speed_norm.normalize(s[u]);
+                let raw = match view {
+                    Some(v) => v.speed(r, u),
+                    None => s[u],
+                };
+                row[k] = self.speed_norm.normalize(raw);
             }
         }
 
@@ -303,7 +331,11 @@ impl TrafficDataset {
             for (r, row) in volume_matrix.iter_mut().enumerate() {
                 let q = self.corridor.road_volumes(r);
                 for (k, u) in window.clone().enumerate() {
-                    row[k] = self.volume_norm.normalize(q[u]);
+                    let raw = match view {
+                        Some(v) => v.volume(r, u),
+                        None => q[u],
+                    };
+                    row[k] = self.volume_norm.normalize(raw);
                 }
             }
         }
@@ -514,6 +546,38 @@ mod tests {
             );
         }
         assert!((0..c.intervals()).all(|t| c.volume(h, t) >= 0.0));
+    }
+
+    #[test]
+    fn outage_features_keep_ground_truth_targets() {
+        use crate::outage::{OutageConfig, OutagePlan, OutageView};
+        let ds = small_dataset();
+        let c = ds.corridor();
+        let plan = OutagePlan::generate(
+            c.n_roads(),
+            c.intervals(),
+            &OutageConfig {
+                rate: 0.3,
+                ..OutageConfig::default()
+            },
+        );
+        let view = OutageView::new(c, &plan);
+        let mut any_differs = false;
+        for &t in ds.train_samples().iter().take(200) {
+            let clean = ds.features(t, FeatureMask::BOTH);
+            let outed = ds.features_with_outage(t, FeatureMask::BOTH, &view);
+            // Targets and the discriminator sequence are ground truth.
+            assert_eq!(clean.target, outed.target);
+            assert_eq!(clean.real_sequence, outed.real_sequence);
+            // Non-sensor channels are untouched by a sensor outage.
+            assert_eq!(clean.event, outed.event);
+            assert_eq!(clean.hour, outed.hour);
+            any_differs |= clean.speed_matrix != outed.speed_matrix;
+        }
+        assert!(
+            any_differs,
+            "a 30% outage must perturb at least one input window"
+        );
     }
 
     #[test]

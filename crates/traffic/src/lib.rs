@@ -23,12 +23,16 @@
 //!   adjacent-speed matrix of Eq 6, non-speed data (event / weather / time)
 //!   and the ablation masks used by Fig 5 and Table II;
 //! * [`scenarios`] — locating the Fig 1 / Fig 6 case-study windows (rush
-//!   hour, rainy day, accident recovery) inside a simulated corridor.
+//!   hour, rainy day, accident recovery) inside a simulated corridor;
+//! * [`outage`] — deterministic sensor-outage schedules (per-road dropout
+//!   windows) and the LOCF + segment-mean imputation that feeds the
+//!   degradation curves of `apots::degrade`.
 
 pub mod calendar;
 pub mod dataset;
 pub mod features;
 pub mod incidents;
+pub mod outage;
 pub mod scenarios;
 pub mod sim;
 pub mod weather;
@@ -37,6 +41,7 @@ pub use calendar::{Calendar, DayType};
 pub use dataset::{DataConfig, Normalizer, TrafficDataset};
 pub use features::{FeatureMask, NonSpeedMask, SampleFeatures};
 pub use incidents::{Incident, IncidentKind, IncidentLog};
+pub use outage::{OutageConfig, OutagePlan, OutageView};
 pub use sim::{Corridor, SimConfig};
 pub use weather::Weather;
 

@@ -1,0 +1,288 @@
+//! Sensor-outage scenarios: per-segment dropout windows and the
+//! imputation that keeps the pipeline running through them.
+//!
+//! Real loop detectors go dark — maintenance, power loss, network
+//! partitions — and ROADMAP item 3 requires the predictor to degrade
+//! gracefully instead of seeing garbage. This module generates
+//! deterministic outage schedules ([`OutagePlan`]): per-road windows
+//! drawn from the in-house PCG so a given `(seed, rate)` always drops
+//! the same readings. [`OutageView`] then materializes the corridor's
+//! speed/volume series *as a deployment would observe them*:
+//! last-observation-carried-forward inside each window, falling back to
+//! the segment's observed mean when an outage starts before any reading
+//! exists.
+//!
+//! Ground truth is never touched — prediction targets and evaluation
+//! always come from the true series; only the *input* windows see the
+//! imputed view. Degradation curves over the outage rate are produced by
+//! `apots::degrade`.
+
+use apots_tensor::rng::{seeded, Rng};
+
+use crate::sim::Corridor;
+
+/// Parameters of one outage scenario.
+#[derive(Debug, Clone)]
+pub struct OutageConfig {
+    /// Target fraction of `(road, interval)` readings dropped, in
+    /// `[0, 1)`.
+    pub rate: f64,
+    /// Mean outage window length in intervals (windows are uniform in
+    /// `[1, 2·mean − 1]`).
+    pub mean_duration: usize,
+    /// PCG seed; same seed + same shape ⇒ identical schedule.
+    pub seed: u64,
+}
+
+impl Default for OutageConfig {
+    /// 6-interval (30-minute) mean outages at a 10% drop rate.
+    fn default() -> Self {
+        OutageConfig {
+            rate: 0.1,
+            mean_duration: 6,
+            seed: 0x0_07A6E,
+        }
+    }
+}
+
+/// A deterministic per-road dropout schedule.
+#[derive(Debug, Clone)]
+pub struct OutagePlan {
+    /// `out[road][t]` ⇔ the reading at `(road, t)` is dropped.
+    out: Vec<Vec<bool>>,
+}
+
+impl OutagePlan {
+    /// Draws a schedule for `n_roads × intervals` readings.
+    ///
+    /// Each road walks time independently: outside a window, a new
+    /// outage starts with probability `rate / mean_duration` per
+    /// interval (so the expected dropped fraction ≈ `rate`); its length
+    /// is uniform in `[1, 2·mean − 1]`.
+    pub fn generate(n_roads: usize, intervals: usize, cfg: &OutageConfig) -> Self {
+        assert!(
+            (0.0..1.0).contains(&cfg.rate),
+            "OutageConfig: rate {} outside [0, 1)",
+            cfg.rate
+        );
+        assert!(cfg.mean_duration >= 1, "OutageConfig: mean_duration >= 1");
+        let mut rng = seeded(cfg.seed ^ 0x5E60FF);
+        let p_start = (cfg.rate / cfg.mean_duration as f64).min(1.0);
+        let mut out = vec![vec![false; intervals]; n_roads];
+        for row in &mut out {
+            let mut t = 0usize;
+            while t < intervals {
+                if p_start > 0.0 && rng.random_bool(p_start) {
+                    let len = rng.random_range(1..=2 * cfg.mean_duration - 1);
+                    for cell in &mut row[t..(t + len).min(intervals)] {
+                        *cell = true;
+                    }
+                    t += len;
+                } else {
+                    t += 1;
+                }
+            }
+        }
+        OutagePlan { out }
+    }
+
+    /// Whether the reading at `(road, t)` is dropped.
+    pub fn is_out(&self, road: usize, t: usize) -> bool {
+        self.out[road][t]
+    }
+
+    /// Number of roads covered by the schedule.
+    pub fn n_roads(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of intervals covered by the schedule.
+    pub fn intervals(&self) -> usize {
+        self.out.first().map_or(0, Vec::len)
+    }
+
+    /// Realized dropped fraction over all readings.
+    pub fn outage_fraction(&self) -> f64 {
+        let total: usize = self.out.iter().map(Vec::len).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let dropped: usize = self
+            .out
+            .iter()
+            .map(|row| row.iter().filter(|&&b| b).count())
+            .sum();
+        dropped as f64 / total as f64
+    }
+}
+
+/// Imputes one raw series under a dropout mask: carry the last observed
+/// value forward through each window; readings dropped before anything
+/// was observed take the mean of the series' observed values (or the
+/// raw mean if the sensor never reports at all).
+pub fn impute_series(raw: &[f32], out: &[bool]) -> Vec<f32> {
+    assert_eq!(raw.len(), out.len(), "impute_series: length mismatch");
+    let observed: Vec<f32> = raw
+        .iter()
+        .zip(out)
+        .filter(|(_, &o)| !o)
+        .map(|(&v, _)| v)
+        .collect();
+    let fallback = if observed.is_empty() {
+        raw.iter().sum::<f32>() / raw.len().max(1) as f32
+    } else {
+        observed.iter().sum::<f32>() / observed.len() as f32
+    };
+    let mut last: Option<f32> = None;
+    raw.iter()
+        .zip(out)
+        .map(|(&v, &o)| {
+            if o {
+                last.unwrap_or(fallback)
+            } else {
+                last = Some(v);
+                v
+            }
+        })
+        .collect()
+}
+
+/// The corridor's sensor series as observed through an outage: imputed
+/// speeds and volumes per road, ready for window encoding.
+#[derive(Debug, Clone)]
+pub struct OutageView {
+    speeds: Vec<Vec<f32>>,
+    volumes: Vec<Vec<f32>>,
+}
+
+impl OutageView {
+    /// Materializes the imputed series for every road of `corridor`
+    /// under `plan`.
+    ///
+    /// # Panics
+    /// Panics if the plan's shape does not match the corridor.
+    pub fn new(corridor: &Corridor, plan: &OutagePlan) -> Self {
+        assert_eq!(plan.n_roads(), corridor.n_roads(), "plan/corridor roads");
+        assert_eq!(
+            plan.intervals(),
+            corridor.intervals(),
+            "plan/corridor intervals"
+        );
+        let speeds = (0..corridor.n_roads())
+            .map(|r| impute_series(corridor.road_speeds(r), &plan.out[r]))
+            .collect();
+        let volumes = (0..corridor.n_roads())
+            .map(|r| impute_series(corridor.road_volumes(r), &plan.out[r]))
+            .collect();
+        OutageView { speeds, volumes }
+    }
+
+    /// Imputed (raw-unit) speed of `road` at `t`.
+    pub fn speed(&self, road: usize, t: usize) -> f32 {
+        self.speeds[road][t]
+    }
+
+    /// Imputed (raw-unit) volume of `road` at `t`.
+    pub fn volume(&self, road: usize, t: usize) -> f32 {
+        self.volumes[road][t]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calendar::Calendar;
+    use crate::sim::SimConfig;
+
+    #[test]
+    fn plan_is_deterministic_and_rate_tracks_target() {
+        let cfg = OutageConfig {
+            rate: 0.15,
+            ..OutageConfig::default()
+        };
+        let a = OutagePlan::generate(5, 4000, &cfg);
+        let b = OutagePlan::generate(5, 4000, &cfg);
+        for r in 0..5 {
+            for t in 0..4000 {
+                assert_eq!(a.is_out(r, t), b.is_out(r, t));
+            }
+        }
+        let frac = a.outage_fraction();
+        assert!(
+            (0.08..0.25).contains(&frac),
+            "realized rate {frac} far from target 0.15"
+        );
+        let other = OutagePlan::generate(
+            5,
+            4000,
+            &OutageConfig {
+                seed: cfg.seed ^ 1,
+                ..cfg
+            },
+        );
+        let differs = (0..4000).any(|t| a.is_out(0, t) != other.is_out(0, t));
+        assert!(differs, "different seeds should give different schedules");
+    }
+
+    #[test]
+    fn zero_rate_drops_nothing() {
+        let plan = OutagePlan::generate(
+            3,
+            500,
+            &OutageConfig {
+                rate: 0.0,
+                ..OutageConfig::default()
+            },
+        );
+        assert_eq!(plan.outage_fraction(), 0.0);
+    }
+
+    #[test]
+    fn impute_carries_last_observation_forward() {
+        let raw = [10.0, 20.0, 30.0, 40.0, 50.0];
+        let out = [false, true, true, false, true];
+        let got = impute_series(&raw, &out);
+        assert_eq!(got, vec![10.0, 10.0, 10.0, 40.0, 40.0]);
+    }
+
+    #[test]
+    fn impute_leading_outage_uses_observed_mean() {
+        let raw = [99.0, 99.0, 10.0, 20.0];
+        let out = [true, true, false, false];
+        let got = impute_series(&raw, &out);
+        assert_eq!(got[0], 15.0, "leading gap takes mean of observed values");
+        assert_eq!(got[1], 15.0);
+        assert_eq!(&got[2..], &[10.0, 20.0]);
+    }
+
+    #[test]
+    fn impute_total_outage_uses_raw_mean() {
+        let raw = [2.0, 4.0, 6.0];
+        let out = [true, true, true];
+        assert_eq!(impute_series(&raw, &out), vec![4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn view_matches_truth_where_observed() {
+        let cal = Calendar::new(8, 6, vec![]);
+        let corridor = Corridor::generate_with_calendar(SimConfig::default(), cal);
+        let plan = OutagePlan::generate(
+            corridor.n_roads(),
+            corridor.intervals(),
+            &OutageConfig::default(),
+        );
+        let view = OutageView::new(&corridor, &plan);
+        let mut masked = 0usize;
+        for r in 0..corridor.n_roads() {
+            for t in 0..corridor.intervals() {
+                if plan.is_out(r, t) {
+                    masked += 1;
+                } else {
+                    assert_eq!(view.speed(r, t), corridor.speed(r, t));
+                    assert_eq!(view.volume(r, t), corridor.volume(r, t));
+                }
+            }
+        }
+        assert!(masked > 0, "default plan should drop something");
+    }
+}

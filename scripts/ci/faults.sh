@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Stage: faults — the fault-injection & degradation contract (DESIGN.md §13):
+#   * apots-faults unit tests: the injectable fs shim, the APOTS_FAULTS
+#     grammar, deterministic fault streams, retry/backoff classification;
+#   * fault-injection property suite: under arbitrary fault schedules a
+#     load returns saved data, a clean fallback, or a structured error —
+#     never garbage, never a panic (≥64 cases per property);
+#   * chaos soak: random kill points × fault schedules × resume, every
+#     predictor kind; surviving runs must be bit-identical to the
+#     fault-free baseline;
+#   * outage-degradation golden: report bytes are thread-invariant and
+#     pinned by an FNV-1a hash.
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+cargo test -p apots-faults --release --offline -q
+cargo test -p apots --test fault_injection --release --offline -q
+cargo test -p apots-faults --test chaos_soak --release --offline -q
+cargo test -p apots --test outage_golden --release --offline -q
+echo "faults gate: shim, retries, chaos soak and degradation golden all pass"
