@@ -64,6 +64,13 @@ fn usage() -> &'static str {
      \x20            --model FILE [--days N] [--seed N] [--json]\n\
      \x20 predict    print a predicted speed trace for a time window\n\
      \x20            --model FILE --day N --from HH:MM --to HH:MM\n\
+     \x20 serve      run the online inference service (HTTP/1.1)\n\
+     \x20            --model FILE [--addr HOST:PORT] [--workers N]\n\
+     \x20            [--shards N] [--batch-max N] [--watch DIR]\n\
+     \x20            [--poll-ms N] [--days N] [--seed N] [--preset fast|paper]\n\
+     \x20            (--watch hot-swaps checkpoints from a rotation dir;\n\
+     \x20            torn or corrupt checkpoints are rejected and the old\n\
+     \x20            model keeps serving — see DESIGN.md §14)\n\
      \x20 attack     run a θ-bounded black-box attack on a checkpoint\n\
      \x20            --model FILE [--attack random-search|greedy|spsa]\n\
      \x20            [--budget N] [--theta X] [--samples N] [--json]\n\
@@ -121,6 +128,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             | "attack"
             | "robustness-report"
             | "outage-report"
+            | "serve"
     );
     if traced {
         match args.get_str("trace") {
@@ -143,6 +151,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "train" => no_operands(&args, cmd_train),
         "eval" => no_operands(&args, cmd_eval),
         "predict" => no_operands(&args, cmd_predict),
+        "serve" => no_operands(&args, cmd_serve),
         "attack" => no_operands(&args, cmd_attack),
         "robustness-report" => no_operands(&args, cmd_robustness_report),
         "outage-report" => no_operands(&args, cmd_outage_report),
@@ -558,6 +567,16 @@ fn parse_hhmm(s: &str) -> Result<usize, String> {
     if h > 23 || m > 59 {
         return Err(format!("time {s:?} out of range"));
     }
+    // The corridor ticks in 5-minute intervals; flooring `06:04` to
+    // `06:00` silently would answer a different question than asked.
+    if !m.is_multiple_of(5) {
+        return Err(format!(
+            "time {s:?} is not on a 5-minute boundary (intervals are 5 minutes; \
+             use {h:02}:{:02} or {h:02}:{:02})",
+            m - m % 5,
+            (m - m % 5 + 5).min(55),
+        ));
+    }
     Ok(h * 12 + m / 5)
 }
 
@@ -593,4 +612,107 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let data = std::sync::Arc::new(build_data(args)?);
+    // The boot checkpoint comes from --model (the `train --out` file);
+    // --watch DIR points at a trainer's --checkpoint-dir rotation, which
+    // the server then hot-follows.
+    let path = args
+        .get_str("model")
+        .ok_or_else(|| "--model FILE is required".to_string())?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let initial = Checkpoint::from_json(&json).map_err(|e| format!("bad checkpoint: {e}"))?;
+
+    let mut cfg = apots_serve::ServeConfig {
+        addr: args.get_str("addr").unwrap_or("127.0.0.1:7077").to_string(),
+        preset: match args.get_str("preset").unwrap_or("fast") {
+            "paper" => HyperPreset::Paper,
+            _ => HyperPreset::Fast,
+        },
+        ..apots_serve::ServeConfig::default()
+    };
+    if let Some(n) = args.get_usize("workers")? {
+        if n == 0 {
+            return Err("--workers must be positive".into());
+        }
+        cfg.workers = n;
+    }
+    if let Some(n) = args.get_usize("shards")? {
+        if n == 0 {
+            return Err("--shards must be positive".into());
+        }
+        cfg.shards = n;
+    }
+    if let Some(n) = args.get_usize("batch-max")? {
+        if n == 0 {
+            return Err("--batch-max must be positive".into());
+        }
+        cfg.batch_max = n;
+    }
+    if let Some(ms) = args.get_usize("poll-ms")? {
+        cfg.poll_interval = std::time::Duration::from_millis(ms as u64);
+    }
+    let store = match args.get_str("watch") {
+        Some(dir) => Some(
+            apots::persist::CheckpointStore::open(dir)
+                .map_err(|e| format!("cannot open --watch dir: {e}"))?,
+        ),
+        None => None,
+    };
+    let watching = store.is_some();
+
+    let server = apots_serve::Server::start(cfg, data, initial, store)?;
+    println!("serving on http://{}", server.addr());
+    println!(
+        "  GET /predict?road=R&t=T   predicted speed for road R at interval T\n\
+         \x20 GET /healthz              liveness + model generation\n\
+         \x20 GET /metrics              serve counters"
+    );
+    if watching {
+        println!("watching for checkpoint rotations (hot-swap enabled)");
+    }
+    // Serve until the process is killed; the OS reclaims the sockets.
+    // The Server's own shutdown path is exercised by the crate tests and
+    // the load generator, which own their server in-process.
+    loop {
+        std::thread::park();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_hhmm;
+
+    #[test]
+    fn hhmm_parses_five_minute_boundaries() {
+        assert_eq!(parse_hhmm("00:00").unwrap(), 0);
+        assert_eq!(parse_hhmm("06:05").unwrap(), 6 * 12 + 1);
+        assert_eq!(parse_hhmm("23:55").unwrap(), 287);
+    }
+
+    #[test]
+    fn hhmm_rejects_out_of_range() {
+        assert!(parse_hhmm("24:00").unwrap_err().contains("out of range"));
+        assert!(parse_hhmm("12:60").unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn hhmm_rejects_off_grid_minutes_instead_of_flooring() {
+        // 06:04 used to silently mean 06:00 — the error must name the
+        // nearest valid boundaries, not guess for the user.
+        let err = parse_hhmm("06:04").unwrap_err();
+        assert!(err.contains("5-minute"), "{err}");
+        assert!(err.contains("06:00") && err.contains("06:05"), "{err}");
+        let err = parse_hhmm("23:59").unwrap_err();
+        assert!(err.contains("23:55"), "{err}");
+    }
+
+    #[test]
+    fn hhmm_rejects_malformed_strings() {
+        assert!(parse_hhmm("0600").is_err());
+        assert!(parse_hhmm("six:ten").is_err());
+        assert!(parse_hhmm("06:").is_err());
+    }
 }

@@ -186,6 +186,19 @@ pub fn degradation_report(data: &TrafficDataset, cfg: &DegradeConfig) -> Json {
         "rates".into(),
         Json::Arr(cfg.rates.iter().map(|&r| num(r)).collect()),
     );
+    // Nominal rates undershoot when windows truncate at the horizon
+    // edge; the realized fraction is a property of the shared per-rate
+    // plan (kind-independent), so it is reported once at the top level
+    // alongside the nominal sweep.
+    root.insert(
+        "realized_rates".into(),
+        Json::Arr(
+            plans
+                .iter()
+                .map(|(_, plan)| num(plan.outage_fraction()))
+                .collect(),
+        ),
+    );
     root.insert("kinds".into(), Json::Arr(kinds));
     Json::Obj(root)
 }

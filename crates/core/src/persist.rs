@@ -98,7 +98,14 @@ impl CheckpointStore {
         let start = std::time::Instant::now();
         let latest = self.latest_path();
         let retry = RetryPolicy::default();
-        if latest.exists() {
+        // Probe through the fsio seam, not `Path::exists()`: an installed
+        // backend (in-memory store, fault plane) must see the same view
+        // here as the reads and writes do, or rotation decisions diverge
+        // from the files the shim actually holds.
+        let latest_exists = retry
+            .run(|| fsio::exists(&latest))
+            .map_err(|e| format!("cannot probe {}: {e}", latest.display()))?;
+        if latest_exists {
             retry
                 .run(|| fsio::rename(&latest, &self.prev_path()))
                 .map_err(|e| format!("cannot rotate {}: {e}", latest.display()))?;
@@ -130,8 +137,13 @@ impl CheckpointStore {
         let start = std::time::Instant::now();
         let latest = self.latest_path();
         let prev = self.prev_path();
-        let latest_exists = latest.exists();
-        let prev_exists = prev.exists();
+        let retry = RetryPolicy::default();
+        let latest_exists = retry
+            .run(|| fsio::exists(&latest))
+            .map_err(|e| format!("cannot probe {}: {e}", latest.display()))?;
+        let prev_exists = retry
+            .run(|| fsio::exists(&prev))
+            .map_err(|e| format!("cannot probe {}: {e}", prev.display()))?;
         if !latest_exists && !prev_exists {
             return Ok(None);
         }

@@ -13,7 +13,9 @@ use apots_traffic::calendar::Calendar;
 use apots_traffic::{Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset};
 
 /// FNV-1a of the tiny report below, captured at `APOTS_THREADS=1`.
-const GOLDEN_DEGRADE_HASH: u64 = 0xebdfc65fff661fef;
+/// Was `0xebdfc65fff661fef` before the top-level `realized_rates` array
+/// joined the schema.
+const GOLDEN_DEGRADE_HASH: u64 = 0x4ea1ee6e5a197911;
 
 fn dataset() -> TrafficDataset {
     let cal = Calendar::new(6, 6, vec![]);
@@ -60,6 +62,15 @@ fn degradation_report_is_stable_across_threads_and_pinned() {
         j.get("schema").and_then(Json::as_str),
         Some("apots-outage-degradation")
     );
+    // Top-level realized rates: one per swept nominal rate, clean
+    // baseline exactly zero, lossy points strictly positive (window
+    // truncation at the horizon edge makes them undershoot the nominal
+    // rate, which is exactly why they are reported).
+    let realized = j.get("realized_rates").and_then(Json::as_array).unwrap();
+    assert_eq!(realized.len(), 2, "one realized rate per swept rate");
+    assert_eq!(realized[0].as_f64(), Some(0.0));
+    let lossy = realized[1].as_f64().unwrap();
+    assert!(lossy > 0.0 && lossy < 1.0, "realized rate {lossy}");
     let kinds = j.get("kinds").and_then(Json::as_array).unwrap();
     assert_eq!(kinds.len(), 4, "one curve per predictor kind");
     for k in kinds {

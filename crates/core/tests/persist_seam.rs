@@ -1,0 +1,193 @@
+//! Regression tests for the fsio seam in [`CheckpointStore`].
+//!
+//! The store once probed generations with bare `Path::exists()`, which
+//! bypassed any installed [`Fs`] backend: a hermetic in-memory backend
+//! would hold `latest.json` while the store swore it was missing (and
+//! vice versa after a real-disk run left stale files behind). These
+//! tests pin the fix by running a full save/rotate/load cycle against a
+//! purely in-memory backend and asserting the real disk is never
+//! consulted — if any probe regressed to `std::fs`, rotation would
+//! diverge from the shim's view and the assertions below would trip.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use apots::persist::{CheckpointStore, LoadSource};
+use apots_serde::fsio::{self, Fs};
+use apots_serde::json;
+
+/// A hermetic filesystem: every file lives in a map, nothing touches the
+/// disk. Existence probes are counted so the tests can prove the store
+/// asked *this* backend rather than `std::fs`.
+struct MemFs {
+    files: Mutex<HashMap<PathBuf, Vec<u8>>>,
+    exists_probes: AtomicUsize,
+}
+
+impl MemFs {
+    fn new() -> Self {
+        MemFs {
+            files: Mutex::new(HashMap::new()),
+            exists_probes: AtomicUsize::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<PathBuf, Vec<u8>>> {
+        self.files.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn not_found(path: &Path) -> io::Error {
+        io::Error::new(io::ErrorKind::NotFound, format!("{}", path.display()))
+    }
+}
+
+impl Fs for MemFs {
+    fn write_file(&self, path: &Path, contents: &[u8]) -> io::Result<()> {
+        self.lock().insert(path.to_path_buf(), contents.to_vec());
+        Ok(())
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        if self.lock().contains_key(path) {
+            Ok(())
+        } else {
+            Err(Self::not_found(path))
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut files = self.lock();
+        match files.remove(from) {
+            Some(contents) => {
+                files.insert(to.to_path_buf(), contents);
+                Ok(())
+            }
+            None => Err(Self::not_found(from)),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        match self.lock().remove(path) {
+            Some(_) => Ok(()),
+            None => Err(Self::not_found(path)),
+        }
+    }
+
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        match self.lock().get(path) {
+            Some(bytes) => String::from_utf8(bytes.clone())
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+            None => Err(Self::not_found(path)),
+        }
+    }
+
+    fn exists(&self, path: &Path) -> io::Result<bool> {
+        self.exists_probes.fetch_add(1, Ordering::Relaxed);
+        Ok(self.lock().contains_key(path))
+    }
+
+    fn create_dir_all(&self, _path: &Path) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn sync_dir(&self, _dir: &Path) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The fsio backend is process-global; every test in this binary
+/// serializes here.
+static SEAM_LOCK: Mutex<()> = Mutex::new(());
+
+/// A directory that must never materialize on the real disk. Keeping it
+/// under the temp root means even a regression cannot litter the repo.
+fn phantom_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("apots-seam-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn memfs_store_round_trips_without_touching_disk() {
+    let _g = SEAM_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = phantom_dir("roundtrip");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mem = Arc::new(MemFs::new());
+    fsio::install(mem.clone());
+
+    let run = || -> Result<(), String> {
+        let store = CheckpointStore::open(&dir)?;
+        store.save(json!({"epoch": 1usize}))?;
+        store.save(json!({"epoch": 2usize}))?;
+        let (payload, source) = store.load()?.ok_or("store should hold a checkpoint")?;
+        if source != LoadSource::Latest {
+            return Err(format!("expected Latest, got {source:?}"));
+        }
+        if payload.get("epoch").and_then(|v| v.as_usize()) != Some(2) {
+            return Err(format!("wrong payload: {payload}"));
+        }
+        Ok(())
+    };
+    let result = run();
+    let probes = mem.exists_probes.load(Ordering::Relaxed);
+    let latest_in_mem = mem.lock().contains_key(&dir.join("latest.json"));
+    let prev_in_mem = mem.lock().contains_key(&dir.join("prev.json"));
+    fsio::uninstall();
+
+    result.unwrap();
+    assert!(
+        probes >= 3,
+        "save (1 probe) + second save (1) + load (2) must all ask the \
+         installed backend; got {probes}"
+    );
+    assert!(latest_in_mem, "latest.json must live in the backend");
+    assert!(prev_in_mem, "rotation must happen inside the backend");
+    assert!(
+        !dir.exists(),
+        "a shimmed store must never create {} on the real disk",
+        dir.display()
+    );
+}
+
+#[test]
+fn memfs_store_sees_only_the_backend_view() {
+    let _g = SEAM_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Plant a real-disk decoy: if any probe regresses to `Path::exists`,
+    // the store would try to rotate/read a file the backend cannot see
+    // and fail loudly.
+    let dir = phantom_dir("decoy");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("latest.json"), "real-disk decoy").unwrap();
+    std::fs::write(dir.join("prev.json"), "real-disk decoy").unwrap();
+
+    let mem = Arc::new(MemFs::new());
+    fsio::install(mem.clone());
+    let run = || -> Result<(), String> {
+        let store = CheckpointStore::open(&dir)?;
+        // The backend holds nothing, so despite the real-disk decoys the
+        // store must report "no checkpoint at all".
+        if store.load()?.is_some() {
+            return Err("empty backend must load None regardless of real disk".into());
+        }
+        // And a fresh save must not attempt to rotate the decoy.
+        store.save(json!({"fresh": true}))?;
+        let (payload, source) = store.load()?.ok_or("saved checkpoint must load")?;
+        if source != LoadSource::Latest {
+            return Err(format!("expected Latest, got {source:?}"));
+        }
+        if payload.get("fresh").and_then(|v| v.as_bool()) != Some(true) {
+            return Err(format!("wrong payload: {payload}"));
+        }
+        Ok(())
+    };
+    let result = run();
+    fsio::uninstall();
+    result.unwrap();
+    assert_eq!(
+        std::fs::read_to_string(dir.join("latest.json")).unwrap(),
+        "real-disk decoy",
+        "the real disk must be untouched"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

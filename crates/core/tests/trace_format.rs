@@ -40,7 +40,11 @@ fn session() -> std::sync::MutexGuard<'static, ()> {
 /// Recaptured again when the fault plane registered `io.retry` /
 /// `faults.injected` (DESIGN.md §13 notes the break). Was
 /// `0x4521df7a2adfaa71` before.
-const GOLDEN_DET_HASH: u64 = 0xc3f9ed818a3a6fa0;
+///
+/// Recaptured again when the serving plane registered the five
+/// `serve.*` counters (DESIGN.md §14 notes the break). Was
+/// `0xc3f9ed818a3a6fa0` before.
+const GOLDEN_DET_HASH: u64 = 0x70c6040918d1948a;
 
 fn dataset() -> TrafficDataset {
     let cal = Calendar::new(8, 6, vec![]);

@@ -130,6 +130,15 @@ impl Fs for FaultFs {
         RealFs.read_to_string(path)
     }
 
+    fn exists(&self, path: &Path) -> io::Result<bool> {
+        // Pure pass-through, no RNG draw: existence probes are metadata
+        // reads the kernel answers from the dcache, and consuming stream
+        // state here would shift every fault behind it, breaking the
+        // deterministic-stream contract for specs written before this op
+        // existed.
+        RealFs.exists(path)
+    }
+
     fn create_dir_all(&self, path: &Path) -> io::Result<()> {
         if self.draw(self.spec.enospc) {
             return Err(self.inject(ENOSPC, "ENOSPC on mkdir"));

@@ -236,6 +236,21 @@ pub static IO_RETRIES: Counter = Counter::new("io.retry", true);
 /// Faults injected by the `apots-faults` shim (0 unless a fault backend
 /// is armed; deterministic given the `APOTS_FAULTS` spec).
 pub static FAULTS_INJECTED: Counter = Counter::new("faults.injected", true);
+/// HTTP requests answered by `apots-serve` (all endpoints; deterministic
+/// for a fixed query storm).
+pub static SERVE_REQUESTS: Counter = Counter::new("serve.requests", true);
+/// Predictions computed by `apots-serve` (one per `/predict` query;
+/// deterministic for a fixed query storm).
+pub static SERVE_PREDICTIONS: Counter = Counter::new("serve.predictions", true);
+/// Micro-batches drained by the shard inference loops (depends on
+/// request arrival timing — never deterministic).
+pub static SERVE_BATCHES: Counter = Counter::new("serve.batches", false);
+/// Model snapshots hot-swapped in by the serve watcher (depends on
+/// poll timing relative to checkpoint writes).
+pub static SERVE_SWAPS: Counter = Counter::new("serve.swaps", false);
+/// Snapshot candidates rejected by the serve watcher (torn, corrupt or
+/// shape-mismatched checkpoints that must never reach traffic).
+pub static SERVE_SWAPS_REJECTED: Counter = Counter::new("serve.swaps_rejected", false);
 
 /// Every registered counter, in stable snapshot order.
 pub static ALL_COUNTERS: &[&Counter] = &[
@@ -260,6 +275,11 @@ pub static ALL_COUNTERS: &[&Counter] = &[
     &RDAT_STEPS,
     &IO_RETRIES,
     &FAULTS_INJECTED,
+    &SERVE_REQUESTS,
+    &SERVE_PREDICTIONS,
+    &SERVE_BATCHES,
+    &SERVE_SWAPS,
+    &SERVE_SWAPS_REJECTED,
 ];
 
 /// High-water mark of live pool worker threads.

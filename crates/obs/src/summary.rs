@@ -257,6 +257,14 @@ pub fn summarize(text: &str) -> Result<Json, String> {
     io.insert("retries".into(), counter("io.retry"));
     io.insert("faults_injected".into(), counter("faults.injected"));
 
+    // --- online serving: request volume and snapshot hot-swaps -----------
+    let mut serve = Map::new();
+    serve.insert("requests".into(), counter("serve.requests"));
+    serve.insert("predictions".into(), counter("serve.predictions"));
+    serve.insert("batches".into(), counter("serve.batches"));
+    serve.insert("swaps".into(), counter("serve.swaps"));
+    serve.insert("swaps_rejected".into(), counter("serve.swaps_rejected"));
+
     let mut trace = Map::new();
     trace.insert("events".into(), Json::Num(n_events as f64));
     trace.insert("dropped".into(), Json::Num(dropped));
@@ -279,6 +287,7 @@ pub fn summarize(text: &str) -> Result<Json, String> {
     root.insert("optim_steps".into(), counter("optim.adam_step"));
     root.insert("attack".into(), Json::Obj(attack));
     root.insert("io".into(), Json::Obj(io));
+    root.insert("serve".into(), Json::Obj(serve));
     root.insert(
         "det_hash".into(),
         Json::Str(format!("{:#018x}", det_hash(text)?)),

@@ -39,6 +39,10 @@ pub trait Fs: Send + Sync {
     fn remove_file(&self, path: &Path) -> io::Result<()>;
     /// Reads a file to a UTF-8 string.
     fn read_to_string(&self, path: &Path) -> io::Result<String>;
+    /// Whether a file exists. `Ok(false)` means a definitive "not
+    /// there"; `Err` means the probe itself failed (permission, EIO) and
+    /// the caller cannot tell.
+    fn exists(&self, path: &Path) -> io::Result<bool>;
     /// Recursively creates a directory.
     fn create_dir_all(&self, path: &Path) -> io::Result<()>;
     /// Flushes a directory's entries to stable storage (making a
@@ -69,6 +73,14 @@ impl Fs for RealFs {
 
     fn read_to_string(&self, path: &Path) -> io::Result<String> {
         std::fs::read_to_string(path)
+    }
+
+    fn exists(&self, path: &Path) -> io::Result<bool> {
+        match std::fs::metadata(path) {
+            Ok(_) => Ok(true),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e),
+        }
     }
 
     fn create_dir_all(&self, path: &Path) -> io::Result<()> {
@@ -150,6 +162,11 @@ pub fn read_to_string(path: &Path) -> io::Result<String> {
     dispatch(|r| r.read_to_string(path), |s| s.read_to_string(path))
 }
 
+/// [`Fs::exists`] through the installed backend (or `std::fs`).
+pub fn exists(path: &Path) -> io::Result<bool> {
+    dispatch(|r| r.exists(path), |s| s.exists(path))
+}
+
 /// [`Fs::create_dir_all`] through the installed backend (or `std::fs`).
 pub fn create_dir_all(path: &Path) -> io::Result<()> {
     dispatch(|r| r.create_dir_all(path), |s| s.create_dir_all(path))
@@ -181,7 +198,9 @@ mod tests {
         let dir = tmp_dir("real");
         let a = dir.join("a.txt");
         let b = dir.join("b.txt");
+        assert!(!exists(&a).unwrap());
         write_file(&a, b"hello").unwrap();
+        assert!(exists(&a).unwrap());
         sync_file(&a).unwrap();
         rename(&a, &b).unwrap();
         sync_dir(&dir).unwrap();
@@ -210,6 +229,9 @@ mod tests {
         }
         fn read_to_string(&self, _p: &Path) -> io::Result<String> {
             Ok(String::new())
+        }
+        fn exists(&self, _p: &Path) -> io::Result<bool> {
+            Ok(false)
         }
         fn create_dir_all(&self, _p: &Path) -> io::Result<()> {
             Ok(())

@@ -1,0 +1,32 @@
+//! `apots-serve` — the hermetic online inference service.
+//!
+//! ROADMAP item 1: APOTS predictions only matter in deployment if they
+//! answer queries *online*. This crate serves `GET /predict?road=..&t=..`
+//! over HTTP/1.1 built from scratch on `std::net` (the PR-1 hermeticity
+//! contract: no frameworks, no async runtime), with three load-bearing
+//! properties:
+//!
+//! * **Micro-batched, allocation-free steady state.** Concurrent predict
+//!   requests are drained into per-shard batches and encoded onto the
+//!   workspace arena; the per-request path reuses feature buffers,
+//!   response buffers and reply slots, so a warmed-up server's request
+//!   loop stays off the allocator entirely (DESIGN.md §10 extended to
+//!   serving — see §14).
+//! * **Deterministic answers.** Per-sample forwards are batch-size
+//!   invariant (DESIGN.md §9's per-element serial reduction chains), so
+//!   the answer to a query does not depend on which requests happened to
+//!   share its batch, on `APOTS_THREADS`, or on shard scheduling.
+//! * **Hot-swapped models that never serve garbage.** A watcher thread
+//!   re-reads the [`apots::CheckpointStore`] through the retrying,
+//!   fault-injectable fsio plane; a candidate snapshot is fully parsed,
+//!   shape-checked and trial-restored *before* an atomic [`Arc`] swap
+//!   publishes it. A torn, mid-rotation or corrupt checkpoint is counted
+//!   (`serve.swaps_rejected`) and the previous snapshot keeps serving.
+
+pub mod http;
+pub mod server;
+pub mod snapshot;
+
+pub use http::{Request, ResponseBuf};
+pub use server::{ServeConfig, Server};
+pub use snapshot::{checkpoint_from_payload, ModelSnapshot, SnapshotCell};

@@ -1,0 +1,186 @@
+//! Hot-swappable model snapshots.
+//!
+//! The serving path must never observe a half-loaded model: a snapshot
+//! is fully parsed, validated and trial-restored *before* it is
+//! published, and publication is one atomic [`Arc`] pointer swap. Shard
+//! threads clone the `Arc` at batch boundaries, so an in-flight batch
+//! keeps the model it started with while the next batch picks up the
+//! new generation.
+
+use std::sync::{Arc, RwLock};
+
+use apots::checkpoint::Checkpoint;
+use apots::config::HyperPreset;
+use apots::predictor::Predictor;
+use apots_nn::state::StateDict;
+use apots_serde::atomic::fnv1a_64;
+use apots_serde::Json;
+use apots_traffic::TrafficDataset;
+
+/// One published model generation.
+pub struct ModelSnapshot {
+    /// The validated checkpoint (kind + parameters).
+    pub checkpoint: Checkpoint,
+    /// Monotonic generation counter (1 = the snapshot the server booted
+    /// with).
+    pub version: u64,
+    /// FNV-1a of the checkpoint's canonical JSON — identical checkpoints
+    /// have identical fingerprints, which lets the watcher skip no-op
+    /// swaps.
+    pub fingerprint: u64,
+}
+
+impl ModelSnapshot {
+    /// Builds generation `version` from a validated checkpoint.
+    pub fn new(checkpoint: Checkpoint, version: u64) -> Self {
+        let fingerprint = fnv1a_64(checkpoint.to_json().as_bytes());
+        ModelSnapshot {
+            checkpoint,
+            version,
+            fingerprint,
+        }
+    }
+
+    /// Rebuilds a predictor replica from this snapshot (each shard owns
+    /// its own replica; `forward` needs `&mut`).
+    ///
+    /// # Errors
+    /// Returns an error if the stored kind or shapes do not match `data`
+    /// under `preset` — the caller must keep the old replica.
+    pub fn replica(
+        &self,
+        preset: HyperPreset,
+        data: &TrafficDataset,
+    ) -> Result<Box<dyn Predictor>, String> {
+        self.checkpoint.restore(preset, data)
+    }
+}
+
+/// The published-snapshot cell: readers take an `Arc` clone, the watcher
+/// swaps the pointer. Write contention is one pointer store per swap, so
+/// the read path stays wait-free in practice.
+pub struct SnapshotCell {
+    slot: RwLock<Arc<ModelSnapshot>>,
+}
+
+impl SnapshotCell {
+    /// A cell holding the boot snapshot.
+    pub fn new(initial: ModelSnapshot) -> Self {
+        SnapshotCell {
+            slot: RwLock::new(Arc::new(initial)),
+        }
+    }
+
+    /// The current snapshot (cheap: one `Arc` clone).
+    pub fn load(&self) -> Arc<ModelSnapshot> {
+        self.slot.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Publishes a new snapshot.
+    pub fn store(&self, snapshot: ModelSnapshot) {
+        *self.slot.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(snapshot);
+    }
+}
+
+/// Extracts a [`Checkpoint`] from a checkpoint-store payload.
+///
+/// Two payload shapes are accepted:
+/// * a bare model checkpoint `{"kind": .., "state": ..}` (what
+///   `apots-cli train --out` writes and the serve tests save), and
+/// * a full training checkpoint `{"kind": .., "predictor": .., ..}`
+///   (what the trainer's `--checkpoint-dir` rotation writes), so a
+///   server can hot-follow a live training run.
+///
+/// # Errors
+/// Returns a descriptive error for any other shape — the watcher treats
+/// it as a rejected swap, never as a panic.
+pub fn checkpoint_from_payload(payload: &Json) -> Result<Checkpoint, String> {
+    let kind = payload
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("checkpoint payload: missing \"kind\"")?
+        .to_string();
+    let state_value = payload
+        .get("state")
+        .or_else(|| payload.get("predictor"))
+        .ok_or("checkpoint payload: missing \"state\"/\"predictor\"")?;
+    let state =
+        StateDict::from_json(state_value).map_err(|e| format!("checkpoint payload: {e}"))?;
+    Ok(Checkpoint { kind, state })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apots::config::PredictorKind;
+    use apots::predictor::build_predictor;
+    use apots_traffic::calendar::Calendar;
+    use apots_traffic::{Corridor, DataConfig, SimConfig};
+
+    fn dataset() -> TrafficDataset {
+        let cal = Calendar::new(8, 6, vec![]);
+        TrafficDataset::new(
+            Corridor::generate_with_calendar(SimConfig::default(), cal),
+            DataConfig::default(),
+        )
+    }
+
+    #[test]
+    fn identical_checkpoints_share_a_fingerprint() {
+        let data = dataset();
+        let mut p = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &data, 11);
+        let ck = Checkpoint::capture(p.as_mut());
+        let a = ModelSnapshot::new(ck, 1);
+        let mut p2 = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &data, 11);
+        let b = ModelSnapshot::new(Checkpoint::capture(p2.as_mut()), 2);
+        assert_eq!(a.fingerprint, b.fingerprint, "same params, same print");
+        let mut other = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &data, 12);
+        let c = ModelSnapshot::new(Checkpoint::capture(other.as_mut()), 3);
+        assert_ne!(a.fingerprint, c.fingerprint, "different params differ");
+    }
+
+    #[test]
+    fn cell_swaps_atomically_and_readers_keep_their_generation() {
+        let data = dataset();
+        let mut p = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &data, 1);
+        let cell = SnapshotCell::new(ModelSnapshot::new(Checkpoint::capture(p.as_mut()), 1));
+        let held = cell.load();
+        assert_eq!(held.version, 1);
+        cell.store(ModelSnapshot::new(Checkpoint::capture(p.as_mut()), 2));
+        assert_eq!(cell.load().version, 2);
+        assert_eq!(held.version, 1, "existing readers keep their snapshot");
+    }
+
+    #[test]
+    fn payload_round_trips_both_shapes() {
+        let data = dataset();
+        let mut p = build_predictor(PredictorKind::Lstm, HyperPreset::Fast, &data, 3);
+        let ck = Checkpoint::capture(p.as_mut());
+        // Bare shape.
+        let bare = Json::parse(&ck.to_json()).unwrap();
+        let got = checkpoint_from_payload(&bare).unwrap();
+        assert_eq!(got.to_json(), ck.to_json());
+        // Trainer shape: "predictor" instead of "state".
+        let mut m = apots_serde::Map::new();
+        m.insert("kind".into(), Json::Str(ck.kind.clone()));
+        m.insert("predictor".into(), ck.state.to_json());
+        m.insert("epoch".into(), Json::Num(4.0));
+        let got = checkpoint_from_payload(&Json::Obj(m)).unwrap();
+        assert_eq!(got.to_json(), ck.to_json());
+        // Garbage is an error, not a panic.
+        assert!(checkpoint_from_payload(&Json::parse("{\"kind\":\"F\"}").unwrap()).is_err());
+        assert!(checkpoint_from_payload(&Json::parse("{}").unwrap()).is_err());
+    }
+
+    #[test]
+    fn replica_restores_and_rejects_mismatched_data() {
+        let data = dataset();
+        let mut p = build_predictor(PredictorKind::Cnn, HyperPreset::Fast, &data, 5);
+        let snap = ModelSnapshot::new(Checkpoint::capture(p.as_mut()), 1);
+        assert!(snap.replica(HyperPreset::Fast, &data).is_ok());
+        assert!(
+            snap.replica(HyperPreset::Paper, &data).is_err(),
+            "wrong preset must be a structured error"
+        );
+    }
+}

@@ -270,6 +270,55 @@ impl TrafficDataset {
         mask: FeatureMask,
         view: Option<&OutageView>,
     ) -> SampleFeatures {
+        let mut out = SampleFeatures::zeroed(
+            self.corridor.n_roads(),
+            self.config.alpha,
+            self.corridor.target_road(),
+        );
+        self.fill_features(self.corridor.target_road(), t, mask, view, &mut out);
+        out
+    }
+
+    /// Encodes the sample at base time `t` *recentered on* `road`: the
+    /// speed/volume rows are the corridor neighbourhood of `road` (row
+    /// `i` reads corridor road `road + i − m`, clamped at the corridor
+    /// ends, so `road` itself always lands on the row the model treats
+    /// as the target) and the event flags, target and real sequence all
+    /// come from `road`. With `road == target_road()` this is
+    /// bit-identical to [`Self::features`] — the serving path uses that
+    /// equivalence to answer `/predict?road=..` for every segment with
+    /// the one trained model.
+    pub fn features_for_road(&self, road: usize, t: usize, mask: FeatureMask) -> SampleFeatures {
+        let mut out = SampleFeatures::zeroed(
+            self.corridor.n_roads(),
+            self.config.alpha,
+            self.corridor.target_road(),
+        );
+        self.fill_features(road, t, mask, None, &mut out);
+        out
+    }
+
+    /// [`Self::features_for_road`] into a caller-owned buffer: no
+    /// allocation when `out` already has the corridor's shape, which
+    /// keeps a serving loop's steady state off the allocator entirely.
+    pub fn features_for_road_into(
+        &self,
+        road: usize,
+        t: usize,
+        mask: FeatureMask,
+        out: &mut SampleFeatures,
+    ) {
+        self.fill_features(road, t, mask, None, out);
+    }
+
+    fn fill_features(
+        &self,
+        center: usize,
+        t: usize,
+        mask: FeatureMask,
+        view: Option<&OutageView>,
+        out: &mut SampleFeatures,
+    ) {
         let alpha = self.config.alpha;
         let beta = self.config.beta;
         assert!(
@@ -277,14 +326,21 @@ impl TrafficDataset {
             "sample base time {t} out of range"
         );
         let n_roads = self.corridor.n_roads();
-        let h = self.corridor.target_road();
+        assert!(center < n_roads, "road {center} out of range ({n_roads})");
+        let m = self.corridor.target_road();
+        out.reset(n_roads, alpha, m);
+        // Row i of the recentered neighbourhood; identity when `center`
+        // is the trained target road.
+        let road_of = |i: usize| -> usize {
+            (center as isize + i as isize - m as isize).clamp(0, n_roads as isize - 1) as usize
+        };
         let window = t - alpha..t; // [t−α, t−1]
 
-        let mut speed_matrix = vec![vec![0.0f32; alpha]; n_roads];
-        for (r, row) in speed_matrix.iter_mut().enumerate() {
-            if r != h && !mask.adjacent {
+        for (i, row) in out.speed_matrix.iter_mut().enumerate() {
+            if i != m && !mask.adjacent {
                 continue; // masked neighbours stay zero
             }
+            let r = road_of(i);
             let s = self.corridor.road_speeds(r);
             for (k, u) in window.clone().enumerate() {
                 let raw = match view {
@@ -295,40 +351,35 @@ impl TrafficDataset {
             }
         }
 
-        let mut event = vec![0.0f32; alpha];
-        let mut temperature = vec![0.0f32; alpha];
-        let mut precipitation = vec![0.0f32; alpha];
-        let mut hour = vec![0.0f32; alpha];
-        let mut day_type = [0.0f32; 4];
         if mask.non_speed.event {
             for (k, u) in window.clone().enumerate() {
-                event[k] = f32::from(u8::from(self.corridor.incidents().flag(h, u)));
+                out.event[k] = f32::from(u8::from(self.corridor.incidents().flag(center, u)));
             }
         }
         if mask.non_speed.weather {
             for (k, u) in window.clone().enumerate() {
-                temperature[k] = self
+                out.temperature[k] = self
                     .temp_norm
                     .normalize(self.corridor.weather().temperature[u]);
-                precipitation[k] = self
+                out.precipitation[k] = self
                     .precip_norm
                     .normalize(self.corridor.weather().precipitation[u]);
             }
         }
         if mask.non_speed.time {
             for (k, u) in window.clone().enumerate() {
-                hour[k] = self.corridor.calendar().hour_of(u) as f32 / 23.0;
+                out.hour[k] = self.corridor.calendar().hour_of(u) as f32 / 23.0;
             }
-            day_type = self
+            out.day_type = self
                 .corridor
                 .calendar()
                 .day_type(self.corridor.calendar().day_of(t))
                 .encode();
         }
 
-        let mut volume_matrix = vec![vec![0.0f32; alpha]; n_roads];
         if mask.volume {
-            for (r, row) in volume_matrix.iter_mut().enumerate() {
+            for (i, row) in out.volume_matrix.iter_mut().enumerate() {
+                let r = road_of(i);
                 let q = self.corridor.road_volumes(r);
                 for (k, u) in window.clone().enumerate() {
                     let raw = match view {
@@ -340,25 +391,14 @@ impl TrafficDataset {
             }
         }
 
-        let target = self.speed_norm.normalize(self.corridor.speed(h, t + beta));
+        out.target = self
+            .speed_norm
+            .normalize(self.corridor.speed(center, t + beta));
 
         // Real sequence S_{t−α+β+1 : t+β} of length α.
         let seq_start = t + beta + 1 - alpha;
-        let real_sequence: Vec<f32> = (seq_start..=t + beta)
-            .map(|u| self.speed_norm.normalize(self.corridor.speed(h, u)))
-            .collect();
-
-        SampleFeatures {
-            speed_matrix,
-            target_row: h,
-            event,
-            temperature,
-            precipitation,
-            hour,
-            day_type,
-            volume_matrix,
-            target,
-            real_sequence,
+        for (k, u) in (seq_start..=t + beta).enumerate() {
+            out.real_sequence[k] = self.speed_norm.normalize(self.corridor.speed(center, u));
         }
     }
 
@@ -462,6 +502,70 @@ mod tests {
         assert!(f.event.iter().all(|&v| v == 0.0));
         assert!(f.hour.iter().all(|&v| v == 0.0));
         assert_eq!(f.day_type, [0.0; 4]);
+    }
+
+    #[test]
+    fn features_for_target_road_match_features_exactly() {
+        let ds = small_dataset();
+        let t = ds.train_samples()[3];
+        for mask in [
+            FeatureMask::FULL,
+            FeatureMask::BOTH,
+            FeatureMask::SPEED_ONLY,
+        ] {
+            let a = ds.features(t, mask);
+            let b = ds.features_for_road(ds.corridor().target_road(), t, mask);
+            assert_eq!(a.speed_matrix, b.speed_matrix);
+            assert_eq!(a.volume_matrix, b.volume_matrix);
+            assert_eq!(a.event, b.event);
+            assert_eq!(a.target_row, b.target_row);
+            assert_eq!(a.target.to_bits(), b.target.to_bits());
+            assert_eq!(a.real_sequence, b.real_sequence);
+        }
+    }
+
+    #[test]
+    fn recentered_features_put_the_queried_road_on_the_target_row() {
+        let ds = small_dataset();
+        let t = ds.train_samples()[7];
+        let alpha = ds.config().alpha;
+        let m = ds.corridor().target_road();
+        let n = ds.corridor().n_roads();
+        for road in 0..n {
+            let f = ds.features_for_road(road, t, FeatureMask::FULL);
+            assert_eq!(f.target_row, m);
+            // The queried road's own (normalized) history sits on row m.
+            let expect: Vec<f32> = (t - alpha..t)
+                .map(|u| ds.speed_norm().normalize(ds.corridor().speed(road, u)))
+                .collect();
+            assert_eq!(f.speed_matrix[m], expect, "road {road}");
+            // And the target is that road's future speed.
+            let want = ds
+                .speed_norm()
+                .normalize(ds.corridor().speed(road, ds.target_time(t)));
+            assert_eq!(f.target.to_bits(), want.to_bits(), "road {road}");
+            // Edge roads clamp their missing neighbours to the corridor
+            // boundary instead of fabricating segments.
+            if road == 0 {
+                assert_eq!(f.speed_matrix[0], f.speed_matrix[m - 1].clone());
+            }
+        }
+    }
+
+    #[test]
+    fn features_into_reuses_the_buffer_bit_identically() {
+        let ds = small_dataset();
+        let t = ds.train_samples()[1];
+        let mut buf = SampleFeatures::zeroed(ds.corridor().n_roads(), ds.config().alpha, 0);
+        for road in [0, 2, 4, 1] {
+            ds.features_for_road_into(road, t, FeatureMask::FULL, &mut buf);
+            let fresh = ds.features_for_road(road, t, FeatureMask::FULL);
+            assert_eq!(buf.speed_matrix, fresh.speed_matrix, "road {road}");
+            assert_eq!(buf.volume_matrix, fresh.volume_matrix);
+            assert_eq!(buf.event, fresh.event);
+            assert_eq!(buf.real_sequence, fresh.real_sequence);
+            assert_eq!(buf.target.to_bits(), fresh.target.to_bits());
+        }
     }
 
     #[test]

@@ -248,6 +248,50 @@ impl SampleFeatures {
     pub fn flat_width(n_roads: usize, alpha: usize) -> usize {
         2 * n_roads * alpha + 4 * alpha + 4
     }
+
+    /// An all-zero buffer shaped for `n_roads` rows of length `alpha`,
+    /// ready for in-place filling (`TrafficDataset::features_for_road_into`).
+    pub fn zeroed(n_roads: usize, alpha: usize, target_row: usize) -> Self {
+        SampleFeatures {
+            speed_matrix: vec![vec![0.0; alpha]; n_roads],
+            target_row,
+            event: vec![0.0; alpha],
+            temperature: vec![0.0; alpha],
+            precipitation: vec![0.0; alpha],
+            hour: vec![0.0; alpha],
+            day_type: [0.0; 4],
+            volume_matrix: vec![vec![0.0; alpha]; n_roads],
+            target: 0.0,
+            real_sequence: vec![0.0; alpha],
+        }
+    }
+
+    /// Zeroes every group in place, (re)shaping buffers to `n_roads ×
+    /// alpha`. Allocation-free when the shape already matches — the
+    /// point of reusing one buffer across a serving loop.
+    pub fn reset(&mut self, n_roads: usize, alpha: usize, target_row: usize) {
+        let reshape_rows = |m: &mut Vec<Vec<f32>>| {
+            m.resize_with(n_roads, Vec::new);
+            for row in m.iter_mut() {
+                row.clear();
+                row.resize(alpha, 0.0);
+            }
+        };
+        reshape_rows(&mut self.speed_matrix);
+        reshape_rows(&mut self.volume_matrix);
+        let reshape_series = |s: &mut Vec<f32>| {
+            s.clear();
+            s.resize(alpha, 0.0);
+        };
+        reshape_series(&mut self.event);
+        reshape_series(&mut self.temperature);
+        reshape_series(&mut self.precipitation);
+        reshape_series(&mut self.hour);
+        reshape_series(&mut self.real_sequence);
+        self.day_type = [0.0; 4];
+        self.target = 0.0;
+        self.target_row = target_row;
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,104 @@
+//! Property tests for the outage imputation (`impute_series`): the
+//! serving and degradation paths both feed model inputs through it, so
+//! its closure properties are load-bearing — a single NaN or an unstable
+//! re-imputation would poison every window downstream.
+
+use apots_check::{check, prop_assert, prop_assert_eq, prop_assume, Rng};
+use apots_traffic::outage::impute_series;
+
+/// A raw series and a dropout mask of the same length.
+fn series_and_mask(rng: &mut apots_check::SeededRng) -> (Vec<f32>, Vec<bool>) {
+    let n = rng.random_range(1usize..96);
+    let raw = (0..n)
+        .map(|_| rng.random_range(-50.0f32..150.0))
+        .collect::<Vec<f32>>();
+    let p = rng.random_range(0.0f64..1.0);
+    let out = (0..n).map(|_| rng.random_bool(p)).collect::<Vec<bool>>();
+    (raw, out)
+}
+
+/// Finite in ⇒ finite out, for every mask shape — including fully-masked
+/// series, leading outages and empty-observation edge cases.
+#[test]
+fn imputation_preserves_finiteness() {
+    check("imputation preserves finiteness", series_and_mask, |t| {
+        let (raw, out) = t;
+        prop_assume!(raw.len() == out.len());
+        let got = impute_series(raw, out);
+        prop_assert_eq!(got.len(), raw.len());
+        for (i, v) in got.iter().enumerate() {
+            prop_assert!(v.is_finite(), "index {i}: {v} not finite");
+        }
+        Ok(())
+    });
+}
+
+/// Observed readings pass through bit-exactly; imputation only ever
+/// fills the masked positions.
+#[test]
+fn imputation_never_rewrites_observations() {
+    check(
+        "imputation never rewrites observations",
+        series_and_mask,
+        |t| {
+            let (raw, out) = t;
+            prop_assume!(raw.len() == out.len());
+            let got = impute_series(raw, out);
+            for i in 0..raw.len() {
+                if !out[i] {
+                    prop_assert!(got[i].to_bits() == raw[i].to_bits(), "index {i}");
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Imputation is idempotent under the same mask: the imputed series has
+/// no gaps left to fill, so a second pass is bit-identical. This is what
+/// lets a deployment re-run the view builder without drift.
+#[test]
+fn imputation_is_idempotent_under_same_mask() {
+    check(
+        "imputation is idempotent under same mask",
+        series_and_mask,
+        |t| {
+            let (raw, out) = t;
+            prop_assume!(raw.len() == out.len());
+            let once = impute_series(raw, out);
+            let twice = impute_series(&once, out);
+            for i in 0..once.len() {
+                prop_assert!(once[i].to_bits() == twice[i].to_bits(), "index {i}");
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The never-reports fallback is pinned: a sensor that is dark for the
+/// whole horizon yields a constant series equal to the raw mean
+/// (`Σ raw / n` in f32), not zeros and not garbage.
+#[test]
+fn never_reporting_sensor_takes_the_raw_mean() {
+    check(
+        "never reporting sensor takes the raw mean",
+        |rng| {
+            let n = rng.random_range(1usize..96);
+            (0..n)
+                .map(|_| rng.random_range(-50.0f32..150.0))
+                .collect::<Vec<f32>>()
+        },
+        |raw| {
+            let out = vec![true; raw.len()];
+            let got = impute_series(raw, &out);
+            let mean = raw.iter().sum::<f32>() / raw.len() as f32;
+            for (i, v) in got.iter().enumerate() {
+                prop_assert!(
+                    v.to_bits() == mean.to_bits(),
+                    "index {i}: {v} vs mean {mean}"
+                );
+            }
+            Ok(())
+        },
+    );
+}

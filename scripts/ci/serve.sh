@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Stage: serve — the online inference service's contract checks plus its
+# load-generator gate.
+#
+# 1. apots-serve unit + e2e tests (real sockets: determinism across
+#    thread counts and batch compositions, hot-swap semantics, torn-
+#    checkpoint rejection under the armed fault plane).
+# 2. The seeded 2×50k-request storm (`serve_load`), emitting
+#    BENCH_serve.json at the repo root.
+# 3. bench-gate against the committed bench_serve_baselines.json —
+#    request/error counts and the cross-thread response checksum are
+#    exact; latency/QPS carry wide (< 0.5) host tolerances.
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+cargo test -p apots-serve --offline
+
+export APOTS_BENCH_SMOKE_EMIT=1
+export APOTS_BENCH_DIR="$PWD"
+cargo bench -p apots-bench --bench serve_load --offline -- --test
+
+cargo build -p apots-cli --release --offline
+target/release/apots bench-gate --baselines bench_serve_baselines.json
+
+echo "== negative self-test: a 2x-inflated baseline must FAIL =="
+if target/release/apots bench-gate --baselines bench_serve_baselines.json --scale-baseline 2 >/dev/null 2>&1; then
+  echo "ERROR: bench-gate passed against a 2x-inflated serve baseline" >&2
+  exit 1
+fi
+echo "negative self-test ok: inflated baseline was rejected"
