@@ -29,6 +29,7 @@
 use apots::config::PredictorKind;
 use apots::perturb::{self, SpeedBounds, DEFAULT_THETA};
 use apots::predictor::Predictor;
+use apots::InferenceMode;
 use apots_tensor::rng::{seeded, Rng, SeededRng};
 use apots_tensor::Tensor;
 use apots_traffic::{FeatureMask, SampleFeatures, TrafficDataset};
@@ -89,6 +90,12 @@ pub struct AttackConfig {
     /// Feature groups the attacked model sees (perturbation respects the
     /// mask: hidden rows are never touched).
     pub mask: FeatureMask,
+    /// Forward lane the attack queries run on. `Exact` (the default)
+    /// reproduces every historical attack outcome bit-for-bit; `FastF32`
+    /// and `Int8` trade a tolerance-bounded accuracy delta for query
+    /// throughput (DESIGN.md §15). Every lane is thread-count invariant,
+    /// so runs stay reproducible either way.
+    pub mode: InferenceMode,
 }
 
 impl AttackConfig {
@@ -100,6 +107,7 @@ impl AttackConfig {
             budget: 64,
             seed: 0xA77AC4,
             mask: FeatureMask::BOTH,
+            mode: InferenceMode::Exact,
         }
     }
 }
@@ -144,6 +152,7 @@ struct Harness<'a> {
     mask: FeatureMask,
     per: usize,
     scale: f32,
+    mode: InferenceMode,
     queries: u64,
 }
 
@@ -165,6 +174,9 @@ impl<'a> Harness<'a> {
         let norm = data.speed_norm();
         // Normalized error scales linearly into km/h: err_kmh = scale·err.
         let scale = norm.max() - norm.min();
+        // One-time lane setup (quantizes weights for Int8) so no query
+        // inside the budgeted loop pays it.
+        predictor.prepare(cfg.mode);
         Self {
             predictor,
             kind,
@@ -176,6 +188,7 @@ impl<'a> Harness<'a> {
             mask: cfg.mask,
             per,
             scale,
+            mode: cfg.mode,
             queries: 0,
         }
     }
@@ -195,7 +208,7 @@ impl<'a> Harness<'a> {
             &self.bounds,
         );
         let (input, _) = apots::encode::encode_features(self.kind, &self.perturbed);
-        let out = self.predictor.forward(&input, false);
+        let out = self.predictor.forward_infer(&input, self.mode);
         self.queries += 1;
         apots_obs::metrics::ATTACK_QUERIES.bump();
         (0..self.n())
@@ -209,7 +222,7 @@ impl<'a> Harness<'a> {
     /// Clean per-sample squared errors (the un-budgeted reference query).
     fn clean_err(&mut self) -> Vec<f64> {
         let (input, _) = apots::encode::encode_features(self.kind, &self.clean);
-        let out = self.predictor.forward(&input, false);
+        let out = self.predictor.forward_infer(&input, self.mode);
         (0..self.n())
             .map(|i| {
                 let d = f64::from((out.at2(i, 0) - self.targets.at2(i, 0)) * self.scale);

@@ -116,6 +116,7 @@ fn arm(
                 budget: cfg.budget,
                 seed: cfg.seed,
                 mask: cfg.mask,
+                ..AttackConfig::new(ak)
             },
         );
         clean_mse = outcome.clean_mse;

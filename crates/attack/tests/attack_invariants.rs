@@ -73,6 +73,7 @@ fn scenario(case: &Case) -> (Box<dyn Predictor>, Vec<usize>, AttackConfig) {
         budget: budget as usize,
         seed,
         mask,
+        ..AttackConfig::new(AttackKind::all()[attack as usize])
     };
     (predictor, samples, cfg)
 }

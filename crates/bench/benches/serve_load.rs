@@ -12,6 +12,13 @@
 //! alongside the exact request/error counts. Latency and QPS move with
 //! the host and get wide (< 0.5) tolerances.
 //!
+//! A third pair of storms drives the quant comparison (DESIGN.md §15):
+//! the Paper-preset FC model at `--quant off` vs `--quant int8`, same
+//! seeded storm, 0 errors required, with the int8 lane expected to
+//! sustain ≥ 1.3× the off-lane QPS (asserted in measure mode). Each
+//! lane's `response_fnv32` is pinned exactly — the int8 lane is
+//! deterministic too, just on a different (bounded-error) lattice.
+//!
 //! Invocation follows the other bench targets: `cargo bench -p
 //! apots-bench --bench serve_load` writes the JSON; `--test` (smoke
 //! mode) runs the same storms but only writes when
@@ -25,6 +32,7 @@ use std::time::Instant;
 use apots::checkpoint::Checkpoint;
 use apots::config::{HyperPreset, PredictorKind};
 use apots::predictor::build_predictor;
+use apots::InferenceMode;
 use apots_serve::{ServeConfig, Server};
 use apots_traffic::calendar::Calendar;
 use apots_traffic::{Corridor, DataConfig, SimConfig, TrafficDataset};
@@ -33,6 +41,13 @@ const STORM_REQUESTS: usize = 50_000;
 const CONNECTIONS: usize = 8;
 const WARMUP_REQUESTS: usize = 1_000;
 const STORM_SEED: u64 = 0x5EED_5702;
+/// The quant comparison replays a smaller storm against the
+/// compute-dominated Paper-preset FC model, once per inference lane.
+const QUANT_STORM_REQUESTS: usize = 8_000;
+/// Acceptance bar: the int8 lane must sustain at least this multiple of
+/// the `--quant off` QPS on the Paper-preset storm (checked in measure
+/// mode; smoke runs only report the ratio).
+const QUANT_MIN_SPEEDUP: f64 = 1.3;
 
 fn dataset() -> Arc<TrafficDataset> {
     let cal = Calendar::new(8, 6, vec![]);
@@ -242,6 +257,51 @@ fn main() {
         runs[0].response_fnv32, runs[1].response_fnv32,
         "serve_load: responses differ across APOTS_THREADS — determinism broken"
     );
+
+    // ── Quant comparison ────────────────────────────────────────────
+    // Same storm, Paper-preset FC model (compute-dominated, so kernel
+    // speed shows through the socket path), `--quant off` vs int8.
+    let mut paper_boot = build_predictor(PredictorKind::Fc, HyperPreset::Paper, &data, 42);
+    let paper_checkpoint = Checkpoint::capture(paper_boot.as_mut());
+    drop(paper_boot);
+    let quant_queries = storm(&data, QUANT_STORM_REQUESTS, STORM_SEED ^ 2);
+    let quant_warmup = storm(&data, WARMUP_REQUESTS, STORM_SEED ^ 3);
+    apots_par::set_threads(4);
+    for (mode, name) in [
+        (InferenceMode::Exact, "serve_storm_paper_quant_off"),
+        (InferenceMode::Int8, "serve_storm_paper_int8"),
+    ] {
+        let server = Server::start(
+            ServeConfig {
+                preset: HyperPreset::Paper,
+                quant: mode,
+                ..ServeConfig::default()
+            },
+            data.clone(),
+            paper_checkpoint.clone(),
+            None,
+        )
+        .expect("serve_load: paper server start");
+        let addr = server.addr();
+        run_storm(addr, &quant_warmup, "warmup");
+        let result = run_storm(addr, &quant_queries, name);
+        server.shutdown();
+        assert_eq!(result.errors, 0, "serve_load: non-200 responses in {name}");
+        runs.push(result);
+    }
+    apots_par::reset_threads();
+
+    let off_qps = runs[runs.len() - 2].qps();
+    let int8_qps = runs[runs.len() - 1].qps();
+    let speedup = int8_qps / off_qps;
+    println!("quant storm speedup: int8 {int8_qps:.0} qps / off {off_qps:.0} qps = {speedup:.2}x");
+    if !smoke {
+        assert!(
+            speedup >= QUANT_MIN_SPEEDUP,
+            "serve_load: int8 lane sustained only {speedup:.2}x the --quant off QPS \
+             (acceptance bar {QUANT_MIN_SPEEDUP}x)"
+        );
+    }
 
     for r in &runs {
         println!(

@@ -68,9 +68,12 @@ fn usage() -> &'static str {
      \x20            --model FILE [--addr HOST:PORT] [--workers N]\n\
      \x20            [--shards N] [--batch-max N] [--watch DIR]\n\
      \x20            [--poll-ms N] [--days N] [--seed N] [--preset fast|paper]\n\
+     \x20            [--quant off|fast|int8]\n\
      \x20            (--watch hot-swaps checkpoints from a rotation dir;\n\
      \x20            torn or corrupt checkpoints are rejected and the old\n\
-     \x20            model keeps serving — see DESIGN.md §14)\n\
+     \x20            model keeps serving — see DESIGN.md §14; --quant picks\n\
+     \x20            the inference lane: off = bit-exact training kernels,\n\
+     \x20            fast = blocked f32, int8 = quantized weights — §15)\n\
      \x20 attack     run a θ-bounded black-box attack on a checkpoint\n\
      \x20            --model FILE [--attack random-search|greedy|spsa]\n\
      \x20            [--budget N] [--theta X] [--samples N] [--json]\n\
@@ -614,6 +617,18 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a serve sizing knob. Zero is rejected with a named
+/// two-line error — the flag and value on the first line, what the knob
+/// controls (and why zero cannot work) on the second — so
+/// `serve --shards 0` fails at the CLI instead of asserting inside
+/// `Server::start`.
+fn positive_serve_knob(flag: &str, why: &str, n: usize) -> Result<usize, String> {
+    if n == 0 {
+        return Err(format!("--{flag} must be at least 1 (got 0)\n{why}"));
+    }
+    Ok(n)
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let data = std::sync::Arc::new(build_data(args)?);
     // The boot checkpoint comes from --model (the `train --out` file);
@@ -634,22 +649,31 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         ..apots_serve::ServeConfig::default()
     };
     if let Some(n) = args.get_usize("workers")? {
-        if n == 0 {
-            return Err("--workers must be positive".into());
-        }
-        cfg.workers = n;
+        cfg.workers = positive_serve_knob(
+            "workers",
+            "connection workers speak HTTP; with zero of them every accepted \
+             connection would hang unanswered",
+            n,
+        )?;
     }
     if let Some(n) = args.get_usize("shards")? {
-        if n == 0 {
-            return Err("--shards must be positive".into());
-        }
-        cfg.shards = n;
+        cfg.shards = positive_serve_knob(
+            "shards",
+            "each inference shard owns a model replica; with zero shards no \
+             /predict request could ever be routed",
+            n,
+        )?;
     }
     if let Some(n) = args.get_usize("batch-max")? {
-        if n == 0 {
-            return Err("--batch-max must be positive".into());
-        }
-        cfg.batch_max = n;
+        cfg.batch_max = positive_serve_knob(
+            "batch-max",
+            "shards drain up to batch-max requests per forward pass; a zero \
+             cap would drain nothing and spin",
+            n,
+        )?;
+    }
+    if let Some(s) = args.get_str("quant") {
+        cfg.quant = apots::InferenceMode::parse(s).map_err(|e| format!("--quant: {e}"))?;
     }
     if let Some(ms) = args.get_usize("poll-ms")? {
         cfg.poll_interval = std::time::Duration::from_millis(ms as u64);
@@ -663,8 +687,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     };
     let watching = store.is_some();
 
+    let quant = cfg.quant;
     let server = apots_serve::Server::start(cfg, data, initial, store)?;
-    println!("serving on http://{}", server.addr());
+    println!("serving on http://{} (quant: {quant})", server.addr());
     println!(
         "  GET /predict?road=R&t=T   predicted speed for road R at interval T\n\
          \x20 GET /healthz              liveness + model generation\n\
@@ -683,7 +708,25 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 
 #[cfg(test)]
 mod tests {
-    use super::parse_hhmm;
+    use super::{parse_hhmm, positive_serve_knob};
+
+    #[test]
+    fn serve_knobs_reject_zero_with_named_two_line_errors() {
+        for flag in ["workers", "shards", "batch-max"] {
+            let err = positive_serve_knob(flag, "why zero cannot work", 0).unwrap_err();
+            assert!(
+                err.starts_with(&format!("--{flag} must be at least 1 (got 0)")),
+                "{err}"
+            );
+            assert_eq!(err.lines().count(), 2, "{err}");
+        }
+    }
+
+    #[test]
+    fn serve_knobs_pass_positive_values_through() {
+        assert_eq!(positive_serve_knob("workers", "w", 1).unwrap(), 1);
+        assert_eq!(positive_serve_knob("shards", "w", 16).unwrap(), 16);
+    }
 
     #[test]
     fn hhmm_parses_five_minute_boundaries() {

@@ -68,6 +68,7 @@ pub mod predictor;
 pub mod runtime;
 pub mod trainer;
 
+pub use apots_nn::InferenceMode;
 pub use cgan::CGan;
 pub use checkpoint::Checkpoint;
 pub use config::{HyperPreset, PredictorKind, TrainConfig};

@@ -7,7 +7,7 @@
 //! are data, not parameters).
 
 use apots_nn::layer::{Layer, Param};
-use apots_nn::{Conv2d, Dense, Lstm, Relu, Sequential};
+use apots_nn::{Conv2d, Dense, InferenceMode, Lstm, Relu, Sequential};
 use apots_tensor::rng::seeded;
 use apots_tensor::Tensor;
 use apots_traffic::{SampleFeatures, TrafficDataset};
@@ -33,6 +33,18 @@ pub trait Predictor {
     /// Number of scalar parameters.
     fn param_count(&mut self) -> usize {
         self.params_mut().iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Pre-builds whatever `mode` needs (e.g. int8 weight quantization).
+    /// Training never calls this — see [`Layer::prepare`].
+    fn prepare(&mut self, _mode: InferenceMode) {}
+
+    /// Inference-only forward dispatched by [`InferenceMode`]. The
+    /// default (`Exact`) is `forward(input, false)`, bit-identical to
+    /// training-time evaluation; fast lanes are tolerance-gated
+    /// (DESIGN.md §15).
+    fn forward_infer(&mut self, input: &PredictorInput, _mode: InferenceMode) -> Tensor {
+        self.forward(input, false)
     }
 }
 
@@ -124,6 +136,17 @@ impl Predictor for FcPredictor {
     fn params_mut(&mut self) -> Vec<Param<'_>> {
         self.net.params_mut()
     }
+
+    fn prepare(&mut self, mode: InferenceMode) {
+        self.net.prepare(mode);
+    }
+
+    fn forward_infer(&mut self, input: &PredictorInput, mode: InferenceMode) -> Tensor {
+        match input {
+            PredictorInput::Flat(x) => self.net.forward_mode(x, mode),
+            _ => panic!("FcPredictor expects flat input"),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -200,6 +223,23 @@ impl Predictor for CnnPredictor {
         p.extend(self.head.params_mut());
         p
     }
+
+    fn prepare(&mut self, mode: InferenceMode) {
+        self.conv.prepare(mode);
+        self.head.prepare(mode);
+    }
+
+    fn forward_infer(&mut self, input: &PredictorInput, mode: InferenceMode) -> Tensor {
+        let (image, day_type) = match input {
+            PredictorInput::Image { image, day_type } => (image, day_type),
+            _ => panic!("CnnPredictor expects image input"),
+        };
+        let b = image.shape()[0];
+        let fmap = self.conv.forward_mode(image, mode);
+        let flat = fmap.reshape(&[b, fmap.len() / b]);
+        let x = Tensor::concat_cols(&[&flat, day_type]);
+        self.head.forward_mode(&x, mode)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -257,6 +297,21 @@ impl Predictor for LstmPredictor {
         let mut p = self.lstm.params_mut();
         p.extend(self.head.params_mut());
         p
+    }
+
+    fn prepare(&mut self, mode: InferenceMode) {
+        self.lstm.prepare(mode);
+        Layer::prepare(&mut self.head, mode);
+    }
+
+    fn forward_infer(&mut self, input: &PredictorInput, mode: InferenceMode) -> Tensor {
+        let (seq, day_type) = match input {
+            PredictorInput::Seq { seq, day_type } => (seq, day_type),
+            _ => panic!("LstmPredictor expects sequence input"),
+        };
+        let h = self.lstm.forward_mode(seq, mode);
+        let x = Tensor::concat_cols(&[&h, day_type]);
+        self.head.forward_mode(&x, mode)
     }
 }
 
@@ -376,6 +431,24 @@ impl Predictor for HybridPredictor {
         p.extend(self.lstm.params_mut());
         p.extend(self.head.params_mut());
         p
+    }
+
+    fn prepare(&mut self, mode: InferenceMode) {
+        self.conv.prepare(mode);
+        self.lstm.prepare(mode);
+        Layer::prepare(&mut self.head, mode);
+    }
+
+    fn forward_infer(&mut self, input: &PredictorInput, mode: InferenceMode) -> Tensor {
+        let (image, day_type) = match input {
+            PredictorInput::Image { image, day_type } => (image, day_type),
+            _ => panic!("HybridPredictor expects image input"),
+        };
+        let fmap = self.conv.forward_mode(image, mode);
+        let seq = Self::map_to_seq(&fmap, self.conv_out_shape);
+        let h = self.lstm.forward_mode(&seq, mode);
+        let x = Tensor::concat_cols(&[&h, day_type]);
+        self.head.forward_mode(&x, mode)
     }
 }
 

@@ -44,7 +44,13 @@ fn session() -> std::sync::MutexGuard<'static, ()> {
 /// Recaptured again when the serving plane registered the five
 /// `serve.*` counters (DESIGN.md §14 notes the break). Was
 /// `0xc3f9ed818a3a6fa0` before.
-const GOLDEN_DET_HASH: u64 = 0x70c6040918d1948a;
+///
+/// Recaptured again when the inference fast lanes registered the
+/// `kernel.sgemm_fast` / `kernel.qmatmul` / `kernel.quantize` dispatch
+/// counters (DESIGN.md §15 notes the break — they are det-flagged
+/// precisely so a training run that ever dispatched a fast kernel would
+/// move this hash). Was `0x70c6040918d1948a` before.
+const GOLDEN_DET_HASH: u64 = 0xd3e638ed85dd1c83;
 
 fn dataset() -> TrafficDataset {
     let cal = Calendar::new(8, 6, vec![]);

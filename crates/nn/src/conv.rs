@@ -5,8 +5,9 @@
 //! Table I of the paper) over the road×time speed image of Eq 6, so "same"
 //! padding with odd kernels and stride 1 is all we need.
 
+use apots_tensor::quant::{self, QTensor};
 use apots_tensor::rng::Rng;
-use apots_tensor::{workspace, Tensor};
+use apots_tensor::{workspace, InferenceMode, Tensor};
 
 use crate::init::he_uniform;
 use crate::layer::{Layer, Param};
@@ -24,6 +25,9 @@ pub struct Conv2d {
     db: Tensor, // [out_ch]
     cached_cols: Option<Tensor>,
     cached_input_shape: Option<[usize; 4]>,
+    /// Int8-quantized weights, built by `prepare(Int8)` (or lazily on the
+    /// first int8 forward). Never consulted by `forward`.
+    qw: Option<QTensor>,
 }
 
 impl Conv2d {
@@ -50,6 +54,7 @@ impl Conv2d {
             db: Tensor::zeros(&[out_ch]),
             cached_cols: None,
             cached_input_shape: None,
+            qw: None,
         }
     }
 
@@ -264,6 +269,54 @@ impl Layer for Conv2d {
                 grad: &mut self.db,
             },
         ]
+    }
+
+    fn prepare(&mut self, mode: InferenceMode) {
+        if mode == InferenceMode::Int8 {
+            self.qw = Some(quant::quantize_weights(&self.w));
+        }
+    }
+
+    fn forward_mode(&mut self, input: &Tensor, mode: InferenceMode) -> Tensor {
+        if mode == InferenceMode::Exact {
+            return self.forward(input, false);
+        }
+        assert_eq!(input.rank(), 4, "Conv2d expects [batch, ch, h, w] input");
+        let s = input.shape();
+        assert_eq!(
+            s[1], self.in_ch,
+            "Conv2d: input has {} channels, layer expects {}",
+            s[1], self.in_ch
+        );
+        let (b, h, w) = (s[0], s[2], s[3]);
+        // Same im2col lowering as `forward`; only the patch-matrix product
+        // switches lanes. Nothing is cached (inference never backprops).
+        let cols = self.im2col(input);
+        let mut m = match mode {
+            InferenceMode::FastF32 => cols.matmul_fast(&self.w),
+            InferenceMode::Int8 => {
+                if self.qw.is_none() {
+                    self.prepare(InferenceMode::Int8);
+                }
+                quant::qmatmul(&cols, self.qw.as_ref().unwrap())
+            }
+            InferenceMode::Exact => unreachable!(),
+        };
+        m.add_row_broadcast(&self.b);
+        let f_ch = self.out_ch;
+        let mut out = workspace::checkout(b * f_ch * h * w);
+        let md = m.data();
+        apots_par::parallel_chunks_mut(&mut out, f_ch * h * w, |bi, slab| {
+            for y in 0..h {
+                for xw in 0..w {
+                    let row = ((bi * h + y) * w + xw) * f_ch;
+                    for f in 0..f_ch {
+                        slab[(f * h + y) * w + xw] = md[row + f];
+                    }
+                }
+            }
+        });
+        Tensor::new(&[b, f_ch, h, w], out)
     }
 }
 

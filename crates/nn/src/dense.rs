@@ -1,7 +1,8 @@
 //! Fully-connected (dense) layer: `y = x·W + b`.
 
+use apots_tensor::quant::{self, QTensor};
 use apots_tensor::rng::Rng;
-use apots_tensor::Tensor;
+use apots_tensor::{InferenceMode, Tensor};
 
 use crate::init::xavier_uniform;
 use crate::layer::{Layer, Param};
@@ -13,6 +14,10 @@ pub struct Dense {
     dw: Tensor, // [in, out]
     db: Tensor, // [out]
     cached_input: Option<Tensor>,
+    /// Int8-quantized weights, built lazily by `prepare(Int8)` (or the
+    /// first `forward_mode(_, Int8)` call). Never consulted by `forward`,
+    /// so training stays on the exact kernels even when populated.
+    qw: Option<QTensor>,
 }
 
 impl Dense {
@@ -28,6 +33,7 @@ impl Dense {
             dw: Tensor::zeros(&[in_features, out_features]),
             db: Tensor::zeros(&[out_features]),
             cached_input: None,
+            qw: None,
         }
     }
 
@@ -100,6 +106,38 @@ impl Layer for Dense {
             },
         ]
     }
+
+    fn prepare(&mut self, mode: InferenceMode) {
+        if mode == InferenceMode::Int8 {
+            self.qw = Some(quant::quantize_weights(&self.w));
+        }
+    }
+
+    fn forward_mode(&mut self, input: &Tensor, mode: InferenceMode) -> Tensor {
+        if mode == InferenceMode::Exact {
+            return self.forward(input, false);
+        }
+        assert_eq!(input.rank(), 2, "Dense expects rank-2 input");
+        assert_eq!(
+            input.cols(),
+            self.in_features(),
+            "Dense: input has {} features, layer expects {}",
+            input.cols(),
+            self.in_features()
+        );
+        let mut out = match mode {
+            InferenceMode::FastF32 => input.matmul_fast(&self.w),
+            InferenceMode::Int8 => {
+                if self.qw.is_none() {
+                    self.prepare(InferenceMode::Int8);
+                }
+                quant::qmatmul(input, self.qw.as_ref().unwrap())
+            }
+            InferenceMode::Exact => unreachable!(),
+        };
+        out.add_row_broadcast(&self.b);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -161,5 +199,23 @@ mod tests {
         let mut rng = seeded(5);
         let mut d = Dense::new(3, 2, &mut rng);
         let _ = d.forward(&Tensor::zeros(&[1, 4]), true);
+    }
+
+    #[test]
+    fn forward_mode_lanes_track_exact() {
+        let mut rng = seeded(6);
+        let mut d = Dense::new(16, 8, &mut rng);
+        let x = Tensor::rand_uniform(&[5, 16], -1.0, 1.0, &mut rng);
+        let exact = d.forward_mode(&x, InferenceMode::Exact);
+        assert_eq!(exact, d.forward(&x, false), "Exact lane must be bitwise");
+        let fast = d.forward_mode(&x, InferenceMode::FastF32);
+        for (a, b) in exact.data().iter().zip(fast.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        d.prepare(InferenceMode::Int8);
+        let q = d.forward_mode(&x, InferenceMode::Int8);
+        for (a, b) in exact.data().iter().zip(q.data()) {
+            assert!((a - b).abs() < 0.1, "{a} vs {b}");
+        }
     }
 }

@@ -10,8 +10,9 @@
 //! `n = tanh(x·Wxn + bn + r ⊙ (h·Whn + bhn))`,
 //! `h' = (1 − z) ⊙ n + z ⊙ h`.
 
+use apots_tensor::quant::{self, QTensor};
 use apots_tensor::rng::Rng;
-use apots_tensor::Tensor;
+use apots_tensor::{InferenceMode, Tensor};
 
 use crate::activation::sigmoid_scalar;
 use crate::init::xavier_uniform;
@@ -50,6 +51,10 @@ pub struct Gru {
     /// `xᵀ·d(gate)` weight gradients (one clone instead of `T` row-block
     /// copies).
     x_seq: Option<Tensor>,
+    /// Int8-quantized `[wxz, wxr, wxn, whz, whr, whn]`, built by
+    /// `prepare(Int8)` (or lazily on the first int8 forward). Never
+    /// consulted by `forward`.
+    qw: Option<Box<[QTensor; 6]>>,
 }
 
 impl Gru {
@@ -95,6 +100,7 @@ impl Gru {
             grads,
             cache: Vec::new(),
             x_seq: None,
+            qw: None,
         }
     }
 
@@ -372,6 +378,102 @@ impl Layer for Gru {
             .zip(grads.iter_mut())
             .map(|(value, grad)| Param { value, grad })
             .collect()
+    }
+
+    fn prepare(&mut self, mode: InferenceMode) {
+        if mode == InferenceMode::Int8 {
+            self.qw = Some(Box::new([
+                quant::quantize_weights(&self.wxz),
+                quant::quantize_weights(&self.wxr),
+                quant::quantize_weights(&self.wxn),
+                quant::quantize_weights(&self.whz),
+                quant::quantize_weights(&self.whr),
+                quant::quantize_weights(&self.whn),
+            ]));
+        }
+    }
+
+    fn forward_mode(&mut self, input: &Tensor, mode: InferenceMode) -> Tensor {
+        if mode == InferenceMode::Exact {
+            return self.forward(input, false);
+        }
+        assert_eq!(input.rank(), 3, "Gru expects [batch, time, features]");
+        let s = input.shape();
+        let (b, steps, feat) = (s[0], s[1], s[2]);
+        assert_eq!(feat, self.input_size, "Gru: wrong input width");
+        assert!(steps > 0, "Gru: empty time axis");
+        let hsz = self.hidden_size;
+        if mode == InferenceMode::Int8 && self.qw.is_none() {
+            self.prepare(InferenceMode::Int8);
+        }
+        // One fast/int8 matmul per operand pair; `mm(x, i)` maps `i` to
+        // the quantized-weight slot order [wxz, wxr, wxn, whz, whr, whn].
+        let mm = |slf: &Self, x: &Tensor, w: &Tensor, i: usize| match mode {
+            InferenceMode::FastF32 => x.matmul_fast(w),
+            InferenceMode::Int8 => quant::qmatmul(x, &slf.qw.as_ref().unwrap()[i]),
+            InferenceMode::Exact => unreachable!(),
+        };
+
+        // Whole-sequence input projections, as in `forward`, minus caches.
+        let mut x2 = input.clone();
+        x2.reshape_in_place(&[b * steps, feat]);
+        let mut xz = mm(self, &x2, &self.wxz, 0);
+        let mut xr = mm(self, &x2, &self.wxr, 1);
+        let mut xn = mm(self, &x2, &self.wxn, 2);
+        xz.reshape_in_place(&[b, steps, hsz]);
+        xr.reshape_in_place(&[b, steps, hsz]);
+        xn.reshape_in_place(&[b, steps, hsz]);
+
+        let mut h = Tensor::zeros(&[b, hsz]);
+        let mut z_pre = Tensor::zeros(&[b, hsz]);
+        let mut r_pre = Tensor::zeros(&[b, hsz]);
+        let mut n_pre = Tensor::zeros(&[b, hsz]);
+        let mut seq = self
+            .return_sequences
+            .then(|| Tensor::zeros(&[b, steps, hsz]));
+
+        for t in 0..steps {
+            xz.time_slice_into(t, &mut z_pre);
+            let hw = mm(self, &h, &self.whz, 3);
+            z_pre.add_assign_t(&hw);
+            z_pre.add_row_broadcast(&self.bz);
+
+            xr.time_slice_into(t, &mut r_pre);
+            let hw = mm(self, &h, &self.whr, 4);
+            r_pre.add_assign_t(&hw);
+            r_pre.add_row_broadcast(&self.br);
+
+            let mut hn = mm(self, &h, &self.whn, 5);
+            hn.add_row_broadcast(&self.bhn);
+            xn.time_slice_into(t, &mut n_pre);
+            n_pre.add_row_broadcast(&self.bn);
+
+            // Recurrent matmuls already consumed h; update it in place.
+            let zp = z_pre.data();
+            let rp = r_pre.data();
+            let np = n_pre.data();
+            let hnd = hn.data();
+            let hd = h.data_mut();
+            let mut seq_d = seq.as_mut().map(|s| s.data_mut());
+            for bi in 0..b {
+                for j in 0..hsz {
+                    let e = bi * hsz + j;
+                    let zv = sigmoid_scalar(zp[e]);
+                    let rv = sigmoid_scalar(rp[e]);
+                    let nv = (np[e] + rv * hnd[e]).tanh();
+                    let hv = (1.0 - zv) * nv + zv * hd[e];
+                    hd[e] = hv;
+                    if let Some(sd) = seq_d.as_deref_mut() {
+                        sd[(bi * steps + t) * hsz + j] = hv;
+                    }
+                }
+            }
+        }
+
+        match seq {
+            Some(out) => out,
+            None => h,
+        }
     }
 }
 

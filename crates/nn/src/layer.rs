@@ -1,7 +1,7 @@
 //! The [`Layer`] trait — the contract every building block implements —
 //! and [`Param`], the (value, gradient) pair handed to optimizers.
 
-use apots_tensor::Tensor;
+use apots_tensor::{InferenceMode, Tensor};
 
 /// A mutable view of one trainable parameter tensor and its accumulated
 /// gradient. Optimizers iterate over these in a stable order.
@@ -40,6 +40,26 @@ pub trait Layer {
     /// Number of scalar trainable parameters (for reporting).
     fn param_count(&mut self) -> usize {
         self.params_mut().iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Pre-builds whatever `mode` needs before serving (e.g. int8 weight
+    /// quantization), so the first request doesn't pay for it. Layers
+    /// without a fast lane ignore this.
+    ///
+    /// Training never calls this: the training loop only goes through
+    /// [`Layer::forward`], which stays on the bit-exact serial kernels
+    /// regardless of any prepared state (DESIGN.md §15).
+    fn prepare(&mut self, _mode: InferenceMode) {}
+
+    /// Inference-only forward dispatched by [`InferenceMode`].
+    ///
+    /// `Exact` (the default implementation) is `forward(input, false)` —
+    /// bit-identical to what training-time evaluation computes. Layers
+    /// with fast lanes override this to route their matmuls through the
+    /// blocked f32 or int8 kernels; those lanes are tolerance-gated, not
+    /// bit-exact (DESIGN.md §15).
+    fn forward_mode(&mut self, input: &Tensor, _mode: InferenceMode) -> Tensor {
+        self.forward(input, false)
     }
 }
 

@@ -51,3 +51,7 @@ pub use optim::{clip_global_norm, Adam, AdamState, Optimizer, Sgd};
 pub use schedule::{EarlyStopping, LrSchedule};
 pub use sequential::Sequential;
 pub use state::StateDict;
+
+// Re-exported so layer consumers can name inference modes without a
+// direct apots-tensor dependency.
+pub use apots_tensor::InferenceMode;

@@ -9,8 +9,9 @@
 //! the full hidden sequence `[batch, time, hidden]` (for stacking) or only
 //! the final hidden state `[batch, hidden]`.
 
+use apots_tensor::quant::{self, QTensor};
 use apots_tensor::rng::Rng;
-use apots_tensor::Tensor;
+use apots_tensor::{InferenceMode, Tensor};
 
 use crate::activation::sigmoid_scalar;
 use crate::init::xavier_uniform;
@@ -44,6 +45,9 @@ pub struct Lstm {
     /// `xᵀ·dz` weight gradients (one clone instead of `T` row-block
     /// copies).
     x_seq: Option<Tensor>,
+    /// Int8-quantized `(wx, wh)`, built by `prepare(Int8)` (or lazily on
+    /// the first int8 forward). Never consulted by `forward`.
+    qw: Option<(QTensor, QTensor)>,
 }
 
 impl Lstm {
@@ -80,6 +84,7 @@ impl Lstm {
             db: Tensor::zeros(&[4 * hidden_size]),
             cache: Vec::new(),
             x_seq: None,
+            qw: None,
         }
     }
 
@@ -335,6 +340,91 @@ impl Layer for Lstm {
             },
         ]
     }
+
+    fn prepare(&mut self, mode: InferenceMode) {
+        if mode == InferenceMode::Int8 {
+            self.qw = Some((
+                quant::quantize_weights(&self.wx),
+                quant::quantize_weights(&self.wh),
+            ));
+        }
+    }
+
+    fn forward_mode(&mut self, input: &Tensor, mode: InferenceMode) -> Tensor {
+        if mode == InferenceMode::Exact {
+            return self.forward(input, false);
+        }
+        assert_eq!(input.rank(), 3, "Lstm expects [batch, time, features]");
+        let s = input.shape();
+        let (b, steps, feat) = (s[0], s[1], s[2]);
+        assert_eq!(
+            feat, self.input_size,
+            "Lstm: input has {feat} features, layer expects {}",
+            self.input_size
+        );
+        assert!(steps > 0, "Lstm: empty time axis");
+        let hsz = self.hidden_size;
+        if mode == InferenceMode::Int8 && self.qw.is_none() {
+            self.prepare(InferenceMode::Int8);
+        }
+
+        // Same whole-sequence input projection as `forward`, but routed
+        // through the fast/int8 matmuls. No BPTT caches are built.
+        let mut x2 = input.clone();
+        x2.reshape_in_place(&[b * steps, feat]);
+        let mut xz = match mode {
+            InferenceMode::FastF32 => x2.matmul_fast(&self.wx),
+            InferenceMode::Int8 => quant::qmatmul(&x2, &self.qw.as_ref().unwrap().0),
+            InferenceMode::Exact => unreachable!(),
+        };
+        xz.reshape_in_place(&[b, steps, 4 * hsz]);
+
+        let mut h = Tensor::zeros(&[b, hsz]);
+        let mut c = Tensor::zeros(&[b, hsz]);
+        let mut z = Tensor::zeros(&[b, 4 * hsz]);
+        let mut seq = self
+            .return_sequences
+            .then(|| Tensor::zeros(&[b, steps, hsz]));
+
+        for t in 0..steps {
+            xz.time_slice_into(t, &mut z);
+            let zh = match mode {
+                InferenceMode::FastF32 => h.matmul_fast(&self.wh),
+                InferenceMode::Int8 => quant::qmatmul(&h, &self.qw.as_ref().unwrap().1),
+                InferenceMode::Exact => unreachable!(),
+            };
+            z.add_assign_t(&zh);
+            z.add_row_broadcast(&self.b);
+            // The recurrent matmul above already consumed h, so the state
+            // update can run in place.
+            let zd = z.data();
+            let hd = h.data_mut();
+            let cd = c.data_mut();
+            let mut seq_d = seq.as_mut().map(|s| s.data_mut());
+            for bi in 0..b {
+                let zr = &zd[bi * 4 * hsz..(bi + 1) * 4 * hsz];
+                for j in 0..hsz {
+                    let e = bi * hsz + j;
+                    let iv = sigmoid_scalar(zr[j]);
+                    let fv = sigmoid_scalar(zr[hsz + j]);
+                    let gv = zr[2 * hsz + j].tanh();
+                    let ov = sigmoid_scalar(zr[3 * hsz + j]);
+                    let cn = fv * cd[e] + iv * gv;
+                    let hn = ov * cn.tanh();
+                    cd[e] = cn;
+                    hd[e] = hn;
+                    if let Some(sd) = seq_d.as_deref_mut() {
+                        sd[(bi * steps + t) * hsz + j] = hn;
+                    }
+                }
+            }
+        }
+
+        match seq {
+            Some(out) => out,
+            None => h,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -407,5 +497,28 @@ mod tests {
         assert_eq!(lstm.hidden_size(), 11);
         assert_eq!(lstm.input_size(), 7);
         assert!(!lstm.returns_sequences());
+    }
+
+    #[test]
+    fn forward_mode_lanes_track_exact() {
+        for &seq_mode in &[false, true] {
+            let mut rng = seeded(7);
+            let mut lstm = Lstm::new(5, 9, seq_mode, &mut rng);
+            let x = Tensor::randn(&[3, 6, 5], 0.0, 1.0, &mut rng);
+            let exact = lstm.forward_mode(&x, InferenceMode::Exact);
+            assert_eq!(exact, lstm.forward(&x, false), "Exact lane must be bitwise");
+            let fast = lstm.forward_mode(&x, InferenceMode::FastF32);
+            assert_eq!(fast.shape(), exact.shape());
+            for (a, b) in exact.data().iter().zip(fast.data()) {
+                assert!((a - b).abs() < 1e-4, "fast: {a} vs {b}");
+            }
+            lstm.prepare(InferenceMode::Int8);
+            let q = lstm.forward_mode(&x, InferenceMode::Int8);
+            // Recurrent quantization error compounds over timesteps, but
+            // the saturating gates keep it small on tame inputs.
+            for (a, b) in exact.data().iter().zip(q.data()) {
+                assert!((a - b).abs() < 0.15, "int8: {a} vs {b}");
+            }
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! A container running layers in order, reversing for backward.
 
-use apots_tensor::Tensor;
+use apots_tensor::{InferenceMode, Tensor};
 
 use crate::layer::{Layer, Param};
 
@@ -61,6 +61,20 @@ impl Layer for Sequential {
             .iter_mut()
             .flat_map(|l| l.params_mut())
             .collect()
+    }
+
+    fn prepare(&mut self, mode: InferenceMode) {
+        for layer in &mut self.layers {
+            layer.prepare(mode);
+        }
+    }
+
+    fn forward_mode(&mut self, input: &Tensor, mode: InferenceMode) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward_mode(&x, mode);
+        }
+        x
     }
 }
 

@@ -321,6 +321,8 @@ fn snapshot_lines(out: &mut String) {
             Json::Num(if s.count == 0 { 0.0 } else { s.min as f64 }),
         );
         m.insert("max".into(), Json::Num(s.max as f64));
+        m.insert("p50".into(), Json::Num(s.p50 as f64));
+        m.insert("p99".into(), Json::Num(s.p99 as f64));
         out.push_str(&Json::Obj(m).to_string());
         out.push('\n');
     }

@@ -115,14 +115,22 @@ impl Gauge {
     }
 }
 
+/// Number of log2 magnitude buckets a [`Histogram`] tracks. Bucket `i`
+/// counts samples whose bit width is `i` (i.e. values in
+/// `[2^(i-1), 2^i)`; bucket 0 counts zeros), covering the full `u64`
+/// range.
+pub const HIST_BUCKETS: usize = 65;
+
 /// Lock-free count/sum/min/max aggregate over `u64` samples (typically
-/// nanosecond durations).
+/// nanosecond durations), plus log2 magnitude buckets so percentiles can
+/// be estimated without retaining samples.
 pub struct Histogram {
     name: &'static str,
     count: AtomicU64,
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
 }
 
 /// Point-in-time histogram aggregate.
@@ -136,19 +144,45 @@ pub struct HistSnapshot {
     pub min: u64,
     /// Largest sample.
     pub max: u64,
+    /// Estimated 50th-percentile sample (log2-bucket midpoint).
+    pub p50: u64,
+    /// Estimated 99th-percentile sample (log2-bucket midpoint).
+    pub p99: u64,
 }
 
 impl Histogram {
     /// Const-constructs a histogram (declare as `static`, list in
     /// [`ALL_HISTS`]).
     pub const fn new(name: &'static str) -> Self {
+        // `AtomicU64` is not `Copy`; build the bucket array by const
+        // repetition of an initializer constant.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
         Histogram {
             name,
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            buckets: [ZERO; HIST_BUCKETS],
         }
+    }
+
+    /// Bucket index for a sample: its bit width (0 for a zero sample).
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Midpoint of bucket `i`'s value range, used as the percentile
+    /// estimate for samples that landed there.
+    fn bucket_mid(i: usize) -> u64 {
+        if i == 0 {
+            return 0;
+        }
+        let lo = 1u64 << (i - 1);
+        let hi = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+        lo + (hi - lo) / 2
     }
 
     /// Records one sample; a no-op when tracing is disabled.
@@ -161,6 +195,29 @@ impl Histogram {
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.min.fetch_min(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Estimates the `p`-th percentile (`0.0..=1.0`) from the log2
+    /// buckets: the midpoint of the bucket holding the rank-`p` sample,
+    /// clamped to the observed min/max. Resolution is a factor of 2,
+    /// which is enough for latency triage (p50 vs p99 separation).
+    pub fn percentile(&self, p: f64) -> u64 {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((count as f64 * p).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                let min = self.min.load(Ordering::Relaxed);
+                let max = self.max.load(Ordering::Relaxed);
+                return Self::bucket_mid(i).clamp(min, max);
+            }
+        }
+        self.max.load(Ordering::Relaxed)
     }
 
     /// Current aggregate.
@@ -172,6 +229,8 @@ impl Histogram {
             sum: self.sum.load(Ordering::Relaxed),
             min: if count == 0 { 0 } else { raw_min },
             max: self.max.load(Ordering::Relaxed),
+            p50: self.percentile(0.50),
+            p99: self.percentile(0.99),
         }
     }
 
@@ -185,6 +244,9 @@ impl Histogram {
         self.sum.store(0, Ordering::Relaxed);
         self.min.store(u64::MAX, Ordering::Relaxed);
         self.max.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -211,6 +273,15 @@ pub static KERNEL_ADD_ROW_BROADCAST: Counter = Counter::new("kernel.add_row_broa
 /// Matmul dispatches that stayed serial under the `PAR_GRAIN_MACS` gate.
 /// Size-based, decided before any threading — deterministic.
 pub static KERNEL_SERIAL_BELOW_GRAIN: Counter = Counter::new("kernel.serial_below_grain", true);
+/// Blocked f32 sgemm microkernel dispatches (the `InferenceMode::FastF32`
+/// lane; must stay 0 across any training run).
+pub static KERNEL_SGEMM_FAST: Counter = Counter::new("kernel.sgemm_fast", true);
+/// Int8×int8 matmul dispatches (the `InferenceMode::Int8` lane; must
+/// stay 0 across any training run).
+pub static KERNEL_QMATMUL: Counter = Counter::new("kernel.qmatmul", true);
+/// Weight-matrix quantizations performed (checkpoint-load / prepare
+/// time, plus per-batch activation-row quantization dispatches).
+pub static KERNEL_QUANTIZE: Counter = Counter::new("kernel.quantize", true);
 /// Adam optimizer steps.
 pub static OPTIM_ADAM_STEP: Counter = Counter::new("optim.adam_step", true);
 /// Divergence-sentinel epoch rollbacks.
@@ -263,6 +334,9 @@ pub static ALL_COUNTERS: &[&Counter] = &[
     &KERNEL_SUM_AXIS0,
     &KERNEL_ADD_ROW_BROADCAST,
     &KERNEL_SERIAL_BELOW_GRAIN,
+    &KERNEL_SGEMM_FAST,
+    &KERNEL_QMATMUL,
+    &KERNEL_QUANTIZE,
     &OPTIM_ADAM_STEP,
     &TRAIN_ROLLBACKS,
     &CKPT_SAVES,
@@ -292,9 +366,16 @@ pub static ALL_GAUGES: &[&Gauge] = &[&GAUGE_PAR_WORKERS];
 pub static HIST_CKPT_SAVE_NS: Histogram = Histogram::new("ckpt.save_ns");
 /// Checkpoint restore latency (ns).
 pub static HIST_CKPT_RESTORE_NS: Histogram = Histogram::new("ckpt.restore_ns");
+/// Per-request `apots-serve` latency (ns), recorded per HTTP request by
+/// the connection workers (read → respond → body staged).
+pub static HIST_SERVE_LATENCY_NS: Histogram = Histogram::new("serve.latency_ns");
 
 /// Every registered histogram, in stable snapshot order.
-pub static ALL_HISTS: &[&Histogram] = &[&HIST_CKPT_SAVE_NS, &HIST_CKPT_RESTORE_NS];
+pub static ALL_HISTS: &[&Histogram] = &[
+    &HIST_CKPT_SAVE_NS,
+    &HIST_CKPT_RESTORE_NS,
+    &HIST_SERVE_LATENCY_NS,
+];
 
 /// Zeroes every registered metric (fresh session).
 pub fn reset_all() {
@@ -329,5 +410,59 @@ mod tests {
         let h = Histogram::new("t");
         let s = h.snapshot();
         assert_eq!((s.count, s.sum, s.min, s.max), (0, 0, 0, 0));
+        assert_eq!((s.p50, s.p99), (0, 0));
+    }
+
+    /// Feeds samples past the `enabled()` gate by writing the aggregate
+    /// fields directly (same module, so privates are visible) — unit
+    /// tests must not flip the process-global tracing switch.
+    fn feed(h: &Histogram, v: u64) {
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(v, Ordering::Relaxed);
+        h.min.fetch_min(v, Ordering::Relaxed);
+        h.max.fetch_max(v, Ordering::Relaxed);
+        h.buckets[Histogram::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn histogram_percentiles_separate_the_tail() {
+        let h = Histogram::new("t");
+        // 98 fast samples near 1000ns, two slow outliers at ~1ms (rank
+        // ceil(100·0.99) = 99 falls on the first outlier).
+        for _ in 0..98 {
+            feed(&h, 1_000);
+        }
+        feed(&h, 1_048_576);
+        feed(&h, 1_048_576);
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        // p50 lands in the 1000ns bucket (log2 midpoint, clamped to the
+        // observed range); p99 must reach the outlier's bucket.
+        assert!(s.p50 >= 1_000 && s.p50 < 2_048, "p50 = {}", s.p50);
+        assert!(s.p99 >= 524_288, "p99 = {}", s.p99);
+        assert!(s.p99 <= s.max);
+    }
+
+    #[test]
+    fn histogram_percentile_clamps_to_observed_range() {
+        let h = Histogram::new("t");
+        feed(&h, 700);
+        let s = h.snapshot();
+        // One sample: every percentile is that sample (bucket midpoint
+        // clamped to min == max == 700).
+        assert_eq!(s.p50, 700);
+        assert_eq!(s.p99, 700);
+    }
+
+    #[test]
+    fn bucket_of_covers_the_u64_range() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        // Each bucket's midpoint sits inside its range.
+        for i in 1..HIST_BUCKETS {
+            assert_eq!(Histogram::bucket_of(Histogram::bucket_mid(i)), i, "{i}");
+        }
     }
 }

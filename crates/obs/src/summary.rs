@@ -77,7 +77,7 @@ pub fn det_hash(text: &str) -> Result<u64, String> {
     Ok(apots_serde::atomic::fnv1a_64(canon.as_bytes()))
 }
 
-fn ns_stats(count: f64, sum: f64, min: f64, max: f64) -> Json {
+fn ns_stats(count: f64, sum: f64, min: f64, max: f64) -> Map {
     let mut m = Map::new();
     m.insert("count".into(), Json::Num(count));
     m.insert("sum_ns".into(), Json::Num(sum));
@@ -87,7 +87,7 @@ fn ns_stats(count: f64, sum: f64, min: f64, max: f64) -> Json {
         "mean_ns".into(),
         Json::Num(if count > 0.0 { sum / count } else { 0.0 }),
     );
-    Json::Obj(m)
+    m
 }
 
 /// Aggregates a JSONL trace into the `metrics-summary` report.
@@ -173,15 +173,17 @@ pub fn summarize(text: &str) -> Result<Json, String> {
                 }
             }
             "hist" => {
-                hists.push((
-                    name(j).to_string(),
-                    ns_stats(
-                        f(j, "count").unwrap_or(0.0),
-                        f(j, "sum").unwrap_or(0.0),
-                        f(j, "min").unwrap_or(0.0),
-                        f(j, "max").unwrap_or(0.0),
-                    ),
-                ));
+                let mut stats = ns_stats(
+                    f(j, "count").unwrap_or(0.0),
+                    f(j, "sum").unwrap_or(0.0),
+                    f(j, "min").unwrap_or(0.0),
+                    f(j, "max").unwrap_or(0.0),
+                );
+                if let (Some(p50), Some(p99)) = (f(j, "p50"), f(j, "p99")) {
+                    stats.insert("p50_ns".into(), Json::Num(p50));
+                    stats.insert("p99_ns".into(), Json::Num(p99));
+                }
+                hists.push((name(j).to_string(), Json::Obj(stats)));
             }
             "dropped" => dropped += f(j, "count").unwrap_or(0.0),
             _ => {}
@@ -195,10 +197,17 @@ pub fn summarize(text: &str) -> Result<Json, String> {
     ckpt.insert("saves".into(), counter("ckpt.saves"));
     ckpt.insert("restores".into(), counter("ckpt.restores"));
     ckpt.insert("bytes_saved".into(), Json::Num(ckpt_bytes));
+    let mut serve_latency = Json::Null;
     for (nm, stats) in hists {
         let key = match nm.as_str() {
             "ckpt.save_ns" => "save_latency",
             "ckpt.restore_ns" => "restore_latency",
+            // Serving latency belongs to the serve section, not the
+            // checkpoint one.
+            "serve.latency_ns" => {
+                serve_latency = stats;
+                continue;
+            }
             other => other,
         };
         ckpt.insert(key.into(), stats);
@@ -264,6 +273,9 @@ pub fn summarize(text: &str) -> Result<Json, String> {
     serve.insert("batches".into(), counter("serve.batches"));
     serve.insert("swaps".into(), counter("serve.swaps"));
     serve.insert("swaps_rejected".into(), counter("serve.swaps_rejected"));
+    if serve_latency != Json::Null {
+        serve.insert("request_latency".into(), serve_latency);
+    }
 
     let mut trace = Map::new();
     trace.insert("events".into(), Json::Num(n_events as f64));
@@ -384,6 +396,30 @@ mod tests {
             plain.get("io").unwrap().get("retries").unwrap().as_f64(),
             Some(0.0)
         );
+    }
+
+    #[test]
+    fn serve_latency_hist_lands_in_the_serve_section() {
+        let trace = r#"{"kind":"meta","schema":"apots-trace","version":1}
+{"kind":"counter","name":"serve.requests","det":false,"value":10}
+{"kind":"hist","name":"serve.latency_ns","det":false,"count":10,"sum":120000,"min":9000,"max":21000,"p50":12000,"p99":21000}
+"#;
+        let s = summarize(trace).unwrap();
+        let serve = s.get("serve").unwrap();
+        let lat = serve.get("request_latency").unwrap();
+        assert_eq!(lat.get("count").unwrap().as_f64(), Some(10.0));
+        assert_eq!(lat.get("p50_ns").unwrap().as_f64(), Some(12000.0));
+        assert_eq!(lat.get("p99_ns").unwrap().as_f64(), Some(21000.0));
+        assert_eq!(lat.get("mean_ns").unwrap().as_f64(), Some(12000.0));
+        // It must NOT leak into the checkpoints map.
+        assert!(s
+            .get("checkpoints")
+            .unwrap()
+            .get("serve.latency_ns")
+            .is_none());
+        // A latency-free trace has no request_latency key at all.
+        let plain = summarize(SAMPLE).unwrap();
+        assert!(plain.get("serve").unwrap().get("request_latency").is_none());
     }
 
     #[test]

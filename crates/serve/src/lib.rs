@@ -29,4 +29,4 @@ pub mod snapshot;
 
 pub use http::{Request, ResponseBuf};
 pub use server::{ServeConfig, Server};
-pub use snapshot::{checkpoint_from_payload, ModelSnapshot, SnapshotCell};
+pub use snapshot::{checkpoint_from_payload, ModelSnapshot, QuantizedSnapshot, SnapshotCell};

@@ -24,20 +24,22 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use apots::checkpoint::Checkpoint;
 use apots::config::HyperPreset;
 use apots::encode::encode_features;
 use apots::persist::CheckpointStore;
 use apots::predictor::Predictor;
+use apots::InferenceMode;
 use apots_obs::metrics::{
-    SERVE_BATCHES, SERVE_PREDICTIONS, SERVE_REQUESTS, SERVE_SWAPS, SERVE_SWAPS_REJECTED,
+    HIST_SERVE_LATENCY_NS, SERVE_BATCHES, SERVE_PREDICTIONS, SERVE_REQUESTS, SERVE_SWAPS,
+    SERVE_SWAPS_REJECTED,
 };
 use apots_traffic::{FeatureMask, SampleFeatures, TrafficDataset};
 
 use crate::http::{read_head, Request, ResponseBuf};
-use crate::snapshot::{checkpoint_from_payload, ModelSnapshot, SnapshotCell};
+use crate::snapshot::{checkpoint_from_payload, ModelSnapshot, QuantizedSnapshot, SnapshotCell};
 
 /// Tuning knobs for one server instance.
 #[derive(Debug, Clone)]
@@ -56,6 +58,10 @@ pub struct ServeConfig {
     pub mask: FeatureMask,
     /// Watcher poll cadence (also the shutdown latency bound).
     pub poll_interval: Duration,
+    /// Inference lane every replica serves on: `Exact` reproduces the
+    /// training kernels bit-for-bit; `Int8` quantizes weights at
+    /// snapshot-publish time (DESIGN.md §15).
+    pub quant: InferenceMode,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +74,7 @@ impl Default for ServeConfig {
             preset: HyperPreset::Fast,
             mask: FeatureMask::BOTH,
             poll_interval: Duration::from_millis(200),
+            quant: InferenceMode::Exact,
         }
     }
 }
@@ -210,8 +217,10 @@ impl Server {
         assert!(cfg.batch_max >= 1, "ServeConfig: batch_max >= 1");
         // Fail fast on a checkpoint that cannot serve: the boot model is
         // the one generation with no previous snapshot to fall back to.
-        initial
-            .restore(cfg.preset, &data)
+        // The trial restore goes through QuantizedSnapshot so an int8
+        // deployment also exercises quantization before binding a port.
+        let boot = QuantizedSnapshot::new(ModelSnapshot::new(initial, 1), cfg.quant);
+        boot.replica(cfg.preset, &data)
             .map_err(|e| format!("boot checkpoint: {e}"))?;
         let listener =
             TcpListener::bind(&cfg.addr).map_err(|e| format!("cannot bind {}: {e}", cfg.addr))?;
@@ -221,7 +230,7 @@ impl Server {
 
         let shared = Arc::new(Shared {
             data,
-            cell: SnapshotCell::new(ModelSnapshot::new(initial, 1)),
+            cell: SnapshotCell::new(boot),
             queues: (0..cfg.shards).map(|_| ShardQueue::new()).collect(),
             conns: Mutex::new(VecDeque::new()),
             conns_cv: Condvar::new(),
@@ -272,7 +281,7 @@ impl Server {
 
     /// Current published snapshot generation.
     pub fn version(&self) -> u64 {
-        self.shared.cell.load().version
+        self.shared.cell.load().version()
     }
 
     /// Synchronously polls the checkpoint store once, exactly as the
@@ -376,9 +385,15 @@ fn worker_loop(s: &Shared) {
                     Err(_) => break 'conn,
                 }
             };
+            // Latency is head-parsed → response-flushed: queueing, shard
+            // inference and the socket write all count; idle keep-alive
+            // time between requests does not.
+            let t0 = Instant::now();
             let status = respond(s, &head[..head_len], &reply, &mut resp);
             let text = resp.finish(status);
-            if stream.write_all(text.as_bytes()).is_err() {
+            let ok = stream.write_all(text.as_bytes()).is_ok();
+            HIST_SERVE_LATENCY_NS.record(t0.elapsed().as_nanos() as u64);
+            if !ok {
                 break 'conn;
             }
         }
@@ -412,7 +427,8 @@ fn respond(s: &Shared, head: &[u8], reply: &Arc<ReplySlot>, resp: &mut ResponseB
             let _ = write!(
                 body,
                 "{{\"ok\":true,\"version\":{},\"fingerprint\":\"{:#018x}\"}}",
-                snap.version, snap.fingerprint
+                snap.version(),
+                snap.fingerprint()
             );
             200
         }
@@ -422,13 +438,14 @@ fn respond(s: &Shared, head: &[u8], reply: &Arc<ReplySlot>, resp: &mut ResponseB
             let _ = write!(
                 body,
                 "{{\"requests\":{},\"predictions\":{},\"batches\":{},\"swaps\":{},\
-                 \"swaps_rejected\":{},\"version\":{}}}",
+                 \"swaps_rejected\":{},\"quant\":\"{}\",\"version\":{}}}",
                 SERVE_REQUESTS.get(),
                 SERVE_PREDICTIONS.get(),
                 SERVE_BATCHES.get(),
                 SERVE_SWAPS.get(),
                 SERVE_SWAPS_REJECTED.get(),
-                snap.version,
+                snap.mode,
+                snap.version(),
             );
             200
         }
@@ -441,7 +458,7 @@ fn respond(s: &Shared, head: &[u8], reply: &Arc<ReplySlot>, resp: &mut ResponseB
 }
 
 impl Shared {
-    fn shared_snapshot(&self) -> Arc<ModelSnapshot> {
+    fn shared_snapshot(&self) -> Arc<QuantizedSnapshot> {
         self.cell.load()
     }
 }
@@ -531,7 +548,7 @@ fn shard_loop(s: &Shared, shard: usize) {
         // failed rebuild keeps the old replica serving (the watcher
         // validated the snapshot, so this is belt-and-braces).
         let current = s.cell.load();
-        if current.version != snap.version {
+        if current.version() != snap.version() {
             match current.replica(s.cfg.preset, &s.data) {
                 Ok(r) => {
                     replica = r;
@@ -545,7 +562,7 @@ fn shard_loop(s: &Shared, shard: usize) {
                 .features_for_road_into(job.road, job.tau - beta, mask, f);
         }
         let (input, _targets) = encode_features(replica.kind(), &feats[..batch.len()]);
-        let out = replica.forward(&input, false);
+        let out = replica.forward_infer(&input, snap.mode);
         for (i, job) in batch.iter().enumerate() {
             job.reply
                 .fill(s.data.speed_norm().denormalize(out.at2(i, 0)));
@@ -595,12 +612,15 @@ fn try_reload(s: &Shared, store: &CheckpointStore) -> Result<bool, String> {
         Err(e) => return reject(e),
     };
     let current = s.cell.load();
-    let snap = ModelSnapshot::new(ck, current.version + 1);
-    if snap.fingerprint == current.fingerprint {
+    let snap = QuantizedSnapshot::new(ModelSnapshot::new(ck, current.version() + 1), s.cfg.quant);
+    if snap.fingerprint() == current.fingerprint() {
         return Ok(false);
     }
     // Trial restore against the serving dataset: shape mismatches and
-    // unknown kinds are rejected here, never on the request path.
+    // unknown kinds are rejected here, never on the request path — and
+    // because the trial goes through QuantizedSnapshot::replica, it
+    // also builds the int8 weights once, proving quantization works
+    // before the swap publishes.
     if let Err(e) = snap.replica(s.cfg.preset, &s.data) {
         return reject(e);
     }

@@ -12,6 +12,7 @@ use std::sync::{Arc, RwLock};
 use apots::checkpoint::Checkpoint;
 use apots::config::HyperPreset;
 use apots::predictor::Predictor;
+use apots::InferenceMode;
 use apots_nn::state::StateDict;
 use apots_serde::atomic::fnv1a_64;
 use apots_serde::Json;
@@ -56,28 +57,75 @@ impl ModelSnapshot {
     }
 }
 
+/// A [`ModelSnapshot`] paired with the serving [`InferenceMode`] —
+/// what the server actually publishes. `replica()` restores *and*
+/// prepares (quantizes weights for `Int8`), so the watcher's trial
+/// restore exercises the exact path a shard will run, and shards never
+/// pay quantization cost on the request path beyond the one-time
+/// replica build at a swap boundary.
+pub struct QuantizedSnapshot {
+    /// The validated checkpoint generation.
+    pub snapshot: ModelSnapshot,
+    /// Lane every replica built from this snapshot serves on.
+    pub mode: InferenceMode,
+}
+
+impl QuantizedSnapshot {
+    /// Pairs a snapshot with its serving mode.
+    pub fn new(snapshot: ModelSnapshot, mode: InferenceMode) -> Self {
+        QuantizedSnapshot { snapshot, mode }
+    }
+
+    /// Generation counter (delegates to the inner snapshot).
+    pub fn version(&self) -> u64 {
+        self.snapshot.version
+    }
+
+    /// Checkpoint fingerprint (delegates to the inner snapshot).
+    pub fn fingerprint(&self) -> u64 {
+        self.snapshot.fingerprint
+    }
+
+    /// Rebuilds a **prepared** predictor replica: restore, then
+    /// `prepare(mode)` so the quantized weights exist before the first
+    /// request hits the replica.
+    ///
+    /// # Errors
+    /// Returns an error if the stored kind or shapes do not match `data`
+    /// under `preset` — the caller must keep the old replica.
+    pub fn replica(
+        &self,
+        preset: HyperPreset,
+        data: &TrafficDataset,
+    ) -> Result<Box<dyn Predictor>, String> {
+        let mut p = self.snapshot.replica(preset, data)?;
+        p.prepare(self.mode);
+        Ok(p)
+    }
+}
+
 /// The published-snapshot cell: readers take an `Arc` clone, the watcher
 /// swaps the pointer. Write contention is one pointer store per swap, so
 /// the read path stays wait-free in practice.
 pub struct SnapshotCell {
-    slot: RwLock<Arc<ModelSnapshot>>,
+    slot: RwLock<Arc<QuantizedSnapshot>>,
 }
 
 impl SnapshotCell {
     /// A cell holding the boot snapshot.
-    pub fn new(initial: ModelSnapshot) -> Self {
+    pub fn new(initial: QuantizedSnapshot) -> Self {
         SnapshotCell {
             slot: RwLock::new(Arc::new(initial)),
         }
     }
 
     /// The current snapshot (cheap: one `Arc` clone).
-    pub fn load(&self) -> Arc<ModelSnapshot> {
+    pub fn load(&self) -> Arc<QuantizedSnapshot> {
         self.slot.read().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// Publishes a new snapshot.
-    pub fn store(&self, snapshot: ModelSnapshot) {
+    pub fn store(&self, snapshot: QuantizedSnapshot) {
         *self.slot.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(snapshot);
     }
 }
@@ -143,12 +191,34 @@ mod tests {
     fn cell_swaps_atomically_and_readers_keep_their_generation() {
         let data = dataset();
         let mut p = build_predictor(PredictorKind::Fc, HyperPreset::Fast, &data, 1);
-        let cell = SnapshotCell::new(ModelSnapshot::new(Checkpoint::capture(p.as_mut()), 1));
+        let boot = QuantizedSnapshot::new(
+            ModelSnapshot::new(Checkpoint::capture(p.as_mut()), 1),
+            InferenceMode::Exact,
+        );
+        let cell = SnapshotCell::new(boot);
         let held = cell.load();
-        assert_eq!(held.version, 1);
-        cell.store(ModelSnapshot::new(Checkpoint::capture(p.as_mut()), 2));
-        assert_eq!(cell.load().version, 2);
-        assert_eq!(held.version, 1, "existing readers keep their snapshot");
+        assert_eq!(held.version(), 1);
+        cell.store(QuantizedSnapshot::new(
+            ModelSnapshot::new(Checkpoint::capture(p.as_mut()), 2),
+            InferenceMode::Exact,
+        ));
+        assert_eq!(cell.load().version(), 2);
+        assert_eq!(held.version(), 1, "existing readers keep their snapshot");
+    }
+
+    #[test]
+    fn quantized_replica_prepares_and_still_rejects_mismatches() {
+        let data = dataset();
+        let mut p = build_predictor(PredictorKind::Hybrid, HyperPreset::Fast, &data, 9);
+        let snap = QuantizedSnapshot::new(
+            ModelSnapshot::new(Checkpoint::capture(p.as_mut()), 1),
+            InferenceMode::Int8,
+        );
+        assert!(snap.replica(HyperPreset::Fast, &data).is_ok());
+        assert!(
+            snap.replica(HyperPreset::Paper, &data).is_err(),
+            "trial restore must still catch shape mismatches in int8 mode"
+        );
     }
 
     #[test]

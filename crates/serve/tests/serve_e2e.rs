@@ -21,6 +21,7 @@ use apots::checkpoint::Checkpoint;
 use apots::config::{HyperPreset, PredictorKind};
 use apots::persist::CheckpointStore;
 use apots::predictor::build_predictor;
+use apots::InferenceMode;
 use apots_serde::Json;
 use apots_serve::{ServeConfig, Server};
 use apots_traffic::calendar::Calendar;
@@ -369,6 +370,54 @@ fn corrupt_checkpoint_is_rejected_and_old_snapshot_keeps_serving() {
     assert_eq!(after, before, "corrupt swap must not change answers");
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn int8_serving_is_deterministic_and_close_to_exact() {
+    let _g = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let data = dataset();
+    let ck = checkpoint(&data, PredictorKind::Hybrid, 31);
+    let queries = storm(&data, 128, 0x1A78);
+    let quant_cfg = || ServeConfig {
+        quant: InferenceMode::Int8,
+        ..ServeConfig::default()
+    };
+
+    // Exact reference for the same storm.
+    let server = start_server(&data, ck.clone(), None);
+    let exact = run_storm(server.addr(), &queries, 4);
+    server.shutdown();
+
+    // Int8 at 1 thread and 4 threads: bit-identical to each other.
+    apots_par::set_threads(1);
+    let server = Server::start(quant_cfg(), data.clone(), ck.clone(), None).unwrap();
+    let q1 = run_storm(server.addr(), &queries, 4);
+    server.shutdown();
+    apots_par::set_threads(4);
+    let server = Server::start(quant_cfg(), data.clone(), ck, None).unwrap();
+    let q4 = run_storm(server.addr(), &queries, 4);
+    server.shutdown();
+    apots_par::reset_threads();
+
+    let speed = |body: &str| -> f64 {
+        body.split("\"speed_kmh\":")
+            .nth(1)
+            .unwrap()
+            .trim_end_matches('}')
+            .parse()
+            .unwrap()
+    };
+    for (k, v1) in &q1 {
+        assert_eq!(v1.0, 200, "{k:?} {}", v1.1);
+        assert_eq!(
+            v1, &q4[k],
+            "int8 response for {k:?} depends on APOTS_THREADS"
+        );
+        // Quantized answers track the exact lane within the km/h-scale
+        // bound of DESIGN.md §15 (untrained Fast model, small outputs).
+        let d = (speed(&v1.1) - speed(&exact[k].1)).abs();
+        assert!(d < 2.0, "{k:?}: int8 {} vs exact {}", v1.1, exact[k].1);
+    }
 }
 
 #[test]

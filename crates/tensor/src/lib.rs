@@ -9,8 +9,11 @@
 //! workspace's in-house seeded randomness ([`rng`]).
 //!
 //! Design notes:
-//! * storage is always a contiguous `Vec<f32>` in row-major order, so layers
-//!   that need exotic access patterns (im2col, BPTT) can work on raw slices;
+//! * tensors are generic over a [`storage::Storage`] backend
+//!   ([`TensorBase`]); the default [`F32Storage`](storage::F32Storage) is
+//!   a contiguous row-major `Vec<f32>`, so layers that need exotic access
+//!   patterns (im2col, BPTT) can work on raw slices, and the int8
+//!   inference lane ([`quant`]) rides the same type;
 //! * shape mismatches are programming errors and panic with a descriptive
 //!   message, mirroring the behaviour of mainstream array libraries;
 //! * all randomness is funnelled through caller-provided [`rng::Rng`]
@@ -18,13 +21,18 @@
 
 mod kernels;
 pub mod linalg;
+pub mod microkernels;
+pub mod quant;
 pub mod reference;
 pub mod rng;
+pub mod storage;
 mod tensor;
 pub mod workspace;
 
+pub use quant::QTensor;
 pub use rng::Rng;
-pub use tensor::Tensor;
+pub use storage::InferenceMode;
+pub use tensor::{Tensor, TensorBase};
 
 /// Convenience alias used across the workspace for seeded RNGs.
 pub type SeededRng = rng::SeededRng;

@@ -1,0 +1,306 @@
+//! FMA-contracted f32 sgemm microkernels — the `InferenceMode::FastF32`
+//! lane.
+//!
+//! The training kernels in `kernels.rs` are *forbidden* from using fused
+//! multiply-add: rustc never contracts `a*b + c` on its own, and that is
+//! exactly what keeps them bit-identical to the serial reference chain
+//! (DESIGN.md §9). This lane trades that contract away: every
+//! accumulation step is an explicit [`f32::mul_add`], which codegens to a
+//! single `vfmadd` under `target-cpu=native` — one rounding per step
+//! instead of two, and **double the peak FLOP rate** on machines whose
+//! vector ports co-issue FMAs (the mul+add pair in the exact kernel
+//! occupies both ports for half the math).
+//!
+//! Each output element still accumulates in one ascending-`kk` chain with
+//! a single accumulator, so the lane is bitwise **thread-invariant** and
+//! **blocking-invariant** (the 4×32 register tiling only changes which
+//! elements share a pass, never an element's own rounding sequence). It
+//! is *not* bit-equal to the exact lane — FMA rounds differently — so
+//! callers reach it exclusively through `InferenceMode::FastF32`, and the
+//! accuracy bound is pinned by the tolerance tests below and the
+//! inference-mode suite (DESIGN.md §15).
+//!
+//! Dispatch mirrors the production matmuls: the grain gate in
+//! [`matmul_chunk_rows`] decides serial-vs-pooled and the pool partitions
+//! output rows, never a row's `kk` loop.
+
+use crate::tensor::{matmul_chunk_rows, Tensor};
+
+/// Rows per register panel.
+const MR: usize = 4;
+/// Full tile width: 8 FMA accumulator vectors (4 rows × 2×16-lane) keep
+/// enough independent chains in flight to hide the FMA latency.
+const NT: usize = 32;
+
+/// One fused (or, without FMA hardware, contracted-by-hand) accumulate
+/// step. `cfg`-resolved at compile time, so every thread — and every
+/// element's tail vs. tile path — rounds identically.
+#[inline(always)]
+fn fmadd(a: f32, b: f32, c: f32) -> f32 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, c)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        a * b + c
+    }
+}
+
+/// A 4-row × `W`-column C-resident tile (`W ∈ {32, 16, 8, 4}`): `4·W`
+/// accumulators live in registers across the whole `kk` loop, advanced by
+/// one FMA per element per step.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn ftile4xw<const W: usize>(
+    b: &[f32],
+    k: usize,
+    n: usize,
+    j: usize,
+    a0: &[f32],
+    a1: &[f32],
+    a2: &[f32],
+    a3: &[f32],
+    o0: &mut [f32],
+    o1: &mut [f32],
+    o2: &mut [f32],
+    o3: &mut [f32],
+) {
+    let mut acc0 = [0.0f32; W];
+    let mut acc1 = [0.0f32; W];
+    let mut acc2 = [0.0f32; W];
+    let mut acc3 = [0.0f32; W];
+    for kk in 0..k {
+        let bb = &b[kk * n + j..][..W];
+        let (x0, x1, x2, x3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+        for t in 0..W {
+            let v = bb[t];
+            acc0[t] = fmadd(x0, v, acc0[t]);
+            acc1[t] = fmadd(x1, v, acc1[t]);
+            acc2[t] = fmadd(x2, v, acc2[t]);
+            acc3[t] = fmadd(x3, v, acc3[t]);
+        }
+    }
+    o0[j..j + W].copy_from_slice(&acc0);
+    o1[j..j + W].copy_from_slice(&acc1);
+    o2[j..j + W].copy_from_slice(&acc2);
+    o3[j..j + W].copy_from_slice(&acc3);
+}
+
+/// Column sweep of a 4-row panel: full 32-wide tiles, narrowing steps,
+/// then a scalar FMA chain per remaining element.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn fsweep4(
+    b: &[f32],
+    k: usize,
+    n: usize,
+    a0: &[f32],
+    a1: &[f32],
+    a2: &[f32],
+    a3: &[f32],
+    o0: &mut [f32],
+    o1: &mut [f32],
+    o2: &mut [f32],
+    o3: &mut [f32],
+) {
+    let mut j = 0;
+    while j + NT <= n {
+        ftile4xw::<NT>(b, k, n, j, a0, a1, a2, a3, o0, o1, o2, o3);
+        j += NT;
+    }
+    if j + 16 <= n {
+        ftile4xw::<16>(b, k, n, j, a0, a1, a2, a3, o0, o1, o2, o3);
+        j += 16;
+    }
+    if j + 8 <= n {
+        ftile4xw::<8>(b, k, n, j, a0, a1, a2, a3, o0, o1, o2, o3);
+        j += 8;
+    }
+    if j + 4 <= n {
+        ftile4xw::<4>(b, k, n, j, a0, a1, a2, a3, o0, o1, o2, o3);
+        j += 4;
+    }
+    while j < n {
+        let (mut c0, mut c1, mut c2, mut c3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for kk in 0..k {
+            let v = b[kk * n + j];
+            c0 = fmadd(a0[kk], v, c0);
+            c1 = fmadd(a1[kk], v, c1);
+            c2 = fmadd(a2[kk], v, c2);
+            c3 = fmadd(a3[kk], v, c3);
+        }
+        o0[j] = c0;
+        o1[j] = c1;
+        o2[j] = c2;
+        o3[j] = c3;
+        j += 1;
+    }
+}
+
+/// Computes `out_rows = a_rows · b` for a contiguous block of output rows
+/// (`b: [k, n]` unpacked — the tile streams it directly). Every element
+/// is one ascending-`kk` FMA chain, so the block decomposition is
+/// invisible in the bits.
+pub(crate) fn sgemm_block(a_rows: &[f32], b: &[f32], out_rows: &mut [f32], k: usize, n: usize) {
+    if n == 0 {
+        return;
+    }
+    let rows = out_rows.len() / n;
+    debug_assert_eq!(out_rows.len(), rows * n);
+    debug_assert_eq!(a_rows.len(), rows * k);
+    debug_assert_eq!(b.len(), k * n);
+
+    let mut i = 0;
+    while i + MR <= rows {
+        let (o0, rest) = out_rows[i * n..(i + MR) * n].split_at_mut(n);
+        let (o1, rest) = rest.split_at_mut(n);
+        let (o2, o3) = rest.split_at_mut(n);
+        let a0 = &a_rows[i * k..][..k];
+        let a1 = &a_rows[(i + 1) * k..][..k];
+        let a2 = &a_rows[(i + 2) * k..][..k];
+        let a3 = &a_rows[(i + 3) * k..][..k];
+        fsweep4(b, k, n, a0, a1, a2, a3, o0, o1, o2, o3);
+        i += MR;
+    }
+    // Remainder rows: same per-element FMA chain, one row at a time.
+    while i < rows {
+        let a_row = &a_rows[i * k..][..k];
+        let o_row = &mut out_rows[i * n..][..n];
+        for kk in 0..k {
+            let av = a_row[kk];
+            let bb = &b[kk * n..][..n];
+            for j in 0..n {
+                o_row[j] = fmadd(av, bb[j], o_row[j]);
+            }
+        }
+        i += 1;
+    }
+}
+
+impl Tensor {
+    /// `self · other` on the FMA fast lane (`[m, k] · [k, n] → [m, n]`).
+    ///
+    /// Same shape contract as [`Tensor::matmul`], different numerics
+    /// contract: each accumulation step is a fused multiply-add, so the
+    /// result is only tolerance-equal to the serial chain (and typically
+    /// *closer* to the infinite-precision product — one rounding per
+    /// step). Inference-only — training code never calls this, enforced
+    /// by the `kernel.sgemm_fast` dispatch counter staying flat across
+    /// training (see the inference-mode test suite).
+    pub fn matmul_fast(&self, other: &Self) -> Self {
+        assert_eq!(self.rank(), 2, "matmul_fast lhs must be rank-2");
+        assert_eq!(other.rank(), 2, "matmul_fast rhs must be rank-2");
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (other.shape()[0], other.shape()[1]);
+        assert_eq!(
+            k, k2,
+            "matmul_fast dimension mismatch: [{m}, {k}] · [{k2}, {n}]"
+        );
+        let mut out = Tensor::zeros(&[m, n]);
+        if m == 0 || n == 0 {
+            return out;
+        }
+        apots_obs::metrics::KERNEL_SGEMM_FAST.bump();
+        let chunk_rows = matmul_chunk_rows(m, k, n);
+        let a = self.data();
+        let b = other.data();
+        apots_par::parallel_chunks_mut(out.data_mut(), chunk_rows * n, |ci, out_chunk| {
+            let i0 = ci * chunk_rows;
+            let rows = out_chunk.len() / n;
+            sgemm_block(&a[i0 * k..(i0 + rows) * k], b, out_chunk, k, n);
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::rng::seeded;
+
+    /// Per-element tolerance for a k-long FMA-contracted f32 reduction
+    /// against the mul-then-add chain: each step saves one rounding, so
+    /// the divergence is a few ulps of the accumulated magnitude.
+    fn tol(k: usize, amax: f32, bmax: f32) -> f32 {
+        (k as f32) * amax * bmax * f32::EPSILON * 8.0 + 1e-6
+    }
+
+    #[test]
+    fn fast_matmul_matches_reference_within_tolerance() {
+        let mut rng = seeded(0xFA57);
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (4, 16, 8),
+            (5, 17, 9),
+            (13, 31, 23),
+            (64, 64, 64),
+            (33, 7, 129),
+        ] {
+            let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+            let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+            let fast = a.matmul_fast(&b);
+            let exact = reference::matmul(a.data(), b.data(), m, k, n);
+            let bound = tol(k, 1.0, 1.0);
+            for (i, (got, want)) in fast.data().iter().zip(&exact).enumerate() {
+                assert!(
+                    (got - want).abs() <= bound,
+                    "({m},{k},{n}) elem {i}: {got} vs {want} (bound {bound})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_matmul_is_thread_invariant() {
+        let mut rng = seeded(0xFA58);
+        let a = Tensor::rand_uniform(&[65, 130], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[130, 67], -1.0, 1.0, &mut rng);
+        apots_par::set_threads(1);
+        let one = a.matmul_fast(&b);
+        apots_par::set_threads(4);
+        let four = a.matmul_fast(&b);
+        apots_par::reset_threads();
+        // Row partitioning never splits a row's k-loop and every element
+        // owns a single accumulator chain, so the fast lane is bitwise
+        // thread-invariant (only its rounding differs from the serial
+        // chain, and that is fixed per element).
+        assert_eq!(one.data(), four.data());
+    }
+
+    #[test]
+    fn fast_matmul_is_blocking_invariant_at_every_width() {
+        // Tiles are 32/16/8/4/1 wide depending on where a column falls;
+        // an element's bits must not depend on which width computed it.
+        // Compare n = 67 (every tail path) against the same columns
+        // computed alone (n = 1 → scalar path).
+        let mut rng = seeded(0xFA59);
+        let a = Tensor::rand_uniform(&[5, 43], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[43, 67], -1.0, 1.0, &mut rng);
+        let full = a.matmul_fast(&b);
+        for j in [0usize, 31, 32, 48, 56, 60, 63, 64, 66] {
+            let col = Tensor::build(&[43, 1], |d| {
+                for (kk, slot) in d.iter_mut().enumerate() {
+                    *slot = b.at2(kk, j);
+                }
+            });
+            let alone = a.matmul_fast(&col);
+            for i in 0..5 {
+                assert_eq!(
+                    full.at2(i, j).to_bits(),
+                    alone.at2(i, 0).to_bits(),
+                    "element ({i},{j}) depends on tile width"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_matmul_propagates_nan() {
+        let a = Tensor::new(&[1, 2], vec![0.0, 1.0]);
+        let b = Tensor::new(&[2, 1], vec![f32::NAN, 1.0]);
+        assert!(a.matmul_fast(&b).data()[0].is_nan());
+    }
+}

@@ -1,4 +1,5 @@
 use crate::rng::{normal, Rng};
+use crate::storage::{F32Storage, Storage};
 use crate::workspace;
 
 /// Minimum multiply–accumulate count before a matmul is worth handing to
@@ -12,7 +13,7 @@ const PAR_GRAIN_MACS: usize = 1 << 18;
 
 /// Rows per chunk for an `m × k × n` matmul-family dispatch.
 #[inline]
-fn matmul_chunk_rows(m: usize, k: usize, n: usize) -> usize {
+pub(crate) fn matmul_chunk_rows(m: usize, k: usize, n: usize) -> usize {
     if m * k * n < PAR_GRAIN_MACS {
         // Size-based decision taken before any threading — the counter is
         // deterministic for any APOTS_THREADS (trace golden-hash eligible).
@@ -77,43 +78,83 @@ impl std::ops::Index<usize> for Shape {
     }
 }
 
-/// A dense, row-major, n-dimensional `f32` tensor.
+/// A dense, row-major, n-dimensional tensor over a [`Storage`] backend.
 ///
 /// The tensor owns its storage and is always contiguous. Most of the
 /// workspace uses rank-1 (vectors), rank-2 (matrices, `[rows, cols]`) and
 /// rank-4 (conv feature maps, `[batch, channels, height, width]`) tensors.
-/// Tensors serialize as `{shape, data}` (used by the model checkpoint
-/// format of `apots-nn`, via the in-house `apots-serde` JSON module).
+/// [`Tensor`] (`TensorBase<F32Storage>`) is the default f32 backend and
+/// serializes as `{shape, data}` (used by the model checkpoint format of
+/// `apots-nn`, via the in-house `apots-serde` JSON module);
+/// [`crate::quant::QTensor`] is the int8 inference backend.
 ///
-/// Storage is pooled: constructors check buffers out of the per-thread
-/// [`crate::workspace`] arena and `Drop`/`Clone` return/draw from it, so
-/// steady-state tensor churn performs no heap allocation (DESIGN.md §10).
-#[derive(Debug)]
-pub struct Tensor {
+/// f32 storage is pooled: constructors check buffers out of the
+/// per-thread [`crate::workspace`] arena and the backend's `Drop`/`Clone`
+/// return/draw from it, so steady-state tensor churn performs no heap
+/// allocation (DESIGN.md §10).
+#[derive(Debug, Clone)]
+pub struct TensorBase<S: Storage = F32Storage> {
     shape: Shape,
-    data: Vec<f32>,
+    data: S,
 }
 
-impl Drop for Tensor {
+/// The default dense f32 tensor (see [`TensorBase`]).
+pub type Tensor = TensorBase<F32Storage>;
+
+impl<S: Storage> TensorBase<S> {
+    /// The tensor's shape.
     #[inline]
-    fn drop(&mut self) {
-        workspace::recycle(std::mem::take(&mut self.data));
+    pub fn shape(&self) -> &[usize] {
+        self.shape.as_slice()
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.shape.len as usize
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The backend's element type.
+    #[inline]
+    pub fn dtype(&self) -> crate::storage::DType {
+        S::DTYPE
+    }
+
+    /// Assembles a tensor from a shape and a backend value (crate-only:
+    /// the quantizer builds `SInt8Storage` tensors through this).
+    #[inline]
+    pub(crate) fn from_storage(shape: &[usize], data: S) -> Self {
+        let shape = Shape::of(shape);
+        assert_eq!(
+            data.len(),
+            shape.product(),
+            "storage length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        TensorBase { shape, data }
+    }
+
+    /// Crate-only view of the backend value.
+    #[inline]
+    pub(crate) fn storage(&self) -> &S {
+        &self.data
     }
 }
 
-impl Clone for Tensor {
-    #[inline]
-    fn clone(&self) -> Self {
-        let mut data = workspace::checkout_empty(self.data.len());
-        data.extend_from_slice(&self.data);
-        Self {
-            shape: self.shape,
-            data,
-        }
-    }
-}
-
-impl PartialEq for Tensor {
+impl<S: Storage + PartialEq> PartialEq for TensorBase<S> {
     #[inline]
     fn eq(&self, other: &Self) -> bool {
         self.shape == other.shape && self.data == other.data
@@ -138,14 +179,17 @@ impl Tensor {
             shape,
             expected
         );
-        Self { shape, data }
+        Self {
+            shape,
+            data: data.into(),
+        }
     }
 
     /// Creates a tensor filled with zeros (pooled).
     pub fn zeros(shape: &[usize]) -> Self {
         let s = Shape::of(shape);
         Self {
-            data: workspace::checkout(s.product()),
+            data: workspace::checkout(s.product()).into(),
             shape: s,
         }
     }
@@ -173,7 +217,7 @@ impl Tensor {
     pub fn from_vec(data: Vec<f32>) -> Self {
         Self {
             shape: Shape::of(&[data.len()]),
-            data,
+            data: data.into(),
         }
     }
 
@@ -196,7 +240,7 @@ impl Tensor {
         }
         Self {
             shape: Shape::of(&[nrows, ncols]),
-            data,
+            data: data.into(),
         }
     }
 
@@ -218,30 +262,6 @@ impl Tensor {
         })
     }
 
-    /// The tensor's shape.
-    #[inline]
-    pub fn shape(&self) -> &[usize] {
-        self.shape.as_slice()
-    }
-
-    /// Number of dimensions.
-    #[inline]
-    pub fn rank(&self) -> usize {
-        self.shape.len as usize
-    }
-
-    /// Total number of elements.
-    #[inline]
-    pub fn len(&self) -> usize {
-        self.data.len()
-    }
-
-    /// Whether the tensor holds no elements.
-    #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
-    }
-
     /// Immutable access to the backing storage (row-major).
     #[inline]
     pub fn data(&self) -> &[f32] {
@@ -256,7 +276,7 @@ impl Tensor {
 
     /// Consumes the tensor, returning the backing storage.
     pub fn into_data(mut self) -> Vec<f32> {
-        std::mem::take(&mut self.data)
+        std::mem::take(&mut self.data.buf)
     }
 
     /// Number of rows of a rank-2 tensor.
@@ -338,7 +358,7 @@ impl Tensor {
         data.extend_from_slice(&self.data);
         Self {
             shape: Shape::of(shape),
-            data,
+            data: data.into(),
         }
     }
 
@@ -425,7 +445,7 @@ impl Tensor {
         data.extend(self.data.iter().map(|&v| f(v)));
         Self {
             shape: self.shape,
-            data,
+            data: data.into(),
         }
     }
 
@@ -468,7 +488,7 @@ impl Tensor {
         );
         Self {
             shape: self.shape,
-            data,
+            data: data.into(),
         }
     }
 
@@ -530,7 +550,7 @@ impl Tensor {
         });
         Self {
             shape: self.shape,
-            data: out,
+            data: out.into(),
         }
     }
 
@@ -560,7 +580,7 @@ impl Tensor {
         });
         Self {
             shape: self.shape,
-            data: out,
+            data: out.into(),
         }
     }
 
@@ -649,7 +669,7 @@ impl Tensor {
         }
         Self {
             shape: Shape::of(&[c, r]),
-            data: out,
+            data: out.into(),
         }
     }
 
@@ -668,7 +688,7 @@ impl Tensor {
         let (m, _k, n) = self.matmul_dims(other);
         let mut out = Self {
             shape: Shape::of(&[m, n]),
-            data: workspace::checkout(m * n),
+            data: workspace::checkout(m * n).into(),
         };
         self.matmul_dispatch(other, &mut out.data);
         out
@@ -767,7 +787,7 @@ impl Tensor {
         let (m, n) = self.matmul_at_b_dims(other);
         let mut out = Self {
             shape: Shape::of(&[m, n]),
-            data: workspace::checkout(m * n),
+            data: workspace::checkout(m * n).into(),
         };
         self.matmul_at_b_dispatch(other, &mut out.data);
         out
@@ -824,7 +844,7 @@ impl Tensor {
         let (m, n) = self.matmul_a_bt_dims(other);
         let mut out = Self {
             shape: Shape::of(&[m, n]),
-            data: workspace::checkout(m * n),
+            data: workspace::checkout(m * n).into(),
         };
         self.matmul_a_bt_dispatch(other, &mut out.data);
         out
@@ -915,7 +935,7 @@ impl Tensor {
         }
         Self {
             shape: Shape::of(&[rows, total_cols]),
-            data,
+            data: data.into(),
         }
     }
 
@@ -934,7 +954,7 @@ impl Tensor {
         }
         Self {
             shape: Shape::of(&[r, width]),
-            data,
+            data: data.into(),
         }
     }
 
@@ -951,7 +971,7 @@ impl Tensor {
         data.extend_from_slice(&self.data[start * c..(start + count) * c]);
         Self {
             shape: Shape::of(&[count, c]),
-            data,
+            data: data.into(),
         }
     }
 

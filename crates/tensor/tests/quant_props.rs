@@ -1,0 +1,124 @@
+//! Property suite for the int8 quantization lane (DESIGN.md §15).
+//!
+//! Four properties, each over ≥64 generated cases (`APOTS_CHECK_CASES`):
+//! roundtrip error stays within one quantization step, signs and zeros
+//! survive quantization, re-quantizing a dequantized matrix is a
+//! fixpoint, and [`qmatmul`] tracks the serial f32 reference within the
+//! analytic `k · absmax(x_row) · absmax(w_col) / 127` bound.
+
+use apots_check::{check, prop_assert, Rng};
+use apots_tensor::quant::{qmatmul, quantize_weights};
+use apots_tensor::rng::seeded;
+use apots_tensor::{QTensor, Tensor};
+
+/// A generated case: shapes plus the tensor-content seed. Shrinking
+/// moves toward tiny matrices and seed 0.
+type Case = (u64, u64, u64, u64);
+
+fn gen_case(rng: &mut apots_check::SeededRng) -> Case {
+    (
+        rng.random_range(1u64..9),  // m (batch rows)
+        rng.random_range(1u64..49), // k (inner)
+        rng.random_range(1u64..13), // n (outputs)
+        rng.next_u64(),             // content seed
+    )
+}
+
+fn tensors(case: &Case) -> (Tensor, Tensor) {
+    let &(m, k, n, seed) = case;
+    let mut rng = seeded(seed ^ 0x9AA7);
+    let x = Tensor::rand_uniform(&[m as usize, k as usize], -4.0, 4.0, &mut rng);
+    let w = Tensor::rand_uniform(&[k as usize, n as usize], -1.5, 1.5, &mut rng);
+    (x, w)
+}
+
+#[test]
+fn roundtrip_error_is_within_one_quantization_step() {
+    check("quant roundtrip bound", gen_case, |case| {
+        let (x, _) = tensors(case);
+        let q = QTensor::quantize_rows(&x);
+        let back = q.dequantize();
+        let (r, c) = (x.shape()[0], x.shape()[1]);
+        for i in 0..r {
+            let absmax = x.row(i).iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+            let step = absmax / 127.0;
+            for j in 0..c {
+                let (a, b) = (x.at2(i, j), back.at2(i, j));
+                prop_assert!(
+                    (a - b).abs() <= step + 1e-7,
+                    "({i},{j}): {a} -> {b} exceeds step {step}"
+                );
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn quantization_preserves_signs_and_zeros() {
+    check("quant sign/zero preservation", gen_case, |case| {
+        let (x, _) = tensors(case);
+        let q = QTensor::quantize_rows(&x);
+        let (r, c) = (x.shape()[0], x.shape()[1]);
+        for i in 0..r {
+            for j in 0..c {
+                let v = x.at2(i, j);
+                let qi = q.q_data()[i * c + j];
+                if v == 0.0 {
+                    prop_assert!(qi == 0, "exact zero must quantize to 0, got {qi}");
+                } else {
+                    // Sub-half-step values legitimately round to 0; a
+                    // nonzero quantized value must carry the f32 sign.
+                    prop_assert!(
+                        qi == 0 || (qi > 0) == (v > 0.0),
+                        "({i},{j}): sign flip {v} -> {qi}"
+                    );
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn requantizing_a_dequantized_matrix_is_a_fixpoint() {
+    check("quant idempotence", gen_case, |case| {
+        let (x, _) = tensors(case);
+        let q1 = QTensor::quantize_rows(&x);
+        let q2 = QTensor::quantize_rows(&q1.dequantize());
+        prop_assert!(
+            q1.q_data() == q2.q_data(),
+            "re-quantization changed the int grid"
+        );
+        for (a, b) in q1.scales().iter().zip(q2.scales()) {
+            // Dequantized absmax is 127·scale exactly up to one f32
+            // rounding, so the recovered scale drifts ≤ 1 ulp-ish.
+            prop_assert!((a - b).abs() <= a.abs() * 1e-6, "scale drift {a} -> {b}");
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn qmatmul_tracks_the_f32_reference_within_the_analytic_bound() {
+    check("qmatmul error bound", gen_case, |case| {
+        let (x, w) = tensors(case);
+        let (m, k, n) = (x.shape()[0], x.shape()[1], w.shape()[1]);
+        let qw = quantize_weights(&w);
+        let got = qmatmul(&x, &qw);
+        let want = x.matmul(&w); // the serial-chain training kernel
+        for i in 0..m {
+            let xa = x.row(i).iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+            for j in 0..n {
+                let wa = (0..k).fold(0.0f32, |a, kk| a.max(w.at2(kk, j).abs()));
+                let bound = k as f32 * xa * wa / 127.0 + 1e-6;
+                let (g, r) = (got.at2(i, j), want.at2(i, j));
+                prop_assert!(
+                    (g - r).abs() <= bound,
+                    "({m},{k},{n})@({i},{j}): {g} vs {r} (bound {bound})"
+                );
+            }
+        }
+        Ok(())
+    });
+}

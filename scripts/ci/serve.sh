@@ -5,8 +5,9 @@
 # 1. apots-serve unit + e2e tests (real sockets: determinism across
 #    thread counts and batch compositions, hot-swap semantics, torn-
 #    checkpoint rejection under the armed fault plane).
-# 2. The seeded 2×50k-request storm (`serve_load`), emitting
-#    BENCH_serve.json at the repo root.
+# 2. The seeded 2×50k-request storm (`serve_load`) plus the Paper-preset
+#    quant-lane comparison storms, emitting BENCH_serve.json at the repo
+#    root.
 # 3. bench-gate against the committed bench_serve_baselines.json —
 #    request/error counts and the cross-thread response checksum are
 #    exact; latency/QPS carry wide (< 0.5) host tolerances.
