@@ -1,0 +1,83 @@
+//! **Network scenario bench** — the two costs the scenario engine adds
+//! (DESIGN.md §16): realizing a road-network corpus (graph propagation
+//! over thousands of segments) and pushing the per-segment × kind grid
+//! through the parallel runner.
+//!
+//! Corpus generation is deliberately serial (byte-reproducibility over
+//! throughput), so it has no thread axis; the grid fan-out does, and as
+//! with every other suite the outputs are bit-identical across thread
+//! counts — `threads1` vs `threads4` only moves wall-clock time.
+
+use std::time::Duration;
+
+use apots_bench::{criterion_group, criterion_main, Criterion};
+use apots_experiments::network::{network_report, NetworkRunConfig};
+use apots_traffic::calendar::Calendar;
+use apots_traffic::{NetworkConfig, RoadNetwork, ScenarioCorpus, ScenarioSpec};
+use std::hint::black_box;
+
+/// Runs `body` with the pool pinned to `n` threads, then restores the
+/// environment-driven default.
+fn with_threads<R>(n: usize, body: impl FnOnce() -> R) -> R {
+    apots_par::set_threads(n);
+    let out = body();
+    apots_par::reset_threads();
+    out
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    // Pure shockwave/relaxation dynamics over a 2048-segment network for
+    // one day — the inner loop every scenario pays per interval.
+    let config = NetworkConfig {
+        segments: 2048,
+        ..NetworkConfig::default()
+    };
+    c.bench_function("network_propagation_2048seg_1day", |b| {
+        b.iter(|| {
+            black_box(RoadNetwork::generate_plain(
+                config.clone(),
+                Calendar::new(1, 6, vec![]),
+            ))
+        })
+    });
+}
+
+fn bench_corpus(c: &mut Criterion) {
+    // The full demo spec (cascading accident, city event, outages,
+    // super-peak) at the 1000-segment acceptance scale.
+    let spec = ScenarioSpec::demo(1024, 3);
+    c.bench_function("scenario_corpus_demo_1024seg_3day", |b| {
+        b.iter(|| black_box(ScenarioCorpus::generate(&spec)))
+    });
+}
+
+fn bench_grid(c: &mut Criterion) {
+    // Per-segment grid throughput: 2 evaluation segments × 4 predictor
+    // kinds through the parallel runner on a small corpus.
+    let spec = ScenarioSpec::demo(128, 3);
+    let corpus = ScenarioCorpus::generate(&spec);
+    let cfg = NetworkRunConfig {
+        epochs: 1,
+        max_train_samples: Some(32),
+        eval_samples: 8,
+        eval_segments: 2,
+        ..NetworkRunConfig::default()
+    };
+    for threads in [1usize, 4] {
+        c.bench_function(&format!("network_grid_2seg_4kinds_threads{threads}"), |b| {
+            with_threads(threads, || {
+                b.iter(|| black_box(network_report(&corpus, &cfg)))
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench_propagation, bench_corpus, bench_grid
+}
+criterion_main!(benches);

@@ -20,10 +20,12 @@ use apots::predictor::build_predictor;
 use apots::runtime::TrainOptions;
 use apots::trainer::train_with_options;
 use apots_attack::{robustness_report, run_attack, AttackConfig, AttackKind, ReportConfig};
+use apots_experiments::network::{generate_corpus, network_report, NetworkRunConfig};
 use apots_serde::atomic::write_atomic;
+use apots_serde::{Json, Map};
 use apots_traffic::calendar::Calendar;
 use apots_traffic::{
-    Corridor, DataConfig, FeatureMask, SimConfig, TrafficDataset, INTERVALS_PER_DAY,
+    Corridor, DataConfig, FeatureMask, ScenarioSpec, SimConfig, TrafficDataset, INTERVALS_PER_DAY,
 };
 
 mod args;
@@ -86,6 +88,16 @@ fn usage() -> &'static str {
      \x20            accuracy-vs-outage-rate degradation curves\n\
      \x20            [--epochs N] [--samples N] [--max-train-samples N]\n\
      \x20            [--rates R1,R2,…] [--mean-duration N] [--out FILE]\n\
+     \x20 scenario   network-scale scenario engine: realize a strict-JSON\n\
+     \x20            scenario spec into a road-network corpus\n\
+     \x20            <generate|describe|report> (--spec FILE | --demo)\n\
+     \x20            [--segments N] [--days N] [--seed N] [--out FILE]\n\
+     \x20            (report also trains the per-segment grid:\n\
+     \x20            [--epochs N] [--eval-segments N] [--samples N]\n\
+     \x20            [--max-train-samples N] [--report-seed N])\n\
+     \x20 ci-timings write machine-readable per-stage CI timings as\n\
+     \x20            strict JSON (schema apots-ci-timings)\n\
+     \x20            STAGE:SECS:STATUS [STAGE:SECS:STATUS …] [--out FILE]\n\
      \x20 metrics-summary  aggregate a JSONL trace into one JSON report\n\
      \x20            <trace.jsonl> [--compact]\n\
      \x20 bench-gate check fresh BENCH_*.json files against the committed\n\
@@ -131,6 +143,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             | "attack"
             | "robustness-report"
             | "outage-report"
+            | "scenario"
             | "serve"
     );
     if traced {
@@ -158,6 +171,8 @@ fn run(argv: &[String]) -> Result<(), String> {
         "attack" => no_operands(&args, cmd_attack),
         "robustness-report" => no_operands(&args, cmd_robustness_report),
         "outage-report" => no_operands(&args, cmd_outage_report),
+        "scenario" => cmd_scenario(&args),
+        "ci-timings" => cmd_ci_timings(&args),
         "metrics-summary" => cmd_metrics_summary(&args),
         "bench-gate" => bench_gate::run(&args),
         "help" | "--help" | "-h" => {
@@ -561,6 +576,185 @@ fn cmd_outage_report(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolves the scenario spec a `scenario` invocation works on: either
+/// a strict-JSON file (`--spec FILE`, parse errors name the offending
+/// key and its valid range) or the built-in demo (`--demo`, optionally
+/// resized).
+fn load_scenario_spec(args: &Args) -> Result<ScenarioSpec, String> {
+    match (args.get_str("spec"), args.has_flag("demo")) {
+        (Some(_), true) => Err("--spec and --demo are mutually exclusive".into()),
+        (Some(path), false) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            ScenarioSpec::parse(&text)
+        }
+        (None, true) => {
+            let segments = args.get_usize("segments")?.unwrap_or(1024);
+            if !(16..=65536).contains(&segments) {
+                return Err(format!(
+                    "--segments = {segments} out of range (valid: 16..=65536)"
+                ));
+            }
+            let days = args.get_usize("days")?.unwrap_or(3);
+            if !(3..=31).contains(&days) {
+                return Err(format!(
+                    "--days = {days} out of range for the demo spec \
+                     (its events span days 1–2; valid: 3..=31)"
+                ));
+            }
+            let mut spec = ScenarioSpec::demo(segments, days);
+            if let Some(s) = args.get_u64("seed")? {
+                spec.seed = s;
+            }
+            Ok(spec)
+        }
+        (None, false) => Err("scenario needs a spec: --spec FILE or --demo".into()),
+    }
+}
+
+fn cmd_scenario(args: &Args) -> Result<(), String> {
+    let mode = args.positional(0).ok_or_else(|| {
+        "usage: scenario <generate|describe|report> (--spec FILE | --demo)".to_string()
+    })?;
+    if !matches!(mode, "generate" | "describe" | "report") {
+        return Err(format!(
+            "unknown scenario mode {mode:?} (valid modes: generate, describe, report)"
+        ));
+    }
+    if let Some(extra) = args.positional(1) {
+        return Err(format!("unexpected operand {extra:?}"));
+    }
+    let spec = load_scenario_spec(args)?;
+    match mode {
+        "describe" => {
+            print!("{}", spec.describe());
+            Ok(())
+        }
+        "generate" => {
+            let corpus = generate_corpus(&spec);
+            print!("{}", spec.describe());
+            emit_json(args, &corpus.summary_json())
+        }
+        _ => {
+            let corpus = generate_corpus(&spec);
+            let mut cfg = NetworkRunConfig {
+                seed: spec.seed,
+                ..NetworkRunConfig::default()
+            };
+            if let Some(e) = args.get_usize("epochs")? {
+                if e == 0 {
+                    return Err("--epochs must be positive".into());
+                }
+                cfg.epochs = e;
+            }
+            if let Some(n) = args.get_usize("eval-segments")? {
+                if n == 0 {
+                    return Err("--eval-segments must be positive".into());
+                }
+                cfg.eval_segments = n;
+            }
+            if let Some(n) = args.get_usize("samples")? {
+                cfg.eval_samples = n;
+            }
+            if let Some(n) = args.get_usize("max-train-samples")? {
+                cfg.max_train_samples = Some(n);
+            }
+            if let Some(s) = args.get_u64("report-seed")? {
+                cfg.seed = s;
+            }
+            eprintln!(
+                "scenario grid: {} segments × 4 kinds ({} epochs each)…",
+                cfg.eval_segments, cfg.epochs
+            );
+            emit_json(args, &network_report(&corpus, &cfg))
+        }
+    }
+}
+
+/// Pretty-prints `value` to stdout, or atomically to `--out FILE`.
+fn emit_json(args: &Args, value: &Json) -> Result<(), String> {
+    let text = value.to_string_pretty();
+    match args.get_str("out") {
+        Some(path) => {
+            write_atomic(std::path::Path::new(path), &text)
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        None => println!("{text}"),
+    }
+    Ok(())
+}
+
+/// Parses one `STAGE:SECS:STATUS` operand of `ci-timings`.
+fn parse_timing_entry(s: &str) -> Result<(String, f64, String), String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    let [stage, secs, status] = parts.as_slice() else {
+        return Err(format!(
+            "bad timing entry {s:?}, expected STAGE:SECS:STATUS (e.g. lint:12.4:ok)"
+        ));
+    };
+    if stage.is_empty() {
+        return Err(format!("bad timing entry {s:?}: empty stage name"));
+    }
+    let secs: f64 = secs
+        .parse()
+        .map_err(|_| format!("bad timing entry {s:?}: {secs:?} is not a number of seconds"))?;
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(format!(
+            "bad timing entry {s:?}: seconds must be finite and non-negative, got {secs}"
+        ));
+    }
+    if !matches!(*status, "ok" | "fail" | "skip") {
+        return Err(format!(
+            "bad timing entry {s:?}: status {status:?} is not one of ok, fail, skip"
+        ));
+    }
+    Ok((stage.to_string(), secs, status.to_string()))
+}
+
+/// Writes the per-stage CI timing report (`schema: apots-ci-timings`)
+/// that `scripts/ci/verify.sh` collects and CI uploads as an artifact.
+fn cmd_ci_timings(args: &Args) -> Result<(), String> {
+    if args.positional(0).is_none() {
+        return Err(
+            "ci-timings needs at least one STAGE:SECS:STATUS entry (e.g. lint:12.4:ok)".into(),
+        );
+    }
+    let mut entries = Vec::new();
+    let mut total = 0.0f64;
+    let mut failed = 0usize;
+    for i in 0.. {
+        let Some(raw) = args.positional(i) else { break };
+        let (stage, secs, status) = parse_timing_entry(raw)?;
+        total += secs;
+        failed += usize::from(status == "fail");
+        let mut m = Map::new();
+        m.insert("stage".into(), Json::Str(stage));
+        m.insert("secs".into(), Json::Num(secs));
+        m.insert("status".into(), Json::Str(status));
+        entries.push(Json::Obj(m));
+    }
+    let mut root = Map::new();
+    root.insert("schema".into(), Json::Str("apots-ci-timings".into()));
+    root.insert("stages".into(), Json::Num(entries.len() as f64));
+    root.insert("failed".into(), Json::Num(failed as f64));
+    root.insert("total_secs".into(), Json::Num(total));
+    root.insert("entries".into(), Json::Arr(entries));
+    let text = Json::Obj(root).to_string_pretty();
+
+    let path = args.get_str("out").unwrap_or("results/ci_timings.json");
+    let p = std::path::Path::new(path);
+    if let Some(parent) = p.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
+    write_atomic(p, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
 fn parse_hhmm(s: &str) -> Result<usize, String> {
     let (hh, mm) = s
         .split_once(':')
@@ -708,7 +902,90 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 
 #[cfg(test)]
 mod tests {
-    use super::{parse_hhmm, positive_serve_knob};
+    use super::{parse_hhmm, parse_timing_entry, positive_serve_knob, run};
+
+    fn strs(items: &[&str]) -> Vec<String> {
+        items.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn scenario_rejects_unknown_mode_by_name() {
+        let err = run(&strs(&["scenario", "pileup", "--demo"])).unwrap_err();
+        assert!(err.contains("\"pileup\""), "{err}");
+        assert!(err.contains("generate, describe, report"), "{err}");
+    }
+
+    #[test]
+    fn scenario_requires_a_spec_source() {
+        let err = run(&strs(&["scenario", "describe"])).unwrap_err();
+        assert!(err.contains("--spec FILE or --demo"), "{err}");
+    }
+
+    #[test]
+    fn scenario_demo_rejects_out_of_range_sizes_with_the_valid_range() {
+        let err = run(&strs(&[
+            "scenario",
+            "describe",
+            "--demo",
+            "--segments",
+            "4",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--segments = 4"), "{err}");
+        assert!(err.contains("16..=65536"), "{err}");
+        let err = run(&strs(&["scenario", "describe", "--demo", "--days", "2"])).unwrap_err();
+        assert!(err.contains("--days = 2"), "{err}");
+        assert!(err.contains("3..=31"), "{err}");
+    }
+
+    #[test]
+    fn scenario_describe_demo_succeeds() {
+        run(&strs(&[
+            "scenario",
+            "describe",
+            "--demo",
+            "--segments",
+            "64",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn timing_entries_parse() {
+        assert_eq!(
+            parse_timing_entry("lint:12.4:ok").unwrap(),
+            ("lint".to_string(), 12.4, "ok".to_string())
+        );
+        assert_eq!(
+            parse_timing_entry("scenario:0:skip").unwrap(),
+            ("scenario".to_string(), 0.0, "skip".to_string())
+        );
+    }
+
+    #[test]
+    fn timing_entries_reject_malformed_input_by_name() {
+        // Wrong arity: the error shows the expected shape.
+        let err = parse_timing_entry("lint:12.4").unwrap_err();
+        assert!(err.contains("STAGE:SECS:STATUS"), "{err}");
+        // Non-numeric seconds name the bad field.
+        let err = parse_timing_entry("lint:fast:ok").unwrap_err();
+        assert!(err.contains("\"fast\""), "{err}");
+        // Negative seconds are impossible for a wall clock.
+        let err = parse_timing_entry("lint:-3:ok").unwrap_err();
+        assert!(err.contains("non-negative"), "{err}");
+        // Unknown status lists the valid ones.
+        let err = parse_timing_entry("lint:3:crashed").unwrap_err();
+        assert!(err.contains("\"crashed\""), "{err}");
+        assert!(err.contains("ok, fail, skip"), "{err}");
+        // Empty stage name.
+        assert!(parse_timing_entry(":3:ok").unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn ci_timings_requires_entries() {
+        let err = run(&strs(&["ci-timings"])).unwrap_err();
+        assert!(err.contains("STAGE:SECS:STATUS"), "{err}");
+    }
 
     #[test]
     fn serve_knobs_reject_zero_with_named_two_line_errors() {

@@ -16,6 +16,8 @@
 //! Every binary is deterministic under `APOTS_SEED`, prints the paper's
 //! rows/series to stdout and appends a JSON record under `results/`.
 
+pub mod network;
+
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -206,31 +208,50 @@ pub fn run_model_keep(
     )
 }
 
+/// Fans a batch of independent jobs across the `apots-par` pool and
+/// collects the results **in input order** — the generalized grid
+/// runner. One pool task per job; within a job the kernels execute on
+/// the worker's thread (nested parallel regions run inline), so every
+/// job computes exactly what it would have computed alone and the
+/// output is bit-identical to running the jobs serially. A panic inside
+/// any job propagates to the caller.
+///
+/// [`run_grid`] (the Table-III grid over one shared dataset) and the
+/// network scenario engine's per-segment fan-out
+/// ([`network::network_report`]) are both instances of this runner.
+pub fn fan_out<T, R, F>(jobs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let mut slots: Vec<Option<R>> = jobs.iter().map(|_| None).collect();
+    {
+        let items: Vec<(&mut Option<R>, T)> = slots.iter_mut().zip(jobs).collect();
+        apots_par::parallel_items(items, |(slot, job)| {
+            *slot = Some(f(job));
+        });
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("fan-out job did not produce a result"))
+        .collect()
+}
+
 /// Trains and evaluates a batch of `(kind, config)` runs, fanning them
 /// out across the `apots-par` pool — one task per run, so a Table-III
 /// style grid uses every core instead of crawling through 16 configs
-/// serially. Within a run the kernels execute on the worker's thread
-/// (nested parallel regions run inline), so each run computes exactly
-/// what it would have computed alone: outcomes are bit-identical to the
-/// serial grid and come back in input order. A panic inside any run
-/// (e.g. a training failure) propagates to the caller.
+/// serially. Outcomes come back in input order, bit-identical to the
+/// serial grid (see [`fan_out`]).
 pub fn run_grid(
     data: &TrafficDataset,
     preset: HyperPreset,
     jobs: &[(PredictorKind, TrainConfig)],
 ) -> Vec<RunOutcome> {
-    let mut slots: Vec<Option<RunOutcome>> = jobs.iter().map(|_| None).collect();
-    {
-        let items: Vec<(&mut Option<RunOutcome>, &(PredictorKind, TrainConfig))> =
-            slots.iter_mut().zip(jobs.iter()).collect();
-        apots_par::parallel_items(items, |(slot, (kind, config))| {
-            *slot = Some(run_model(data, *kind, preset, config));
-        });
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("grid job did not produce an outcome"))
-        .collect()
+    fan_out(
+        jobs.iter().collect(),
+        |(kind, config): &(PredictorKind, TrainConfig)| run_model(data, *kind, preset, config),
+    )
 }
 
 /// Renders a markdown-style table to stdout.

@@ -1,0 +1,261 @@
+//! Network-scale scenario engine driver (DESIGN.md §16): trains and
+//! evaluates every predictor kind on corridor views cut out of a
+//! [`ScenarioCorpus`], fanning the `(segment × kind)` grid across the
+//! `apots-par` pool via the generalized runner ([`crate::fan_out`]).
+//!
+//! Each evaluation segment gets its own `2m + 1`-road dataset
+//! ([`ScenarioCorpus::dataset_for`], so `features_for_road{,_into}`
+//! semantics apply bit-identically), and every kind is scored twice:
+//! clean, and through the scenario's sensor outages
+//! ([`apots::degrade::evaluate_with_outage`] over
+//! [`ScenarioCorpus::outage_view_for`]). The report is built from
+//! `apots-serde` maps only and is a pure function of `(corpus, cfg)`:
+//! bit-identical across re-runs and `APOTS_THREADS`, pinned by a golden
+//! FNV-1a hash in `tests/network_golden.rs`.
+
+use apots::config::{HyperPreset, PredictorKind, TrainConfig};
+use apots::degrade::evaluate_with_outage;
+use apots::eval::{evaluate, EvalResult};
+use apots::predictor::build_predictor;
+use apots::runtime::TrainOptions;
+use apots::trainer::train_with_options;
+use apots_serde::{Json, Map};
+use apots_traffic::{DataConfig, FeatureMask, ScenarioCorpus, TrafficDataset};
+
+/// Parameters of one network scenario report.
+#[derive(Debug, Clone)]
+pub struct NetworkRunConfig {
+    /// Architecture widths for every trained model.
+    pub preset: HyperPreset,
+    /// Master seed: per-segment split seeds and per-run training seeds
+    /// derive from it.
+    pub seed: u64,
+    /// Corridor half-width of each per-segment view (`2m + 1` roads).
+    pub m: usize,
+    /// Training epochs per `(segment, kind)` run.
+    pub epochs: usize,
+    /// Per-epoch sample cap for training.
+    pub max_train_samples: Option<usize>,
+    /// Held-out samples evaluated per run (a deterministic prefix of the
+    /// segment's test split).
+    pub eval_samples: usize,
+    /// Number of evaluation segments, spread evenly over the network.
+    pub eval_segments: usize,
+    /// Feature groups visible to the models.
+    pub mask: FeatureMask,
+}
+
+impl Default for NetworkRunConfig {
+    fn default() -> Self {
+        Self {
+            preset: HyperPreset::Fast,
+            seed: 2022,
+            m: 2,
+            epochs: 2,
+            max_train_samples: Some(256),
+            eval_samples: 32,
+            eval_segments: 4,
+            mask: FeatureMask::BOTH,
+        }
+    }
+}
+
+/// Realizes a corpus from its spec under a traced span, bumping the
+/// `scenario.corpora` counter on the driving thread. All drivers (the
+/// `network_scenarios` binary, the CLI `scenario` subcommand) generate
+/// through this so the det counter tallies every corpus.
+pub fn generate_corpus(spec: &apots_traffic::ScenarioSpec) -> ScenarioCorpus {
+    let _span = apots_obs::span("scenario.generate", true);
+    apots_obs::metrics::SCENARIO_CORPORA.bump();
+    ScenarioCorpus::generate(spec)
+}
+
+/// Picks `count` evaluation segments spread evenly over the network:
+/// the midpoints of `count` equal strides, so distinct corridors (and
+/// thus distinct topology neighbourhoods) are sampled rather than one
+/// hot corner.
+pub fn eval_segments(n_segments: usize, count: usize) -> Vec<usize> {
+    let count = count.clamp(1, n_segments);
+    (0..count)
+        .map(|i| (2 * i * n_segments + n_segments) / (2 * count))
+        .collect()
+}
+
+fn num(v: f64) -> Json {
+    Json::Num(v)
+}
+
+fn metrics_json(res: &EvalResult) -> Json {
+    let mut m = Map::new();
+    m.insert("mae".into(), num(f64::from(res.overall.mae)));
+    m.insert("rmse".into(), num(f64::from(res.overall.rmse)));
+    m.insert("mape".into(), num(f64::from(res.overall.mape)));
+    Json::Obj(m)
+}
+
+/// One `(segment, kind)` cell of the report grid.
+struct Cell {
+    clean: EvalResult,
+    outage: EvalResult,
+}
+
+/// Trains `kind` on the segment's dataset and scores it clean and
+/// through the outage view. Runs on a pool worker; everything it
+/// touches is per-job or immutable, so the outcome is bit-identical to
+/// a serial run.
+fn run_cell(
+    data: &TrafficDataset,
+    view: &apots_traffic::OutageView,
+    kind: PredictorKind,
+    cfg: &NetworkRunConfig,
+    train_seed: u64,
+) -> Cell {
+    let tc = TrainConfig {
+        epochs: cfg.epochs,
+        max_train_samples: cfg.max_train_samples,
+        seed: train_seed,
+        ..TrainConfig::plain(cfg.mask)
+    };
+    let init_seed = train_seed ^ u64::from(kind.label().as_bytes()[0]);
+    let mut p = build_predictor(kind, cfg.preset, data, init_seed);
+    train_with_options(p.as_mut(), data, &tc, &mut TrainOptions::default())
+        .unwrap_or_else(|e| panic!("network-report training {kind:?} failed: {e}"));
+    let samples: Vec<usize> = data
+        .test_samples()
+        .iter()
+        .copied()
+        .take(cfg.eval_samples.max(1))
+        .collect();
+    let clean = evaluate(p.as_mut(), data, cfg.mask, &samples);
+    let outage = evaluate_with_outage(p.as_mut(), data, cfg.mask, &samples, view);
+    Cell { clean, outage }
+}
+
+/// Runs the full grid — every evaluation segment × every predictor kind
+/// — through the parallel runner and assembles the strict-JSON network
+/// report (`schema: "apots-network-scenarios"`).
+///
+/// Deterministic for a fixed `(corpus, cfg)`: bit-identical bytes
+/// across re-runs and across `APOTS_THREADS` settings.
+pub fn network_report(corpus: &ScenarioCorpus, cfg: &NetworkRunConfig) -> Json {
+    let _span = apots_obs::span("scenario.report", true);
+    let n = corpus.network.n_segments();
+    let segments = eval_segments(n, cfg.eval_segments);
+    // Counters bump on the driving thread, before any fan-out, so the
+    // `scenario.*` tallies are thread-count-invariant (det: true).
+    apots_obs::metrics::SCENARIO_SEGMENTS.add(segments.len() as u64);
+
+    // Per-segment datasets and outage views are built once (serially,
+    // on this thread) and shared by the four kind-jobs of that segment.
+    let per_segment: Vec<(usize, TrafficDataset, apots_traffic::OutageView)> = segments
+        .iter()
+        .map(|&seg| {
+            let split_seed = cfg.seed ^ ((seg as u64 + 1).wrapping_mul(0x9E37_79B9));
+            let data = corpus.dataset_for(
+                seg,
+                cfg.m,
+                DataConfig {
+                    seed: split_seed,
+                    ..DataConfig::default()
+                },
+            );
+            let view = corpus.outage_view_for(seg, cfg.m);
+            (seg, data, view)
+        })
+        .collect();
+
+    let mut jobs: Vec<(usize, usize, PredictorKind)> = Vec::new();
+    for (si, (seg, _, _)) in per_segment.iter().enumerate() {
+        for kind in PredictorKind::all() {
+            jobs.push((si, *seg, kind));
+        }
+    }
+    apots_obs::metrics::SCENARIO_RUNS.add(jobs.len() as u64);
+
+    let cells = crate::fan_out(jobs, |(si, seg, kind)| {
+        let (_, data, view) = &per_segment[si];
+        let train_seed = cfg.seed ^ ((seg as u64 + 1).wrapping_mul(0x9E37_79B9)) ^ 0x5CE4;
+        run_cell(data, view, kind, cfg, train_seed)
+    });
+
+    let mut seg_objs = Vec::new();
+    let mut next = cells.into_iter();
+    for (seg, data, _) in &per_segment {
+        let chain_plan = corpus.chain_outage_plan(*seg, cfg.m);
+        let mut kinds = Vec::new();
+        for kind in PredictorKind::all() {
+            let cell = next.next().expect("network grid outcome count mismatch");
+            let mut k = Map::new();
+            k.insert("kind".into(), Json::Str(kind.label().into()));
+            k.insert("clean".into(), metrics_json(&cell.clean));
+            k.insert("outage".into(), metrics_json(&cell.outage));
+            kinds.push(Json::Obj(k));
+        }
+        let mut s = Map::new();
+        s.insert("segment".into(), num(*seg as f64));
+        s.insert(
+            "free_flow".into(),
+            num(f64::from(corpus.network.topology().free_flow()[*seg])),
+        );
+        s.insert("test_samples".into(), num(data.test_samples().len() as f64));
+        s.insert(
+            "chain_outage_fraction".into(),
+            num(chain_plan.outage_fraction()),
+        );
+        s.insert("kinds".into(), Json::Arr(kinds));
+        seg_objs.push(Json::Obj(s));
+    }
+
+    let topo = corpus.network.topology();
+    let mut root = Map::new();
+    root.insert("schema".into(), Json::Str("apots-network-scenarios".into()));
+    root.insert("scenario".into(), Json::Str(corpus.spec.name.clone()));
+    root.insert("spec_seed".into(), num(corpus.spec.seed as f64));
+    root.insert("seed".into(), num(cfg.seed as f64));
+    root.insert("segments".into(), num(n as f64));
+    root.insert("intervals".into(), num(corpus.network.intervals() as f64));
+    root.insert("edges".into(), num(topo.n_edges() as f64));
+    root.insert("junctions".into(), num(topo.n_junctions() as f64));
+    root.insert(
+        "incidents_applied".into(),
+        num(corpus.incidents_applied as f64),
+    );
+    root.insert(
+        "outage_fraction".into(),
+        num(corpus.outage.outage_fraction()),
+    );
+    root.insert(
+        "corpus_checksum".into(),
+        Json::Str(format!("{:#018x}", corpus.checksum())),
+    );
+    root.insert("m".into(), num(cfg.m as f64));
+    root.insert("epochs".into(), num(cfg.epochs as f64));
+    root.insert("eval_samples".into(), num(cfg.eval_samples as f64));
+    root.insert("eval_segments".into(), Json::Arr(seg_objs));
+    Json::Obj(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_segments_are_spread_and_sorted() {
+        let segs = eval_segments(1024, 4);
+        assert_eq!(segs, vec![128, 384, 640, 896]);
+        assert_eq!(eval_segments(16, 1), vec![8]);
+        // More requested than available clamps to one per segment.
+        assert_eq!(eval_segments(3, 8), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn eval_segments_stay_in_range() {
+        for n in [1usize, 2, 7, 100, 1024] {
+            for count in [1usize, 2, 4, 9] {
+                let segs = eval_segments(n, count);
+                assert!(segs.iter().all(|&s| s < n), "n={n} count={count}");
+                assert!(segs.windows(2).all(|w| w[0] < w[1]), "n={n} count={count}");
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! **Network scenario byte stability** (acceptance gate of the scenario
+//! engine): a seeded ≥1000-segment corpus — cascading accident, city
+//! event, random outages, an outage window and a holiday super-peak —
+//! is bit-identical across `APOTS_THREADS ∈ {1, 4}`, and the network
+//! report built over it by the parallel grid runner serializes to the
+//! same bytes at both thread counts, pinned by a golden FNV-1a hash the
+//! same way the degradation and robustness reports pin theirs. If the
+//! hash moves after an intentional change to the simulator, the
+//! training numerics or the report schema, recapture it and note the
+//! break in DESIGN.md §16.
+
+use apots_experiments::network::{network_report, NetworkRunConfig};
+use apots_serde::atomic::fnv1a_64;
+use apots_serde::Json;
+use apots_traffic::{ScenarioCorpus, ScenarioSpec};
+
+/// FNV-1a of the tiny report below, captured at `APOTS_THREADS=1`.
+const GOLDEN_NETWORK_HASH: u64 = 0x3da0ff12eb6a1ee9;
+
+fn spec() -> ScenarioSpec {
+    // The demo spec carries one of every event kind; 1024 segments puts
+    // the corpus over the 1000-segment acceptance floor.
+    ScenarioSpec::demo(1024, 3)
+}
+
+fn tiny_cfg() -> NetworkRunConfig {
+    NetworkRunConfig {
+        seed: 404,
+        epochs: 1,
+        max_train_samples: Some(32),
+        eval_samples: 8,
+        eval_segments: 2,
+        ..NetworkRunConfig::default()
+    }
+}
+
+#[test]
+fn corpus_and_report_are_stable_across_threads_and_pinned() {
+    let spec = spec();
+    let cfg = tiny_cfg();
+
+    apots_par::set_threads(1);
+    let c1 = ScenarioCorpus::generate(&spec);
+    let r1 = network_report(&c1, &cfg).to_string();
+    apots_par::set_threads(4);
+    let c4 = ScenarioCorpus::generate(&spec);
+    let r4 = network_report(&c4, &cfg).to_string();
+    apots_par::reset_threads();
+
+    // The corpus itself (speeds, volumes, outage mask) is generated
+    // serially: bit-identical regardless of the pool size.
+    assert_eq!(
+        c1.checksum(),
+        c4.checksum(),
+        "corpus bytes depend on APOTS_THREADS"
+    );
+    assert!(c1.network.n_segments() >= 1000, "acceptance floor");
+    assert!(c1.incidents_applied > 0, "no incidents applied");
+    assert!(c1.outage.outage_fraction() > 0.0, "no outages applied");
+
+    // The grid fan-out must not perturb a single byte either.
+    assert_eq!(r1, r4, "network report bytes depend on APOTS_THREADS");
+    let h = fnv1a_64(r1.as_bytes());
+    assert_eq!(
+        h, GOLDEN_NETWORK_HASH,
+        "network report drifted from the pinned golden (got {h:#018x}); \
+         see the module docs before updating"
+    );
+
+    // The report is strict JSON with the contracted shape: every
+    // evaluation segment carries all four predictor kinds, each scored
+    // clean and through the outage view.
+    let j = Json::parse(&r1).expect("report parses");
+    assert_eq!(
+        j.get("schema").and_then(Json::as_str),
+        Some("apots-network-scenarios")
+    );
+    assert_eq!(j.get("segments").and_then(Json::as_f64), Some(1024.0));
+    let segs = j.get("eval_segments").and_then(Json::as_array).unwrap();
+    assert_eq!(segs.len(), 2, "one entry per evaluation segment");
+    for seg in segs {
+        let kinds = seg.get("kinds").and_then(Json::as_array).unwrap();
+        assert_eq!(kinds.len(), 4, "one cell per predictor kind");
+        for k in kinds {
+            for side in ["clean", "outage"] {
+                for key in ["mae", "rmse", "mape"] {
+                    let v = k
+                        .get(side)
+                        .and_then(|m| m.get(key))
+                        .and_then(Json::as_f64)
+                        .unwrap();
+                    assert!(v.is_finite() && v >= 0.0, "{side}.{key} = {v}");
+                }
+            }
+        }
+    }
+}

@@ -322,6 +322,15 @@ pub static SERVE_SWAPS: Counter = Counter::new("serve.swaps", false);
 /// Snapshot candidates rejected by the serve watcher (torn, corrupt or
 /// shape-mismatched checkpoints that must never reach traffic).
 pub static SERVE_SWAPS_REJECTED: Counter = Counter::new("serve.swaps_rejected", false);
+/// Scenario corpora realized from a parsed network-scenario spec (bumped
+/// once per generation on the driving thread).
+pub static SCENARIO_CORPORA: Counter = Counter::new("scenario.corpora", true);
+/// Evaluation segments selected by a network scenario report.
+pub static SCENARIO_SEGMENTS: Counter = Counter::new("scenario.segments", true);
+/// Per-(segment × predictor-kind) grid runs fanned out by a network
+/// scenario report (counted at job creation, before any threading
+/// decision — deterministic).
+pub static SCENARIO_RUNS: Counter = Counter::new("scenario.runs", true);
 
 /// Every registered counter, in stable snapshot order.
 pub static ALL_COUNTERS: &[&Counter] = &[
@@ -354,6 +363,9 @@ pub static ALL_COUNTERS: &[&Counter] = &[
     &SERVE_BATCHES,
     &SERVE_SWAPS,
     &SERVE_SWAPS_REJECTED,
+    &SCENARIO_CORPORA,
+    &SCENARIO_SEGMENTS,
+    &SCENARIO_RUNS,
 ];
 
 /// High-water mark of live pool worker threads.

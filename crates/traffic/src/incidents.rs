@@ -181,11 +181,25 @@ impl IncidentLog {
             }
         }
 
-        // Precompute severity field and flags.
-        let mut severity = vec![vec![0.0f32; n]; n_roads];
-        let mut flag = vec![vec![false; n]; n_roads];
+        Self::from_incidents(n_roads, n, incidents)
+    }
+
+    /// Builds a log from an explicit incident list (scenario-DSL events,
+    /// corridor views cut out of a road network), precomputing the
+    /// severity field and event flags exactly like [`IncidentLog::generate`].
+    ///
+    /// # Panics
+    /// Panics if an incident's road index is out of range.
+    pub fn from_incidents(n_roads: usize, intervals: usize, incidents: Vec<Incident>) -> Self {
+        let mut severity = vec![vec![0.0f32; intervals]; n_roads];
+        let mut flag = vec![vec![false; intervals]; n_roads];
         for inc in &incidents {
-            let end = (inc.start + inc.duration + inc.recovery).min(n);
+            assert!(
+                inc.road < n_roads,
+                "IncidentLog: incident road {} out of range for {n_roads} roads",
+                inc.road
+            );
+            let end = (inc.start + inc.duration + inc.recovery).min(intervals);
             for t in inc.start..end {
                 severity[inc.road][t] += inc.severity_at(t);
                 flag[inc.road][t] = true;

@@ -26,13 +26,23 @@
 //!   hour, rainy day, accident recovery) inside a simulated corridor;
 //! * [`outage`] — deterministic sensor-outage schedules (per-road dropout
 //!   windows) and the LOCF + segment-mean imputation that feeds the
-//!   degradation curves of `apots::degrade`.
+//!   degradation curves of `apots::degrade`;
+//! * [`network`] — the network-scale generalization (DESIGN.md §16): a
+//!   road-network graph of spliced mainline chains with merge/diverge
+//!   junctions, congestion propagating upstream via a lagged, per-hop
+//!   attenuated shockwave term under exponential relaxation;
+//! * [`scenario_dsl`] — the strict-JSON scenario language (cascading
+//!   accidents, city-wide events, outage windows, holiday super-peaks)
+//!   and the deterministic corpus expansion that turns a spec into a
+//!   checksummed [`network::RoadNetwork`] plus per-segment datasets.
 
 pub mod calendar;
 pub mod dataset;
 pub mod features;
 pub mod incidents;
+pub mod network;
 pub mod outage;
+pub mod scenario_dsl;
 pub mod scenarios;
 pub mod sim;
 pub mod weather;
@@ -41,7 +51,9 @@ pub use calendar::{Calendar, DayType};
 pub use dataset::{DataConfig, Normalizer, TrafficDataset};
 pub use features::{FeatureMask, NonSpeedMask, SampleFeatures};
 pub use incidents::{Incident, IncidentKind, IncidentLog};
+pub use network::{NetworkConfig, NetworkForcing, NetworkTopology, RoadNetwork};
 pub use outage::{OutageConfig, OutagePlan, OutageView};
+pub use scenario_dsl::{ScenarioCorpus, ScenarioEvent, ScenarioSpec};
 pub use sim::{Corridor, SimConfig};
 pub use weather::Weather;
 

@@ -86,6 +86,22 @@ impl OutagePlan {
         OutagePlan { out }
     }
 
+    /// Builds a plan from an explicit dropout mask (`out[road][t]`), as
+    /// produced by the scenario DSL's outage windows.
+    ///
+    /// # Panics
+    /// Panics if rows have unequal lengths.
+    pub fn from_mask(out: Vec<Vec<bool>>) -> Self {
+        if let Some(first) = out.first() {
+            let n = first.len();
+            assert!(
+                out.iter().all(|row| row.len() == n),
+                "OutagePlan: ragged mask rows"
+            );
+        }
+        OutagePlan { out }
+    }
+
     /// Whether the reading at `(road, t)` is dropped.
     pub fn is_out(&self, road: usize, t: usize) -> bool {
         self.out[road][t]

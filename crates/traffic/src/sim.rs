@@ -252,6 +252,41 @@ impl Corridor {
         }
     }
 
+    /// Assembles a corridor from pre-simulated parts. Used by
+    /// [`crate::network`] to cut a `2m + 1` chain view out of a road
+    /// network so the dataset/feature pipeline sees bit-identical inputs.
+    ///
+    /// # Panics
+    /// Panics if the series shapes disagree with `config`/`calendar`.
+    pub(crate) fn from_parts(
+        config: SimConfig,
+        calendar: Calendar,
+        weather: Weather,
+        incidents: IncidentLog,
+        speeds: Vec<Vec<f32>>,
+        volumes: Vec<Vec<f32>>,
+        free_flow: Vec<f32>,
+    ) -> Self {
+        let n_roads = config.n_roads();
+        let n = calendar.intervals();
+        assert_eq!(speeds.len(), n_roads, "from_parts: speed rows");
+        assert_eq!(volumes.len(), n_roads, "from_parts: volume rows");
+        assert_eq!(free_flow.len(), n_roads, "from_parts: free-flow entries");
+        assert!(
+            speeds.iter().chain(&volumes).all(|row| row.len() == n),
+            "from_parts: series length != calendar intervals"
+        );
+        Self {
+            config,
+            calendar,
+            weather,
+            incidents,
+            speeds,
+            volumes,
+            free_flow,
+        }
+    }
+
     /// Number of road segments.
     pub fn n_roads(&self) -> usize {
         self.speeds.len()

@@ -14,7 +14,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/../.."
 
-for f in BENCH_train_epoch.json BENCH_alloc_profile.json BENCH_parallel_kernels.json BENCH_attack.json BENCH_quant.json; do
+for f in BENCH_train_epoch.json BENCH_alloc_profile.json BENCH_parallel_kernels.json BENCH_attack.json BENCH_quant.json BENCH_network.json; do
   [[ -f $f ]] || { echo "missing $f — run the bench-smoke stage first" >&2; exit 1; }
 done
 

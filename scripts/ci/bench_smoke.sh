@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Stage: bench-smoke — run the five gated benchmark suites in smoke mode
+# Stage: bench-smoke — run the six gated benchmark suites in smoke mode
 # and emit their BENCH_*.json result files at the repo root (consumed by
 # the bench-gate stage), then sanity-check the allocation profile.
 set -euo pipefail
@@ -12,6 +12,7 @@ cargo bench -p apots-bench --bench alloc_profile --offline -- --test
 cargo bench -p apots-bench --bench train_epoch --offline -- --test
 cargo bench -p apots-bench --bench attack --offline -- --test
 cargo bench -p apots-bench --bench quant --offline -- --test
+cargo bench -p apots-bench --bench network --offline -- --test
 
 echo "== BENCH_alloc_profile.json steady state is zero =="
 grep -q '"target": "alloc_profile"' BENCH_alloc_profile.json

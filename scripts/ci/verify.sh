@@ -9,7 +9,12 @@
 # Usage:
 #   scripts/ci/verify.sh                 # run every stage
 #   scripts/ci/verify.sh --stage lint    # run one stage (repeatable)
-#   scripts/ci/verify.sh --list          # list stage names
+#   scripts/ci/verify.sh --list-stages   # list stage names (alias: --list)
+#
+# Besides the human-readable summary table, the driver writes the
+# per-stage timings as strict JSON (schema apots-ci-timings) to
+# results/ci_timings.json via `apots ci-timings`, so CI can upload them
+# as an artifact next to the BENCH_*.json files.
 #
 # The workspace carries zero external dependencies (DESIGN.md §6), so
 # everything here must succeed with the network disabled.
@@ -17,10 +22,10 @@
 set -uo pipefail
 cd "$(dirname "$0")/../.."
 
-STAGES=(build test-serial test-parallel determinism robustness faults memory serve bench-smoke bench-gate lint hermeticity)
+STAGES=(build test-serial test-parallel determinism robustness faults memory serve scenario bench-smoke bench-gate lint hermeticity)
 
 usage() {
-  echo "usage: scripts/ci/verify.sh [--stage NAME]... [--list]"
+  echo "usage: scripts/ci/verify.sh [--stage NAME]... [--list-stages]"
   echo "stages: ${STAGES[*]}"
 }
 
@@ -30,7 +35,7 @@ while [[ $# -gt 0 ]]; do
     --stage)
       [[ $# -ge 2 ]] || { echo "--stage needs a name" >&2; exit 2; }
       selected+=("$2"); shift 2 ;;
-    --list) printf '%s\n' "${STAGES[@]}"; exit 0 ;;
+    --list-stages|--list) printf '%s\n' "${STAGES[@]}"; exit 0 ;;
     -h|--help) usage; exit 0 ;;
     *) echo "unknown option $1" >&2; usage >&2; exit 2 ;;
   esac
@@ -69,6 +74,29 @@ printf '%-14s %8s  %s\n' "stage" "seconds" "status"
 for i in "${!names[@]}"; do
   printf '%-14s %8d  %s\n' "${names[$i]}" "${times[$i]}" "${stats[$i]}"
 done
+
+# Machine-readable per-stage timings (schema apots-ci-timings), written
+# through the CLI's apots-serde emitter so CI can upload them as an
+# artifact. Stage lines accumulate in results/ci_timings.log across
+# invocations (CI runs one stage per step, same workspace), keeping the
+# latest entry per stage, so the JSON always covers every stage run so
+# far. Best-effort: a summary-write failure must not mask (or fabricate)
+# a stage result.
+if [[ ${#names[@]} -gt 0 ]]; then
+  mkdir -p results
+  for i in "${!names[@]}"; do
+    st=ok; [[ ${stats[$i]} == FAIL ]] && st=fail
+    echo "${names[$i]}:${times[$i]}:${st}" >> results/ci_timings.log
+  done
+  mapfile -t entries < <(tac results/ci_timings.log | awk -F: '!seen[$1]++' | tac)
+  if cargo build -p apots-cli --release --offline >/dev/null 2>&1 &&
+     target/release/apots ci-timings "${entries[@]}" --out results/ci_timings.json; then
+    :
+  else
+    echo "warning: could not write results/ci_timings.json" >&2
+  fi
+fi
+
 if [[ $overall -ne 0 ]]; then
   echo "verify: FAILED" >&2
   exit 1
